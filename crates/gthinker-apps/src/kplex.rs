@@ -1,0 +1,145 @@
+//! Distributed connected k-plex counting — an extension workload from
+//! the T-thinker line the paper opens (§VII).
+//!
+//! Structure mirrors the quasi-clique app: no trimming (2-hop paths
+//! may pass through smaller IDs), two pull rounds to build the anchor's
+//! 2-hop ego network (sound because connected k-plexes of size
+//! ≥ 2k − 1 have diameter ≤ 2), then the serial hereditary enumerator.
+
+use crate::serial::kplex::count_kplexes_from;
+use crate::triangle::SumAgg;
+use gthinker_core::prelude::*;
+
+/// The k-plex counting application.
+pub struct KPlexApp {
+    /// Relaxation parameter k (1 = cliques).
+    pub k: usize,
+    /// Smallest k-plex size to count (must be ≥ 2k − 1).
+    pub min_size: usize,
+    /// Largest k-plex size to count.
+    pub max_size: usize,
+}
+
+impl KPlexApp {
+    /// Creates the app, checking the diameter-2 soundness floor.
+    pub fn new(k: usize, min_size: usize, max_size: usize) -> Self {
+        assert!(k >= 1);
+        assert!(min_size >= 2 * k - 1 && min_size >= 2, "need min_size ≥ 2k−1");
+        assert!(max_size >= min_size);
+        KPlexApp { k, min_size, max_size }
+    }
+}
+
+impl App for KPlexApp {
+    type Context = u64; // hop counter
+    type Agg = SumAgg;
+
+    fn make_aggregator(&self) -> SumAgg {
+        SumAgg
+    }
+
+    fn task_spawn(&self, v: VertexId, adj: &AdjList, env: &mut SpawnEnv<'_, Self>) {
+        if adj.is_empty() {
+            return; // connected k-plexes of size ≥ 2 need a neighbor
+        }
+        let mut t = Task::new(0u64);
+        t.subgraph.add_vertex(v, adj.clone());
+        for u in adj.iter() {
+            t.pull(u);
+        }
+        env.add_task(t);
+    }
+
+    fn compute(
+        &self,
+        task: &mut Task<u64>,
+        frontier: &Frontier,
+        env: &mut ComputeEnv<'_, Self>,
+    ) -> bool {
+        task.context += 1;
+        let hop = task.context;
+        let mut second_hop: Vec<VertexId> = Vec::new();
+        for (u, adj) in frontier.iter() {
+            if task.subgraph.add_vertex(u, (**adj).clone()) && hop == 1 {
+                for w in adj.iter() {
+                    if !task.subgraph.contains(w) {
+                        second_hop.push(w);
+                    }
+                }
+            }
+        }
+        if hop == 1 && !second_hop.is_empty() {
+            for w in second_hop {
+                task.pull(w);
+            }
+            return true;
+        }
+        let local = task.subgraph.to_local();
+        let anchor_global = *task.subgraph.vertex_ids().first().expect("anchor present");
+        let anchor = (0..local.num_vertices() as u32)
+            .find(|&i| local.global_id(i) == anchor_global)
+            .expect("anchor in its ego net");
+        let count = count_kplexes_from(&local, anchor, self.k, self.min_size, self.max_size);
+        if count > 0 {
+            env.aggregate(count);
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::kplex::count_kplexes_brute;
+    use gthinker_graph::gen;
+    use gthinker_graph::graph::Graph;
+    use gthinker_graph::subgraph::Subgraph;
+    use std::sync::Arc;
+
+    fn to_local(g: &Graph) -> gthinker_graph::subgraph::LocalGraph {
+        let mut sg = Subgraph::new();
+        for v in g.vertices() {
+            sg.add_vertex(v, g.neighbors(v).clone());
+        }
+        sg.to_local()
+    }
+
+    fn run(g: &Graph, k: usize, min: usize, max: usize, cfg: &JobConfig) -> u64 {
+        run_job(Arc::new(KPlexApp::new(k, min, max)), g, cfg).unwrap().global
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        for seed in 0..4 {
+            let g = gen::gnp(12, 0.35, seed);
+            let expected = count_kplexes_brute(&to_local(&g), 2, 3, 5);
+            assert_eq!(
+                run(&g, 2, 3, 5, &JobConfig::single_machine(2)),
+                expected,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn distributed_matches_single_machine() {
+        let g = gen::gnp(70, 0.1, 9);
+        let single = run(&g, 2, 3, 4, &JobConfig::single_machine(2));
+        let multi = run(&g, 2, 3, 4, &JobConfig::cluster(3, 2));
+        assert_eq!(single, multi);
+    }
+
+    #[test]
+    fn one_plex_counts_equal_clique_counts() {
+        // k = 1 reduces to connected cliques = cliques.
+        let g = gen::gnp(14, 0.4, 21);
+        let expected = count_kplexes_brute(&to_local(&g), 1, 3, 4);
+        assert_eq!(run(&g, 1, 3, 4, &JobConfig::single_machine(2)), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "2k−1")]
+    fn unsound_sizes_rejected() {
+        let _ = KPlexApp::new(3, 4, 6);
+    }
+}

@@ -1,0 +1,33 @@
+//! G-thinker applications — the workloads of the paper's evaluation:
+//!
+//! * [`MaxCliqueApp`] — maximum clique finding (MCF), Fig. 5, with the
+//!   τ decomposition threshold and aggregator-based global pruning.
+//! * [`TriangleApp`] — triangle counting (TC) with `Γ_>` trimming.
+//! * [`MatchingApp`] — labeled subgraph matching (GM) anchored on
+//!   query vertex 0's label instances.
+//! * [`QuasiCliqueApp`] — γ-quasi-clique counting over 2-hop ego
+//!   networks (the §III motivating example).
+//!
+//! [`serial`] holds the in-task serial miners (branch-and-bound max
+//! clique, intersection triangle counting, backtracking matcher,
+//! quasi-clique enumeration), each validated against brute force.
+
+pub mod kplex;
+pub mod matching;
+pub mod maxclique;
+pub mod maximalclique;
+pub mod quasiclique;
+pub mod serial;
+pub mod triangle;
+pub mod triangle_bundled;
+pub mod triangle_list;
+
+pub use kplex::KPlexApp;
+pub use matching::MatchingApp;
+pub use maxclique::{BestCliqueAgg, Clique, MaxCliqueApp};
+pub use maximalclique::MaximalCliqueApp;
+pub use quasiclique::QuasiCliqueApp;
+pub use serial::matching::Pattern;
+pub use triangle::{SumAgg, TriangleApp};
+pub use triangle_bundled::BundledTriangleApp;
+pub use triangle_list::TriangleListApp;

@@ -1,0 +1,211 @@
+//! Serial maximum-clique search on a [`LocalGraph`].
+//!
+//! This is the per-task serial algorithm of Fig. 5 line 12 (the paper
+//! cites the branch-and-bound solver of [31]): Bron–Kerbosch-style
+//! expansion with a greedy-coloring upper bound, searching only for
+//! cliques **strictly larger** than a caller-provided lower bound so
+//! that G-thinker's aggregator-broadcast best (`S_max`) prunes the
+//! search space across the whole cluster.
+
+use gthinker_graph::subgraph::LocalGraph;
+
+/// Finds the maximum clique of `g` **if** it is larger than
+/// `lower_bound`; returns `None` otherwise. Returned vertices are local
+/// indices, sorted ascending.
+pub fn max_clique_above(g: &LocalGraph, lower_bound: usize) -> Option<Vec<u32>> {
+    let n = g.num_vertices();
+    if n == 0 || n <= lower_bound {
+        return None;
+    }
+    let mut best: Option<Vec<u32>> = None;
+    let mut bound = lower_bound;
+    let mut current: Vec<u32> = Vec::new();
+    // Initial candidate ordering by descending degree speeds up the
+    // first deep dive (better initial bound).
+    let mut cand: Vec<u32> = (0..n as u32).collect();
+    cand.sort_unstable_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    expand(g, &mut current, cand, &mut bound, &mut best);
+    best.map(|mut c| {
+        c.sort_unstable();
+        c
+    })
+}
+
+/// Greedy coloring of `cand`; returns candidates reordered by color
+/// with each one's color number (1-based). A clique can use at most one
+/// vertex per color, so `|current| + color(v) ≤ bound` prunes `v` and
+/// everything ordered before it.
+fn color_sort(g: &LocalGraph, cand: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let mut color_classes: Vec<Vec<u32>> = Vec::new();
+    for &v in cand {
+        let mut placed = false;
+        for class in &mut color_classes {
+            if class.iter().all(|&u| !g.has_edge(u, v)) {
+                class.push(v);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            color_classes.push(vec![v]);
+        }
+    }
+    let mut order = Vec::with_capacity(cand.len());
+    let mut colors = Vec::with_capacity(cand.len());
+    for (i, class) in color_classes.iter().enumerate() {
+        for &v in class {
+            order.push(v);
+            colors.push(i as u32 + 1);
+        }
+    }
+    (order, colors)
+}
+
+fn expand(
+    g: &LocalGraph,
+    current: &mut Vec<u32>,
+    cand: Vec<u32>,
+    bound: &mut usize,
+    best: &mut Option<Vec<u32>>,
+) {
+    if cand.is_empty() {
+        if current.len() > *bound {
+            *bound = current.len();
+            *best = Some(current.clone());
+        }
+        return;
+    }
+    let (order, colors) = color_sort(g, &cand);
+    // Visit highest-color vertices first; once the bound check fails it
+    // fails for every earlier vertex too.
+    for i in (0..order.len()).rev() {
+        let v = order[i];
+        if current.len() + colors[i] as usize <= *bound {
+            return;
+        }
+        current.push(v);
+        let new_cand: Vec<u32> = order[..i]
+            .iter()
+            .copied()
+            .filter(|&u| g.has_edge(u, v))
+            .collect();
+        expand(g, current, new_cand, bound, best);
+        current.pop();
+    }
+}
+
+/// Brute-force maximum clique by subset enumeration — O(2ⁿ·n²), for
+/// cross-checking the solver in tests (n ≤ ~20).
+pub fn max_clique_brute(g: &LocalGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    assert!(n <= 24, "brute force is for tiny graphs only");
+    let mut best: Vec<u32> = Vec::new();
+    for mask in 0u32..(1 << n) {
+        let members: Vec<u32> = (0..n as u32).filter(|&i| mask & (1 << i) != 0).collect();
+        if members.len() <= best.len() {
+            continue;
+        }
+        let is_clique = members
+            .iter()
+            .enumerate()
+            .all(|(i, &u)| members[i + 1..].iter().all(|&v| g.has_edge(u, v)));
+        if is_clique {
+            best = members;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gthinker_graph::adj::AdjList;
+    use gthinker_graph::gen;
+    use gthinker_graph::graph::Graph;
+    use gthinker_graph::ids::VertexId;
+    use gthinker_graph::subgraph::Subgraph;
+
+    fn to_local(g: &Graph) -> LocalGraph {
+        let mut sg = Subgraph::new();
+        for v in g.vertices() {
+            sg.add_vertex(v, g.neighbors(v).clone());
+        }
+        sg.to_local()
+    }
+
+    #[test]
+    fn complete_graph_is_its_own_max_clique() {
+        let g = to_local(&gen::complete(7));
+        let c = max_clique_above(&g, 0).unwrap();
+        assert_eq!(c.len(), 7);
+    }
+
+    #[test]
+    fn cycle_max_clique_is_an_edge() {
+        let g = to_local(&gen::cycle(6));
+        let c = max_clique_above(&g, 0).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lower_bound_prunes_everything() {
+        let g = to_local(&gen::complete(5));
+        assert!(max_clique_above(&g, 5).is_none(), "no clique larger than 5 exists");
+        assert_eq!(max_clique_above(&g, 4).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = to_local(&Graph::with_vertices(0));
+        assert!(max_clique_above(&g, 0).is_none());
+        let g1 = to_local(&Graph::with_vertices(1));
+        assert_eq!(max_clique_above(&g1, 0).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn returned_vertices_form_a_clique() {
+        let g = to_local(&gen::gnp(40, 0.4, 11));
+        let c = max_clique_above(&g, 0).unwrap();
+        for i in 0..c.len() {
+            for j in (i + 1)..c.len() {
+                assert!(g.has_edge(c[i], c[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        for seed in 0..12 {
+            let n = 14;
+            let p = 0.2 + 0.05 * (seed % 8) as f64;
+            let g = to_local(&gen::gnp(n, p, seed));
+            let brute = max_clique_brute(&g);
+            let fast = max_clique_above(&g, 0).unwrap();
+            assert_eq!(fast.len(), brute.len(), "seed {seed}: {fast:?} vs {brute:?}");
+        }
+    }
+
+    #[test]
+    fn finds_planted_clique() {
+        let base = gen::gnp(120, 0.05, 3);
+        let (g, members) = gen::plant_clique(&base, 10, 4);
+        let local = to_local(&g);
+        let c = max_clique_above(&local, 0).unwrap();
+        assert!(c.len() >= 10);
+        // The found clique should be exactly the planted one here
+        // (background G(120, 0.05) has tiny cliques).
+        let found: Vec<VertexId> = local.to_global(&c);
+        assert_eq!(found, members);
+    }
+
+    #[test]
+    fn oriented_subgraph_input_works() {
+        // Tasks store oriented (Γ_>) lists; to_local symmetrizes.
+        let mut sg = Subgraph::new();
+        sg.add_vertex(VertexId(1), AdjList::from_unsorted(vec![VertexId(2), VertexId(3)]));
+        sg.add_vertex(VertexId(2), AdjList::from_unsorted(vec![VertexId(3)]));
+        sg.add_vertex(VertexId(3), AdjList::new());
+        let local = sg.to_local();
+        assert_eq!(max_clique_above(&local, 0).unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,164 @@
+//! Serial maximal-clique enumeration: Bron–Kerbosch with pivoting.
+//!
+//! `bron_kerbosch(g, R, P, X)` reports every maximal clique extending
+//! `R` using candidates `P`, where `X` holds vertices adjacent to all
+//! of `R` that were already covered by other branches (the classic
+//! exclusion set). The G-thinker application seeds per-vertex calls in
+//! degeneracy style: `R = {v}`, `P = Γ_>(v)`, `X = Γ_<(v)`, so each
+//! maximal clique is reported exactly once — by its minimum vertex.
+
+use gthinker_graph::subgraph::LocalGraph;
+
+/// Enumerates maximal cliques of `g` that contain all of `r`, can be
+/// extended only by `p`, and must not be extendable by anything in
+/// `x`. Calls `visit` once per maximal clique (local indices, sorted).
+pub fn bron_kerbosch(
+    g: &LocalGraph,
+    r: &mut Vec<u32>,
+    mut p: Vec<u32>,
+    mut x: Vec<u32>,
+    visit: &mut impl FnMut(&[u32]),
+) {
+    if p.is_empty() && x.is_empty() {
+        let mut clique = r.clone();
+        clique.sort_unstable();
+        visit(&clique);
+        return;
+    }
+    // Pivot: the vertex of P ∪ X with most neighbors in P minimizes
+    // branching (Tomita et al.).
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .copied()
+        .max_by_key(|&u| p.iter().filter(|&&w| g.has_edge(u, w)).count())
+        .expect("P ∪ X non-empty");
+    let branch: Vec<u32> = p.iter().copied().filter(|&u| !g.has_edge(pivot, u)).collect();
+    for v in branch {
+        let np: Vec<u32> = p.iter().copied().filter(|&u| g.has_edge(v, u)).collect();
+        let nx: Vec<u32> = x.iter().copied().filter(|&u| g.has_edge(v, u)).collect();
+        r.push(v);
+        bron_kerbosch(g, r, np, nx, visit);
+        r.pop();
+        p.retain(|&u| u != v);
+        x.push(v);
+    }
+}
+
+/// Counts all maximal cliques of `g`.
+pub fn count_maximal_cliques(g: &LocalGraph) -> u64 {
+    if g.num_vertices() == 0 {
+        return 0; // BK would report the empty clique
+    }
+    let mut count = 0u64;
+    let mut r = Vec::new();
+    let p: Vec<u32> = (0..g.num_vertices() as u32).collect();
+    bron_kerbosch(g, &mut r, p, Vec::new(), &mut |_| count += 1);
+    count
+}
+
+/// Lists all maximal cliques of `g` (sorted local indices each).
+pub fn list_maximal_cliques(g: &LocalGraph) -> Vec<Vec<u32>> {
+    if g.num_vertices() == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut r = Vec::new();
+    let p: Vec<u32> = (0..g.num_vertices() as u32).collect();
+    bron_kerbosch(g, &mut r, p, Vec::new(), &mut |c| out.push(c.to_vec()));
+    out
+}
+
+/// Brute-force maximal-clique count for tests: every clique subset,
+/// checked for maximality.
+pub fn count_maximal_cliques_brute(g: &LocalGraph) -> u64 {
+    let n = g.num_vertices();
+    assert!(n <= 20, "brute force is for tiny graphs");
+    let mut count = 0u64;
+    'outer: for mask in 1u32..(1 << n) {
+        let members: Vec<u32> = (0..n as u32).filter(|&i| mask & (1 << i) != 0).collect();
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                if !g.has_edge(members[i], members[j]) {
+                    continue 'outer;
+                }
+            }
+        }
+        // Maximal: no outside vertex adjacent to all members.
+        let extendable = (0..n as u32)
+            .filter(|v| !members.contains(v))
+            .any(|v| members.iter().all(|&m| g.has_edge(v, m)));
+        if !extendable {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gthinker_graph::gen;
+    use gthinker_graph::graph::Graph;
+    use gthinker_graph::subgraph::Subgraph;
+
+    fn to_local(g: &Graph) -> LocalGraph {
+        let mut sg = Subgraph::new();
+        for v in g.vertices() {
+            sg.add_vertex(v, g.neighbors(v).clone());
+        }
+        sg.to_local()
+    }
+
+    #[test]
+    fn known_counts() {
+        // K5 has 1 maximal clique; C5 has 5 (its edges); star has leaves.
+        assert_eq!(count_maximal_cliques(&to_local(&gen::complete(5))), 1);
+        assert_eq!(count_maximal_cliques(&to_local(&gen::cycle(5))), 5);
+        assert_eq!(count_maximal_cliques(&to_local(&gen::star(7))), 6);
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        for seed in 0..8 {
+            let g = to_local(&gen::gnp(13, 0.4, seed));
+            assert_eq!(
+                count_maximal_cliques(&g),
+                count_maximal_cliques_brute(&g),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn listed_cliques_are_maximal_and_distinct() {
+        let g = to_local(&gen::gnp(15, 0.4, 99));
+        let cliques = list_maximal_cliques(&g);
+        let mut seen = std::collections::HashSet::new();
+        for c in &cliques {
+            assert!(seen.insert(c.clone()), "duplicate maximal clique {c:?}");
+            // Clique property.
+            for i in 0..c.len() {
+                for j in (i + 1)..c.len() {
+                    assert!(g.has_edge(c[i], c[j]));
+                }
+            }
+            // Maximality.
+            for v in 0..g.num_vertices() as u32 {
+                if !c.contains(&v) {
+                    assert!(
+                        !c.iter().all(|&m| g.has_edge(v, m)),
+                        "{c:?} extendable by {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_has_none() {
+        assert_eq!(count_maximal_cliques(&to_local(&Graph::with_vertices(0))), 0);
+        // Isolated vertices are themselves maximal cliques.
+        assert_eq!(count_maximal_cliques(&to_local(&Graph::with_vertices(3))), 3);
+    }
+}

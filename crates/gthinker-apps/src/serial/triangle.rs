@@ -1,0 +1,68 @@
+//! Serial triangle counting.
+//!
+//! The standard `O(|E|^1.5)`-ish algorithm: orient every edge from the
+//! smaller to the larger endpoint, then for each edge `(u, v)` with `u
+//! < v` count `|Γ_>(u) ∩ Γ_>(v)|`. Used as the single-threaded
+//! reference (the paper compares against RStream's out-of-core TC with
+//! exactly this workload) and to validate the distributed app.
+
+use gthinker_graph::graph::Graph;
+
+/// Counts triangles of `g` exactly.
+pub fn count_triangles(g: &Graph) -> u64 {
+    let mut count = 0u64;
+    for u in g.vertices() {
+        let gu = g.neighbors(u).greater_than(u);
+        for &v in gu {
+            let gv = g.neighbors(v).greater_than(v);
+            count += gthinker_graph::adj::count_intersect_sorted(gu, gv) as u64;
+        }
+    }
+    count
+}
+
+/// O(n³) brute force for cross-checking in tests.
+pub fn count_triangles_brute(g: &Graph) -> u64 {
+    let n = g.num_vertices();
+    let mut count = 0u64;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            for c in (b + 1)..n {
+                use gthinker_graph::ids::VertexId;
+                let (a, b, c) =
+                    (VertexId(a as u32), VertexId(b as u32), VertexId(c as u32));
+                if g.has_edge(a, b) && g.has_edge(b, c) && g.has_edge(a, c) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gthinker_graph::gen;
+
+    #[test]
+    fn known_counts() {
+        assert_eq!(count_triangles(&gen::complete(4)), 4);
+        assert_eq!(count_triangles(&gen::complete(5)), 10);
+        assert_eq!(count_triangles(&gen::cycle(5)), 0);
+        assert_eq!(count_triangles(&gen::star(10)), 0);
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        for seed in 0..8 {
+            let g = gen::gnp(30, 0.2, seed);
+            assert_eq!(count_triangles(&g), count_triangles_brute(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert_eq!(count_triangles(&gthinker_graph::graph::Graph::with_vertices(0)), 0);
+    }
+}

@@ -1,0 +1,401 @@
+//! A G-Miner-like engine: a **disk-resident, LSH-ordered task queue**.
+//!
+//! The design the paper criticizes (§II): all tasks are generated
+//! upfront into a disk-backed priority queue keyed by locality-
+//! sensitive hashing over each task's requested vertex set `P(t)`;
+//! worker threads pop tasks in LSH order, process one step, and
+//! **reinsert** unfinished tasks (decomposition children) back into the
+//! disk queue. Because tasks are not processed in generation order,
+//! the queue accumulates partially-computed tasks, and serializing
+//! them to disk and back dominates the runtime on large inputs —
+//! exactly the behaviour Table III attributes to G-Miner.
+//!
+//! The workload implemented is maximum clique finding with the same
+//! task semantics as the G-thinker app (so answers are comparable).
+
+use crate::outcome::{RunOutcome, RunStatus};
+use gthinker_apps::serial::clique::max_clique_above;
+use gthinker_graph::adj::AdjList;
+use gthinker_graph::graph::Graph;
+use gthinker_graph::hash::hash_u64;
+use gthinker_graph::ids::VertexId;
+use gthinker_task::codec::{from_bytes, to_bytes, Decode, Encode};
+use gthinker_task::task::Task;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::time::{Duration, Instant};
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct GMinerConfig {
+    /// Worker threads.
+    pub threads: usize,
+    /// Directory for the disk-resident queue log.
+    pub dir: std::path::PathBuf,
+    /// Decomposition threshold τ (same meaning as the G-thinker app).
+    pub tau: usize,
+    /// Abort after this much wall-clock time (paper: "> 24 hr").
+    pub time_budget: Duration,
+    /// Abort when the queue log exceeds this many bytes.
+    pub disk_budget: u64,
+}
+
+impl Default for GMinerConfig {
+    fn default() -> Self {
+        GMinerConfig {
+            threads: 4,
+            dir: std::env::temp_dir().join("gminer-queue"),
+            tau: 40_000,
+            time_budget: Duration::from_secs(3600),
+            disk_budget: 8 << 30,
+        }
+    }
+}
+
+/// LSH key: min-hash over the task's vertex set, so tasks touching
+/// similar vertices sort near each other (G-Miner's data-reuse idea).
+fn lsh_key(vertices: &[VertexId]) -> u64 {
+    vertices.iter().map(|v| hash_u64(v.0 as u64)).min().unwrap_or(0)
+}
+
+/// The disk-resident priority queue: an append-only log file plus an
+/// in-memory index ordered by LSH key. Every pop is a disk read;
+/// every insert is a disk write — the IO-bound core of the design.
+struct DiskQueue {
+    file: Mutex<std::fs::File>,
+    index: Mutex<BTreeMap<(u64, u64), (u64, u32)>>, // (lsh, seq) -> (offset, len)
+    seq: std::sync::atomic::AtomicU64,
+    tail: std::sync::atomic::AtomicU64,
+    bytes_written: std::sync::atomic::AtomicU64,
+}
+
+impl DiskQueue {
+    fn new(dir: &std::path::Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("queue-{}.log", std::process::id()));
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(path)?;
+        Ok(DiskQueue {
+            file: Mutex::new(file),
+            index: Mutex::new(BTreeMap::new()),
+            seq: std::sync::atomic::AtomicU64::new(0),
+            tail: std::sync::atomic::AtomicU64::new(0),
+            bytes_written: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    fn insert<C: Encode>(&self, task: &Task<C>, key: u64) -> std::io::Result<()> {
+        let bytes = to_bytes(task);
+        let len = bytes.len() as u32;
+        let offset = {
+            let mut f = self.file.lock();
+            let offset = self.tail.fetch_add(bytes.len() as u64, std::sync::atomic::Ordering::SeqCst);
+            f.seek(SeekFrom::Start(offset))?;
+            f.write_all(&bytes)?;
+            offset
+        };
+        self.bytes_written.fetch_add(bytes.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        let seq = self.seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.index.lock().insert((key, seq), (offset, len));
+        Ok(())
+    }
+
+    fn pop<C: Decode>(&self) -> std::io::Result<Option<Task<C>>> {
+        let entry = {
+            let mut idx = self.index.lock();
+            let key = idx.keys().next().copied();
+            key.and_then(|k| idx.remove(&k))
+        };
+        let Some((offset, len)) = entry else { return Ok(None) };
+        let mut buf = vec![0u8; len as usize];
+        {
+            let mut f = self.file.lock();
+            f.seek(SeekFrom::Start(offset))?;
+            f.read_exact(&mut buf)?;
+        }
+        from_bytes(&buf)
+            .map(Some)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    fn is_empty(&self) -> bool {
+        self.index.lock().is_empty()
+    }
+
+    fn log_bytes(&self) -> u64 {
+        // The log is append-only: reinserted tasks grow it forever
+        // (G-Miner's dominant cost on large graphs).
+        self.tail.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
+/// Runs G-Miner-like maximum clique finding. Returns the best clique.
+pub fn gminer_max_clique(graph: &Graph, config: &GMinerConfig) -> RunOutcome<Vec<VertexId>> {
+    let start = Instant::now();
+    let queue = DiskQueue::new(&config.dir).expect("queue dir writable");
+    let best: Mutex<Vec<VertexId>> = Mutex::new(Vec::new());
+
+    // G-Miner generates ALL tasks at the beginning (§II).
+    for v in graph.vertices() {
+        let gv = graph.neighbors(v).greater_than(v);
+        if gv.is_empty() {
+            let mut b = best.lock();
+            if b.is_empty() {
+                *b = vec![v];
+            }
+            continue;
+        }
+        let mut t: Task<Vec<VertexId>> = Task::new(vec![v]);
+        for &u in gv {
+            let adj = graph.neighbors(u).greater_than(u);
+            let filtered: Vec<VertexId> =
+                adj.iter().copied().filter(|w| gv.binary_search(w).is_ok()).collect();
+            t.subgraph.add_vertex(u, AdjList::from_sorted(filtered));
+        }
+        queue.insert(&t, lsh_key(gv)).expect("queue insert");
+    }
+
+    // Threads pop in LSH order, one processing step per pop.
+    let aborted = Mutex::new(None::<RunStatus>);
+    let in_flight = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..config.threads {
+            s.spawn(|| loop {
+                if aborted.lock().is_some() {
+                    return;
+                }
+                if start.elapsed() > config.time_budget {
+                    *aborted.lock() = Some(RunStatus::TimeBudgetExceeded);
+                    return;
+                }
+                if queue.log_bytes() > config.disk_budget {
+                    *aborted.lock() = Some(RunStatus::DiskBudgetExceeded);
+                    return;
+                }
+                in_flight.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                let task: Option<Task<Vec<VertexId>>> = queue.pop().expect("queue pop");
+                let Some(task) = task else {
+                    in_flight.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+                    // Finished only when nobody is mid-step (a step may
+                    // reinsert children).
+                    if queue.is_empty()
+                        && in_flight.load(std::sync::atomic::Ordering::SeqCst) == 0
+                    {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_micros(50));
+                    continue;
+                };
+                process_step(&task, &queue, &best, config.tau);
+                in_flight.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+            });
+        }
+    });
+
+    let status = aborted.into_inner().unwrap_or(RunStatus::Completed);
+    let result = (status == RunStatus::Completed).then(|| best.into_inner());
+    RunOutcome {
+        result,
+        elapsed: start.elapsed(),
+        peak_bytes: queue.log_bytes(),
+        status,
+    }
+}
+
+/// One processing step: decompose or solve, mirroring the G-thinker
+/// app's semantics — but children go back through the disk queue.
+fn process_step(
+    task: &Task<Vec<VertexId>>,
+    queue: &DiskQueue,
+    best: &Mutex<Vec<VertexId>>,
+    tau: usize,
+) {
+    let g = &task.subgraph;
+    let s = &task.context;
+    let bound = best.lock().len();
+    if s.len() + g.num_vertices() <= bound {
+        return;
+    }
+    if g.num_vertices() > tau {
+        for &u in g.vertex_ids() {
+            let ext: Vec<VertexId> =
+                g.neighbors(u).expect("member").iter().collect();
+            if s.len() + 1 + ext.len() <= bound {
+                continue;
+            }
+            let mut sub: Task<Vec<VertexId>> = Task::new({
+                let mut s2 = s.clone();
+                s2.push(u);
+                s2
+            });
+            for &w in &ext {
+                let wadj = g.neighbors(w).expect("candidate");
+                sub.subgraph.add_vertex(w, AdjList::from_sorted(wadj.intersect_slice(&ext)));
+            }
+            // The IO-bound reinsert the paper highlights.
+            queue.insert(&sub, lsh_key(&ext)).expect("queue insert");
+        }
+        return;
+    }
+    let local = g.to_local();
+    let delta = bound.saturating_sub(s.len());
+    if let Some(found) = max_clique_above(&local, delta) {
+        let mut clique = s.clone();
+        clique.extend(local.to_global(&found));
+        clique.sort_unstable();
+        let mut b = best.lock();
+        if clique.len() > b.len() {
+            *b = clique;
+        }
+    } else if g.num_vertices() == 0 {
+        let mut b = best.lock();
+        if s.len() > b.len() {
+            *b = s.clone();
+        }
+    }
+}
+
+/// G-Miner-like triangle counting: one task per vertex, generated
+/// upfront into the disk queue; each pop deserializes the task's
+/// oriented neighborhood subgraph from disk, counts its triangles and
+/// discards it. Answers match the other engines; the cost profile is
+/// dominated by queue serialization.
+pub fn gminer_triangle_count(graph: &Graph, config: &GMinerConfig) -> RunOutcome<u64> {
+    let start = Instant::now();
+    let queue = DiskQueue::new(&config.dir).expect("queue dir writable");
+    // Generate all tasks upfront.
+    for v in graph.vertices() {
+        let gv = graph.neighbors(v).greater_than(v);
+        if gv.len() < 2 {
+            continue;
+        }
+        let mut t: Task<Vec<VertexId>> = Task::new(vec![v]);
+        for &u in gv {
+            let filtered: Vec<VertexId> = graph
+                .neighbors(u)
+                .greater_than(u)
+                .iter()
+                .copied()
+                .filter(|w| gv.binary_search(w).is_ok())
+                .collect();
+            t.subgraph.add_vertex(u, AdjList::from_sorted(filtered));
+        }
+        queue.insert(&t, lsh_key(gv)).expect("queue insert");
+    }
+    let total = std::sync::atomic::AtomicU64::new(0);
+    let aborted = Mutex::new(None::<RunStatus>);
+    std::thread::scope(|s| {
+        for _ in 0..config.threads {
+            s.spawn(|| loop {
+                if aborted.lock().is_some() {
+                    return;
+                }
+                if start.elapsed() > config.time_budget {
+                    *aborted.lock() = Some(RunStatus::TimeBudgetExceeded);
+                    return;
+                }
+                let task: Option<Task<Vec<VertexId>>> = queue.pop().expect("queue pop");
+                let Some(task) = task else { return };
+                // Count edges inside the candidate subgraph: each is a
+                // triangle with the anchor.
+                let count = task.subgraph.num_edges() as u64;
+                if count > 0 {
+                    total.fetch_add(count, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let status = aborted.into_inner().unwrap_or(RunStatus::Completed);
+    let result = (status == RunStatus::Completed)
+        .then(|| total.load(std::sync::atomic::Ordering::Relaxed));
+    RunOutcome { result, elapsed: start.elapsed(), peak_bytes: queue.log_bytes(), status }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gthinker_apps::serial::clique::max_clique_brute;
+    use gthinker_graph::gen;
+    use gthinker_graph::subgraph::Subgraph as Sg;
+
+    fn config(tag: &str, tau: usize) -> GMinerConfig {
+        GMinerConfig {
+            threads: 2,
+            dir: std::env::temp_dir().join(format!("gminer-test-{tag}-{}", std::process::id())),
+            tau,
+            ..Default::default()
+        }
+    }
+
+    fn brute(g: &Graph) -> usize {
+        let mut sg = Sg::new();
+        for v in g.vertices() {
+            sg.add_vertex(v, g.neighbors(v).clone());
+        }
+        max_clique_brute(&sg.to_local()).len()
+    }
+
+    #[test]
+    fn finds_max_clique() {
+        for seed in 0..4 {
+            let g = gen::gnp(15, 0.45, seed);
+            let out = gminer_max_clique(&g, &config("find", 40_000));
+            assert!(out.completed());
+            assert_eq!(out.result.unwrap().len(), brute(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn decomposition_through_disk_queue() {
+        let g = gen::gnp(30, 0.4, 5);
+        let full = gminer_max_clique(&g, &config("d1", 40_000));
+        let decomposed = gminer_max_clique(&g, &config("d2", 3));
+        assert_eq!(
+            full.result.unwrap().len(),
+            decomposed.result.unwrap().len(),
+            "τ must not change the answer"
+        );
+        assert!(
+            decomposed.peak_bytes > full.peak_bytes,
+            "reinserting children grows the disk log"
+        );
+    }
+
+    #[test]
+    fn disk_budget_aborts() {
+        let g = gen::gnp(40, 0.5, 6);
+        let mut cfg = config("disk", 2);
+        cfg.disk_budget = 4_096;
+        let out = gminer_max_clique(&g, &cfg);
+        assert_eq!(out.status, RunStatus::DiskBudgetExceeded);
+        assert!(out.result.is_none());
+    }
+
+    #[test]
+    fn triangle_count_matches_serial() {
+        for seed in 0..3 {
+            let g = gen::gnp(70, 0.12, seed);
+            let out = gminer_triangle_count(&g, &config(&format!("tc{seed}"), 40_000));
+            assert!(out.completed());
+            assert_eq!(
+                out.result.unwrap(),
+                gthinker_apps::serial::triangle::count_triangles(&g),
+                "seed {seed}"
+            );
+            assert!(out.peak_bytes > 0, "tasks went through the disk queue");
+        }
+    }
+
+    #[test]
+    fn planted_clique_found() {
+        let base = gen::barabasi_albert(200, 3, 9);
+        let (g, members) = gen::plant_clique(&base, 9, 10);
+        let out = gminer_max_clique(&g, &config("plant", 40_000));
+        assert_eq!(out.result.unwrap(), members);
+    }
+}

@@ -1,0 +1,34 @@
+//! Baseline engines re-implemented for the paper's comparison tables.
+//!
+//! Each baseline reproduces the *architectural property* §II blames for
+//! that system's subgraph-mining performance:
+//!
+//! * [`vertexcentric`] — a Pregel/Giraph-like BSP engine whose
+//!   neighborhood-exchange algorithms materialize message volumes far
+//!   exceeding the graph (Table III's Giraph OOM/slowness).
+//! * [`arabesque`] — a level-synchronous filter-process engine that
+//!   materializes every node of the set-enumeration tree per level.
+//! * [`gminer`] — a disk-resident, LSH-ordered task queue where
+//!   unfinished tasks are re-serialized to disk, the reinsert cost the
+//!   paper identifies as G-Miner's bottleneck.
+//! * [`rstream`] — an out-of-core relational-join engine whose wedge
+//!   intermediate exhausts disk on dense graphs.
+//! * [`nscale`] — a two-phase engine that materializes every ego
+//!   network on disk before any mining starts (NScale's criticized
+//!   dataflow).
+//! * [`nuri`] — a single-threaded best-first expander with on-disk
+//!   state overflow.
+//!
+//! All engines produce [`RunOutcome`]s with wall-clock time, the peak
+//! bytes of their dominant structure, and a completion status that maps
+//! onto the paper's "OOM" / "> 24 hr" / "out of disk" table entries.
+
+pub mod arabesque;
+pub mod gminer;
+pub mod nscale;
+pub mod nuri;
+pub mod outcome;
+pub mod rstream;
+pub mod vertexcentric;
+
+pub use outcome::{RunOutcome, RunStatus};

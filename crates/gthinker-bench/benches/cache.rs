@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks for the remote-vertex cache (`T_cache`,
+//! §V-A): the OP1–OP4 operations, under one thread and under
+//! contention.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gthinker_graph::adj::AdjList;
+use gthinker_graph::ids::{TaskId, VertexId};
+use gthinker_store::cache::{CacheConfig, RequestOutcome, VertexCache};
+use std::sync::Arc;
+
+fn seeded_cache(n: u32, buckets: usize) -> VertexCache {
+    let cache = VertexCache::new(CacheConfig {
+        num_buckets: buckets,
+        capacity: 10_000_000,
+        alpha: 0.2,
+        counter_delta: 10,
+    });
+    let mut h = cache.counter_handle();
+    for i in 0..n {
+        cache.request(VertexId(i), TaskId(0), &mut h);
+        cache.insert_response(
+            VertexId(i),
+            AdjList::from_unsorted((0..8).map(|k| VertexId(i.wrapping_add(k) + 1)).collect()),
+        );
+        cache.release(VertexId(i));
+    }
+    cache
+}
+
+fn bench_hits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_op1_hit");
+    for &buckets in &[64usize, 10_000] {
+        let cache = seeded_cache(10_000, buckets);
+        let mut h = cache.counter_handle();
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(buckets), &buckets, |b, _| {
+            let mut i = 0u32;
+            b.iter(|| {
+                let v = VertexId(i % 10_000);
+                i = i.wrapping_add(1);
+                match cache.request(v, TaskId(1), &mut h) {
+                    RequestOutcome::Hit(adj) => {
+                        std::hint::black_box(adj.degree());
+                        cache.release(v);
+                    }
+                    _ => unreachable!("seeded"),
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_miss_cycle(c: &mut Criterion) {
+    c.bench_function("cache_miss_response_release_evict", |b| {
+        let cache = VertexCache::new(CacheConfig {
+            num_buckets: 1024,
+            capacity: 4,
+            alpha: 0.0,
+            counter_delta: 1,
+        });
+        let mut h = cache.counter_handle();
+        let mut i = 0u32;
+        b.iter(|| {
+            let v = VertexId(i);
+            i = i.wrapping_add(1);
+            assert!(matches!(
+                cache.request(v, TaskId(2), &mut h),
+                RequestOutcome::MustRequest
+            ));
+            cache.insert_response(v, AdjList::from_unsorted(vec![VertexId(1)]));
+            cache.release(v);
+            cache.gc_pass(&mut h);
+        })
+    });
+}
+
+fn bench_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_contended_hits");
+    for &threads in &[2usize, 4] {
+        let cache = Arc::new(seeded_cache(10_000, 10_000));
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for tid in 0..t {
+                        let cache = Arc::clone(&cache);
+                        s.spawn(move || {
+                            let mut h = cache.counter_handle();
+                            for k in 0..2_000u32 {
+                                let v = VertexId((tid as u32 * 7 + k * 13) % 10_000);
+                                if let RequestOutcome::Hit(_) =
+                                    cache.request(v, TaskId(tid as u64), &mut h)
+                                {
+                                    cache.release(v);
+                                }
+                            }
+                        });
+                    }
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hits, bench_miss_cycle, bench_contention);
+criterion_main!(benches);

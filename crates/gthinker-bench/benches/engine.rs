@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the full engine: end-to-end job throughput
+//! for each application on a fixed small graph, single-machine vs a
+//! simulated cluster, plus the graph loading paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gthinker_apps::{MaxCliqueApp, MaximalCliqueApp, TriangleApp};
+use gthinker_core::prelude::*;
+use gthinker_graph::gen;
+use gthinker_graph::load;
+use std::sync::Arc;
+
+fn bench_jobs(c: &mut Criterion) {
+    let g = gen::barabasi_albert(2_000, 5, 9);
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.bench_function("tc_single_machine_2c", |b| {
+        b.iter(|| {
+            let r = run_job(Arc::new(TriangleApp), &g, &JobConfig::single_machine(2)).unwrap();
+            std::hint::black_box(r.global)
+        })
+    });
+    group.bench_function("tc_cluster_3x2", |b| {
+        b.iter(|| {
+            let r = run_job(Arc::new(TriangleApp), &g, &JobConfig::cluster(3, 2)).unwrap();
+            std::hint::black_box(r.global)
+        })
+    });
+    group.bench_function("mcf_single_machine_2c", |b| {
+        b.iter(|| {
+            let r = run_job(Arc::new(MaxCliqueApp::default()), &g, &JobConfig::single_machine(2))
+                .unwrap();
+            std::hint::black_box(r.global.len())
+        })
+    });
+    group.bench_function("maximal_cliques_single_machine_2c", |b| {
+        b.iter(|| {
+            let r =
+                run_job(Arc::new(MaximalCliqueApp), &g, &JobConfig::single_machine(2)).unwrap();
+            std::hint::black_box(r.global)
+        })
+    });
+    group.finish();
+}
+
+fn bench_io(c: &mut Criterion) {
+    let g = gen::barabasi_albert(10_000, 5, 4);
+    let mut text = Vec::new();
+    load::write_adjacency(&g, &mut text).unwrap();
+    let mut bin = Vec::new();
+    load::write_binary(&g, &mut bin).unwrap();
+    let mut group = c.benchmark_group("graph_io");
+    group.bench_function("parse_adjacency_text", |b| {
+        b.iter(|| std::hint::black_box(load::read_adjacency(text.as_slice()).unwrap().num_edges()))
+    });
+    group.bench_function("parse_binary", |b| {
+        b.iter(|| std::hint::black_box(load::read_binary(bin.as_slice()).unwrap().num_edges()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_jobs, bench_io);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benchmarks for the serial miners and generators that
+//! tasks run internally.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gthinker_apps::serial::clique::max_clique_above;
+use gthinker_apps::serial::matching::{count_embeddings_from, Pattern};
+use gthinker_apps::serial::triangle::count_triangles;
+use gthinker_graph::gen;
+use gthinker_graph::graph::Graph;
+use gthinker_graph::ids::Label;
+use gthinker_graph::subgraph::{LocalGraph, Subgraph};
+
+fn to_local(g: &Graph) -> LocalGraph {
+    let mut sg = Subgraph::new();
+    for v in g.vertices() {
+        match g.label(v) {
+            Some(l) => sg.add_labeled_vertex(v, l, g.neighbors(v).clone()),
+            None => sg.add_vertex(v, g.neighbors(v).clone()),
+        };
+    }
+    sg.to_local()
+}
+
+fn bench_max_clique(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serial_max_clique");
+    for &n in &[50usize, 100, 200] {
+        let local = to_local(&gen::gnp(n, 0.3, n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(max_clique_above(&local, 0).map(|c| c.len())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_triangles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serial_triangles");
+    for &n in &[2_000usize, 10_000] {
+        let g = gen::barabasi_albert(n, 6, 1);
+        group.throughput(Throughput::Elements(g.num_edges() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(count_triangles(&g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let g = gen::random_labels(gen::barabasi_albert(2_000, 5, 2), 3, 9);
+    let local = to_local(&g);
+    let pattern = Pattern::triangle(Label(0), Label(1), Label(2));
+    c.bench_function("serial_matching_all_anchors", |b| {
+        b.iter(|| {
+            let total: u64 = (0..local.num_vertices() as u32)
+                .map(|a| count_embeddings_from(&local, &pattern, a))
+                .sum();
+            std::hint::black_box(total)
+        })
+    });
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.bench_function("barabasi_albert_10k_m5", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(gen::barabasi_albert(10_000, 5, seed).num_edges())
+        })
+    });
+    group.bench_function("gnp_10k_p0.001", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(gen::gnp(10_000, 0.001, seed).num_edges())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_max_clique, bench_triangles, bench_matching, bench_generators);
+criterion_main!(benches);

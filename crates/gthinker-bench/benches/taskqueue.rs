@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks for task management (§V-B): `Q_task`
+//! push/pop, batch spilling to disk and refilling, and the codec the
+//! spill path rides on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gthinker_graph::adj::AdjList;
+use gthinker_graph::ids::VertexId;
+use gthinker_task::codec::{from_bytes, to_bytes};
+use gthinker_task::queue::TaskQueue;
+use gthinker_task::spill::SpillManager;
+use gthinker_task::task::Task;
+
+fn sample_task(i: u32) -> Task<Vec<VertexId>> {
+    let mut t = Task::new(vec![VertexId(i)]);
+    for k in 0..16u32 {
+        t.subgraph.add_vertex(
+            VertexId(i + k),
+            AdjList::from_unsorted((0..8).map(|j| VertexId(i + k + j + 1)).collect()),
+        );
+    }
+    t.pull(VertexId(i + 100));
+    t
+}
+
+fn bench_queue_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("push_pop_within_capacity", |b| {
+        let mut q: TaskQueue<Vec<VertexId>> = TaskQueue::new(150);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            if let Some(batch) = q.push(sample_task(i)) {
+                std::hint::black_box(batch.len());
+            }
+            if q.len() > 200 {
+                while let Some(t) = q.pop() {
+                    std::hint::black_box(&t.context);
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_spill_refill(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("bench-spill-{}", std::process::id()));
+    let spill = SpillManager::new(&dir).expect("spill dir");
+    let batch: Vec<Task<Vec<VertexId>>> = (0..150).map(sample_task).collect();
+    let mut group = c.benchmark_group("spill");
+    group.throughput(Throughput::Elements(150));
+    group.bench_function("spill_and_refill_batch_of_C", |b| {
+        b.iter(|| {
+            spill.spill(&batch).expect("spill");
+            let back: Vec<Task<Vec<VertexId>>> =
+                spill.refill().expect("refill io").expect("batch exists");
+            std::hint::black_box(back.len());
+        })
+    });
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let task = sample_task(42);
+    let bytes = to_bytes(&task);
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode_task", |b| {
+        b.iter(|| std::hint::black_box(to_bytes(&task).len()))
+    });
+    group.bench_function("decode_task", |b| {
+        b.iter(|| {
+            let t: Task<Vec<VertexId>> = from_bytes(&bytes).expect("round trip");
+            std::hint::black_box(t.subgraph.num_vertices())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue_ops, bench_spill_refill, bench_codec);
+criterion_main!(benches);

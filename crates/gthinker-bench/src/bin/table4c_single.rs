@@ -1,0 +1,48 @@
+//! Table IV(c) — single-machine scalability: MCF on the Friendster
+//! stand-in with one machine as comper count grows 1 → 16.
+//!
+//! Expected shape (paper): almost linear speedup — with no remote
+//! vertices to wait for, computation divides perfectly across compers.
+//! The modeled-∥ column shows exactly that division; on a multi-core
+//! host the wall column tracks it.
+//!
+//! `cargo run -p gthinker-bench --release --bin table4c_single [--scale f]`
+
+use gthinker_apps::MaxCliqueApp;
+use gthinker_bench::{fmt_bytes, fmt_duration, modeled_parallel_time, scale_from_args};
+use gthinker_core::prelude::*;
+use gthinker_graph::datasets::{generate, DatasetKind};
+use std::sync::Arc;
+
+fn main() {
+    let scale = scale_from_args(0.6);
+    let d = generate(DatasetKind::Friendster, scale);
+    println!(
+        "Table IV(c) — single-machine scalability, MCF on {}\n",
+        d.kind.name()
+    );
+    println!(
+        "{:>8} | {:>10} {:>12} {:>12} {:>10} {:>12} | clique",
+        "compers", "wall", "modeled ∥", "speedup ∥", "peak mem", "cache misses"
+    );
+    gthinker_bench::rule(86);
+    let mut base: Option<f64> = None;
+    for compers in [1usize, 2, 4, 8, 16] {
+        let cfg = JobConfig::single_machine(compers);
+        let r = run_job(Arc::new(MaxCliqueApp::default()), &d.graph, &cfg).unwrap();
+        assert!(r.global.len() >= d.planted_clique.len());
+        let modeled = modeled_parallel_time(&r, compers);
+        let b = *base.get_or_insert(modeled.as_secs_f64());
+        let misses: u64 = r.workers.iter().map(|w| w.cache.2).sum();
+        println!(
+            "{compers:>8} | {:>10} {:>12} {:>11.2}× {:>10} {:>12} | {}",
+            fmt_duration(r.elapsed),
+            fmt_duration(modeled),
+            b / modeled.as_secs_f64().max(1e-9),
+            fmt_bytes(r.peak_mem_bytes()),
+            misses,
+            r.global.len()
+        );
+        assert_eq!(misses, 0, "single machine must never pull remote vertices");
+    }
+}

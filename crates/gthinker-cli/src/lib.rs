@@ -1,0 +1,488 @@
+//! Implementation of the `gthinker` command-line tool.
+//!
+//! Subcommands:
+//!
+//! ```text
+//! gthinker gen   <ba|gnp|dataset> [opts] -o FILE    generate a graph
+//! gthinker stats <FILE>                             print statistics
+//! gthinker convert <IN> <OUT>                       convert formats
+//! gthinker order <IN> <OUT>                         degeneracy relabel
+//! gthinker mcf   <FILE> [--workers N] [--compers N] [--tau N]
+//! gthinker tc    <FILE> [--workers N] [--compers N] [--bundle N]
+//! gthinker mc    <FILE> [--workers N] [--compers N]
+//! gthinker qc    <FILE> --gamma G [--min N] [--max N] [...]
+//! gthinker gm    <FILE> --pattern triangle:A,B,C|path:A,B,C [...]
+//! ```
+//!
+//! File formats are chosen by extension: `.el` / `.txt` edge list,
+//! `.adj` adjacency lines, `.bin` the binary format.
+
+use gthinker_apps::{
+    BundledTriangleApp, KPlexApp, MatchingApp, MaxCliqueApp, MaximalCliqueApp, Pattern,
+    QuasiCliqueApp, TriangleApp, TriangleListApp,
+};
+use gthinker_core::prelude::*;
+use gthinker_graph::datasets::{self, DatasetKind};
+use gthinker_graph::gen;
+use gthinker_graph::graph::Graph;
+use gthinker_graph::ids::Label;
+use gthinker_graph::load;
+use gthinker_graph::order::degeneracy_relabel;
+use gthinker_graph::stats::GraphStats;
+use std::path::Path;
+use std::sync::Arc;
+
+/// A CLI failure with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// Parsed global options shared by the mining subcommands.
+#[derive(Debug, Clone)]
+pub struct MineOpts {
+    /// Simulated machines.
+    pub workers: usize,
+    /// Compers per machine.
+    pub compers: usize,
+}
+
+impl Default for MineOpts {
+    fn default() -> Self {
+        MineOpts { workers: 1, compers: 4 }
+    }
+}
+
+/// Reads a flag's value from an argument list.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliError> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return err(format!("{flag} requires a value"));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        return Ok(Some(value));
+    }
+    Ok(None)
+}
+
+fn take_parsed<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    flag: &str,
+) -> Result<Option<T>, CliError> {
+    match take_flag(args, flag)? {
+        None => Ok(None),
+        Some(s) => s.parse().map(Some).map_err(|_| CliError(format!("bad value for {flag}: {s}"))),
+    }
+}
+
+fn mine_opts(args: &mut Vec<String>) -> Result<MineOpts, CliError> {
+    let mut o = MineOpts::default();
+    if let Some(w) = take_parsed(args, "--workers")? {
+        o.workers = w;
+    }
+    if let Some(c) = take_parsed(args, "--compers")? {
+        o.compers = c;
+    }
+    Ok(o)
+}
+
+fn job_config(o: &MineOpts) -> JobConfig {
+    if o.workers <= 1 {
+        JobConfig::single_machine(o.compers)
+    } else {
+        JobConfig::cluster(o.workers, o.compers)
+    }
+}
+
+/// Loads a graph, picking the parser from the file extension.
+pub fn load_graph(path: &str) -> Result<Graph, CliError> {
+    let p = Path::new(path);
+    let file = std::fs::File::open(p).map_err(|e| CliError(format!("open {path}: {e}")))?;
+    let by_ext = p.extension().and_then(|e| e.to_str()).unwrap_or("");
+    let g = match by_ext {
+        "adj" => load::read_adjacency(file),
+        "bin" => load::read_binary(file),
+        _ => load::read_edge_list(file),
+    }
+    .map_err(|e| CliError(format!("parse {path}: {e}")))?;
+    Ok(g)
+}
+
+/// Saves a graph, picking the writer from the file extension.
+pub fn save_graph(g: &Graph, path: &str) -> Result<(), CliError> {
+    let p = Path::new(path);
+    let file = std::fs::File::create(p).map_err(|e| CliError(format!("create {path}: {e}")))?;
+    let by_ext = p.extension().and_then(|e| e.to_str()).unwrap_or("");
+    match by_ext {
+        "adj" => load::write_adjacency(g, file),
+        "bin" => load::write_binary(g, file),
+        _ => load::write_edge_list(g, file),
+    }
+    .map_err(|e| CliError(format!("write {path}: {e}")))
+}
+
+/// Parses a pattern spec like `triangle:0,1,2` or `path:0,1,2`.
+pub fn parse_pattern(spec: &str) -> Result<Pattern, CliError> {
+    let (kind, labels) = spec
+        .split_once(':')
+        .ok_or_else(|| CliError(format!("bad pattern {spec}; want kind:l0,l1,l2")))?;
+    let ls: Vec<Label> = labels
+        .split(',')
+        .map(|s| s.trim().parse::<u16>().map(Label))
+        .collect::<Result<_, _>>()
+        .map_err(|_| CliError(format!("bad pattern labels in {spec}")))?;
+    match (kind, ls.as_slice()) {
+        ("triangle", [a, b, c]) => Ok(Pattern::triangle(*a, *b, *c)),
+        ("path", [a, b, c]) => Ok(Pattern::path3(*a, *b, *c)),
+        ("star", [center, leaves @ ..]) if !leaves.is_empty() => {
+            Ok(Pattern::star(*center, leaves))
+        }
+        ("clique4", [a, b, c, d]) => Ok(Pattern::clique4(*a, *b, *c, *d)),
+        _ => err(format!(
+            "unsupported pattern {spec}; try triangle:0,1,2, path:0,1,2, star:0,1,1,2 or clique4:0,1,2,3"
+        )),
+    }
+}
+
+/// Runs the CLI with the given arguments (without the program name).
+/// Returns the text to print.
+pub fn run(mut args: Vec<String>) -> Result<String, CliError> {
+    if args.is_empty() {
+        return err(USAGE);
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "gen" => cmd_gen(args),
+        "stats" => cmd_stats(args),
+        "convert" => cmd_convert(args),
+        "order" => cmd_order(args),
+        "mcf" => cmd_mcf(args),
+        "tc" => cmd_tc(args),
+        "mc" => cmd_mc(args),
+        "qc" => cmd_qc(args),
+        "kp" => cmd_kp(args),
+        "gm" => cmd_gm(args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => err(format!("unknown command {other}\n{USAGE}")),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage: gthinker <command> [options]
+  gen <ba|gnp|youtube-s|skitter-s|orkut-s|btc-s|friendster-s> [-n N] [-m M] [-p P] [--seed S] [--labels K] [--scale F] -o FILE
+  stats <FILE>
+  convert <IN> <OUT>
+  order <IN> <OUT>                    relabel into degeneracy order
+  mcf <FILE> [--workers N] [--compers N] [--tau T]
+  tc  <FILE> [--workers N] [--compers N] [--bundle D] [--list DIR]
+  mc  <FILE> [--workers N] [--compers N]
+  qc  <FILE> --gamma G [--min N] [--max N] [--workers N] [--compers N]
+  kp  <FILE> --k K [--min N] [--max N] [--workers N] [--compers N]
+  gm  <FILE> --pattern triangle:0,1,2|path:..|star:..|clique4:.. [--workers N] [--compers N]";
+
+fn cmd_gen(mut args: Vec<String>) -> Result<String, CliError> {
+    if args.is_empty() {
+        return err("gen: missing generator kind");
+    }
+    let kind = args.remove(0);
+    let out = take_flag(&mut args, "-o")?.ok_or_else(|| CliError("gen: -o FILE required".into()))?;
+    let n: usize = take_parsed(&mut args, "-n")?.unwrap_or(10_000);
+    let m: usize = take_parsed(&mut args, "-m")?.unwrap_or(5);
+    let p: f64 = take_parsed(&mut args, "-p")?.unwrap_or(0.001);
+    let seed: u64 = take_parsed(&mut args, "--seed")?.unwrap_or(1);
+    let labels: u16 = take_parsed(&mut args, "--labels")?.unwrap_or(0);
+    let scale: f64 = take_parsed(&mut args, "--scale")?.unwrap_or(1.0);
+    let mut g = match kind.as_str() {
+        "ba" => gen::barabasi_albert(n, m, seed),
+        "gnp" => gen::gnp(n, p, seed),
+        name => {
+            let k = DatasetKind::ALL
+                .iter()
+                .copied()
+                .find(|k| k.name() == name)
+                .ok_or_else(|| CliError(format!("gen: unknown kind {name}")))?;
+            datasets::generate(k, scale).graph
+        }
+    };
+    if labels > 0 {
+        g = gen::random_labels(g, labels, seed ^ 0x1abe1);
+    }
+    save_graph(&g, &out)?;
+    Ok(format!(
+        "wrote {} vertices / {} edges to {out}",
+        g.num_vertices(),
+        g.num_edges()
+    ))
+}
+
+fn cmd_stats(args: Vec<String>) -> Result<String, CliError> {
+    let path = args.first().ok_or_else(|| CliError("stats: missing FILE".into()))?;
+    let g = load_graph(path)?;
+    let s = GraphStats::of(&g);
+    Ok(format!(
+        "vertices      {}\nedges         {}\nmax degree    {}\navg degree    {:.2}\n\
+         p50/p90/p99   {}/{}/{}\nisolated      {}\nlabeled       {}",
+        s.num_vertices,
+        s.num_edges,
+        s.max_degree,
+        s.avg_degree,
+        s.degree_p50,
+        s.degree_p90,
+        s.degree_p99,
+        s.isolated,
+        g.is_labeled()
+    ))
+}
+
+fn cmd_convert(args: Vec<String>) -> Result<String, CliError> {
+    let [input, output] = args.as_slice() else {
+        return err("convert: want IN OUT");
+    };
+    let g = load_graph(input)?;
+    save_graph(&g, output)?;
+    Ok(format!("converted {input} -> {output}"))
+}
+
+fn cmd_order(args: Vec<String>) -> Result<String, CliError> {
+    let [input, output] = args.as_slice() else {
+        return err("order: want IN OUT");
+    };
+    let g = load_graph(input)?;
+    let (relabeled, d) = degeneracy_relabel(&g);
+    save_graph(&relabeled, output)?;
+    Ok(format!("degeneracy {d}; wrote reordered graph to {output}"))
+}
+
+fn cmd_mcf(mut args: Vec<String>) -> Result<String, CliError> {
+    let opts = mine_opts(&mut args)?;
+    let tau: usize = take_parsed(&mut args, "--tau")?.unwrap_or(40_000);
+    let path = args.first().ok_or_else(|| CliError("mcf: missing FILE".into()))?;
+    let g = load_graph(path)?;
+    let r = run_job(Arc::new(MaxCliqueApp::with_tau(tau)), &g, &job_config(&opts))
+        .map_err(|e| CliError(format!("job failed: {e}")))?;
+    Ok(format!(
+        "maximum clique: {} vertices in {:.2?}\nmembers: {:?}",
+        r.global.len(),
+        r.elapsed,
+        r.global
+    ))
+}
+
+fn cmd_tc(mut args: Vec<String>) -> Result<String, CliError> {
+    let opts = mine_opts(&mut args)?;
+    let bundle: usize = take_parsed(&mut args, "--bundle")?.unwrap_or(0);
+    let list_dir = take_flag(&mut args, "--list")?;
+    let path = args.first().ok_or_else(|| CliError("tc: missing FILE".into()))?;
+    let g = load_graph(path)?;
+    let mut cfg = job_config(&opts);
+    if let Some(dir) = list_dir {
+        // Enumeration mode: stream every triangle to part files.
+        cfg.output_dir = Some(dir.clone().into());
+        let r = run_job(Arc::new(TriangleListApp), &g, &cfg)
+            .map_err(|e| CliError(format!("job failed: {e}")))?;
+        let emitted: u64 = r.workers.iter().map(|w| w.output_records).sum();
+        return Ok(format!(
+            "triangles: {} in {:.2?}; {emitted} records written under {dir}",
+            r.global, r.elapsed
+        ));
+    }
+    let (count, elapsed, tasks) = if bundle > 0 {
+        let r = run_job(Arc::new(BundledTriangleApp::new(bundle)), &g, &cfg)
+            .map_err(|e| CliError(format!("job failed: {e}")))?;
+        (r.global, r.elapsed, r.total_tasks())
+    } else {
+        let r = run_job(Arc::new(TriangleApp), &g, &cfg)
+            .map_err(|e| CliError(format!("job failed: {e}")))?;
+        (r.global, r.elapsed, r.total_tasks())
+    };
+    Ok(format!("triangles: {count} in {elapsed:.2?} ({tasks} tasks)"))
+}
+
+fn cmd_mc(mut args: Vec<String>) -> Result<String, CliError> {
+    let opts = mine_opts(&mut args)?;
+    let path = args.first().ok_or_else(|| CliError("mc: missing FILE".into()))?;
+    let g = load_graph(path)?;
+    let r = run_job(Arc::new(MaximalCliqueApp), &g, &job_config(&opts))
+        .map_err(|e| CliError(format!("job failed: {e}")))?;
+    Ok(format!("maximal cliques: {} in {:.2?}", r.global, r.elapsed))
+}
+
+fn cmd_qc(mut args: Vec<String>) -> Result<String, CliError> {
+    let opts = mine_opts(&mut args)?;
+    let gamma: f64 = take_parsed(&mut args, "--gamma")?
+        .ok_or_else(|| CliError("qc: --gamma required".into()))?;
+    let min: usize = take_parsed(&mut args, "--min")?.unwrap_or(3);
+    let max: usize = take_parsed(&mut args, "--max")?.unwrap_or(5);
+    let path = args.first().ok_or_else(|| CliError("qc: missing FILE".into()))?;
+    let g = load_graph(path)?;
+    let r = run_job(Arc::new(QuasiCliqueApp::new(gamma, min, max)), &g, &job_config(&opts))
+        .map_err(|e| CliError(format!("job failed: {e}")))?;
+    Ok(format!(
+        "γ={gamma} quasi-cliques of size {min}..{max}: {} in {:.2?}",
+        r.global, r.elapsed
+    ))
+}
+
+fn cmd_kp(mut args: Vec<String>) -> Result<String, CliError> {
+    let opts = mine_opts(&mut args)?;
+    let k: usize =
+        take_parsed(&mut args, "--k")?.ok_or_else(|| CliError("kp: --k required".into()))?;
+    let min: usize = take_parsed(&mut args, "--min")?.unwrap_or((2 * k).saturating_sub(1).max(2));
+    let max: usize = take_parsed(&mut args, "--max")?.unwrap_or(min + 2);
+    let path = args.first().ok_or_else(|| CliError("kp: missing FILE".into()))?;
+    let g = load_graph(path)?;
+    let r = run_job(Arc::new(KPlexApp::new(k, min, max)), &g, &job_config(&opts))
+        .map_err(|e| CliError(format!("job failed: {e}")))?;
+    Ok(format!(
+        "connected {k}-plexes of size {min}..{max}: {} in {:.2?}",
+        r.global, r.elapsed
+    ))
+}
+
+fn cmd_gm(mut args: Vec<String>) -> Result<String, CliError> {
+    let opts = mine_opts(&mut args)?;
+    let spec = take_flag(&mut args, "--pattern")?
+        .ok_or_else(|| CliError("gm: --pattern required".into()))?;
+    let pattern = parse_pattern(&spec)?;
+    let path = args.first().ok_or_else(|| CliError("gm: missing FILE".into()))?;
+    let g = load_graph(path)?;
+    let labels = g
+        .labels()
+        .ok_or_else(|| CliError("gm: the data graph must be labeled (gen --labels K)".into()))?
+        .to_vec();
+    let r = run_job(Arc::new(MatchingApp::new(pattern, labels)), &g, &job_config(&opts))
+        .map_err(|e| CliError(format!("job failed: {e}")))?;
+    Ok(format!("embeddings of {spec}: {} in {:.2?}", r.global, r.elapsed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("gthinker-cli-{}-{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn gen_stats_convert_round_trip() {
+        let el = tmp("g1.el");
+        let out = run(args(&["gen", "ba", "-n", "500", "-m", "3", "--seed", "7", "-o", &el]))
+            .unwrap();
+        assert!(out.contains("500 vertices"), "{out}");
+        let stats = run(args(&["stats", &el])).unwrap();
+        assert!(stats.contains("vertices      500"), "{stats}");
+        let bin = tmp("g1.bin");
+        run(args(&["convert", &el, &bin])).unwrap();
+        let stats2 = run(args(&["stats", &bin])).unwrap();
+        assert_eq!(stats, stats2);
+    }
+
+    #[test]
+    fn mining_commands_agree_with_library() {
+        let el = tmp("g2.el");
+        run(args(&["gen", "gnp", "-n", "60", "-p", "0.2", "--seed", "3", "-o", &el])).unwrap();
+        let g = load_graph(&el).unwrap();
+        let expected = gthinker_apps::serial::triangle::count_triangles(&g);
+        let out = run(args(&["tc", &el, "--compers", "2"])).unwrap();
+        assert!(out.contains(&format!("triangles: {expected}")), "{out}");
+        let bundled = run(args(&["tc", &el, "--compers", "2", "--bundle", "8"])).unwrap();
+        assert!(bundled.contains(&format!("triangles: {expected}")), "{bundled}");
+        let mcf = run(args(&["mcf", &el, "--compers", "2"])).unwrap();
+        assert!(mcf.contains("maximum clique:"), "{mcf}");
+        let mc = run(args(&["mc", &el])).unwrap();
+        assert!(mc.contains("maximal cliques:"), "{mc}");
+        let qc = run(args(&["qc", &el, "--gamma", "0.6", "--min", "3", "--max", "4"])).unwrap();
+        assert!(qc.contains("quasi-cliques"), "{qc}");
+        let kp = run(args(&["kp", &el, "--k", "2", "--min", "3", "--max", "4"])).unwrap();
+        assert!(kp.contains("2-plexes"), "{kp}");
+    }
+
+    #[test]
+    fn tc_list_mode_writes_records() {
+        let el = tmp("g6.el");
+        run(args(&["gen", "gnp", "-n", "40", "-p", "0.25", "--seed", "8", "-o", &el])).unwrap();
+        let dir = tmp("g6-out");
+        let out = run(args(&["tc", &el, "--list", &dir])).unwrap();
+        assert!(out.contains("records written"), "{out}");
+        let records =
+            gthinker_core::output::read_all_records(std::path::Path::new(&dir)).unwrap();
+        let g = load_graph(&el).unwrap();
+        let expected = gthinker_apps::serial::triangle::count_triangles(&g);
+        assert_eq!(records.len() as u64, expected);
+    }
+
+    #[test]
+    fn gm_requires_labels_and_works_with_them() {
+        let el = tmp("g3.adj");
+        run(args(&["gen", "gnp", "-n", "40", "-p", "0.2", "--seed", "5", "-o", &el])).unwrap();
+        assert!(run(args(&["gm", &el, "--pattern", "triangle:0,0,0"])).is_err());
+        let labeled = tmp("g3l.adj");
+        run(args(&[
+            "gen", "gnp", "-n", "40", "-p", "0.2", "--seed", "5", "--labels", "2", "-o",
+            &labeled,
+        ]))
+        .unwrap();
+        let out = run(args(&["gm", &labeled, "--pattern", "triangle:0,1,1"])).unwrap();
+        assert!(out.contains("embeddings"), "{out}");
+    }
+
+    #[test]
+    fn order_reduces_forward_degree() {
+        let el = tmp("g4.el");
+        run(args(&["gen", "ba", "-n", "2000", "-m", "4", "--seed", "2", "-o", &el])).unwrap();
+        let ordered = tmp("g4o.el");
+        let out = run(args(&["order", &el, &ordered])).unwrap();
+        assert!(out.contains("degeneracy"), "{out}");
+        let g = load_graph(&el).unwrap();
+        let r = load_graph(&ordered).unwrap();
+        use gthinker_graph::order::max_forward_degree;
+        assert!(max_forward_degree(&r) < max_forward_degree(&g));
+        assert_eq!(g.num_edges(), r.num_edges());
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(run(vec![]).is_err());
+        assert!(run(args(&["bogus"])).unwrap_err().0.contains("unknown command"));
+        assert!(run(args(&["gen", "ba"])).unwrap_err().0.contains("-o FILE"));
+        assert!(run(args(&["stats", "/no/such/file.el"])).is_err());
+        assert!(parse_pattern("wheel:1,2,3").is_err());
+        assert!(parse_pattern("star:1").is_err(), "star needs a leaf");
+        assert!(parse_pattern("triangle:a,b,c").is_err());
+        assert!(parse_pattern("triangle:1,2").is_err());
+    }
+
+    #[test]
+    fn pattern_parsing() {
+        let p = parse_pattern("triangle:0,1,2").unwrap();
+        assert_eq!(p.num_vertices(), 3);
+        let p = parse_pattern("path:2,0,2").unwrap();
+        assert_eq!(p.anchor_radius(), 2);
+    }
+
+    #[test]
+    fn dataset_standins_generate() {
+        let el = tmp("g5.bin");
+        let out =
+            run(args(&["gen", "youtube-s", "--scale", "0.05", "-o", &el])).unwrap();
+        assert!(out.contains("vertices"), "{out}");
+    }
+}

@@ -1,0 +1,12 @@
+//! The `gthinker` binary — see [`gthinker_cli::USAGE`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match gthinker_cli::run(args) {
+        Ok(output) => println!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

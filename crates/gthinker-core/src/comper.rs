@@ -1,0 +1,313 @@
+//! The comper (mining thread) loop — "Algorithm of a Comper" in §V-B.
+//!
+//! Every round a comper runs:
+//!
+//! * **push()** — if `B_task` has a ready task, compute one (or more)
+//!   iterations of it. Runs every round so tasks keep flowing (and keep
+//!   releasing cache locks) even when `pop()` is blocked.
+//! * **pop()** — only if the cache is not over its overflow limit and
+//!   `|T_task| + |B_task| ≤ D`: refill `Q_task` if it dropped to `≤ C`
+//!   (spilled files first, then fresh spawns), pop a task and process
+//!   it. Tasks whose pulled vertices are all locally available compute
+//!   immediately; otherwise they park in `T_task`.
+//!
+//! A comper that makes no progress in a round flushes its worker's
+//! request batches (so parked tasks' pulls actually go out) and naps
+//! briefly.
+
+use crate::api::{App, ComputeEnv, SpawnEnv};
+use crate::worker::{task_cost, WorkerShared};
+use gthinker_graph::adj::SharedAdj;
+use gthinker_graph::ids::{TaskId, VertexId};
+use gthinker_store::cache::RequestOutcome;
+use gthinker_store::counter::CounterHandle;
+use gthinker_task::queue::TaskQueue;
+use gthinker_task::task::{Frontier, Task};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Runs one comper until the worker stops; `idx` is the comper's index
+/// within the worker (also the comper half of its task IDs).
+pub(crate) fn comper_loop<A: App>(shared: Arc<WorkerShared<A>>, idx: usize) {
+    let mut ctx = ComperCtx {
+        queue: TaskQueue::new(shared.config.task_batch),
+        counter: shared.cache.counter_handle(),
+        seq: 0,
+        idx,
+    };
+    let me = || &shared.compers[idx];
+    loop {
+        if shared.stopping() {
+            break;
+        }
+        // Quick emptiness hint. If every source is empty the comper
+        // stays provably idle this round: a task can only appear via
+        // the receiver (making B_task non-empty → worker non-quiescent)
+        // or via another comper spilling (L_file non-empty →
+        // non-quiescent), so skipping the round cannot race
+        // termination.
+        let may_have_work = !me().buffer.is_empty()
+            || !ctx.queue.is_empty()
+            || !shared.spill.is_empty()
+            || shared.local.unspawned() > 0;
+        if !may_have_work {
+            me().busy.store(false, Ordering::SeqCst);
+            shared.batcher.flush_all(&shared.net);
+            let nap = Instant::now();
+            std::thread::sleep(Duration::from_micros(100));
+            shared
+                .counters
+                .idle_nanos
+                .fetch_add(nap.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            continue;
+        }
+        // Declare busy *before* actually taking from the sources, so
+        // the quiescence check cannot slip between "sources empty" and
+        // "task started".
+        me().busy.store(true, Ordering::SeqCst);
+        let mut progressed = false;
+
+        // push(): consume one ready task.
+        if let Some(task) = me().buffer.pop() {
+            shared.task_mem.fetch_sub(task_cost(&task), Ordering::Relaxed);
+            progressed = true;
+            drive_task(&shared, &mut ctx, task, true);
+        }
+
+        // pop(): gated on cache capacity and the pending limit D.
+        let gate_open = !shared.cache.over_limit()
+            && me().pending.len() + me().buffer.len() <= shared.config.pending_limit();
+        if gate_open {
+            if ctx.queue.needs_refill() {
+                refill(&shared, &mut ctx);
+            }
+            if let Some(task) = ctx.queue.pop() {
+                shared.task_mem.fetch_sub(task_cost(&task), Ordering::Relaxed);
+                progressed = true;
+                drive_task(&shared, &mut ctx, task, false);
+            }
+        }
+        me().queue_len.store(ctx.queue.len(), Ordering::SeqCst);
+
+        if !progressed {
+            me().busy.store(false, Ordering::SeqCst);
+            // Push out partial request batches so remote pulls that
+            // tasks are parked on actually leave the machine.
+            shared.batcher.flush_all(&shared.net);
+            let nap = Instant::now();
+            std::thread::sleep(Duration::from_micros(100));
+            shared
+                .counters
+                .idle_nanos
+                .fetch_add(nap.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+    me().busy.store(false, Ordering::SeqCst);
+    ctx.counter.flush();
+    // On suspension, park residual queue contents for the checkpoint.
+    if shared.suspend.load(Ordering::SeqCst) {
+        let rest = ctx.queue.drain_all();
+        for t in &rest {
+            shared.task_mem.fetch_sub(task_cost(t), Ordering::Relaxed);
+        }
+        shared.drained_queues.lock().extend(rest);
+    }
+    me().queue_len.store(ctx.queue.len(), Ordering::SeqCst);
+}
+
+/// Comper-local state threaded through the processing functions.
+struct ComperCtx<C> {
+    queue: TaskQueue<C>,
+    counter: CounterHandle,
+    seq: u64,
+    idx: usize,
+}
+
+/// Drives a task through as many iterations as possible.
+///
+/// `ready` marks a task coming from `B_task`: its pull set is already
+/// satisfied (every pulled vertex is local or cache-locked by this
+/// task), so the first frontier is assembled without new requests.
+/// Afterwards (and for non-ready tasks from the start) each iteration's
+/// pulls go through the cache; the task parks in `T_task` when
+/// something is missing.
+fn drive_task<A: App>(
+    shared: &Arc<WorkerShared<A>>,
+    ctx: &mut ComperCtx<A::Context>,
+    mut task: Task<A::Context>,
+    ready: bool,
+) {
+    let mut first_ready = ready;
+    loop {
+        let pulls = task.take_pulls();
+        let frontier = if pulls.is_empty() {
+            Frontier::default()
+        } else if first_ready {
+            // All pulled vertices are guaranteed available.
+            let entries = pulls
+                .iter()
+                .map(|&v| (v, resolve_available(shared, v)))
+                .collect();
+            Frontier::new(entries)
+        } else {
+            // Resolve through T_local / T_cache; may park the task.
+            let id = TaskId::new(ctx.idx as u16, ctx.seq);
+            ctx.seq += 1;
+            let mut entries: Vec<(VertexId, SharedAdj)> = Vec::with_capacity(pulls.len());
+            let mut missing = 0u32;
+            for &v in &pulls {
+                if let Some(adj) = shared.local.get(v) {
+                    entries.push((v, adj));
+                    continue;
+                }
+                match shared.cache.request(v, id, &mut ctx.counter) {
+                    RequestOutcome::Hit(adj) => entries.push((v, adj)),
+                    RequestOutcome::MustRequest => {
+                        missing += 1;
+                        // Count before the request can possibly leave,
+                        // so quiescence never under-counts.
+                        shared.outstanding_pulls.fetch_add(1, Ordering::SeqCst);
+                        let owner = shared.partitioner.owner(v);
+                        shared.batcher.add(&shared.net, owner, v);
+                    }
+                    RequestOutcome::AlreadyRequested => missing += 1,
+                }
+            }
+            if missing > 0 {
+                // Park: remember P(t) so the ready path can rebuild the
+                // frontier. Hits stay locked while parked. Responses
+                // may already have raced ahead of this insert — in that
+                // case the table hands the task straight back as ready.
+                let req = pulls.len() as u32;
+                task.set_pulls(pulls);
+                shared.task_mem.fetch_add(task_cost(&task), Ordering::Relaxed);
+                if let Some(ready) =
+                    shared.compers[ctx.idx].pending.insert(id, task, req, req - missing)
+                {
+                    shared.compers[ctx.idx].buffer.push(ready);
+                }
+                return;
+            }
+            Frontier::new(entries)
+        };
+        first_ready = false;
+
+        let proceed = compute_once(shared, ctx, &mut task, &frontier);
+
+        // Release every remote vertex of this iteration (paper: a task
+        // always releases its requested non-local vertices after each
+        // iteration so GC can evict them in time).
+        for v in frontier.vertex_ids() {
+            if !shared.local.contains(v) {
+                shared.cache.release(v);
+            }
+        }
+        if !proceed {
+            shared.counters.tasks_finished.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    }
+}
+
+/// Resolves a vertex known to be available (local or cache-locked).
+fn resolve_available<A: App>(shared: &Arc<WorkerShared<A>>, v: VertexId) -> SharedAdj {
+    shared
+        .local
+        .get(v)
+        .or_else(|| shared.cache.get_locked(v))
+        .unwrap_or_else(|| panic!("ready task's vertex {v} vanished from the cache"))
+}
+
+/// Runs one `compute()` iteration and integrates its side effects
+/// (decomposed tasks, statistics).
+fn compute_once<A: App>(
+    shared: &Arc<WorkerShared<A>>,
+    ctx: &mut ComperCtx<A::Context>,
+    task: &mut Task<A::Context>,
+    frontier: &Frontier,
+) -> bool {
+    let mut env = ComputeEnv::<A>::new(
+        &shared.agg,
+        shared.labels.as_ref(),
+        shared.output.as_deref(),
+    );
+    let start = crate::worker::thread_cpu_nanos();
+    // A panicking UDF must not strand the job (the worker would never
+    // reach quiescence): record it, abort the job, finish the task.
+    let proceed = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        shared.app.compute(task, frontier, &mut env)
+    })) {
+        Ok(proceed) => proceed,
+        Err(payload) => {
+            shared.record_failure(payload);
+            shared.done.store(true, Ordering::SeqCst);
+            false
+        }
+    };
+    shared
+        .counters
+        .compute_nanos
+        .fetch_add(crate::worker::thread_cpu_nanos().saturating_sub(start), Ordering::Relaxed);
+    shared.counters.compute_calls.fetch_add(1, Ordering::Relaxed);
+    for t in env.take_tasks() {
+        enqueue(shared, ctx, t);
+    }
+    proceed
+}
+
+/// Adds a task to this comper's `Q_task`, spilling an overflow batch to
+/// disk if needed.
+fn enqueue<A: App>(
+    shared: &Arc<WorkerShared<A>>,
+    ctx: &mut ComperCtx<A::Context>,
+    task: Task<A::Context>,
+) {
+    shared.task_mem.fetch_add(task_cost(&task), Ordering::Relaxed);
+    if let Some(batch) = ctx.queue.push(task) {
+        for t in &batch {
+            shared.task_mem.fetch_sub(task_cost(t), Ordering::Relaxed);
+        }
+        shared.spill.spill(&batch).expect("spill directory writable");
+    }
+    shared.compers[ctx.idx].queue_len.store(ctx.queue.len(), Ordering::SeqCst);
+}
+
+/// Refills `Q_task` (§V-B priority): (1) a spilled batch file if one
+/// exists, else (2) spawn fresh tasks from unspawned vertices in
+/// `T_local`. (Ready tasks — the paper's source 2 — are consumed
+/// directly from `B_task` by the push() phase each round, which keeps
+/// the lock discipline simple: tasks inside `Q_task` or spill files
+/// never hold cache locks.)
+fn refill<A: App>(shared: &Arc<WorkerShared<A>>, ctx: &mut ComperCtx<A::Context>) {
+    if let Ok(Some(batch)) = shared.spill.refill::<A::Context>() {
+        for t in &batch {
+            shared.task_mem.fetch_add(task_cost(t), Ordering::Relaxed);
+        }
+        ctx.queue.push_batch(batch);
+        return;
+    }
+    let want = ctx.queue.refill_amount().max(1);
+    let verts: Vec<VertexId> = shared.local.claim_spawn_batch(want).to_vec();
+    if verts.is_empty() {
+        return;
+    }
+    let batch: Vec<_> = verts
+        .into_iter()
+        .map(|v| {
+            let adj = shared.local.get(v).expect("claimed vertex is local");
+            (v, adj, shared.local.label(v))
+        })
+        .collect();
+    let mut env = SpawnEnv::<A>::new(&shared.agg, None);
+    if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        shared.app.task_spawn_batch(&batch, &mut env)
+    })) {
+        shared.record_failure(payload);
+        shared.done.store(true, Ordering::SeqCst);
+        return;
+    }
+    for t in env.take_tasks() {
+        enqueue(shared, ctx, t);
+    }
+}

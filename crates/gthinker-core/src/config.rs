@@ -1,0 +1,204 @@
+//! Job configuration and result/statistics types.
+
+use gthinker_net::router::LinkConfig;
+use gthinker_store::cache::CacheConfig;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Configuration for one G-thinker job.
+#[derive(Clone, Debug)]
+pub struct JobConfig {
+    /// Number of simulated worker machines.
+    pub num_workers: usize,
+    /// Comper (mining) threads per worker.
+    pub compers_per_worker: usize,
+    /// Network model between workers.
+    pub link: LinkConfig,
+    /// Remote-vertex cache configuration (`c_cache`, `α`, buckets, δ).
+    pub cache: CacheConfig,
+    /// Task-batch size `C` (paper default 150). `Q_task` holds `3C`.
+    pub task_batch: usize,
+    /// Gate `D` on `|T_task| + |B_task|` as a multiple of `C` (paper:
+    /// `D = 8C` → factor 8).
+    pub pending_factor: usize,
+    /// Vertex pull requests per network message.
+    pub request_batch: usize,
+    /// Aggregator / progress synchronization period (paper default 1 s;
+    /// the simulator defaults lower so short jobs still sync).
+    pub sync_interval: Duration,
+    /// Directory for spilled task batches (a per-job subdirectory is
+    /// created inside).
+    pub spill_dir: PathBuf,
+    /// Enable work stealing between workers.
+    pub work_stealing: bool,
+    /// Suspend the job (writing a checkpoint) after this long; used by
+    /// the fault-tolerance path and tests.
+    pub suspend_after: Option<Duration>,
+    /// Directory checkpoints are written to when suspending.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// When set, `ComputeEnv::emit` streams records to one
+    /// `part-<worker>.out` file per worker in this directory (the
+    /// paper's workers commit outputs to HDFS).
+    pub output_dir: Option<PathBuf>,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        JobConfig {
+            num_workers: 1,
+            compers_per_worker: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+            link: LinkConfig::INSTANT,
+            cache: CacheConfig::default(),
+            task_batch: gthinker_task::queue::DEFAULT_BATCH,
+            pending_factor: 8,
+            request_batch: gthinker_net::batch::DEFAULT_REQUEST_BATCH,
+            sync_interval: Duration::from_millis(20),
+            spill_dir: std::env::temp_dir().join("gthinker-spill"),
+            work_stealing: true,
+            suspend_after: None,
+            checkpoint_dir: None,
+            output_dir: None,
+        }
+    }
+}
+
+impl JobConfig {
+    /// Convenience: a single-machine job with `compers` threads.
+    pub fn single_machine(compers: usize) -> Self {
+        JobConfig { num_workers: 1, compers_per_worker: compers, ..Default::default() }
+    }
+
+    /// Convenience: a simulated cluster of `workers` × `compers` with a
+    /// GigE-like interconnect.
+    pub fn cluster(workers: usize, compers: usize) -> Self {
+        JobConfig {
+            num_workers: workers,
+            compers_per_worker: compers,
+            link: LinkConfig::gige(),
+            ..Default::default()
+        }
+    }
+
+    /// The pending gate `D = pending_factor × C`.
+    pub fn pending_limit(&self) -> usize {
+        self.pending_factor * self.task_batch
+    }
+}
+
+/// Per-worker statistics gathered during a job.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerStats {
+    /// Tasks whose `compute()` finished (returned `false`).
+    pub tasks_finished: u64,
+    /// Total `compute()` invocations (iterations).
+    pub compute_calls: u64,
+    /// Cache statistics `(hits, shared_waits, misses, evictions,
+    /// gc_passes)`.
+    pub cache: (u64, u64, u64, u64, u64),
+    /// Bytes sent over the simulated network.
+    pub net_bytes_sent: u64,
+    /// Bytes received.
+    pub net_bytes_received: u64,
+    /// Bytes of task batches spilled to disk.
+    pub spill_bytes: u64,
+    /// Peak observed memory estimate (local table + cache + in-memory
+    /// task subgraphs), in bytes.
+    pub peak_mem_bytes: u64,
+    /// Total time compers spent idle (no task to run), summed across
+    /// compers.
+    pub idle_time: Duration,
+    /// Total time compers spent inside `compute()`.
+    pub compute_time: Duration,
+    /// Records emitted to this worker's output sink.
+    pub output_records: u64,
+}
+
+/// Why a job returned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Ran to completion; the aggregate is final.
+    Completed,
+    /// Suspended after `suspend_after`; a checkpoint was written and
+    /// the job can be resumed with `resume_job`.
+    Suspended {
+        /// Checkpoint directory.
+        checkpoint: PathBuf,
+    },
+}
+
+/// The result of a job.
+#[derive(Clone, Debug)]
+pub struct JobResult<G> {
+    /// Final (or at-suspension) global aggregate.
+    pub global: G,
+    /// Wall-clock runtime.
+    pub elapsed: Duration,
+    /// Completion or suspension.
+    pub outcome: JobOutcome,
+    /// Per-worker statistics.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl<G> JobResult<G> {
+    /// Maximum per-worker peak memory (the paper's "peak VM memory,
+    /// maximum over machines").
+    pub fn peak_mem_bytes(&self) -> u64 {
+        self.workers.iter().map(|w| w.peak_mem_bytes).max().unwrap_or(0)
+    }
+
+    /// Total network bytes sent by all workers.
+    pub fn total_net_bytes(&self) -> u64 {
+        self.workers.iter().map(|w| w.net_bytes_sent).sum()
+    }
+
+    /// Total tasks finished across workers.
+    pub fn total_tasks(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks_finished).sum()
+    }
+
+    /// Total bytes ever spilled to disk (the paper reports this as
+    /// negligible).
+    pub fn total_spill_bytes(&self) -> u64 {
+        self.workers.iter().map(|w| w.spill_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_paper() {
+        let c = JobConfig::default();
+        assert_eq!(c.task_batch, 150);
+        assert_eq!(c.pending_limit(), 1200, "D = 8C");
+        assert_eq!(c.cache.capacity, 2_000_000);
+        assert!((c.cache.alpha - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cluster_config_uses_latency() {
+        let c = JobConfig::cluster(4, 2);
+        assert_eq!(c.num_workers, 4);
+        assert_eq!(c.compers_per_worker, 2);
+        assert!(!c.link.is_instant());
+        let s = JobConfig::single_machine(3);
+        assert!(s.link.is_instant());
+    }
+
+    #[test]
+    fn result_accessors_aggregate_worker_stats() {
+        let r = JobResult {
+            global: (),
+            elapsed: Duration::ZERO,
+            outcome: JobOutcome::Completed,
+            workers: vec![
+                WorkerStats { peak_mem_bytes: 10, net_bytes_sent: 5, tasks_finished: 2, ..Default::default() },
+                WorkerStats { peak_mem_bytes: 30, net_bytes_sent: 7, tasks_finished: 3, ..Default::default() },
+            ],
+        };
+        assert_eq!(r.peak_mem_bytes(), 30);
+        assert_eq!(r.total_net_bytes(), 12);
+        assert_eq!(r.total_tasks(), 5);
+    }
+}

@@ -1,0 +1,430 @@
+//! The job runner: wires graph, workers, threads and the master
+//! together; entry points [`run_job`] and [`resume_job`].
+
+use crate::agg::Aggregator;
+use crate::api::App;
+use crate::checkpoint::{self, Manifest, WorkerShard};
+use crate::comper::comper_loop;
+use crate::config::{JobConfig, JobOutcome, JobResult, WorkerStats};
+use crate::master::MasterState;
+use crate::worker::{gc_loop, receiver_loop, worker_tick, WorkerShared};
+use gthinker_graph::graph::Graph;
+use gthinker_graph::ids::{Label, VertexId, WorkerId};
+use gthinker_graph::partition::HashPartitioner;
+use gthinker_graph::trim::trim_graph;
+use gthinker_net::message::Message;
+use gthinker_net::router::Router;
+use gthinker_store::cache::VertexCache;
+use gthinker_store::local::LocalTable;
+use gthinker_task::codec::to_bytes;
+use gthinker_task::spill::SpillManager;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+type Global<A> = <<A as App>::Agg as Aggregator>::Global;
+type Partial<A> = <<A as App>::Agg as Aggregator>::Partial;
+
+/// Runs an application over `graph` with the given configuration,
+/// blocking until completion (or suspension if
+/// `config.suspend_after` fires first).
+pub fn run_job<A: App>(app: Arc<A>, graph: &Graph, config: &JobConfig) -> io::Result<JobResult<Global<A>>> {
+    run_inner(app, graph, config, None, None)
+}
+
+/// A point-in-time view of a running job, delivered to the observer of
+/// [`run_job_observed`]. This is the paper's "periodically synchronize
+/// job status to monitor progress" made visible to the embedding
+/// application (e.g. the current total in triangle counting).
+#[derive(Clone, Debug)]
+pub struct ProgressSnapshot {
+    /// Time since the job started.
+    pub elapsed: std::time::Duration,
+    /// Tasks finished so far, across all workers.
+    pub tasks_finished: u64,
+    /// Estimated remaining load in tasks (queued + spilled + unspawned).
+    pub remaining: u64,
+    /// Cache hits / misses so far.
+    pub cache_hits: u64,
+    /// Cache misses (actual network pulls) so far.
+    pub cache_misses: u64,
+    /// Bytes sent over the simulated network so far.
+    pub net_bytes: u64,
+    /// Workers currently quiescent.
+    pub quiescent_workers: usize,
+}
+
+/// Like [`run_job`], but invokes `observer` with a [`ProgressSnapshot`]
+/// every `config.sync_interval` until the job ends.
+pub fn run_job_observed<A: App>(
+    app: Arc<A>,
+    graph: &Graph,
+    config: &JobConfig,
+    observer: impl FnMut(ProgressSnapshot) + Send + 'static,
+) -> io::Result<JobResult<Global<A>>> {
+    run_inner(app, graph, config, None, Some(Box::new(observer)))
+}
+
+type Observer = Box<dyn FnMut(ProgressSnapshot) + Send>;
+
+/// Resumes a suspended job from the checkpoint directory written when
+/// it suspended. Topology (worker count) must match the original run.
+pub fn resume_job<A: App>(
+    app: Arc<A>,
+    graph: &Graph,
+    config: &JobConfig,
+    checkpoint: &std::path::Path,
+) -> io::Result<JobResult<Global<A>>> {
+    let manifest: Manifest<Global<A>> = checkpoint::read_manifest(checkpoint)?;
+    assert_eq!(
+        manifest.num_workers as usize, config.num_workers,
+        "resume requires the worker count the checkpoint was taken with"
+    );
+    let mut shards = Vec::with_capacity(config.num_workers);
+    for w in 0..config.num_workers {
+        shards.push(checkpoint::read_shard::<A::Context, Partial<A>>(checkpoint, w)?);
+    }
+    run_inner(app, graph, config, Some((manifest, shards)), None)
+}
+
+type Resume<A> = (Manifest<Global<A>>, Vec<WorkerShard<<A as App>::Context, Partial<A>>>);
+
+fn run_inner<A: App>(
+    app: Arc<A>,
+    graph: &Graph,
+    config: &JobConfig,
+    resume: Option<Resume<A>>,
+    observer: Option<Observer>,
+) -> io::Result<JobResult<Global<A>>> {
+    assert!(config.num_workers >= 1);
+    assert!(config.compers_per_worker >= 1);
+    let start = Instant::now();
+
+    // Trim once after loading (§IV item 7).
+    let trimmed;
+    let graph = match app.trimmer() {
+        Some(t) => {
+            trimmed = trim_graph(graph, t.as_ref());
+            &trimmed
+        }
+        None => graph,
+    };
+
+    let partitioner = HashPartitioner::new(config.num_workers as u16);
+    let parts = partitioner.split(graph);
+
+    let mut router = Router::new(config.num_workers, config.link);
+    let handles = router.take_handles();
+
+    let job_id = JOB_SEQ.fetch_add(1, Ordering::Relaxed);
+    let job_dir = config
+        .spill_dir
+        .join(format!("job-{}-{}", std::process::id(), job_id));
+
+    let (resume_manifest, resume_shards) = match resume {
+        Some((m, s)) => (Some(m), Some(s)),
+        None => (None, None),
+    };
+
+    // Labels are replicated to every worker (2 bytes per vertex).
+    let label_table: Option<Arc<Vec<Label>>> =
+        graph.labels().map(|l| Arc::new(l.to_vec()));
+
+    // Build per-worker shared state.
+    let mut workers: Vec<Arc<WorkerShared<A>>> = Vec::with_capacity(config.num_workers);
+    for (w, (part, net)) in parts.into_iter().zip(handles).enumerate() {
+        let labels: Vec<(VertexId, Label)> = if graph.is_labeled() {
+            part.iter().map(|(v, _)| (*v, graph.label(*v).expect("labeled"))).collect()
+        } else {
+            Vec::new()
+        };
+        let local = LocalTable::with_labels(part, labels);
+        let cache = VertexCache::new(config.cache.clone());
+        let spill = SpillManager::new(job_dir.join(format!("worker-{w}")))?;
+        let output = match &config.output_dir {
+            Some(dir) => Some(Arc::new(
+                crate::output::OutputSink::create(dir, w).expect("output dir writable"),
+            )),
+            None => None,
+        };
+        let shared = WorkerShared::new(
+            WorkerId(w as u16),
+            Arc::clone(&app),
+            config.clone(),
+            local,
+            cache,
+            spill,
+            net,
+            partitioner,
+            label_table.clone(),
+            output,
+        );
+        if let Some(shards) = &resume_shards {
+            let shard = &shards[w];
+            shared.local.reset_spawn_pointer(shard.spawn_position as usize);
+            shared.agg.set_partial(shard.partial.clone());
+            // Restored tasks go through L_file so compers pick them up
+            // with the normal refill priority.
+            for chunk in shard.tasks.chunks(config.task_batch.max(1)) {
+                shared.spill.spill(chunk)?;
+            }
+        }
+        workers.push(shared);
+    }
+
+    // Seed the global snapshot everywhere on resume.
+    if let Some(m) = &resume_manifest {
+        for shared in &workers {
+            shared.agg.set_global(m.global.clone());
+        }
+    }
+
+    // Observer thread: samples all workers until they report done.
+    let observer_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let observer_thread = observer.map(|mut obs| {
+        let workers: Vec<Arc<WorkerShared<A>>> = workers.iter().map(Arc::clone).collect();
+        let stop = Arc::clone(&observer_stop);
+        let interval = config.sync_interval;
+        std::thread::Builder::new()
+            .name("job-observer".into())
+            .spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(interval);
+                    let snapshot = ProgressSnapshot {
+                        elapsed: start.elapsed(),
+                        tasks_finished: workers
+                            .iter()
+                            .map(|w| w.counters.tasks_finished.load(Ordering::Relaxed))
+                            .sum(),
+                        remaining: workers.iter().map(|w| w.remaining_estimate()).sum(),
+                        cache_hits: workers
+                            .iter()
+                            .map(|w| w.cache.stats().snapshot().0)
+                            .sum(),
+                        cache_misses: workers
+                            .iter()
+                            .map(|w| w.cache.stats().snapshot().2)
+                            .sum(),
+                        net_bytes: workers
+                            .iter()
+                            .map(|w| w.net.stats().bytes_sent.load(Ordering::Relaxed))
+                            .sum(),
+                        quiescent_workers: workers.iter().filter(|w| w.quiescent()).count(),
+                    };
+                    obs(snapshot);
+                }
+            })
+            .expect("spawn observer")
+    });
+
+    let results: Vec<std::thread::JoinHandle<(WorkerStats, Option<WorkerOutcome<A>>)>> = workers
+        .iter()
+        .enumerate()
+        .map(|(w, shared)| {
+            let shared = Arc::clone(shared);
+            let resume_global = resume_manifest.as_ref().map(|m| m.global.clone());
+            std::thread::Builder::new()
+                .name(format!("worker-{w}"))
+                .spawn(move || worker_main(shared, resume_global))
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    let mut stats = Vec::with_capacity(config.num_workers);
+    let mut outcome: Option<WorkerOutcome<A>> = None;
+    for handle in results {
+        let (s, o) = handle.join().expect("worker thread panicked");
+        stats.push(s);
+        if o.is_some() {
+            outcome = o;
+        }
+    }
+    observer_stop.store(true, Ordering::SeqCst);
+    if let Some(t) = observer_thread {
+        t.join().expect("observer panicked");
+    }
+    drop(router);
+    // Best-effort cleanup of the job's spill directory.
+    let _ = std::fs::remove_dir_all(&job_dir);
+
+    // Propagate the first UDF panic (after the orderly shutdown above)
+    // so the caller sees the application's own message.
+    for shared in &workers {
+        if let Some(msg) = shared.failure.lock().take() {
+            panic!("{msg}");
+        }
+    }
+
+    let outcome = outcome.expect("master worker returns the job outcome");
+    let (global, job_outcome) = match outcome {
+        WorkerOutcome::Completed(g) => (g, JobOutcome::Completed),
+        WorkerOutcome::Suspended(g, dir) => (g, JobOutcome::Suspended { checkpoint: dir }),
+    };
+    Ok(JobResult { global, elapsed: start.elapsed(), outcome: job_outcome, workers: stats })
+}
+
+static JOB_SEQ: AtomicU64 = AtomicU64::new(0);
+
+enum WorkerOutcome<A: App> {
+    Completed(Global<A>),
+    Suspended(Global<A>, PathBuf),
+}
+
+/// One worker's main thread: spawns the receiver/GC/comper threads,
+/// runs the periodic tick (plus master logic on worker 0), coordinates
+/// shutdown or suspension, and returns its statistics.
+fn worker_main<A: App>(
+    shared: Arc<WorkerShared<A>>,
+    resume_global: Option<Global<A>>,
+) -> (WorkerStats, Option<WorkerOutcome<A>>) {
+    let is_master = shared.me == WorkerId(0);
+    let (ctrl_tx, ctrl_rx) = crossbeam::channel::unbounded();
+
+    let receiver = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name(format!("recv-{}", shared.me))
+            .spawn(move || receiver_loop(&shared, ctrl_tx))
+            .expect("spawn receiver")
+    };
+    let gc = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name(format!("gc-{}", shared.me))
+            .spawn(move || gc_loop(&shared))
+            .expect("spawn gc")
+    };
+    let compers: Vec<_> = (0..shared.config.compers_per_worker)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("comper-{}-{i}", shared.me))
+                .spawn(move || comper_loop(shared, i))
+                .expect("spawn comper")
+        })
+        .collect();
+
+    let mut master = is_master.then(|| {
+        let mut m = MasterState::new(Arc::clone(&shared), ctrl_rx);
+        // On resume, the checkpointed global is the starting point for
+        // all further merges (e.g. the best clique found pre-suspend).
+        if let Some(g) = resume_global.clone() {
+            m.set_global(g);
+        }
+        m
+    });
+    let deadline = shared.config.suspend_after.map(|d| Instant::now() + d);
+
+    // Periodic synchronization loop.
+    loop {
+        std::thread::sleep(shared.config.sync_interval);
+        worker_tick(&shared, WorkerId(0));
+        // A UDF panic on this worker aborts the whole job: tell every
+        // other worker to stop, then go through the normal shutdown
+        // path (final syncs keep the master's collection loop sound).
+        if shared.failure.lock().is_some() {
+            shared.net.broadcast(&Message::Terminate);
+            shared.done.store(true, Ordering::SeqCst);
+        }
+        if let Some(m) = master.as_mut() {
+            let decided = m.tick();
+            if !decided {
+                if let Some(dl) = deadline {
+                    if Instant::now() >= dl {
+                        m.broadcast_suspend();
+                    }
+                }
+            }
+        }
+        if shared.stopping() {
+            break;
+        }
+    }
+
+    // Compers stop on the flag; wait for them.
+    for c in compers {
+        c.join().expect("comper panicked");
+    }
+
+    let suspended = shared.suspend.load(Ordering::SeqCst);
+    let mut outcome = None;
+    if suspended {
+        // Gather every remaining task: drained queues, ready buffers,
+        // pending tables, spilled files.
+        let mut tasks: Vec<gthinker_task::task::Task<A::Context>> =
+            shared.drained_queues.lock().drain(..).collect();
+        for c in &shared.compers {
+            tasks.extend(c.buffer.drain());
+            tasks.extend(c.pending.drain());
+        }
+        while let Ok(Some(batch)) = shared.spill.refill::<A::Context>() {
+            tasks.extend(batch);
+        }
+        let dir = shared
+            .config
+            .checkpoint_dir
+            .clone()
+            .unwrap_or_else(|| std::env::temp_dir().join("gthinker-checkpoint"));
+        let shard = WorkerShard {
+            spawn_position: shared.local.spawn_position() as u64,
+            tasks,
+            partial: shared.agg.take_partial(),
+        };
+        checkpoint::write_shard(&dir, shared.me.index(), &shard).expect("write checkpoint shard");
+        shared.net.send(WorkerId(0), Message::SuspendDone { worker: shared.me });
+        if let Some(m) = master.as_mut() {
+            let global = m.collect_suspends();
+            checkpoint::write_manifest(
+                &dir,
+                &Manifest { num_workers: shared.config.num_workers as u64, global: global.clone() },
+            )
+            .expect("write checkpoint manifest");
+            outcome = Some(WorkerOutcome::Suspended(global, dir));
+        }
+    } else {
+        // Final aggregator sync: one per worker, marked final.
+        let partial = shared.agg.take_partial();
+        shared.net.send(
+            WorkerId(0),
+            Message::AggregatorSync {
+                worker: shared.me,
+                payload: to_bytes(&partial),
+                is_final: true,
+            },
+        );
+        if let Some(m) = master.as_mut() {
+            let global = m.collect_finals();
+            outcome = Some(WorkerOutcome::Completed(global));
+        }
+    }
+
+    // All control traffic this worker cares about has been consumed.
+    shared.receiver_stop.store(true, Ordering::SeqCst);
+    receiver.join().expect("receiver panicked");
+    gc.join().expect("gc panicked");
+
+    shared.sample_memory();
+    if let Some(output) = &shared.output {
+        output.flush();
+    }
+    let (hits, shared_waits, misses, evictions, gc_passes) = shared.cache.stats().snapshot();
+    let stats = WorkerStats {
+        tasks_finished: shared.counters.tasks_finished.load(Ordering::Relaxed),
+        compute_calls: shared.counters.compute_calls.load(Ordering::Relaxed),
+        cache: (hits, shared_waits, misses, evictions, gc_passes),
+        net_bytes_sent: shared.net.stats().bytes_sent.load(Ordering::Relaxed),
+        net_bytes_received: shared.net.stats().bytes_received.load(Ordering::Relaxed),
+        spill_bytes: shared.spill.bytes_spilled(),
+        peak_mem_bytes: shared.peak_mem.load(Ordering::Relaxed),
+        idle_time: std::time::Duration::from_nanos(
+            shared.counters.idle_nanos.load(Ordering::Relaxed),
+        ),
+        compute_time: std::time::Duration::from_nanos(
+            shared.counters.compute_nanos.load(Ordering::Relaxed),
+        ),
+        output_records: shared.output.as_ref().map_or(0, |o| o.records()),
+    };
+    (stats, outcome)
+}

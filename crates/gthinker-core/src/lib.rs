@@ -1,0 +1,77 @@
+//! G-thinker core: a CPU-bound distributed framework for subgraph
+//! mining, reproduced in Rust from the ICDE 2020 paper.
+//!
+//! Applications implement the [`App`] trait's two UDFs — `task_spawn`
+//! and `compute` — and run them with [`run_job`]. The framework
+//! provides the remote-vertex cache, per-comper task scheduling with
+//! disk spilling, batched vertex pulling over a simulated cluster
+//! interconnect, aggregator synchronization, master-coordinated work
+//! stealing, distributed termination detection, and
+//! suspend/resume checkpointing.
+//!
+//! ```
+//! use gthinker_core::prelude::*;
+//! use std::sync::Arc;
+//!
+//! /// Count every vertex by spawning a trivial task per vertex.
+//! struct CountVertices;
+//!
+//! struct Count;
+//! impl Aggregator for Count {
+//!     type Item = u64;
+//!     type Partial = u64;
+//!     type Global = u64;
+//!     fn init_partial(&self) -> u64 { 0 }
+//!     fn init_global(&self) -> u64 { 0 }
+//!     fn aggregate(&self, p: &mut u64, item: u64) { *p += item; }
+//!     fn merge(&self, g: &mut u64, p: &u64) { *g += *p; }
+//! }
+//!
+//! impl App for CountVertices {
+//!     type Context = ();
+//!     type Agg = Count;
+//!     fn make_aggregator(&self) -> Count { Count }
+//!     fn task_spawn(&self, _v: VertexId, _adj: &AdjList, env: &mut SpawnEnv<'_, Self>) {
+//!         env.add_task(Task::new(()));
+//!     }
+//!     fn compute(&self, _t: &mut Task<()>, _f: &Frontier, env: &mut ComputeEnv<'_, Self>) -> bool {
+//!         env.aggregate(1);
+//!         false
+//!     }
+//! }
+//!
+//! let graph = gthinker_graph::gen::cycle(10);
+//! let result = run_job(
+//!     Arc::new(CountVertices),
+//!     &graph,
+//!     &JobConfig::single_machine(2),
+//! ).unwrap();
+//! assert_eq!(result.global, 10);
+//! ```
+
+pub mod agg;
+pub mod api;
+pub mod checkpoint;
+mod comper;
+pub mod config;
+mod master;
+pub mod job;
+pub mod output;
+mod worker;
+
+pub use agg::{Aggregator, LocalAgg, NoAgg};
+pub use api::{App, ComputeEnv, SpawnEnv};
+pub use config::{JobConfig, JobOutcome, JobResult, WorkerStats};
+pub use job::{resume_job, run_job, run_job_observed, ProgressSnapshot};
+
+/// Convenient glob-import surface for applications.
+pub mod prelude {
+    pub use crate::agg::{Aggregator, NoAgg};
+    pub use crate::api::{App, ComputeEnv, SpawnEnv};
+    pub use crate::config::{JobConfig, JobOutcome, JobResult};
+    pub use crate::job::{resume_job, run_job, run_job_observed, ProgressSnapshot};
+    pub use gthinker_graph::adj::AdjList;
+    pub use gthinker_graph::ids::{Label, VertexId};
+    pub use gthinker_graph::subgraph::Subgraph;
+    pub use gthinker_task::task::{Frontier, Task};
+}

@@ -1,0 +1,235 @@
+//! Master-side coordination (run on worker 0's main thread).
+//!
+//! The master merges aggregator partials and broadcasts the global
+//! value, gathers progress reports, plans work stealing from loaded to
+//! idle workers, and decides distributed termination (or suspension for
+//! the fault-tolerance path).
+
+use crate::agg::Aggregator;
+use crate::api::App;
+use crate::worker::WorkerShared;
+use crossbeam::channel::Receiver;
+use gthinker_net::message::Message;
+use gthinker_graph::ids::WorkerId;
+use gthinker_task::codec::{from_bytes, to_bytes};
+use std::sync::Arc;
+
+/// Number of consecutive all-quiescent sync rounds required before the
+/// master terminates the job (absorbs report staleness).
+const QUIESCENT_ROUNDS: u32 = 3;
+
+/// Minimum estimated remaining batches on a victim before the master
+/// bothers stealing from it.
+const STEAL_MIN_REMAINING: u64 = 2;
+
+#[derive(Clone, Copy, Default)]
+struct Report {
+    remaining: u64,
+    quiescent: bool,
+    seen: bool,
+}
+
+/// Outstanding steal-plan bookkeeping. At most one plan is in flight at
+/// a time; termination is blocked while one is.
+struct StealPlanState {
+    /// `Some(sent)` once the victim reported execution.
+    executed: Option<u32>,
+    /// Receipt acks from the thief so far.
+    acked: u32,
+}
+
+impl StealPlanState {
+    fn complete(&self) -> bool {
+        matches!(self.executed, Some(sent) if self.acked >= sent)
+    }
+}
+
+/// Master state machine; drive with [`MasterState::tick`].
+pub(crate) struct MasterState<A: App> {
+    shared: Arc<WorkerShared<A>>,
+    ctrl: Receiver<Message>,
+    global: <A::Agg as Aggregator>::Global,
+    reports: Vec<Report>,
+    plan: Option<StealPlanState>,
+    quiescent_rounds: u32,
+    finals: usize,
+    suspend_done: usize,
+    terminated: bool,
+}
+
+impl<A: App> MasterState<A> {
+    pub fn new(shared: Arc<WorkerShared<A>>, ctrl: Receiver<Message>) -> Self {
+        let global = shared.agg.aggregator().init_global();
+        let n = shared.config.num_workers;
+        MasterState {
+            shared,
+            ctrl,
+            global,
+            reports: vec![Report::default(); n],
+            plan: None,
+            quiescent_rounds: 0,
+            finals: 0,
+            suspend_done: 0,
+            terminated: false,
+        }
+    }
+
+    /// Drains control traffic and performs one coordination round.
+    /// Returns `true` once the master has broadcast the terminate (or
+    /// suspend) decision.
+    pub fn tick(&mut self) -> bool {
+        self.drain_ctrl();
+        self.broadcast_global();
+        if self.terminated {
+            return true;
+        }
+        self.plan_stealing();
+        self.check_termination()
+    }
+
+    fn drain_ctrl(&mut self) {
+        while let Ok(msg) = self.ctrl.try_recv() {
+            self.absorb(msg);
+        }
+    }
+
+    fn absorb(&mut self, msg: Message) {
+        match msg {
+            Message::Progress { worker, remaining, idle } => {
+                self.reports[worker.index()] =
+                    Report { remaining, quiescent: idle, seen: true };
+            }
+            Message::AggregatorSync { payload, is_final, .. } => {
+                let partial: <A::Agg as Aggregator>::Partial =
+                    from_bytes(&payload).expect("partials encode/decode symmetrically");
+                self.shared.agg.aggregator().merge(&mut self.global, &partial);
+                if is_final {
+                    self.finals += 1;
+                }
+            }
+            Message::StealExecuted { sent } => {
+                if let Some(plan) = &mut self.plan {
+                    plan.executed = Some(sent);
+                }
+            }
+            Message::StealDone => {
+                if let Some(plan) = &mut self.plan {
+                    plan.acked += 1;
+                }
+            }
+            Message::SuspendDone { .. } => self.suspend_done += 1,
+            other => panic!("unexpected control message at master: {other:?}"),
+        }
+        if let Some(plan) = &self.plan {
+            if plan.complete() {
+                self.plan = None;
+            }
+        }
+    }
+
+    fn broadcast_global(&self) {
+        let payload = to_bytes(&self.global);
+        self.shared.net.broadcast(&Message::AggregatorGlobal { payload: payload.clone() });
+        // The master's own snapshot updates directly (its self-send
+        // would work too, but this keeps it fresh within the tick).
+        if let Ok(g) = from_bytes(&payload) {
+            self.shared.agg.set_global(g);
+        }
+    }
+
+    /// Picks one (victim, thief) pair when a worker is starving and
+    /// another still has work. One plan in flight at a time.
+    fn plan_stealing(&mut self) {
+        if !self.shared.config.work_stealing || self.plan.is_some() {
+            return;
+        }
+        let thief = self
+            .reports
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.seen && r.quiescent)
+            .map(|(w, _)| w);
+        let victim = self
+            .reports
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.seen)
+            .max_by_key(|(_, r)| r.remaining)
+            .filter(|(_, r)| {
+                r.remaining >= STEAL_MIN_REMAINING * self.shared.config.task_batch as u64
+            })
+            .map(|(w, _)| w);
+        if let (Some(thief), Some(victim)) = (thief, victim) {
+            if thief != victim {
+                let batches = 1u32;
+                self.plan = Some(StealPlanState { executed: None, acked: 0 });
+                self.shared.net.send(
+                    WorkerId(victim as u16),
+                    Message::StealPlan {
+                        victim: WorkerId(victim as u16),
+                        thief: WorkerId(thief as u16),
+                        batches,
+                    },
+                );
+                // A stolen batch makes the thief non-quiescent; clear the
+                // stale flags until fresh reports arrive.
+                self.reports[thief].quiescent = false;
+                self.quiescent_rounds = 0;
+            }
+        }
+    }
+
+    fn check_termination(&mut self) -> bool {
+        let all_quiescent =
+            self.reports.iter().all(|r| r.seen && r.quiescent) && self.plan.is_none();
+        if all_quiescent {
+            self.quiescent_rounds += 1;
+        } else {
+            self.quiescent_rounds = 0;
+        }
+        if self.quiescent_rounds >= QUIESCENT_ROUNDS {
+            self.terminated = true;
+            self.shared.net.broadcast(&Message::Terminate);
+            self.shared.done.store(true, std::sync::atomic::Ordering::SeqCst);
+            return true;
+        }
+        false
+    }
+
+    /// Broadcasts the suspend signal (fault-tolerance path).
+    pub fn broadcast_suspend(&mut self) {
+        self.terminated = true;
+        self.shared.net.broadcast(&Message::Suspend);
+        self.shared.suspend.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// After termination: waits until one final partial per worker has
+    /// been merged, then returns the final global value.
+    pub fn collect_finals(&mut self) -> <A::Agg as Aggregator>::Global {
+        let n = self.shared.config.num_workers;
+        while self.finals < n {
+            match self.ctrl.recv_timeout(std::time::Duration::from_millis(100)) {
+                Ok(msg) => self.absorb(msg),
+                Err(_) => {
+                    // Keep waiting; receivers forward finals as they come.
+                }
+            }
+        }
+        self.global.clone()
+    }
+
+    /// After a suspend broadcast: waits for every worker's checkpoint
+    /// shard, then returns the current global value (to be persisted).
+    pub fn collect_suspends(&mut self) -> <A::Agg as Aggregator>::Global {
+        let n = self.shared.config.num_workers;
+        while self.suspend_done < n {
+            if let Ok(msg) = self.ctrl.recv_timeout(std::time::Duration::from_millis(100)) { self.absorb(msg) }
+        }
+        self.global.clone()
+    }
+
+    /// Seeds the master's running global (checkpoint resume).
+    pub fn set_global(&mut self, g: <A::Agg as Aggregator>::Global) {
+        self.global = g;
+    }
+}

@@ -1,0 +1,182 @@
+//! Per-worker output sinks.
+//!
+//! Subgraph-centric systems differ from vertex-centric ones in that
+//! "the output data volume can be exponential to that of the input
+//! graph" (§II) — enumerating workloads cannot buffer results in
+//! memory or funnel them through the aggregator. The paper's workers
+//! commit outputs (alongside checkpoints) to HDFS; here every worker
+//! streams records appended by `compute()` into its own output file
+//! under [`crate::config::JobConfig::output_dir`].
+//!
+//! Records are length-prefixed byte strings (applications encode with
+//! [`gthinker_task::codec`] or any format they like); [`read_records`]
+//! reads one worker file back and [`read_all_records`] merges a whole
+//! job directory.
+
+use parking_lot::Mutex;
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A worker's buffered, thread-shared record sink.
+pub struct OutputSink {
+    writer: Mutex<BufWriter<std::fs::File>>,
+    records: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl OutputSink {
+    /// Opens (truncates) the output file for `worker` under `dir`.
+    pub fn create(dir: &Path, worker: usize) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let file = std::fs::File::create(worker_path(dir, worker))?;
+        Ok(OutputSink {
+            writer: Mutex::new(BufWriter::new(file)),
+            records: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        })
+    }
+
+    /// Appends one record (thread-safe; called from any comper).
+    pub fn emit(&self, record: &[u8]) {
+        let mut w = self.writer.lock();
+        w.write_all(&(record.len() as u32).to_le_bytes()).expect("output writable");
+        w.write_all(record).expect("output writable");
+        self.records.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(4 + record.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Flushes buffered records to disk (called at job end).
+    pub fn flush(&self) {
+        self.writer.lock().flush().expect("output flush");
+    }
+
+    /// Number of records emitted so far.
+    pub fn records(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+
+    /// Bytes written so far (including length prefixes).
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// The output file path of one worker.
+pub fn worker_path(dir: &Path, worker: usize) -> PathBuf {
+    dir.join(format!("part-{worker:04}.out"))
+}
+
+/// Reads every record from one worker's output file.
+pub fn read_records(path: &Path) -> std::io::Result<Vec<Vec<u8>>> {
+    let mut data = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut data)?;
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    while at < data.len() {
+        if at + 4 > data.len() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "truncated record length",
+            ));
+        }
+        let len = u32::from_le_bytes(data[at..at + 4].try_into().expect("4 bytes")) as usize;
+        at += 4;
+        if at + len > data.len() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "truncated record body",
+            ));
+        }
+        out.push(data[at..at + len].to_vec());
+        at += len;
+    }
+    Ok(out)
+}
+
+/// Reads and concatenates the records of every `part-*.out` file in a
+/// job output directory (any worker order).
+pub fn read_all_records(dir: &Path) -> std::io::Result<Vec<Vec<u8>>> {
+    let mut out = Vec::new();
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("part-") && n.ends_with(".out"))
+        })
+        .collect();
+    paths.sort();
+    for p in paths {
+        out.extend(read_records(&p)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("gthinker-out-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn emit_flush_read_round_trip() {
+        let dir = tempdir("rt");
+        let sink = OutputSink::create(&dir, 0).unwrap();
+        sink.emit(b"hello");
+        sink.emit(b"");
+        sink.emit(&[1, 2, 3]);
+        sink.flush();
+        assert_eq!(sink.records(), 3);
+        assert_eq!(sink.bytes(), 4 + 5 + 4 + 4 + 3);
+        let records = read_records(&worker_path(&dir, 0)).unwrap();
+        assert_eq!(records, vec![b"hello".to_vec(), Vec::new(), vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn concurrent_emits_are_all_recorded() {
+        let dir = tempdir("conc");
+        let sink = std::sync::Arc::new(OutputSink::create(&dir, 1).unwrap());
+        std::thread::scope(|s| {
+            for t in 0..4u8 {
+                let sink = std::sync::Arc::clone(&sink);
+                s.spawn(move || {
+                    for i in 0..500u32 {
+                        sink.emit(&[t, i.to_le_bytes()[0], i.to_le_bytes()[1]]);
+                    }
+                });
+            }
+        });
+        sink.flush();
+        let records = read_records(&worker_path(&dir, 1)).unwrap();
+        assert_eq!(records.len(), 2_000);
+        assert!(records.iter().all(|r| r.len() == 3));
+    }
+
+    #[test]
+    fn read_all_merges_workers() {
+        let dir = tempdir("merge");
+        for w in 0..3 {
+            let sink = OutputSink::create(&dir, w).unwrap();
+            sink.emit(&[w as u8]);
+            sink.flush();
+        }
+        let all = read_all_records(&dir).unwrap();
+        assert_eq!(all, vec![vec![0u8], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn corrupt_files_are_detected() {
+        let dir = tempdir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = worker_path(&dir, 0);
+        std::fs::write(&p, [5u8, 0, 0, 0, 1, 2]).unwrap(); // claims 5, has 2
+        assert!(read_records(&p).is_err());
+        std::fs::write(&p, [5u8, 0, 0]).unwrap(); // truncated length
+        assert!(read_records(&p).is_err());
+    }
+}

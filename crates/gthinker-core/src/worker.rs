@@ -1,0 +1,396 @@
+//! Worker-internal shared state and the non-comper threads.
+//!
+//! Each simulated machine runs (Fig. 3 / §V):
+//! * `n` **comper** threads ([`crate::comper`]),
+//! * one **receiver** thread handling vertex pulls, steal transfers and
+//!   control traffic,
+//! * one **GC** thread keeping `T_cache` bounded,
+//! * the **worker main** thread (in [`crate::job`]) doing periodic
+//!   progress/aggregator synchronization (and, on worker 0, the master
+//!   logic of [`crate::master`]).
+
+use crate::agg::LocalAgg;
+use crate::api::{App, SpawnEnv};
+use crate::config::JobConfig;
+use crossbeam::channel::Sender;
+use gthinker_graph::ids::{VertexId, WorkerId};
+use gthinker_graph::partition::HashPartitioner;
+use gthinker_net::batch::RequestBatcher;
+use gthinker_net::message::Message;
+use gthinker_net::router::NetHandle;
+use gthinker_store::cache::VertexCache;
+use gthinker_store::local::LocalTable;
+use gthinker_task::buffer::TaskBuffer;
+use gthinker_task::codec::to_bytes;
+use gthinker_task::pending::PendingTable;
+use gthinker_task::task::Task;
+use gthinker_task::spill::SpillManager;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Rough fixed overhead per in-memory task, on top of its subgraph.
+const TASK_OVERHEAD_BYTES: usize = 128;
+
+/// Nanoseconds of CPU time consumed by the calling thread.
+///
+/// Compute-time accounting must use *thread CPU time*, not wall-clock:
+/// on a host with fewer cores than compers, a `compute()` call's
+/// wall-time includes preemption by other threads, which would inflate
+/// the per-comper work measurements the scalability analysis
+/// (`modeled parallel time`) is built on.
+pub(crate) fn thread_cpu_nanos() -> u64 {
+    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
+    // SAFETY: ts is a valid, writable timespec; the clock id is a
+    // compile-time constant supported on all Linux targets.
+    let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    debug_assert_eq!(rc, 0, "clock_gettime(CLOCK_THREAD_CPUTIME_ID) failed");
+    ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
+}
+
+/// Estimated heap cost of a task (for the memory accounting the paper
+/// reports as "peak VM memory").
+pub(crate) fn task_cost<C>(t: &Task<C>) -> i64 {
+    (t.subgraph.heap_bytes() + TASK_OVERHEAD_BYTES) as i64
+}
+
+/// Per-comper state shared with the receiver thread.
+pub(crate) struct ComperShared<C> {
+    /// `B_task`: ready tasks moved here by the receiver.
+    pub buffer: TaskBuffer<C>,
+    /// `T_task`: pending tasks keyed by task ID.
+    pub pending: PendingTable<C>,
+    /// Mirror of `|Q_task|` for quiescence detection.
+    pub queue_len: AtomicUsize,
+    /// True while the comper is (or may be about to start) processing a
+    /// task; set **before** checking task sources to close the
+    /// quiescence race.
+    pub busy: AtomicBool,
+}
+
+impl<C> ComperShared<C> {
+    fn new() -> Self {
+        ComperShared {
+            buffer: TaskBuffer::new(),
+            pending: PendingTable::new(),
+            queue_len: AtomicUsize::new(0),
+            busy: AtomicBool::new(true), // busy until the comper proves idle
+        }
+    }
+}
+
+/// Counters the comper threads update.
+#[derive(Default)]
+pub(crate) struct WorkerCounters {
+    pub tasks_finished: AtomicU64,
+    pub compute_calls: AtomicU64,
+    pub compute_nanos: AtomicU64,
+    pub idle_nanos: AtomicU64,
+}
+
+/// Everything one worker's threads share.
+pub(crate) struct WorkerShared<A: App> {
+    pub me: WorkerId,
+    pub app: Arc<A>,
+    pub config: JobConfig,
+    pub local: LocalTable,
+    pub cache: VertexCache,
+    pub spill: SpillManager,
+    pub compers: Vec<ComperShared<A::Context>>,
+    pub batcher: RequestBatcher,
+    pub net: NetHandle,
+    pub agg: LocalAgg<A::Agg>,
+    pub partitioner: HashPartitioner,
+    /// Pull requests sent whose responses have not arrived (counted at
+    /// the requester; part of the quiescence condition).
+    pub outstanding_pulls: AtomicI64,
+    /// Terminate signal (master broadcast or local decision).
+    pub done: AtomicBool,
+    /// Suspend signal (checkpoint-and-stop).
+    pub suspend: AtomicBool,
+    /// Set by the worker main thread once no further inbound messages
+    /// matter; the receiver thread exits on it. Kept separate from
+    /// `done`/`suspend` because control traffic (final aggregator
+    /// syncs, checkpoint acks) must still flow *after* those fire.
+    pub receiver_stop: AtomicBool,
+    /// Estimated bytes of task subgraphs currently in memory.
+    pub task_mem: AtomicI64,
+    /// Peak of the per-tick memory estimate.
+    pub peak_mem: AtomicU64,
+    pub counters: WorkerCounters,
+    /// First UDF panic observed on this worker (message), if any. A
+    /// panicking `compute()`/`task_spawn()` must not strand the job in
+    /// a never-quiescent state: the comper records it here, the worker
+    /// main thread broadcasts termination, and `run_job` re-panics with
+    /// the original message once every thread has shut down.
+    pub failure: Mutex<Option<String>>,
+    /// Where compers park their residual `Q_task` contents at suspend.
+    pub drained_queues: Mutex<Vec<Task<A::Context>>>,
+    /// Replicated label table for labeled graphs (see
+    /// [`crate::api::ComputeEnv::label_of`]); `None` when unlabeled.
+    pub labels: Option<Arc<Vec<gthinker_graph::ids::Label>>>,
+    /// Output sink when `JobConfig::output_dir` is set.
+    pub output: Option<Arc<crate::output::OutputSink>>,
+}
+
+impl<A: App> WorkerShared<A> {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        me: WorkerId,
+        app: Arc<A>,
+        config: JobConfig,
+        local: LocalTable,
+        cache: VertexCache,
+        spill: SpillManager,
+        net: NetHandle,
+        partitioner: HashPartitioner,
+        labels: Option<Arc<Vec<gthinker_graph::ids::Label>>>,
+        output: Option<Arc<crate::output::OutputSink>>,
+    ) -> Arc<Self> {
+        let agg = LocalAgg::new(Arc::new(app.make_aggregator()));
+        let compers = (0..config.compers_per_worker).map(|_| ComperShared::new()).collect();
+        let batcher = RequestBatcher::new(me, config.num_workers, config.request_batch);
+        Arc::new(WorkerShared {
+            me,
+            app,
+            config,
+            local,
+            cache,
+            spill,
+            compers,
+            batcher,
+            net,
+            agg,
+            partitioner,
+            outstanding_pulls: AtomicI64::new(0),
+            done: AtomicBool::new(false),
+            suspend: AtomicBool::new(false),
+            receiver_stop: AtomicBool::new(false),
+            task_mem: AtomicI64::new(0),
+            peak_mem: AtomicU64::new(0),
+            counters: WorkerCounters::default(),
+            failure: Mutex::new(None),
+            drained_queues: Mutex::new(Vec::new()),
+            labels,
+            output,
+        })
+    }
+
+    /// True when this worker should stop its threads.
+    pub fn stopping(&self) -> bool {
+        self.done.load(Ordering::SeqCst) || self.suspend.load(Ordering::SeqCst)
+    }
+
+    /// Estimated remaining load in tasks: spilled batches plus
+    /// unspawned vertices plus queued/buffered/pending tasks.
+    pub fn remaining_estimate(&self) -> u64 {
+        let spilled = self.spill.num_files() as u64 * self.config.task_batch as u64;
+        let unspawned = self.local.unspawned() as u64;
+        let queued: u64 = self
+            .compers
+            .iter()
+            .map(|c| {
+                (c.queue_len.load(Ordering::SeqCst)
+                    + c.buffer.len()
+                    + c.pending.len()) as u64
+            })
+            .sum();
+        spilled + unspawned + queued
+    }
+
+    /// The quiescence predicate used for distributed termination: no
+    /// local work of any kind and no pull in flight. Busy flags are set
+    /// by compers *before* they check their task sources, so this check
+    /// cannot race past a task that is about to start.
+    pub fn quiescent(&self) -> bool {
+        self.outstanding_pulls.load(Ordering::SeqCst) == 0
+            && self.local.unspawned() == 0
+            && self.spill.is_empty()
+            && self.batcher.pending() == 0
+            && self.compers.iter().all(|c| {
+                !c.busy.load(Ordering::SeqCst)
+                    && c.queue_len.load(Ordering::SeqCst) == 0
+                    && c.buffer.is_empty()
+                    && c.pending.is_empty()
+            })
+    }
+
+    /// Records a UDF panic (first one wins).
+    pub fn record_failure(&self, payload: Box<dyn std::any::Any + Send>) {
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "application UDF panicked".to_string());
+        let mut f = self.failure.lock();
+        if f.is_none() {
+            *f = Some(msg);
+        }
+    }
+
+    /// One memory-estimate sample; updates the peak.
+    pub fn sample_memory(&self) {
+        let est = self.local.heap_bytes() as u64
+            + self.cache.heap_bytes() as u64
+            + self.task_mem.load(Ordering::Relaxed).max(0) as u64;
+        self.peak_mem.fetch_max(est, Ordering::Relaxed);
+    }
+}
+
+/// The receiver thread: serves pull requests from `T_local`, installs
+/// responses into `T_cache`, wakes pending tasks, executes steal plans,
+/// and forwards control-plane messages to the worker main thread.
+pub(crate) fn receiver_loop<A: App>(shared: &Arc<WorkerShared<A>>, ctrl: Sender<Message>) {
+    loop {
+        match shared.net.recv_timeout(Duration::from_millis(1)) {
+            Some(msg) => handle_message(shared, &ctrl, msg),
+            None => {
+                if shared.receiver_stop.load(Ordering::SeqCst) {
+                    // Drain whatever is still queued, then exit.
+                    while let Some(msg) = shared.net.try_recv() {
+                        handle_message(shared, &ctrl, msg);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn handle_message<A: App>(shared: &Arc<WorkerShared<A>>, ctrl: &Sender<Message>, msg: Message) {
+    match msg {
+        Message::VertexRequest { from, vertices } => {
+            let entries = vertices
+                .into_iter()
+                .map(|v| {
+                    let adj = shared
+                        .local
+                        .get(v)
+                        .unwrap_or_else(|| panic!("worker {} asked for non-local {v}", shared.me));
+                    // The clone models the copy onto the wire.
+                    (v, (*adj).clone())
+                })
+                .collect();
+            shared.net.send(from, Message::VertexResponse { entries });
+        }
+        Message::VertexResponse { entries } => {
+            for (v, adj) in entries {
+                let waiters = shared.cache.insert_response(v, adj);
+                for id in waiters {
+                    let comper = &shared.compers[id.comper() as usize];
+                    if let Some(task) = comper.pending.notify(id) {
+                        // Task accounting moves with the task.
+                        comper.buffer.push(task);
+                    }
+                }
+                // Decrement only after the ready task is visible in
+                // B_task, so quiescence can never miss it.
+                shared.outstanding_pulls.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        Message::StealPlan { victim, thief, batches } => {
+            debug_assert_eq!(victim, shared.me, "plan routed to the wrong worker");
+            execute_steal_plan(shared, thief, batches);
+        }
+        Message::StealBatch { bytes } => {
+            shared.spill.push_file_bytes(bytes).expect("spill dir writable");
+            shared.net.send(WorkerId(0), Message::StealDone);
+        }
+        Message::AggregatorGlobal { payload } => {
+            match gthinker_task::codec::from_bytes(&payload) {
+                Ok(global) => shared.agg.set_global(global),
+                Err(e) => panic!("corrupt aggregator broadcast: {e}"),
+            }
+        }
+        Message::Terminate => {
+            shared.done.store(true, Ordering::SeqCst);
+        }
+        Message::Suspend => {
+            shared.suspend.store(true, Ordering::SeqCst);
+        }
+        m @ (Message::Progress { .. }
+        | Message::AggregatorSync { .. }
+        | Message::StealExecuted { .. }
+        | Message::StealDone
+        | Message::SuspendDone { .. }) => {
+            // Master-only control traffic: hand to the main thread.
+            let _ = ctrl.send(m);
+        }
+    }
+}
+
+/// Victim-side execution of a steal plan: ship up to `batches` task
+/// batches to `thief`. Prefers already-spilled batches; otherwise
+/// spawns fresh tasks from unspawned local vertices (the paper: stolen
+/// tasks "could be spawned from their local vertex table").
+fn execute_steal_plan<A: App>(shared: &Arc<WorkerShared<A>>, thief: WorkerId, batches: u32) {
+    let mut sent = 0u32;
+    for _ in 0..batches {
+        if let Some(bytes) = shared.spill.pop_file_bytes().expect("spill dir readable") {
+            shared.net.send(thief, Message::StealBatch { bytes });
+            sent += 1;
+            continue;
+        }
+        // Spawn a batch directly for the thief.
+        let verts: Vec<VertexId> =
+            shared.local.claim_spawn_batch(shared.config.task_batch).to_vec();
+        if verts.is_empty() {
+            break;
+        }
+        let batch: Vec<_> = verts
+            .into_iter()
+            .map(|v| {
+                let adj = shared.local.get(v).expect("claimed vertex is local");
+                (v, adj, shared.local.label(v))
+            })
+            .collect();
+        let mut env = SpawnEnv::<A>::new(&shared.agg, None);
+        if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.app.task_spawn_batch(&batch, &mut env)
+        })) {
+            shared.record_failure(payload);
+            shared.done.store(true, std::sync::atomic::Ordering::SeqCst);
+            break;
+        }
+        let tasks: Vec<Task<A::Context>> = env.take_tasks();
+        if tasks.is_empty() {
+            continue; // all pruned at spawn; try again next round
+        }
+        shared.net.send(thief, Message::StealBatch { bytes: to_bytes(&tasks) });
+        sent += 1;
+    }
+    shared.net.send(WorkerId(0), Message::StealExecuted { sent });
+}
+
+/// The GC thread: periodically runs lazy eviction passes until the
+/// worker stops.
+pub(crate) fn gc_loop<A: App>(shared: &Arc<WorkerShared<A>>) {
+    let mut handle = shared.cache.counter_handle();
+    while !shared.stopping() {
+        shared.cache.gc_pass(&mut handle);
+        std::thread::sleep(Duration::from_micros(500));
+    }
+    handle.flush();
+}
+
+/// Periodic duties of every worker's main thread (master or not):
+/// report progress, ship the aggregator partial, flush request batches
+/// and sample memory.
+pub(crate) fn worker_tick<A: App>(shared: &Arc<WorkerShared<A>>, master: WorkerId) {
+    shared.batcher.flush_all(&shared.net);
+    shared.sample_memory();
+    let partial = shared.agg.take_partial();
+    shared.net.send(
+        master,
+        Message::AggregatorSync { worker: shared.me, payload: to_bytes(&partial), is_final: false },
+    );
+    shared.net.send(
+        master,
+        Message::Progress {
+            worker: shared.me,
+            remaining: shared.remaining_estimate(),
+            idle: shared.quiescent(),
+        },
+    );
+}

@@ -1,0 +1,326 @@
+//! Deterministic random-graph generators.
+//!
+//! The paper evaluates on real social/web graphs (Table II). Those files
+//! are not available offline, so the benchmark harness generates
+//! *stand-ins* with comparable structure: heavy-tailed degrees
+//! ([`barabasi_albert`]), controllable density ([`gnp`], [`gnm`]) and
+//! planted dense regions ([`plant_clique`]) so that maximum-clique
+//! finding has a nontrivial answer. All generators are deterministic in
+//! their seed.
+
+use crate::graph::Graph;
+use crate::ids::{Label, VertexId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi `G(n, p)`: each of the `n·(n−1)/2` possible edges is
+/// present independently with probability `p`.
+///
+/// Uses geometric skipping, so the cost is proportional to the number of
+/// edges generated, not to `n²`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    if p <= 0.0 || n < 2 {
+        return Graph::with_vertices(n);
+    }
+    if p >= 1.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                edges.push((VertexId(u as u32), VertexId(v as u32)));
+            }
+        }
+        return Graph::from_edges(n, &edges);
+    }
+    // Walk edge slots in lexicographic order, skipping ahead by
+    // geometrically distributed gaps.
+    let log1mp = (1.0 - p).ln();
+    let (mut u, mut v) = (0usize, 0usize);
+    loop {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (r.ln() / log1mp).floor() as usize + 1;
+        v += skip;
+        while v >= n {
+            u += 1;
+            if u >= n - 1 {
+                return Graph::from_edges(n, &edges);
+            }
+            v = u + 1 + (v - n);
+        }
+        edges.push((VertexId(u as u32), VertexId(v as u32)));
+    }
+}
+
+/// `G(n, m)`: exactly `m` distinct random edges (or fewer when `m`
+/// exceeds the number of available slots).
+pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    let m = m.min(max_edges);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { ((u as u64) << 32) | v as u64 } else { ((v as u64) << 32) | u as u64 };
+        if seen.insert(key) {
+            edges.push((VertexId(u), VertexId(v)));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Barabási–Albert preferential attachment: starts from a clique of
+/// `m + 1` vertices and attaches each new vertex to `m` existing
+/// vertices chosen proportionally to degree. Produces the heavy-tailed
+/// degree distribution typical of the social networks in Table II.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1, "each new vertex must attach at least one edge");
+    assert!(n > m, "need more vertices than the attachment count");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * m);
+    // `targets` holds one entry per edge endpoint: sampling uniformly
+    // from it is sampling proportionally to degree.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
+    // Seed clique.
+    for u in 0..=(m as u32) {
+        for v in (u + 1)..=(m as u32) {
+            edges.push((VertexId(u), VertexId(v)));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    let mut picked = std::collections::HashSet::with_capacity(m * 2);
+    for new in (m as u32 + 1)..n as u32 {
+        picked.clear();
+        while picked.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            picked.insert(t);
+        }
+        // HashSet iteration order is randomized per process; sort so the
+        // endpoint vector (and thus later sampling) is deterministic.
+        let mut targets: Vec<u32> = picked.iter().copied().collect();
+        targets.sort_unstable();
+        for t in targets {
+            edges.push((VertexId(new), VertexId(t)));
+            endpoints.push(new);
+            endpoints.push(t);
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Plants a clique over `k` distinct random vertices of `g`, returning
+/// the new graph and the (sorted) clique members. Guarantees the
+/// maximum clique is at least `k`, giving MCF workloads a known target.
+pub fn plant_clique(g: &Graph, k: usize, seed: u64) -> (Graph, Vec<VertexId>) {
+    let n = g.num_vertices();
+    assert!(k <= n, "cannot plant a clique larger than the graph");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    ids.shuffle(&mut rng);
+    let mut members: Vec<VertexId> = ids[..k].iter().copied().map(VertexId).collect();
+    members.sort_unstable();
+    let mut edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+    for i in 0..k {
+        for j in (i + 1)..k {
+            edges.push((members[i], members[j]));
+        }
+    }
+    (Graph::from_edges(n, &edges), members)
+}
+
+/// Assigns each vertex a uniform random label from `0..num_labels`.
+pub fn random_labels(g: Graph, num_labels: u16, seed: u64) -> Graph {
+    assert!(num_labels >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let labels = (0..g.num_vertices())
+        .map(|_| Label(rng.gen_range(0..num_labels)))
+        .collect();
+    g.with_labels(labels)
+}
+
+/// R-MAT (recursive matrix / Kronecker-style) generator — the standard
+/// synthetic model for skewed web/social graphs (used by Graph500).
+/// Generates `m` edge samples over `2^scale` vertices by recursively
+/// choosing quadrants with probabilities `(a, b, c, 1−a−b−c)`;
+/// duplicates and self-loops collapse, so the edge count is ≤ `m`.
+pub fn rmat(scale: u32, m: usize, a: f64, b: f64, c: f64, seed: u64) -> Graph {
+    assert!(scale >= 1 && scale <= 28, "2^scale vertices must be sane");
+    assert!(a > 0.0 && b >= 0.0 && c >= 0.0 && a + b + c < 1.0, "bad quadrant probabilities");
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u != v {
+            edges.push((VertexId(u as u32), VertexId(v as u32)));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// A complete graph `K_n` (every pair adjacent) — handy in tests.
+pub fn complete(n: usize) -> Graph {
+    gnp(n, 1.0, 0)
+}
+
+/// A cycle `C_n`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let edges: Vec<_> = (0..n)
+        .map(|i| (VertexId(i as u32), VertexId(((i + 1) % n) as u32)))
+        .collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// A star with `n - 1` leaves around vertex 0.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2);
+    let edges: Vec<_> = (1..n).map(|i| (VertexId(0), VertexId(i as u32))).collect();
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_is_deterministic_in_seed() {
+        let a = gnp(100, 0.05, 7);
+        let b = gnp(100, 0.05, 7);
+        let c = gnp(100, 0.05, 8);
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(
+            a.edges().collect::<Vec<_>>(),
+            b.edges().collect::<Vec<_>>()
+        );
+        assert_ne!(
+            a.edges().collect::<Vec<_>>(),
+            c.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let n = 400;
+        let p = 0.1;
+        let g = gnp(n, p, 42);
+        let expected = (n * (n - 1) / 2) as f64 * p;
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < expected * 0.15,
+            "got {got}, expected ~{expected}"
+        );
+        g.validate_undirected().unwrap();
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(gnp(5, 1.0, 1).num_edges(), 10);
+        assert_eq!(gnp(0, 0.5, 1).num_vertices(), 0);
+        assert_eq!(gnp(1, 0.5, 1).num_edges(), 0);
+    }
+
+    #[test]
+    fn gnm_produces_exact_count() {
+        let g = gnm(50, 100, 3);
+        assert_eq!(g.num_edges(), 100);
+        g.validate_undirected().unwrap();
+        // Saturating case.
+        let g2 = gnm(4, 100, 3);
+        assert_eq!(g2.num_edges(), 6);
+    }
+
+    #[test]
+    fn barabasi_albert_shape() {
+        let n = 500;
+        let m = 3;
+        let g = barabasi_albert(n, m, 11);
+        assert_eq!(g.num_vertices(), n);
+        // seed clique (m+1 choose 2) + (n - m - 1) * m edges, minus any
+        // duplicate collapses (none expected since picks are distinct).
+        let expect = (m + 1) * m / 2 + (n - m - 1) * m;
+        assert_eq!(g.num_edges(), expect);
+        g.validate_undirected().unwrap();
+        // Heavy tail: max degree far above average.
+        let max_deg = g.vertices().map(|v| g.degree(v)).max().unwrap();
+        let avg = 2.0 * g.num_edges() as f64 / n as f64;
+        assert!(max_deg as f64 > 3.0 * avg, "max {max_deg} vs avg {avg}");
+    }
+
+    #[test]
+    fn rmat_is_skewed_and_deterministic() {
+        let g = rmat(12, 30_000, 0.57, 0.19, 0.19, 5);
+        assert_eq!(g.num_vertices(), 4096);
+        assert!(g.num_edges() > 10_000);
+        g.validate_undirected().unwrap();
+        let s = crate::stats::GraphStats::of(&g);
+        assert!(
+            s.max_degree as f64 > 10.0 * s.avg_degree,
+            "RMAT must be heavy-tailed: max {} avg {}",
+            s.max_degree,
+            s.avg_degree
+        );
+        let g2 = rmat(12, 30_000, 0.57, 0.19, 0.19, 5);
+        assert_eq!(g.num_edges(), g2.num_edges());
+        assert_ne!(g.num_edges(), rmat(12, 30_000, 0.57, 0.19, 0.19, 6).num_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "quadrant")]
+    fn rmat_rejects_bad_probabilities() {
+        let _ = rmat(4, 10, 0.5, 0.3, 0.3, 1);
+    }
+
+    #[test]
+    fn planted_clique_is_a_clique() {
+        let base = gnp(200, 0.02, 5);
+        let (g, members) = plant_clique(&base, 12, 6);
+        assert_eq!(members.len(), 12);
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                assert!(g.has_edge(members[i], members[j]));
+            }
+        }
+        g.validate_undirected().unwrap();
+    }
+
+    #[test]
+    fn random_labels_within_range() {
+        let g = random_labels(gnp(50, 0.1, 1), 4, 2);
+        assert!(g.is_labeled());
+        for v in g.vertices() {
+            assert!(g.label(v).unwrap().value() < 4);
+        }
+    }
+
+    #[test]
+    fn small_topologies() {
+        assert_eq!(complete(4).num_edges(), 6);
+        assert_eq!(cycle(5).num_edges(), 5);
+        let s = star(6);
+        assert_eq!(s.num_edges(), 5);
+        assert_eq!(s.degree(VertexId(0)), 5);
+    }
+}

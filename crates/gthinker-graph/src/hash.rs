@@ -1,0 +1,138 @@
+//! A fast, non-cryptographic hasher and hash-container aliases.
+//!
+//! Subgraph mining hashes millions of small integer keys (vertex IDs,
+//! task IDs). The standard library's SipHash is collision-resistant but
+//! slow for this workload; the Rust Performance Book recommends an
+//! FxHash-style multiply-xor hasher for integer keys. To stay within the
+//! approved dependency set we implement that hasher here (~20 lines)
+//! rather than pulling in `rustc-hash`.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc Fx hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// An FxHash-style hasher: xor then multiply per word.
+///
+/// Not HashDoS-resistant; only use for internal keys that an adversary
+/// cannot choose (vertex IDs, task IDs, bucket indices).
+#[derive(Default, Clone)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`].
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` keyed with [`FastHasher`].
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` keyed with [`FastHasher`].
+pub type FastSet<K> = std::collections::HashSet<K, FastBuildHasher>;
+
+/// Creates an empty [`FastMap`] with at least `cap` capacity.
+pub fn fast_map_with_capacity<K, V>(cap: usize) -> FastMap<K, V> {
+    FastMap::with_capacity_and_hasher(cap, FastBuildHasher::default())
+}
+
+/// Creates an empty [`FastSet`] with at least `cap` capacity.
+pub fn fast_set_with_capacity<K>(cap: usize) -> FastSet<K> {
+    FastSet::with_capacity_and_hasher(cap, FastBuildHasher::default())
+}
+
+/// Hashes a single `u64` key; used for cache-bucket selection.
+#[inline]
+pub fn hash_u64(key: u64) -> u64 {
+    let mut h = FastHasher::default();
+    h.write_u64(key);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_input() {
+        assert_eq!(hash_u64(12345), hash_u64(12345));
+        assert_ne!(hash_u64(12345), hash_u64(12346));
+    }
+
+    #[test]
+    fn map_and_set_work_as_containers() {
+        let mut m: FastMap<u32, &str> = fast_map_with_capacity(4);
+        m.insert(1, "a");
+        m.insert(2, "b");
+        assert_eq!(m.get(&1), Some(&"a"));
+        let mut s: FastSet<u32> = fast_set_with_capacity(4);
+        s.insert(9);
+        assert!(s.contains(&9));
+        assert!(!s.contains(&8));
+    }
+
+    #[test]
+    fn byte_stream_hashing_handles_remainders() {
+        let mut h1 = FastHasher::default();
+        h1.write(b"hello world!!");
+        let mut h2 = FastHasher::default();
+        h2.write(b"hello world!?");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn distribution_spreads_sequential_keys() {
+        // Sequential vertex IDs must not collapse into few buckets.
+        let k = 64;
+        let mut counts = vec![0usize; k];
+        for i in 0..64_000u64 {
+            counts[(hash_u64(i) % k as u64) as usize] += 1;
+        }
+        let expect = 64_000 / k;
+        for &c in &counts {
+            assert!(c > expect / 2 && c < expect * 2, "skewed bucket: {c}");
+        }
+    }
+}

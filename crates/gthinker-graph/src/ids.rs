@@ -1,0 +1,212 @@
+//! Identifier newtypes used across the workspace.
+//!
+//! The paper orders vertices by ID to build the set-enumeration tree
+//! (Fig. 1): a vertex set `S` is only extended with vertices whose ID is
+//! larger than every vertex already in `S`. Making [`VertexId`] `Ord`
+//! therefore matters semantically, not just for container use.
+
+use std::fmt;
+
+/// A vertex identifier.
+///
+/// G-thinker hashes vertices to machines by ID and compares IDs to avoid
+/// redundant subgraph enumeration, so `VertexId` is `Copy`, `Ord` and
+/// cheap to hash. `u32` supports graphs of up to ~4.3 billion vertices,
+/// larger than any graph in the paper's evaluation (Friendster: 65.6M).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// The smallest possible ID.
+    pub const MIN: VertexId = VertexId(0);
+    /// The largest possible ID, usable as a sentinel.
+    pub const MAX: VertexId = VertexId(u32::MAX);
+
+    /// Returns the raw index value, for use as a dense array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an ID from a dense array index.
+    ///
+    /// # Panics
+    /// Panics if `i` exceeds `u32::MAX`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize, "vertex index out of range");
+        VertexId(i as u32)
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<VertexId> for u32 {
+    #[inline]
+    fn from(v: VertexId) -> Self {
+        v.0
+    }
+}
+
+/// A vertex label, used by labeled applications such as subgraph matching.
+///
+/// The paper's `Trimmer` prunes data-graph vertices whose labels do not
+/// appear in the query graph; labels are small dense integers here.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Label(pub u16);
+
+impl Label {
+    /// Returns the raw label value.
+    #[inline]
+    pub fn value(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u16> for Label {
+    #[inline]
+    fn from(v: u16) -> Self {
+        Label(v)
+    }
+}
+
+/// Identifier of a simulated worker machine in the cluster.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct WorkerId(pub u16);
+
+impl WorkerId {
+    /// Returns the raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// A framework-wide task identifier.
+///
+/// Per §V-B of the paper, a task ID concatenates a 16-bit comper ID with
+/// a 48-bit per-comper sequence number, so the response-receiving thread
+/// can route a readiness notification to the comper that owns the
+/// pending task.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TaskId(pub u64);
+
+impl TaskId {
+    /// Builds an ID from a comper index and that comper's sequence
+    /// number.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `seq` exceeds 48 bits.
+    #[inline]
+    pub fn new(comper: u16, seq: u64) -> Self {
+        debug_assert!(seq < (1u64 << 48), "task sequence number overflow");
+        TaskId(((comper as u64) << 48) | seq)
+    }
+
+    /// The comper that created (and owns) this task.
+    #[inline]
+    pub fn comper(self) -> u16 {
+        (self.0 >> 48) as u16
+    }
+
+    /// The per-comper sequence number.
+    #[inline]
+    pub fn seq(self) -> u64 {
+        self.0 & ((1u64 << 48) - 1)
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}:{}", self.comper(), self.seq())
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.comper(), self.seq())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_id_packs_and_unpacks() {
+        let t = TaskId::new(513, 0x0000_1234_5678_9abc);
+        assert_eq!(t.comper(), 513);
+        assert_eq!(t.seq(), 0x0000_1234_5678_9abc);
+        assert_eq!(format!("{t:?}"), "t513:20015998343868");
+    }
+
+    #[test]
+    fn task_id_boundaries() {
+        let t = TaskId::new(u16::MAX, (1u64 << 48) - 1);
+        assert_eq!(t.comper(), u16::MAX);
+        assert_eq!(t.seq(), (1u64 << 48) - 1);
+        let z = TaskId::new(0, 0);
+        assert_eq!(z.0, 0);
+    }
+
+    #[test]
+    fn vertex_id_ordering_follows_raw_value() {
+        assert!(VertexId(1) < VertexId(2));
+        assert!(VertexId::MIN < VertexId::MAX);
+        assert_eq!(VertexId(7).index(), 7);
+        assert_eq!(VertexId::from_index(9), VertexId(9));
+    }
+
+    #[test]
+    fn display_and_debug_formats() {
+        assert_eq!(VertexId(3).to_string(), "3");
+        assert_eq!(format!("{:?}", VertexId(3)), "v3");
+        assert_eq!(Label(5).to_string(), "5");
+        assert_eq!(format!("{:?}", Label(5)), "L5");
+        assert_eq!(WorkerId(2).to_string(), "w2");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let v: VertexId = 42u32.into();
+        let raw: u32 = v.into();
+        assert_eq!(raw, 42);
+        let l: Label = 7u16.into();
+        assert_eq!(l.value(), 7);
+    }
+}

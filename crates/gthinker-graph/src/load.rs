@@ -1,0 +1,365 @@
+//! Text loaders and writers for graph files.
+//!
+//! G-thinker loads its input from HDFS as one `(v, Γ(v))` record per
+//! line. We reproduce that format ([`read_adjacency`] /
+//! [`write_adjacency`]) plus the ubiquitous SNAP-style edge-list format
+//! ([`read_edge_list`] / [`write_edge_list`]). Lines starting with `#`
+//! are comments in both formats.
+
+use crate::adj::AdjList;
+use crate::graph::Graph;
+use crate::ids::{Label, VertexId};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors produced while parsing graph files.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number and content.
+    Parse { line: usize, content: String },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "io error: {e}"),
+            LoadError::Parse { line, content } => {
+                write!(f, "parse error at line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            LoadError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Reads a whitespace-separated edge list (`u v` per line). Vertex count
+/// is `max id + 1`.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, LoadError> {
+    let buf = BufReader::new(reader);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut max_id: u32 = 0;
+    let mut any = false;
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let (u, v) = match (it.next(), it.next()) {
+            (Some(a), Some(b)) => {
+                let parse = |s: &str| {
+                    s.parse::<u32>().map_err(|_| LoadError::Parse {
+                        line: lineno + 1,
+                        content: line.clone(),
+                    })
+                };
+                (parse(a)?, parse(b)?)
+            }
+            _ => {
+                return Err(LoadError::Parse { line: lineno + 1, content: line });
+            }
+        };
+        any = true;
+        max_id = max_id.max(u).max(v);
+        edges.push((VertexId(u), VertexId(v)));
+    }
+    let n = if any { max_id as usize + 1 } else { 0 };
+    Ok(Graph::from_edges(n, &edges))
+}
+
+/// Writes `g` as an edge list, each undirected edge once.
+pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# edges: {}", g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Reads the G-thinker adjacency format: `v<TAB>n u1 u2 ... un` per line
+/// (the layout the paper's HDFS loader parses). Labeled variant:
+/// `v:label<TAB>n u1 ...`.
+pub fn read_adjacency<R: Read>(reader: R) -> Result<Graph, LoadError> {
+    let buf = BufReader::new(reader);
+    let mut rows: Vec<(u32, Option<Label>, Vec<VertexId>)> = Vec::new();
+    let mut max_id: u32 = 0;
+    let mut labeled = false;
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let err = || LoadError::Parse { line: lineno + 1, content: line.clone() };
+        let (head, rest) = t.split_once(char::is_whitespace).ok_or_else(err)?;
+        let (v, label) = if let Some((vs, ls)) = head.split_once(':') {
+            labeled = true;
+            (
+                vs.parse::<u32>().map_err(|_| err())?,
+                Some(Label(ls.parse::<u16>().map_err(|_| err())?)),
+            )
+        } else {
+            (head.parse::<u32>().map_err(|_| err())?, None)
+        };
+        let mut it = rest.split_whitespace();
+        let count: usize = it.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let mut nbrs = Vec::with_capacity(count);
+        for tok in it {
+            let u = tok.parse::<u32>().map_err(|_| err())?;
+            max_id = max_id.max(u);
+            nbrs.push(VertexId(u));
+        }
+        if nbrs.len() != count {
+            return Err(err());
+        }
+        max_id = max_id.max(v);
+        rows.push((v, label, nbrs));
+    }
+    if rows.is_empty() {
+        return Ok(Graph::with_vertices(0));
+    }
+    let n = max_id as usize + 1;
+    let mut adj = vec![AdjList::new(); n];
+    let mut labels = vec![Label::default(); n];
+    for (v, label, nbrs) in rows {
+        adj[v as usize] = AdjList::from_unsorted(nbrs);
+        if let Some(l) = label {
+            labels[v as usize] = l;
+        }
+    }
+    let g = Graph::from_adjacency(adj);
+    Ok(if labeled { g.with_labels(labels) } else { g })
+}
+
+/// Writes `g` in the adjacency format (labeled if `g` is labeled).
+pub fn write_adjacency<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for v in g.vertices() {
+        let adj = g.neighbors(v);
+        match g.label(v) {
+            Some(l) => write!(w, "{v}:{l}\t{}", adj.degree())?,
+            None => write!(w, "{v}\t{}", adj.degree())?,
+        }
+        for u in adj.iter() {
+            write!(w, " {u}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Convenience: loads an edge-list file from disk.
+pub fn load_edge_list_file(path: &Path) -> Result<Graph, LoadError> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Convenience: loads an adjacency file from disk.
+pub fn load_adjacency_file(path: &Path) -> Result<Graph, LoadError> {
+    read_adjacency(std::fs::File::open(path)?)
+}
+
+/// Magic header of the binary graph format.
+const BINARY_MAGIC: &[u8; 8] = b"GTHINK01";
+
+/// Writes `g` in a compact binary format (little-endian; much faster
+/// to parse than text). Layout: magic, `n: u64`,
+/// `labeled: u8`, per-vertex `degree: u32` + neighbor `u32`s, then the
+/// label table when labeled.
+pub fn write_binary<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&[g.is_labeled() as u8])?;
+    for v in g.vertices() {
+        let adj = g.neighbors(v);
+        w.write_all(&(adj.degree() as u32).to_le_bytes())?;
+        for u in adj.iter() {
+            w.write_all(&u.0.to_le_bytes())?;
+        }
+    }
+    if let Some(labels) = g.labels() {
+        for l in labels {
+            w.write_all(&l.0.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads the binary format written by [`write_binary`].
+pub fn read_binary<R: Read>(reader: R) -> Result<Graph, LoadError> {
+    let mut r = BufReader::new(reader);
+    let bad = |what: &str| LoadError::Parse { line: 0, content: what.to_string() };
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf)?;
+    let n = u64::from_le_bytes(u64buf) as usize;
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+    let labeled = match flag[0] {
+        0 => false,
+        1 => true,
+        _ => return Err(bad("bad label flag")),
+    };
+    let mut u32buf = [0u8; 4];
+    let mut adj = Vec::with_capacity(n);
+    for _ in 0..n {
+        r.read_exact(&mut u32buf)?;
+        let deg = u32::from_le_bytes(u32buf) as usize;
+        let mut nbrs = Vec::with_capacity(deg.min(1 << 20));
+        for _ in 0..deg {
+            r.read_exact(&mut u32buf)?;
+            nbrs.push(VertexId(u32::from_le_bytes(u32buf)));
+        }
+        if nbrs.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(bad("unsorted adjacency"));
+        }
+        adj.push(AdjList::from_sorted(nbrs));
+    }
+    let g = Graph::from_adjacency(adj);
+    if labeled {
+        let mut labels = Vec::with_capacity(n);
+        let mut u16buf = [0u8; 2];
+        for _ in 0..n {
+            r.read_exact(&mut u16buf)?;
+            labels.push(Label(u16::from_le_bytes(u16buf)));
+        }
+        Ok(g.with_labels(labels))
+    } else {
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = gen::gnp(60, 0.1, 4);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+        assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn adjacency_round_trip_unlabeled() {
+        let g = gen::barabasi_albert(80, 2, 5);
+        let mut buf = Vec::new();
+        write_adjacency(&g, &mut buf).unwrap();
+        let g2 = read_adjacency(buf.as_slice()).unwrap();
+        assert!(!g2.is_labeled());
+        assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn adjacency_round_trip_labeled() {
+        let g = gen::random_labels(gen::gnp(40, 0.15, 6), 5, 7);
+        let mut buf = Vec::new();
+        write_adjacency(&g, &mut buf).unwrap();
+        let g2 = read_adjacency(buf.as_slice()).unwrap();
+        assert!(g2.is_labeled());
+        for v in g.vertices() {
+            assert_eq!(g.label(v), g2.label(v));
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# comment\n\n0 1\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn malformed_lines_reported_with_position() {
+        let text = "0 1\nbogus\n";
+        match read_edge_list(text.as_bytes()) {
+            Err(LoadError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let text2 = "0\t3 1 2\n"; // claims 3 neighbors, lists 2
+        assert!(matches!(
+            read_adjacency(text2.as_bytes()),
+            Err(LoadError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn binary_round_trip_unlabeled() {
+        let g = gen::barabasi_albert(300, 4, 8);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        for v in g.vertices() {
+            assert_eq!(g2.neighbors(v), g.neighbors(v));
+        }
+        // Size is deterministic: header + per-vertex records.
+        let expected = 8 + 8 + 1
+            + g.num_vertices() * 4
+            + g.vertices().map(|v| 4 * g.degree(v)).sum::<usize>();
+        assert_eq!(buf.len(), expected);
+    }
+
+    #[test]
+    fn binary_round_trip_labeled() {
+        let g = gen::random_labels(gen::gnp(50, 0.1, 2), 6, 3);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(buf.as_slice()).unwrap();
+        assert!(g2.is_labeled());
+        for v in g.vertices() {
+            assert_eq!(g2.label(v), g.label(v));
+        }
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let g = gen::cycle(5);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] ^= 0xff;
+        assert!(read_binary(bad.as_slice()).is_err());
+        // Truncation.
+        assert!(read_binary(&buf[..buf.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_graphs() {
+        assert_eq!(read_edge_list("".as_bytes()).unwrap().num_vertices(), 0);
+        assert_eq!(read_adjacency("# x\n".as_bytes()).unwrap().num_vertices(), 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Hash partitioning of vertices over workers.
+//!
+//! G-thinker "adopts the approach of Pregel to hash vertices to machines
+//! by vertex ID" instead of requiring an expensive graph-partitioning
+//! preprocessing job (which the paper criticizes G-Miner for).
+
+use crate::graph::Graph;
+use crate::hash::hash_u64;
+use crate::ids::{VertexId, WorkerId};
+
+/// Maps vertex IDs to workers by hashing.
+#[derive(Clone, Copy, Debug)]
+pub struct HashPartitioner {
+    num_workers: u16,
+}
+
+impl HashPartitioner {
+    /// Creates a partitioner over `num_workers` workers.
+    ///
+    /// # Panics
+    /// Panics if `num_workers == 0`.
+    pub fn new(num_workers: u16) -> Self {
+        assert!(num_workers > 0, "need at least one worker");
+        HashPartitioner { num_workers }
+    }
+
+    /// Number of workers this partitioner spreads over.
+    #[inline]
+    pub fn num_workers(&self) -> u16 {
+        self.num_workers
+    }
+
+    /// The worker that owns `v`'s `(v, Γ(v))` record.
+    #[inline]
+    pub fn owner(&self, v: VertexId) -> WorkerId {
+        WorkerId((hash_u64(v.0 as u64) % self.num_workers as u64) as u16)
+    }
+
+    /// Splits a graph into per-worker vertex partitions; entry `i` holds
+    /// the `(v, Γ(v))` records owned by worker `i`.
+    pub fn split(&self, g: &Graph) -> Vec<Vec<(VertexId, crate::adj::AdjList)>> {
+        let mut parts: Vec<Vec<(VertexId, crate::adj::AdjList)>> =
+            (0..self.num_workers).map(|_| Vec::new()).collect();
+        for v in g.vertices() {
+            parts[self.owner(v).index()].push((v, g.neighbors(v).clone()));
+        }
+        parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn owner_is_stable_and_in_range() {
+        let p = HashPartitioner::new(4);
+        for i in 0..1000u32 {
+            let w = p.owner(VertexId(i));
+            assert!(w.index() < 4);
+            assert_eq!(w, p.owner(VertexId(i)));
+        }
+    }
+
+    #[test]
+    fn single_worker_owns_everything() {
+        let p = HashPartitioner::new(1);
+        for i in 0..100u32 {
+            assert_eq!(p.owner(VertexId(i)), WorkerId(0));
+        }
+    }
+
+    #[test]
+    fn split_covers_all_vertices_exactly_once() {
+        let g = gen::gnp(200, 0.05, 1);
+        let p = HashPartitioner::new(5);
+        let parts = p.split(&g);
+        assert_eq!(parts.len(), 5);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, g.num_vertices());
+        let mut seen = vec![false; g.num_vertices()];
+        for (w, part) in parts.iter().enumerate() {
+            for (v, adj) in part {
+                assert!(!seen[v.index()], "vertex {v} assigned twice");
+                seen[v.index()] = true;
+                assert_eq!(p.owner(*v).index(), w);
+                assert_eq!(adj, g.neighbors(*v));
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn partitions_are_roughly_balanced() {
+        let g = Graph::with_vertices(80_000);
+        let p = HashPartitioner::new(8);
+        let parts = p.split(&g);
+        let expect = 80_000 / 8;
+        for part in &parts {
+            assert!(
+                part.len() > expect / 2 && part.len() < expect * 2,
+                "skewed partition: {}",
+                part.len()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = HashPartitioner::new(0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Degree statistics and dataset summaries (Table II style reporting).
+
+use crate::graph::Graph;
+
+/// Summary statistics of a graph, mirroring the columns the paper
+/// reports for its datasets plus degree-distribution detail.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub num_vertices: usize,
+    /// `|E|` (undirected).
+    pub num_edges: usize,
+    /// Largest vertex degree.
+    pub max_degree: usize,
+    /// Mean degree `2|E| / |V|`.
+    pub avg_degree: f64,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated: usize,
+    /// 50th/90th/99th percentile degrees.
+    pub degree_p50: usize,
+    /// 90th percentile degree.
+    pub degree_p90: usize,
+    /// 99th percentile degree.
+    pub degree_p99: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics over `g`.
+    pub fn of(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        if n == 0 {
+            return GraphStats {
+                num_vertices: 0,
+                num_edges: 0,
+                max_degree: 0,
+                avg_degree: 0.0,
+                isolated: 0,
+                degree_p50: 0,
+                degree_p90: 0,
+                degree_p99: 0,
+            };
+        }
+        let mut degrees: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+        degrees.sort_unstable();
+        let num_edges = degrees.iter().sum::<usize>() / 2;
+        let pct = |p: f64| -> usize {
+            let idx = ((n as f64 - 1.0) * p).round() as usize;
+            degrees[idx]
+        };
+        GraphStats {
+            num_vertices: n,
+            num_edges,
+            max_degree: *degrees.last().unwrap(),
+            avg_degree: 2.0 * num_edges as f64 / n as f64,
+            isolated: degrees.iter().take_while(|&&d| d == 0).count(),
+            degree_p50: pct(0.50),
+            degree_p90: pct(0.90),
+            degree_p99: pct(0.99),
+        }
+    }
+}
+
+/// The full degree histogram: `histogram[d]` = number of vertices with
+/// degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let max = g.vertices().map(|v| g.degree(v)).max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for v in g.vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::ids::VertexId;
+
+    #[test]
+    fn stats_of_star() {
+        let g = gen::star(11); // hub degree 10, leaves degree 1
+        let s = GraphStats::of(&g);
+        assert_eq!(s.num_vertices, 11);
+        assert_eq!(s.num_edges, 10);
+        assert_eq!(s.max_degree, 10);
+        assert!((s.avg_degree - 20.0 / 11.0).abs() < 1e-9);
+        assert_eq!(s.isolated, 0);
+        assert_eq!(s.degree_p50, 1);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let s = GraphStats::of(&Graph::with_vertices(0));
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.num_edges, 0);
+    }
+
+    #[test]
+    fn isolated_counted() {
+        let g = Graph::from_edges(4, &[(VertexId(0), VertexId(1))]);
+        let s = GraphStats::of(&g);
+        assert_eq!(s.isolated, 2);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = gen::gnp(100, 0.05, 9);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 100);
+        let s = GraphStats::of(&g);
+        assert_eq!(h.len() - 1, s.max_degree);
+    }
+}

@@ -1,0 +1,332 @@
+//! The task-local subgraph `g` of the paper's `Subgraph` class.
+//!
+//! A task grows its subgraph by saving pulled vertices (and the relevant
+//! part of their adjacency lists) into `g` inside `compute()`; the
+//! framework releases the pulled cache entries right after `compute()`
+//! returns, so everything the task still needs must live here.
+//!
+//! Two forms are provided:
+//! * [`Subgraph`] — keyed by global [`VertexId`], growable, cheap
+//!   membership tests; what the user-facing API manipulates.
+//! * [`LocalGraph`] — a dense-index snapshot for tight serial mining
+//!   loops (Bron–Kerbosch, matching); built once via
+//!   [`Subgraph::to_local`].
+
+use crate::adj::AdjList;
+use crate::hash::{fast_map_with_capacity, FastMap};
+use crate::ids::{Label, VertexId};
+
+/// A growable subgraph keyed by global vertex IDs.
+#[derive(Clone, Debug, Default)]
+pub struct Subgraph {
+    verts: Vec<VertexId>,
+    index: FastMap<VertexId, u32>,
+    adj: Vec<AdjList>,
+    labels: Vec<Label>,
+    labeled: bool,
+}
+
+impl Subgraph {
+    /// Creates an empty subgraph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty subgraph sized for roughly `cap` vertices.
+    pub fn with_capacity(cap: usize) -> Self {
+        Subgraph {
+            verts: Vec::with_capacity(cap),
+            index: fast_map_with_capacity(cap),
+            adj: Vec::with_capacity(cap),
+            labels: Vec::new(),
+            labeled: false,
+        }
+    }
+
+    /// Number of vertices `|V(g)|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// Number of undirected edges currently stored.
+    ///
+    /// Counts only edges whose **both** endpoints are in the subgraph;
+    /// adjacency entries referring to vertices not (yet) added are
+    /// ignored. An entry is counted once whether or not it is mirrored.
+    pub fn num_edges(&self) -> usize {
+        let mut n = 0usize;
+        for (i, a) in self.adj.iter().enumerate() {
+            let u = self.verts[i];
+            for v in a.iter() {
+                if !self.contains(v) {
+                    continue;
+                }
+                // Count each unordered pair once: either u < v, or the
+                // mirror entry is absent.
+                if u < v || !self.neighbors(v).is_some_and(|nb| nb.contains(u)) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// True if the subgraph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.verts.is_empty()
+    }
+
+    /// True if `v` has been added.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.index.contains_key(&v)
+    }
+
+    /// Adds vertex `v` with adjacency `adj` (the caller typically filters
+    /// the pulled `Γ(v)` down to vertices relevant to this task first).
+    /// Returns `false` without modifying anything if `v` is already
+    /// present.
+    pub fn add_vertex(&mut self, v: VertexId, adj: AdjList) -> bool {
+        if self.contains(v) {
+            return false;
+        }
+        self.index.insert(v, self.verts.len() as u32);
+        self.verts.push(v);
+        self.adj.push(adj);
+        if self.labeled {
+            self.labels.push(Label::default());
+        }
+        true
+    }
+
+    /// Adds a labeled vertex (for matching workloads).
+    pub fn add_labeled_vertex(&mut self, v: VertexId, label: Label, adj: AdjList) -> bool {
+        if self.contains(v) {
+            return false;
+        }
+        if !self.labeled {
+            // Upgrade: back-fill default labels for earlier vertices.
+            self.labels = vec![Label::default(); self.verts.len()];
+            self.labeled = true;
+        }
+        self.index.insert(v, self.verts.len() as u32);
+        self.verts.push(v);
+        self.adj.push(adj);
+        self.labels.push(label);
+        true
+    }
+
+    /// The vertex IDs in insertion order.
+    pub fn vertex_ids(&self) -> &[VertexId] {
+        &self.verts
+    }
+
+    /// The stored adjacency of `v`, if present.
+    pub fn neighbors(&self, v: VertexId) -> Option<&AdjList> {
+        self.index.get(&v).map(|&i| &self.adj[i as usize])
+    }
+
+    /// The label of `v`, if labels are in use and `v` is present.
+    pub fn label(&self, v: VertexId) -> Option<Label> {
+        if !self.labeled {
+            return None;
+        }
+        self.index.get(&v).map(|&i| self.labels[i as usize])
+    }
+
+    /// Edge membership within the subgraph (checks the stored entry of
+    /// either endpoint, so one-directional storage suffices).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).map(|a| a.contains(v)).unwrap_or(false)
+            || self.neighbors(v).map(|a| a.contains(u)).unwrap_or(false)
+    }
+
+    /// Snapshots into a dense [`LocalGraph`] for serial mining.
+    ///
+    /// Vertices are renumbered `0..n` **in ascending global-ID order** so
+    /// that ID-based pruning rules keep working on local indices.
+    /// Adjacency is symmetrized and restricted to subgraph members.
+    pub fn to_local(&self) -> LocalGraph {
+        let mut order: Vec<u32> = (0..self.verts.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| self.verts[i as usize]);
+        let mut rank = vec![0u32; self.verts.len()];
+        for (new, &old) in order.iter().enumerate() {
+            rank[old as usize] = new as u32;
+        }
+        let n = self.verts.len();
+        let mut nbrs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (old, a) in self.adj.iter().enumerate() {
+            let lu = rank[old] as usize;
+            for v in a.iter() {
+                if let Some(&ov) = self.index.get(&v) {
+                    let lv = rank[ov as usize] as usize;
+                    if lu != lv {
+                        nbrs[lu].push(lv as u32);
+                        nbrs[lv].push(lu as u32);
+                    }
+                }
+            }
+        }
+        let adj: Vec<Vec<u32>> = nbrs
+            .into_iter()
+            .map(|mut l| {
+                l.sort_unstable();
+                l.dedup();
+                l
+            })
+            .collect();
+        let ids: Vec<VertexId> = order.iter().map(|&i| self.verts[i as usize]).collect();
+        let labels = if self.labeled {
+            Some(order.iter().map(|&i| self.labels[i as usize]).collect())
+        } else {
+            None
+        };
+        LocalGraph { ids, adj, labels }
+    }
+
+    /// Approximate heap bytes held by this subgraph (task memory
+    /// accounting for the simulator).
+    pub fn heap_bytes(&self) -> usize {
+        let lists: usize = self.adj.iter().map(AdjList::heap_bytes).sum();
+        lists
+            + self.verts.capacity() * std::mem::size_of::<VertexId>()
+            + self.adj.capacity() * std::mem::size_of::<AdjList>()
+            + self.index.capacity()
+                * (std::mem::size_of::<VertexId>() + std::mem::size_of::<u32>())
+            + self.labels.capacity() * std::mem::size_of::<Label>()
+    }
+}
+
+/// A dense-index, symmetric snapshot of a [`Subgraph`] for serial miners.
+#[derive(Clone, Debug)]
+pub struct LocalGraph {
+    ids: Vec<VertexId>,
+    adj: Vec<Vec<u32>>,
+    labels: Option<Vec<Label>>,
+}
+
+impl LocalGraph {
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Sorted neighbor indices of local vertex `i`.
+    #[inline]
+    pub fn neighbors(&self, i: u32) -> &[u32] {
+        &self.adj[i as usize]
+    }
+
+    /// Degree of local vertex `i`.
+    #[inline]
+    pub fn degree(&self, i: u32) -> usize {
+        self.adj[i as usize].len()
+    }
+
+    /// The global ID of local vertex `i`.
+    #[inline]
+    pub fn global_id(&self, i: u32) -> VertexId {
+        self.ids[i as usize]
+    }
+
+    /// The label of local vertex `i`, if labeled.
+    pub fn label(&self, i: u32) -> Option<Label> {
+        self.labels.as_ref().map(|l| l[i as usize])
+    }
+
+    /// Edge membership between local indices.
+    pub fn has_edge(&self, i: u32, j: u32) -> bool {
+        self.adj[i as usize].binary_search(&j).is_ok()
+    }
+
+    /// Maps a set of local indices back to global IDs.
+    pub fn to_global(&self, locals: &[u32]) -> Vec<VertexId> {
+        locals.iter().map(|&i| self.global_id(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adj(v: &[u32]) -> AdjList {
+        AdjList::from_unsorted(v.iter().map(|&x| VertexId(x)).collect())
+    }
+
+    #[test]
+    fn add_and_query_vertices() {
+        let mut g = Subgraph::new();
+        assert!(g.add_vertex(VertexId(5), adj(&[7])));
+        assert!(g.add_vertex(VertexId(7), adj(&[5])));
+        assert!(!g.add_vertex(VertexId(5), adj(&[])), "duplicate add rejected");
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(VertexId(5), VertexId(7)));
+        assert!(g.contains(VertexId(7)));
+        assert!(!g.contains(VertexId(9)));
+    }
+
+    #[test]
+    fn one_directional_storage_still_counts_each_edge_once() {
+        // Typical task pattern: only store the edge at the smaller endpoint.
+        let mut g = Subgraph::new();
+        g.add_vertex(VertexId(1), adj(&[2, 3]));
+        g.add_vertex(VertexId(2), adj(&[]));
+        g.add_vertex(VertexId(3), adj(&[]));
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(VertexId(2), VertexId(1)));
+    }
+
+    #[test]
+    fn dangling_adjacency_entries_ignored_by_num_edges() {
+        let mut g = Subgraph::new();
+        g.add_vertex(VertexId(1), adj(&[2, 99])); // 99 never added
+        g.add_vertex(VertexId(2), adj(&[1]));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn to_local_sorts_by_global_id_and_symmetrizes() {
+        let mut g = Subgraph::new();
+        g.add_vertex(VertexId(30), adj(&[10]));
+        g.add_vertex(VertexId(10), adj(&[20]));
+        g.add_vertex(VertexId(20), adj(&[]));
+        let l = g.to_local();
+        assert_eq!(l.num_vertices(), 3);
+        assert_eq!(l.global_id(0), VertexId(10));
+        assert_eq!(l.global_id(1), VertexId(20));
+        assert_eq!(l.global_id(2), VertexId(30));
+        // Edges 30-10 and 10-20 must appear symmetrically.
+        assert!(l.has_edge(0, 2) && l.has_edge(2, 0));
+        assert!(l.has_edge(0, 1) && l.has_edge(1, 0));
+        assert!(!l.has_edge(1, 2));
+        assert_eq!(l.num_edges(), 2);
+        assert_eq!(l.to_global(&[0, 2]), vec![VertexId(10), VertexId(30)]);
+    }
+
+    #[test]
+    fn labels_upgrade_backfills_existing_vertices() {
+        let mut g = Subgraph::new();
+        g.add_vertex(VertexId(1), adj(&[]));
+        g.add_labeled_vertex(VertexId(2), Label(4), adj(&[]));
+        assert_eq!(g.label(VertexId(1)), Some(Label(0)));
+        assert_eq!(g.label(VertexId(2)), Some(Label(4)));
+        let l = g.to_local();
+        assert_eq!(l.label(1), Some(Label(4)));
+    }
+
+    #[test]
+    fn unlabeled_subgraph_returns_no_labels() {
+        let mut g = Subgraph::new();
+        g.add_vertex(VertexId(1), adj(&[]));
+        assert_eq!(g.label(VertexId(1)), None);
+        assert_eq!(g.to_local().label(0), None);
+    }
+}

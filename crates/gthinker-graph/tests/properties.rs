@@ -1,0 +1,137 @@
+//! Property-based tests for the graph substrate.
+
+use gthinker_graph::adj::{count_intersect_sorted, intersect_sorted, AdjList};
+use gthinker_graph::gen;
+use gthinker_graph::graph::Graph;
+use gthinker_graph::ids::VertexId;
+use gthinker_graph::load;
+use gthinker_graph::partition::HashPartitioner;
+use gthinker_graph::stats::GraphStats;
+use gthinker_graph::subgraph::Subgraph;
+use proptest::prelude::*;
+
+fn ids(v: Vec<u32>) -> Vec<VertexId> {
+    v.into_iter().map(VertexId).collect()
+}
+
+proptest! {
+    #[test]
+    fn intersect_matches_naive_set_intersection(
+        a in proptest::collection::vec(0u32..200, 0..60),
+        b in proptest::collection::vec(0u32..200, 0..60),
+    ) {
+        let la = AdjList::from_unsorted(ids(a.clone()));
+        let lb = AdjList::from_unsorted(ids(b.clone()));
+        let fast = intersect_sorted(la.as_slice(), lb.as_slice());
+        let sa: std::collections::BTreeSet<u32> = a.into_iter().collect();
+        let sb: std::collections::BTreeSet<u32> = b.into_iter().collect();
+        let naive: Vec<VertexId> = sa.intersection(&sb).map(|&x| VertexId(x)).collect();
+        prop_assert_eq!(fast.clone(), naive);
+        prop_assert_eq!(count_intersect_sorted(la.as_slice(), lb.as_slice()), fast.len());
+    }
+
+    #[test]
+    fn greater_than_is_strict_and_complete(
+        a in proptest::collection::vec(0u32..100, 0..50),
+        pivot in 0u32..100,
+    ) {
+        let l = AdjList::from_unsorted(ids(a));
+        let suffix = l.greater_than(VertexId(pivot));
+        for &u in suffix {
+            prop_assert!(u > VertexId(pivot));
+        }
+        let below = l.degree() - suffix.len();
+        prop_assert_eq!(l.iter().filter(|&u| u <= VertexId(pivot)).count(), below);
+    }
+
+    #[test]
+    fn from_edges_graph_is_undirected_and_loop_free(
+        edges in proptest::collection::vec((0u32..40, 0u32..40), 0..120),
+    ) {
+        let pairs: Vec<(VertexId, VertexId)> =
+            edges.iter().map(|&(u, v)| (VertexId(u), VertexId(v))).collect();
+        let g = Graph::from_edges(40, &pairs);
+        prop_assert!(g.validate_undirected().is_ok());
+        for v in g.vertices() {
+            prop_assert!(!g.has_edge(v, v));
+        }
+        // Degree sum is twice the edge count.
+        let degsum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degsum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn edge_list_round_trips_any_graph(
+        edges in proptest::collection::vec((0u32..30, 0u32..30), 1..80),
+    ) {
+        let pairs: Vec<(VertexId, VertexId)> =
+            edges.iter().map(|&(u, v)| (VertexId(u), VertexId(v))).collect();
+        let g = Graph::from_edges(30, &pairs);
+        let mut buf = Vec::new();
+        load::write_edge_list(&g, &mut buf).unwrap();
+        let g2 = load::read_edge_list(buf.as_slice()).unwrap();
+        prop_assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn adjacency_format_round_trips(
+        edges in proptest::collection::vec((0u32..25, 0u32..25), 1..60),
+    ) {
+        let pairs: Vec<(VertexId, VertexId)> =
+            edges.iter().map(|&(u, v)| (VertexId(u), VertexId(v))).collect();
+        let g = Graph::from_edges(25, &pairs);
+        let mut buf = Vec::new();
+        load::write_adjacency(&g, &mut buf).unwrap();
+        let g2 = load::read_adjacency(buf.as_slice()).unwrap();
+        for v in g.vertices() {
+            prop_assert_eq!(g.neighbors(v), g2.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn partitioner_assigns_every_vertex_exactly_once(
+        n in 1usize..500,
+        workers in 1u16..16,
+    ) {
+        let g = Graph::with_vertices(n);
+        let p = HashPartitioner::new(workers);
+        let parts = p.split(&g);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn subgraph_to_local_preserves_edge_count(
+        edges in proptest::collection::vec((0u32..20, 0u32..20), 0..60),
+    ) {
+        let pairs: Vec<(VertexId, VertexId)> =
+            edges.iter().map(|&(u, v)| (VertexId(u), VertexId(v))).collect();
+        let g = Graph::from_edges(20, &pairs);
+        // Build a subgraph holding the whole graph, one-directional.
+        let mut sg = Subgraph::new();
+        for v in g.vertices() {
+            sg.add_vertex(v, AdjList::from_sorted(g.neighbors(v).greater_than(v).to_vec()));
+        }
+        prop_assert_eq!(sg.num_edges(), g.num_edges());
+        let local = sg.to_local();
+        prop_assert_eq!(local.num_edges(), g.num_edges());
+        // Every edge survives with the same endpoints (via global IDs).
+        for (u, v) in g.edges() {
+            prop_assert!(sg.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn gnm_stats_are_consistent(n in 2usize..200, m in 0usize..400) {
+        let g = gen::gnm(n, m, 99);
+        let s = GraphStats::of(&g);
+        prop_assert_eq!(s.num_vertices, n);
+        prop_assert_eq!(s.num_edges, g.num_edges());
+        prop_assert!(s.degree_p50 <= s.degree_p90);
+        prop_assert!(s.degree_p90 <= s.degree_p99);
+        prop_assert!(s.degree_p99 <= s.max_degree);
+    }
+}

@@ -1,0 +1,143 @@
+//! Sender-side request batching (§III desirability 5: "we batch vertex
+//! requests and responses for transmission to combat round-trip time
+//! and to ensure throughput").
+//!
+//! Compers append pull requests for remote vertices here; a per-worker
+//! accumulator per destination flushes whenever it reaches the batch
+//! size, and the comper loop calls [`RequestBatcher::flush_all`] when
+//! it runs out of immediate work so that small tails are not delayed.
+//! Responses are implicitly batched: the serving side answers a request
+//! batch with a single response batch.
+
+use crate::message::Message;
+use crate::router::NetHandle;
+use gthinker_graph::ids::{VertexId, WorkerId};
+use parking_lot::Mutex;
+
+/// Default number of vertex requests per network message.
+pub const DEFAULT_REQUEST_BATCH: usize = 512;
+
+/// Per-destination request accumulators, shared by all compers of a
+/// worker.
+pub struct RequestBatcher {
+    per_dest: Vec<Mutex<Vec<VertexId>>>,
+    batch_size: usize,
+    me: WorkerId,
+}
+
+impl RequestBatcher {
+    /// Creates a batcher for a worker on an `n`-worker interconnect.
+    pub fn new(me: WorkerId, num_workers: usize, batch_size: usize) -> Self {
+        assert!(batch_size >= 1);
+        RequestBatcher {
+            per_dest: (0..num_workers).map(|_| Mutex::new(Vec::new())).collect(),
+            batch_size,
+            me,
+        }
+    }
+
+    /// Queues a pull request for vertex `v` owned by worker `to`;
+    /// transmits the accumulated batch if it reached the batch size.
+    pub fn add(&self, net: &NetHandle, to: WorkerId, v: VertexId) {
+        let full = {
+            let mut acc = self.per_dest[to.index()].lock();
+            acc.push(v);
+            if acc.len() >= self.batch_size {
+                Some(std::mem::take(&mut *acc))
+            } else {
+                None
+            }
+        };
+        if let Some(vertices) = full {
+            net.send(to, Message::VertexRequest { from: self.me, vertices });
+        }
+    }
+
+    /// Flushes every non-empty accumulator immediately.
+    pub fn flush_all(&self, net: &NetHandle) {
+        for (w, acc) in self.per_dest.iter().enumerate() {
+            let pending = {
+                let mut acc = acc.lock();
+                if acc.is_empty() {
+                    continue;
+                }
+                std::mem::take(&mut *acc)
+            };
+            net.send(
+                WorkerId(w as u16),
+                Message::VertexRequest { from: self.me, vertices: pending },
+            );
+        }
+    }
+
+    /// Number of queued-but-unsent requests (diagnostics).
+    pub fn pending(&self) -> usize {
+        self.per_dest.iter().map(|a| a.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{LinkConfig, Router};
+    use std::time::Duration;
+
+    fn pair() -> (NetHandle, NetHandle) {
+        let mut r = Router::new(2, LinkConfig::INSTANT);
+        let mut hs = r.take_handles();
+        let h1 = hs.remove(1);
+        let h0 = hs.remove(0);
+        (h0, h1)
+    }
+
+    #[test]
+    fn flushes_at_batch_size() {
+        let (h0, h1) = pair();
+        let b = RequestBatcher::new(WorkerId(0), 2, 3);
+        b.add(&h0, WorkerId(1), VertexId(1));
+        b.add(&h0, WorkerId(1), VertexId(2));
+        assert!(h1.try_recv().is_none(), "below batch size: buffered");
+        assert_eq!(b.pending(), 2);
+        b.add(&h0, WorkerId(1), VertexId(3));
+        match h1.recv_timeout(Duration::from_secs(1)).expect("flushed") {
+            Message::VertexRequest { from, vertices } => {
+                assert_eq!(from, WorkerId(0));
+                assert_eq!(vertices.len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn flush_all_sends_partial_batches() {
+        let (h0, h1) = pair();
+        let b = RequestBatcher::new(WorkerId(0), 2, 100);
+        b.add(&h0, WorkerId(1), VertexId(7));
+        b.flush_all(&h0);
+        match h1.recv_timeout(Duration::from_secs(1)).expect("flushed") {
+            Message::VertexRequest { vertices, .. } => assert_eq!(vertices, vec![VertexId(7)]),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Idempotent when empty.
+        b.flush_all(&h0);
+        assert!(h1.try_recv().is_none());
+    }
+
+    #[test]
+    fn destinations_batched_independently() {
+        let mut r = Router::new(3, LinkConfig::INSTANT);
+        let mut hs = r.take_handles();
+        let h2 = hs.remove(2);
+        let h1 = hs.remove(1);
+        let h0 = hs.remove(0);
+        let b = RequestBatcher::new(WorkerId(0), 3, 2);
+        b.add(&h0, WorkerId(1), VertexId(1));
+        b.add(&h0, WorkerId(2), VertexId(2));
+        assert!(h1.try_recv().is_none());
+        assert!(h2.try_recv().is_none());
+        b.add(&h0, WorkerId(1), VertexId(3));
+        assert!(h1.recv_timeout(Duration::from_secs(1)).is_some());
+        assert!(h2.try_recv().is_none(), "worker 2's batch still short");
+    }
+}

@@ -1,0 +1,25 @@
+//! Simulated cluster networking for the G-thinker reproduction.
+//!
+//! The paper runs one worker process per machine over GigE. This crate
+//! replaces the physical cluster with an in-process interconnect whose
+//! behaviour preserves what the evaluation measures:
+//!
+//! * [`Router`] / [`NetHandle`] — per-worker endpoints with unbounded
+//!   inboxes, plus an optional latency + bandwidth model
+//!   ([`LinkConfig`]) under which messages on a directed link serialize
+//!   and arrive late, reproducing the communication costs of Table IV.
+//! * [`Message`] — batched vertex pull requests/responses, work-stealing
+//!   transfers, progress reports and aggregator synchronization.
+//! * [`RequestBatcher`] — sender-side batching of pull requests
+//!   (desirability 5 in §III).
+//!
+//! Byte and message counters make the communication volume observable,
+//! which the benches report alongside wall-clock time.
+
+pub mod batch;
+pub mod message;
+pub mod router;
+
+pub use batch::{RequestBatcher, DEFAULT_REQUEST_BATCH};
+pub use message::Message;
+pub use router::{LinkConfig, NetHandle, NetStats, Router};

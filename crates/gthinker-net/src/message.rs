@@ -1,0 +1,138 @@
+//! Messages exchanged between simulated workers.
+//!
+//! G-thinker's communication module carries two data-plane message
+//! kinds — batched vertex pull **requests** and batched **responses** —
+//! plus a small control plane used by the master's main thread for
+//! progress synchronization, work-stealing plans and aggregator sync.
+
+use gthinker_graph::adj::AdjList;
+use gthinker_graph::ids::{VertexId, WorkerId};
+
+/// A message on the simulated wire.
+#[derive(Clone, Debug)]
+pub enum Message {
+    /// A batch of vertex pull requests from `from`; the receiver serves
+    /// each from its `T_local` and responds with one `VertexResponse`.
+    VertexRequest {
+        /// Requesting worker (responses go back to it).
+        from: WorkerId,
+        /// Requested vertex IDs (batched for round-trip amortization).
+        vertices: Vec<VertexId>,
+    },
+    /// A batch of `(v, Γ(v))` responses.
+    VertexResponse {
+        /// The served records; adjacency lists are already trimmed.
+        entries: Vec<(VertexId, AdjList)>,
+    },
+    /// A batch of serialized tasks moved by the work stealer (raw spill
+    /// file bytes; the thief appends them to its `L_file`).
+    StealBatch {
+        /// Encoded task batch.
+        bytes: Vec<u8>,
+    },
+    /// A worker's progress report to the master.
+    Progress {
+        /// Reporting worker.
+        worker: WorkerId,
+        /// Estimated remaining load: spilled files plus unspawned
+        /// vertices (in task-batch units).
+        remaining: u64,
+        /// True when the worker's compers are starving.
+        idle: bool,
+    },
+    /// The master instructs `victim` to send `batches` task batches to
+    /// `thief`.
+    StealPlan {
+        /// Worker that must give up tasks.
+        victim: WorkerId,
+        /// Worker that receives them.
+        thief: WorkerId,
+        /// Number of batch files to transfer.
+        batches: u32,
+    },
+    /// The victim's report of how many batches it actually shipped for
+    /// the current steal plan (may be less than planned if it ran dry).
+    StealExecuted {
+        /// Batches actually sent to the thief.
+        sent: u32,
+    },
+    /// The thief's per-batch receipt acknowledgement to the master.
+    StealDone,
+    /// Opaque aggregator payload (application-encoded partial value).
+    AggregatorSync {
+        /// Reporting worker.
+        worker: WorkerId,
+        /// Encoded partial aggregate.
+        payload: Vec<u8>,
+        /// True for the final sync sent after the terminate signal;
+        /// the master waits for one final sync per worker.
+        is_final: bool,
+    },
+    /// The master broadcasts the merged global aggregate.
+    AggregatorGlobal {
+        /// Encoded global aggregate.
+        payload: Vec<u8>,
+    },
+    /// Job end signal from the master; workers stop their threads.
+    Terminate,
+    /// Suspend signal: workers drain their task containers into a
+    /// checkpoint and stop (fault-tolerance path).
+    Suspend,
+    /// A worker finished writing its checkpoint shard.
+    SuspendDone {
+        /// Reporting worker.
+        worker: WorkerId,
+    },
+}
+
+impl Message {
+    /// Approximate serialized size in bytes, used for network byte
+    /// accounting and the bandwidth model. Constants approximate a
+    /// compact wire format (u32 vertex IDs, small headers).
+    pub fn wire_bytes(&self) -> usize {
+        const HEADER: usize = 16;
+        match self {
+            Message::VertexRequest { vertices, .. } => HEADER + 4 * vertices.len(),
+            Message::VertexResponse { entries } => {
+                HEADER
+                    + entries
+                        .iter()
+                        .map(|(_, adj)| 8 + 4 * adj.degree())
+                        .sum::<usize>()
+            }
+            Message::StealBatch { bytes } => HEADER + bytes.len(),
+            Message::Progress { .. } => HEADER + 16,
+            Message::StealPlan { .. } => HEADER + 8,
+            Message::StealExecuted { .. } => HEADER + 4,
+            Message::AggregatorSync { payload, .. } | Message::AggregatorGlobal { payload } => {
+                HEADER + payload.len()
+            }
+            Message::StealDone
+            | Message::Terminate
+            | Message::Suspend
+            | Message::SuspendDone { .. } => HEADER,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_scale_with_content() {
+        let small = Message::VertexRequest { from: WorkerId(0), vertices: vec![VertexId(1)] };
+        let big = Message::VertexRequest {
+            from: WorkerId(0),
+            vertices: (0..100).map(VertexId).collect(),
+        };
+        assert!(big.wire_bytes() > small.wire_bytes());
+        assert_eq!(big.wire_bytes() - small.wire_bytes(), 99 * 4);
+
+        let resp = Message::VertexResponse {
+            entries: vec![(VertexId(1), AdjList::from_unsorted((0..10).map(VertexId).collect()))],
+        };
+        assert_eq!(resp.wire_bytes(), 16 + 8 + 40);
+        assert_eq!(Message::Terminate.wire_bytes(), 16);
+    }
+}

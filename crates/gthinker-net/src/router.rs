@@ -1,0 +1,394 @@
+//! The simulated cluster interconnect.
+//!
+//! A [`Router`] connects `n` simulated workers living in one process.
+//! Each worker owns a [`NetHandle`] with an inbox; sends go through an
+//! optional **latency/bandwidth model** ([`LinkConfig`]) that reproduces
+//! the behaviour of the paper's GigE testbed: every message is delayed
+//! by a fixed per-message latency plus its size divided by the link
+//! bandwidth, and messages on the same directed link serialize (a large
+//! steal batch delays the requests queued behind it).
+//!
+//! With the default zero-cost config, messages are delivered
+//! immediately — that models the single-machine case where "tasks never
+//! need to wait for remote vertices" (Table IV(c)).
+
+use crate::message::Message;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use gthinker_graph::ids::WorkerId;
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Latency/bandwidth model for every directed link.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkConfig {
+    /// Fixed delay added to every message (round-trip time share).
+    pub latency: Duration,
+    /// Link bandwidth in bytes/second; `None` = infinite.
+    pub bytes_per_sec: Option<u64>,
+}
+
+impl LinkConfig {
+    /// No latency, infinite bandwidth: in-process delivery.
+    pub const INSTANT: LinkConfig = LinkConfig { latency: Duration::ZERO, bytes_per_sec: None };
+
+    /// A GigE-like profile scaled for the simulator: 100 µs latency,
+    /// 125 MB/s. (The paper's cluster used GigE and observed that
+    /// network cost matters; this profile reproduces that shape.)
+    pub fn gige() -> LinkConfig {
+        LinkConfig { latency: Duration::from_micros(100), bytes_per_sec: Some(125_000_000) }
+    }
+
+    /// True when this config delivers instantly.
+    pub fn is_instant(&self) -> bool {
+        self.latency.is_zero() && self.bytes_per_sec.is_none()
+    }
+
+    /// Transmission time of a message of `bytes` bytes.
+    fn tx_time(&self, bytes: usize) -> Duration {
+        match self.bytes_per_sec {
+            None => Duration::ZERO,
+            Some(bw) => Duration::from_secs_f64(bytes as f64 / bw as f64),
+        }
+    }
+}
+
+/// Per-worker traffic counters.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Bytes sent by this worker.
+    pub bytes_sent: AtomicU64,
+    /// Bytes received by this worker.
+    pub bytes_received: AtomicU64,
+    /// Messages sent.
+    pub msgs_sent: AtomicU64,
+    /// Messages received.
+    pub msgs_received: AtomicU64,
+}
+
+struct Envelope {
+    deliver_at: Instant,
+    seq: u64,
+    to: usize,
+    msg: Message,
+}
+
+impl PartialEq for Envelope {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl Eq for Envelope {}
+impl PartialOrd for Envelope {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Envelope {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
+struct Shared {
+    inbox_txs: Vec<Sender<Message>>,
+    stats: Vec<NetStats>,
+    config: LinkConfig,
+    /// `busy_until[from * n + to]`: when the directed link frees up.
+    link_busy: Vec<Mutex<Instant>>,
+    delay_tx: Option<Sender<Envelope>>,
+    seq: AtomicU64,
+    num_workers: usize,
+}
+
+/// The simulated interconnect; create once per job, then split into
+/// per-worker [`NetHandle`]s.
+pub struct Router {
+    shared: Arc<Shared>,
+    delivery_thread: Option<std::thread::JoinHandle<()>>,
+    handles_taken: bool,
+    inbox_rxs: Vec<Receiver<Message>>,
+}
+
+impl Router {
+    /// Creates a router for `n` workers with the given link model.
+    pub fn new(n: usize, config: LinkConfig) -> Router {
+        assert!(n >= 1, "need at least one worker");
+        let (inbox_txs, inbox_rxs): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded()).unzip();
+        let now = Instant::now();
+        let link_busy = (0..n * n).map(|_| Mutex::new(now)).collect();
+        let stats = (0..n).map(|_| NetStats::default()).collect();
+
+        let (delay_tx, delivery_thread) = if config.is_instant() {
+            (None, None)
+        } else {
+            let (tx, rx) = unbounded::<Envelope>();
+            let txs = inbox_txs.clone();
+            let thread = std::thread::Builder::new()
+                .name("net-delivery".into())
+                .spawn(move || delivery_loop(rx, txs))
+                .expect("spawn delivery thread");
+            (Some(tx), Some(thread))
+        };
+
+        Router {
+            shared: Arc::new(Shared {
+                inbox_txs,
+                stats,
+                config,
+                link_busy,
+                delay_tx,
+                seq: AtomicU64::new(0),
+                num_workers: n,
+            }),
+            delivery_thread,
+            handles_taken: false,
+            inbox_rxs,
+        }
+    }
+
+    /// Number of connected workers.
+    pub fn num_workers(&self) -> usize {
+        self.shared.num_workers
+    }
+
+    /// Takes the per-worker handles; callable once.
+    pub fn take_handles(&mut self) -> Vec<NetHandle> {
+        assert!(!self.handles_taken, "handles already taken");
+        self.handles_taken = true;
+        self.inbox_rxs
+            .drain(..)
+            .enumerate()
+            .map(|(i, rx)| NetHandle { shared: Arc::clone(&self.shared), inbox: rx, me: i })
+            .collect()
+    }
+
+    /// Total bytes sent across all workers.
+    pub fn total_bytes(&self) -> u64 {
+        self.shared.stats.iter().map(|s| s.bytes_sent.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Per-worker traffic counters.
+    pub fn stats(&self, w: WorkerId) -> &NetStats {
+        &self.shared.stats[w.index()]
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        // The delivery thread exits once every sender clone of its
+        // channel is gone (i.e. when all NetHandles drop). Joining here
+        // could deadlock while handles are still alive, so detach.
+        drop(self.delivery_thread.take());
+    }
+}
+
+fn delivery_loop(rx: Receiver<Envelope>, txs: Vec<Sender<Message>>) {
+    let mut heap: BinaryHeap<Reverse<Envelope>> = BinaryHeap::new();
+    loop {
+        // Deliver everything due.
+        let now = Instant::now();
+        while heap.peek().is_some_and(|Reverse(e)| e.deliver_at <= now) {
+            let Reverse(e) = heap.pop().expect("peeked");
+            // Receiver may be gone during shutdown; ignore.
+            let _ = txs[e.to].send(e.msg);
+        }
+        let timeout = heap
+            .peek()
+            .map(|Reverse(e)| e.deliver_at.saturating_duration_since(now))
+            .unwrap_or(Duration::from_millis(50));
+        match rx.recv_timeout(timeout) {
+            Ok(env) => heap.push(Reverse(env)),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                // Drain remaining messages immediately (job teardown).
+                while let Some(Reverse(e)) = heap.pop() {
+                    let _ = txs[e.to].send(e.msg);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// One worker's endpoint: send to any worker, receive from its inbox.
+pub struct NetHandle {
+    shared: Arc<Shared>,
+    inbox: Receiver<Message>,
+    me: usize,
+}
+
+impl NetHandle {
+    /// This endpoint's worker ID.
+    pub fn id(&self) -> WorkerId {
+        WorkerId(self.me as u16)
+    }
+
+    /// Number of workers on the interconnect.
+    pub fn num_workers(&self) -> usize {
+        self.shared.num_workers
+    }
+
+    /// Sends `msg` to worker `to`, applying the link model.
+    pub fn send(&self, to: WorkerId, msg: Message) {
+        let bytes = msg.wire_bytes();
+        let s = &self.shared;
+        s.stats[self.me].bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        s.stats[self.me].msgs_sent.fetch_add(1, Ordering::Relaxed);
+        s.stats[to.index()].bytes_received.fetch_add(bytes as u64, Ordering::Relaxed);
+        s.stats[to.index()].msgs_received.fetch_add(1, Ordering::Relaxed);
+        match (&s.delay_tx, to.index() == self.me) {
+            // Self-sends and instant configs bypass the delay model.
+            (None, _) | (_, true) => {
+                let _ = s.inbox_txs[to.index()].send(msg);
+            }
+            (Some(delay_tx), false) => {
+                let now = Instant::now();
+                let link = &s.link_busy[self.me * s.num_workers + to.index()];
+                let deliver_at = {
+                    let mut busy = link.lock();
+                    let start = (*busy).max(now);
+                    let done = start + s.config.latency + s.config.tx_time(bytes);
+                    *busy = done;
+                    done
+                };
+                let seq = s.seq.fetch_add(1, Ordering::Relaxed);
+                let _ = delay_tx.send(Envelope { deliver_at, seq, to: to.index(), msg });
+            }
+        }
+    }
+
+    /// Broadcasts `msg` to every worker except this one.
+    pub fn broadcast(&self, msg: &Message) {
+        for w in 0..self.shared.num_workers {
+            if w != self.me {
+                self.send(WorkerId(w as u16), msg.clone());
+            }
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Message> {
+        self.inbox.try_recv().ok()
+    }
+
+    /// Receive with a timeout; `None` on timeout or disconnect.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
+        self.inbox.recv_timeout(timeout).ok()
+    }
+
+    /// This worker's traffic counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.shared.stats[self.me]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gthinker_graph::ids::VertexId;
+
+    #[test]
+    fn instant_delivery_round_trip() {
+        let mut r = Router::new(2, LinkConfig::INSTANT);
+        let mut handles = r.take_handles();
+        let h1 = handles.remove(1);
+        let h0 = handles.remove(0);
+        h0.send(
+            WorkerId(1),
+            Message::VertexRequest { from: WorkerId(0), vertices: vec![VertexId(3)] },
+        );
+        match h1.recv_timeout(Duration::from_secs(1)).expect("delivered") {
+            Message::VertexRequest { from, vertices } => {
+                assert_eq!(from, WorkerId(0));
+                assert_eq!(vertices, vec![VertexId(3)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(h1.try_recv().is_none());
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let cfg = LinkConfig { latency: Duration::from_millis(30), bytes_per_sec: None };
+        let mut r = Router::new(2, cfg);
+        let mut handles = r.take_handles();
+        let h1 = handles.remove(1);
+        let h0 = handles.remove(0);
+        let start = Instant::now();
+        h0.send(WorkerId(1), Message::Terminate);
+        assert!(h1.try_recv().is_none(), "not delivered instantly");
+        let got = h1.recv_timeout(Duration::from_secs(1));
+        assert!(matches!(got, Some(Message::Terminate)));
+        assert!(start.elapsed() >= Duration::from_millis(25), "latency applied");
+    }
+
+    #[test]
+    fn bandwidth_serializes_link() {
+        // 1 KB/s bandwidth: a ~116-byte message takes >100 ms; two of
+        // them queue behind each other.
+        let cfg = LinkConfig { latency: Duration::ZERO, bytes_per_sec: Some(1_000) };
+        let mut r = Router::new(2, cfg);
+        let mut handles = r.take_handles();
+        let h1 = handles.remove(1);
+        let h0 = handles.remove(0);
+        let msg = Message::StealBatch { bytes: vec![0u8; 100] };
+        let start = Instant::now();
+        h0.send(WorkerId(1), msg.clone());
+        h0.send(WorkerId(1), msg);
+        let _ = h1.recv_timeout(Duration::from_secs(2)).expect("first");
+        let _ = h1.recv_timeout(Duration::from_secs(2)).expect("second");
+        assert!(
+            start.elapsed() >= Duration::from_millis(200),
+            "two messages serialized on the link: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn self_send_bypasses_delay() {
+        let cfg = LinkConfig { latency: Duration::from_secs(5), bytes_per_sec: None };
+        let mut r = Router::new(1, cfg);
+        let mut handles = r.take_handles();
+        let h0 = handles.remove(0);
+        h0.send(WorkerId(0), Message::Terminate);
+        assert!(matches!(h0.recv_timeout(Duration::from_millis(100)), Some(Message::Terminate)));
+    }
+
+    #[test]
+    fn broadcast_reaches_all_but_self() {
+        let mut r = Router::new(3, LinkConfig::INSTANT);
+        let mut handles = r.take_handles();
+        let h2 = handles.remove(2);
+        let h1 = handles.remove(1);
+        let h0 = handles.remove(0);
+        h0.broadcast(&Message::Terminate);
+        assert!(matches!(h1.recv_timeout(Duration::from_secs(1)), Some(Message::Terminate)));
+        assert!(matches!(h2.recv_timeout(Duration::from_secs(1)), Some(Message::Terminate)));
+        assert!(h0.try_recv().is_none());
+    }
+
+    #[test]
+    fn byte_accounting_tracks_traffic() {
+        let mut r = Router::new(2, LinkConfig::INSTANT);
+        let handles = r.take_handles();
+        let msg = Message::StealBatch { bytes: vec![0u8; 84] };
+        let expect = msg.wire_bytes() as u64;
+        handles[0].send(WorkerId(1), msg);
+        assert_eq!(handles[0].stats().bytes_sent.load(Ordering::Relaxed), expect);
+        assert_eq!(handles[1].stats().bytes_received.load(Ordering::Relaxed), expect);
+        assert_eq!(r.total_bytes(), expect);
+        assert_eq!(r.stats(WorkerId(0)).msgs_sent.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "handles already taken")]
+    fn handles_taken_once() {
+        let mut r = Router::new(1, LinkConfig::INSTANT);
+        let _ = r.take_handles();
+        let _ = r.take_handles();
+    }
+}

@@ -1,0 +1,191 @@
+//! The approximate cache-size counter `s_cache` (§V-A, "Keeping
+//! `s_cache` bounded").
+//!
+//! `s_cache` is updated by every comper (inserts) and by GC (evictions).
+//! A single atomic would still be a contention point at high comper
+//! counts, so the paper maintains it *approximately*: each thread
+//! accumulates a local delta and commits it to the shared counter only
+//! when the delta's magnitude reaches a threshold δ (default 10). The
+//! estimation error is bounded by `n_threads × δ`, negligible against a
+//! capacity of millions.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// The shared, approximately-maintained counter.
+#[derive(Debug, Default)]
+pub struct ApproxCounter {
+    value: AtomicI64,
+}
+
+impl ApproxCounter {
+    /// Creates a counter at zero.
+    pub fn new() -> Arc<Self> {
+        Arc::new(ApproxCounter { value: AtomicI64::new(0) })
+    }
+
+    /// Reads the committed value. May lag the true value by at most
+    /// `n_handles × δ`.
+    #[inline]
+    pub fn read(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Commits a delta directly (used by handle flushes).
+    #[inline]
+    fn commit(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Creates a per-thread handle with commit threshold `delta`.
+    pub fn handle(self: &Arc<Self>, delta: u32) -> CounterHandle {
+        assert!(delta >= 1, "commit threshold must be at least 1");
+        CounterHandle { counter: Arc::clone(self), local: 0, threshold: delta as i64 }
+    }
+}
+
+/// A per-thread accumulator that batches updates to an [`ApproxCounter`].
+///
+/// Flushes automatically when the local magnitude reaches the threshold
+/// δ, and on drop, so no update is ever lost.
+#[derive(Debug)]
+pub struct CounterHandle {
+    counter: Arc<ApproxCounter>,
+    local: i64,
+    threshold: i64,
+}
+
+impl CounterHandle {
+    /// Adds `n` locally, committing when the threshold is reached.
+    #[inline]
+    pub fn add(&mut self, n: i64) {
+        self.local += n;
+        if self.local.abs() >= self.threshold {
+            self.counter.commit(self.local);
+            self.local = 0;
+        }
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.add(1);
+    }
+
+    /// Decrements by one.
+    #[inline]
+    pub fn decr(&mut self) {
+        self.add(-1);
+    }
+
+    /// Forces the local delta into the shared counter immediately.
+    pub fn flush(&mut self) {
+        if self.local != 0 {
+            self.counter.commit(self.local);
+            self.local = 0;
+        }
+    }
+
+    /// The shared counter this handle commits to.
+    pub fn counter(&self) -> &Arc<ApproxCounter> {
+        &self.counter
+    }
+}
+
+impl Drop for CounterHandle {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commits_only_at_threshold() {
+        let c = ApproxCounter::new();
+        let mut h = c.handle(10);
+        for _ in 0..9 {
+            h.incr();
+        }
+        assert_eq!(c.read(), 0, "below threshold, nothing committed");
+        h.incr();
+        assert_eq!(c.read(), 10);
+    }
+
+    #[test]
+    fn negative_deltas_commit_symmetrically() {
+        let c = ApproxCounter::new();
+        let mut h = c.handle(5);
+        for _ in 0..5 {
+            h.decr();
+        }
+        assert_eq!(c.read(), -5);
+    }
+
+    #[test]
+    fn mixed_updates_cancel_locally() {
+        let c = ApproxCounter::new();
+        let mut h = c.handle(10);
+        for _ in 0..6 {
+            h.incr();
+        }
+        for _ in 0..6 {
+            h.decr();
+        }
+        assert_eq!(c.read(), 0);
+        h.flush();
+        assert_eq!(c.read(), 0);
+    }
+
+    #[test]
+    fn drop_flushes_residue() {
+        let c = ApproxCounter::new();
+        {
+            let mut h = c.handle(100);
+            h.add(7);
+        }
+        assert_eq!(c.read(), 7);
+    }
+
+    #[test]
+    fn threshold_one_behaves_exactly() {
+        let c = ApproxCounter::new();
+        let mut h = c.handle(1);
+        h.incr();
+        assert_eq!(c.read(), 1);
+        h.decr();
+        assert_eq!(c.read(), 0);
+    }
+
+    #[test]
+    fn concurrent_handles_converge() {
+        let c = ApproxCounter::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    let mut h = c.handle(10);
+                    for _ in 0..10_000 {
+                        h.incr();
+                    }
+                    for _ in 0..4_000 {
+                        h.decr();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.read(), 8 * 6_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_threshold_rejected() {
+        let c = ApproxCounter::new();
+        let _ = c.handle(0);
+    }
+}

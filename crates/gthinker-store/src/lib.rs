@@ -1,0 +1,22 @@
+//! Vertex storage for G-thinker: the local vertex table `T_local` and
+//! the highly-concurrent remote-vertex cache `T_cache` of §V-A.
+//!
+//! The cache is the first of the paper's two pillars of CPU-bound
+//! execution: it lets many comper threads concurrently request, use,
+//! release and evict remote vertices with per-bucket locking only.
+//!
+//! * [`LocalTable`] — the worker's partition of `(v, Γ(v))` records,
+//!   plus the shared "next" spawn pointer.
+//! * [`VertexCache`] — `k` mutex-protected buckets, each with a Γ-table
+//!   (cached vertices + lock counts), a Z-table (evictable vertices) and
+//!   an R-table (in-flight requests + waiting tasks); operations OP1–OP4.
+//! * [`ApproxCounter`] — the approximate `s_cache` size counter with
+//!   per-thread delta commits (threshold δ).
+
+pub mod cache;
+pub mod counter;
+pub mod local;
+
+pub use cache::{CacheConfig, CacheStats, RequestOutcome, VertexCache};
+pub use counter::{ApproxCounter, CounterHandle};
+pub use local::LocalTable;

@@ -1,0 +1,226 @@
+//! The local vertex table `T_local`.
+//!
+//! Each worker loads its hash partition of the input graph into
+//! `T_local`; together the tables of all workers form the distributed
+//! key-value store that tasks pull `Γ(v)` from. `T_local` also owns the
+//! shared **"next" spawn pointer** (Fig. 7): compers lock and forward it
+//! to claim batches of not-yet-spawned vertices when they need to
+//! generate fresh tasks.
+
+use gthinker_graph::adj::{AdjList, SharedAdj};
+use gthinker_graph::hash::{fast_map_with_capacity, FastMap};
+use gthinker_graph::ids::{Label, VertexId};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A worker's partition of `(v, Γ(v))` records.
+pub struct LocalTable {
+    map: FastMap<VertexId, SharedAdj>,
+    labels: FastMap<VertexId, Label>,
+    /// Vertex IDs in load order; the spawn pointer indexes into this.
+    order: Vec<VertexId>,
+    /// Index of the next vertex to spawn a task from.
+    next: Mutex<usize>,
+}
+
+impl LocalTable {
+    /// Builds a table from `(v, Γ(v))` records (for unlabeled graphs).
+    pub fn new(records: Vec<(VertexId, AdjList)>) -> Self {
+        Self::with_labels(records, Vec::new())
+    }
+
+    /// Builds a table from records plus `(v, label)` pairs for labeled
+    /// graphs.
+    pub fn with_labels(
+        records: Vec<(VertexId, AdjList)>,
+        labels: Vec<(VertexId, Label)>,
+    ) -> Self {
+        let mut map = fast_map_with_capacity(records.len());
+        let mut order = Vec::with_capacity(records.len());
+        for (v, adj) in records {
+            let prev = map.insert(v, Arc::new(adj));
+            assert!(prev.is_none(), "duplicate local vertex {v}");
+            order.push(v);
+        }
+        let mut label_map = fast_map_with_capacity(labels.len());
+        for (v, l) in labels {
+            label_map.insert(v, l);
+        }
+        LocalTable { map, labels: label_map, order, next: Mutex::new(0) }
+    }
+
+    /// Number of local vertices.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if the partition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `Γ(v)` if `v` is local; the returned `Arc` is shared,
+    /// never copied.
+    #[inline]
+    pub fn get(&self, v: VertexId) -> Option<SharedAdj> {
+        self.map.get(&v).cloned()
+    }
+
+    /// True if `v` lives in this partition.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.map.contains_key(&v)
+    }
+
+    /// The label of local vertex `v`, if labeled.
+    pub fn label(&self, v: VertexId) -> Option<Label> {
+        self.labels.get(&v).copied()
+    }
+
+    /// Vertices in load order (spawn order).
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.order
+    }
+
+    /// Atomically claims up to `count` not-yet-spawned vertices by
+    /// forwarding the "next" pointer; returns the claimed slice.
+    ///
+    /// Called by a comper when both its spilled-file list and `B_task`
+    /// are empty and its queue needs refilling (§V-B refill priority).
+    pub fn claim_spawn_batch(&self, count: usize) -> &[VertexId] {
+        let mut next = self.next.lock();
+        let start = *next;
+        let end = (start + count).min(self.order.len());
+        *next = end;
+        &self.order[start..end]
+    }
+
+    /// Number of vertices that have not yet been claimed for spawning —
+    /// used by the master to estimate a worker's remaining load for
+    /// work-stealing plans.
+    pub fn unspawned(&self) -> usize {
+        self.order.len() - *self.next.lock()
+    }
+
+    /// Resets the spawn pointer (used when restoring from a checkpoint).
+    pub fn reset_spawn_pointer(&self, position: usize) {
+        let mut next = self.next.lock();
+        *next = position.min(self.order.len());
+    }
+
+    /// Current spawn-pointer position (for checkpointing).
+    pub fn spawn_position(&self) -> usize {
+        *self.next.lock()
+    }
+
+    /// Approximate heap bytes (memory accounting).
+    pub fn heap_bytes(&self) -> usize {
+        let lists: usize = self.map.values().map(|a| a.heap_bytes()).sum();
+        lists + self.order.capacity() * std::mem::size_of::<VertexId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(n: u32) -> LocalTable {
+        let records = (0..n)
+            .map(|i| (VertexId(i), AdjList::from_unsorted(vec![VertexId((i + 1) % n)])))
+            .collect();
+        LocalTable::new(records)
+    }
+
+    #[test]
+    fn lookup_and_membership() {
+        let t = table(5);
+        assert_eq!(t.len(), 5);
+        assert!(t.contains(VertexId(3)));
+        assert!(!t.contains(VertexId(9)));
+        assert_eq!(t.get(VertexId(2)).unwrap().as_slice(), &[VertexId(3)]);
+        assert!(t.get(VertexId(9)).is_none());
+    }
+
+    #[test]
+    fn spawn_batches_are_disjoint_and_exhaustive() {
+        let t = table(10);
+        let a: Vec<_> = t.claim_spawn_batch(4).to_vec();
+        let b: Vec<_> = t.claim_spawn_batch(4).to_vec();
+        let c: Vec<_> = t.claim_spawn_batch(4).to_vec();
+        let d: Vec<_> = t.claim_spawn_batch(4).to_vec();
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 4);
+        assert_eq!(c.len(), 2, "only 2 left");
+        assert!(d.is_empty());
+        let mut all: Vec<_> = a.into_iter().chain(b).chain(c).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).map(VertexId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unspawned_tracks_progress() {
+        let t = table(6);
+        assert_eq!(t.unspawned(), 6);
+        t.claim_spawn_batch(4);
+        assert_eq!(t.unspawned(), 2);
+        t.claim_spawn_batch(4);
+        assert_eq!(t.unspawned(), 0);
+    }
+
+    #[test]
+    fn spawn_pointer_checkpoint_round_trip() {
+        let t = table(8);
+        t.claim_spawn_batch(5);
+        let pos = t.spawn_position();
+        assert_eq!(pos, 5);
+        t.reset_spawn_pointer(2);
+        assert_eq!(t.unspawned(), 6);
+        t.reset_spawn_pointer(100);
+        assert_eq!(t.unspawned(), 0);
+    }
+
+    #[test]
+    fn labels_attach_to_vertices() {
+        let records = vec![(VertexId(1), AdjList::new()), (VertexId(2), AdjList::new())];
+        let t = LocalTable::with_labels(records, vec![(VertexId(1), Label(7))]);
+        assert_eq!(t.label(VertexId(1)), Some(Label(7)));
+        assert_eq!(t.label(VertexId(2)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate local vertex")]
+    fn duplicate_vertices_rejected() {
+        let _ = LocalTable::new(vec![
+            (VertexId(1), AdjList::new()),
+            (VertexId(1), AdjList::new()),
+        ]);
+    }
+
+    #[test]
+    fn concurrent_claims_never_overlap() {
+        let t = Arc::new(table(1000));
+        let claimed: Vec<_> = (0..8)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let batch = t.claim_spawn_batch(7).to_vec();
+                        if batch.is_empty() {
+                            break;
+                        }
+                        mine.extend(batch);
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let mut all: Vec<VertexId> = Vec::new();
+        for h in claimed {
+            all.extend(h.join().unwrap());
+        }
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 1000, "every vertex claimed exactly once");
+    }
+}

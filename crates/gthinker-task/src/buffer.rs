@@ -1,0 +1,120 @@
+//! The ready-task buffer `B_task` (§V-B).
+//!
+//! `Q_task` is single-owner by design (its comper refills the head and
+//! spills the tail). When the **response-receiving thread** finds that a
+//! pending task's last awaited vertex arrived, it cannot touch `Q_task`;
+//! it appends the task to this concurrent buffer instead, and the owning
+//! comper drains it during `push()` rounds.
+
+use crate::task::Task;
+use crossbeam::queue::SegQueue;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A multi-producer (receiver threads), single-consumer (the owning
+/// comper) ready-task buffer.
+pub struct TaskBuffer<C> {
+    queue: SegQueue<Task<C>>,
+    len: AtomicUsize,
+}
+
+impl<C> TaskBuffer<C> {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        TaskBuffer { queue: SegQueue::new(), len: AtomicUsize::new(0) }
+    }
+
+    /// Appends a task that became ready.
+    pub fn push(&self, task: Task<C>) {
+        self.queue.push(task);
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes one ready task, if any.
+    pub fn pop(&self) -> Option<Task<C>> {
+        let t = self.queue.pop();
+        if t.is_some() {
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
+        t
+    }
+
+    /// Approximate number of buffered tasks (used in the `|T_task| +
+    /// |B_task| ≤ D` gate).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// True when no ready task waits.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains all buffered tasks (checkpointing / shutdown).
+    pub fn drain(&self) -> Vec<Task<C>> {
+        let mut out = Vec::new();
+        while let Some(t) = self.pop() {
+            out.push(t);
+        }
+        out
+    }
+}
+
+impl<C> Default for TaskBuffer<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let b: TaskBuffer<u32> = TaskBuffer::new();
+        b.push(Task::new(1));
+        b.push(Task::new(2));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.pop().unwrap().context, 1);
+        assert_eq!(b.pop().unwrap().context, 2);
+        assert!(b.pop().is_none());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn drain_returns_everything() {
+        let b: TaskBuffer<u32> = TaskBuffer::new();
+        for i in 0..7 {
+            b.push(Task::new(i));
+        }
+        let all = b.drain();
+        assert_eq!(all.len(), 7);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_single_consumer() {
+        let b: Arc<TaskBuffer<u32>> = Arc::new(TaskBuffer::new());
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u32 {
+                        b.push(Task::new(p * 10_000 + i));
+                    }
+                })
+            })
+            .collect();
+        for t in producers {
+            t.join().unwrap();
+        }
+        let mut seen: Vec<u32> = Vec::new();
+        while let Some(t) = b.pop() {
+            seen.push(t.context);
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 4_000, "all pushed tasks observed exactly once");
+    }
+}

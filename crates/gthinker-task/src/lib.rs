@@ -1,0 +1,31 @@
+//! Task management for G-thinker — the second pillar of CPU-bound
+//! execution (§V-B of the paper).
+//!
+//! Each comper thread owns three task containers:
+//!
+//! * [`TaskQueue`] (`Q_task`) — a bounded deque (capacity `3C`) the
+//!   comper pops work from; overflow spills the newest `C` tasks to a
+//!   batch file.
+//! * [`PendingTable`] (`T_task`) — tasks suspended while waiting for
+//!   pulled vertices, keyed by 64-bit task IDs.
+//! * [`TaskBuffer`] (`B_task`) — a concurrent queue the response
+//!   receiver moves newly-ready tasks into.
+//!
+//! The worker-wide [`SpillManager`] tracks spilled batch files
+//! (`L_file`) shared by all compers and by the work stealer. Everything
+//! that crosses a thread, disk or (simulated) machine boundary uses the
+//! hand-rolled binary [`codec`].
+
+pub mod buffer;
+pub mod codec;
+pub mod pending;
+pub mod queue;
+pub mod spill;
+pub mod task;
+
+pub use buffer::TaskBuffer;
+pub use codec::{CodecError, Decode, Encode};
+pub use pending::PendingTable;
+pub use queue::{TaskQueue, DEFAULT_BATCH};
+pub use spill::SpillManager;
+pub use task::{Frontier, Task};

@@ -1,0 +1,173 @@
+//! The per-comper task queue `Q_task` (§V-B).
+//!
+//! `Q_task` is a deque owned by exactly one comper (single-threaded
+//! access by design — the response receiver never touches it, it goes
+//! through `B_task` instead). It holds at most `3C` tasks; when full,
+//! the **last `C` tasks** are spilled as one batch (sequential disk IO),
+//! and whenever it drops to `≤ C` tasks the comper refills it back to
+//! `2C` from spilled files, `B_task`, or fresh spawns — in that
+//! priority order.
+
+use crate::task::Task;
+
+/// Default task-batch size `C` from the paper.
+pub const DEFAULT_BATCH: usize = 150;
+
+/// The bounded deque `Q_task`.
+///
+/// ```
+/// use gthinker_task::queue::TaskQueue;
+/// use gthinker_task::task::Task;
+///
+/// let mut q: TaskQueue<u32> = TaskQueue::new(2); // C = 2, capacity 6
+/// for i in 0..6 {
+///     assert!(q.push(Task::new(i)).is_none());
+/// }
+/// // The 7th push spills the newest C tasks as one batch.
+/// let spilled = q.push(Task::new(6)).expect("overflow spills");
+/// assert_eq!(spilled.len(), 2);
+/// assert_eq!(q.len(), 5); // 2C + 1, per the paper
+/// assert_eq!(q.pop().unwrap().context, 0); // FIFO head unchanged
+/// ```
+#[derive(Debug)]
+pub struct TaskQueue<C> {
+    deque: std::collections::VecDeque<Task<C>>,
+    batch: usize,
+}
+
+impl<C> TaskQueue<C> {
+    /// Creates a queue with batch size `batch` (`C`); capacity is
+    /// `3 * batch`.
+    pub fn new(batch: usize) -> Self {
+        assert!(batch >= 1, "batch size must be positive");
+        TaskQueue { deque: std::collections::VecDeque::with_capacity(3 * batch), batch }
+    }
+
+    /// The batch size `C`.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Queue capacity `3C`.
+    pub fn capacity(&self) -> usize {
+        3 * self.batch
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.deque.len()
+    }
+
+    /// True if no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.deque.is_empty()
+    }
+
+    /// True when the comper should refill (`|Q_task| ≤ C`).
+    pub fn needs_refill(&self) -> bool {
+        self.deque.len() <= self.batch
+    }
+
+    /// How many tasks a refill should add to reach `2C`.
+    pub fn refill_amount(&self) -> usize {
+        (2 * self.batch).saturating_sub(self.deque.len())
+    }
+
+    /// Appends a task. If the queue is at capacity, the last `C` tasks
+    /// are removed and returned for the caller to spill to disk, after
+    /// which the new task is appended (leaving `2C + 1` tasks).
+    #[must_use = "a returned batch must be spilled, or tasks are lost"]
+    pub fn push(&mut self, task: Task<C>) -> Option<Vec<Task<C>>> {
+        let spilled = if self.deque.len() >= self.capacity() {
+            let at = self.deque.len() - self.batch;
+            Some(self.deque.split_off(at).into_iter().collect())
+        } else {
+            None
+        };
+        self.deque.push_back(task);
+        spilled
+    }
+
+    /// Appends a refill batch (from a spilled file, `B_task`, or fresh
+    /// spawns). Unlike [`TaskQueue::push`] this never spills — refill
+    /// sizes are chosen via [`TaskQueue::refill_amount`] to fit.
+    pub fn push_batch(&mut self, tasks: impl IntoIterator<Item = Task<C>>) {
+        self.deque.extend(tasks);
+    }
+
+    /// Pops the oldest task (queue head).
+    pub fn pop(&mut self) -> Option<Task<C>> {
+        self.deque.pop_front()
+    }
+
+    /// Drains every queued task (checkpointing / shutdown).
+    pub fn drain_all(&mut self) -> Vec<Task<C>> {
+        self.deque.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(n: u32) -> Task<u32> {
+        Task::new(n)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = TaskQueue::new(10);
+        assert!(q.push(task(1)).is_none());
+        assert!(q.push(task(2)).is_none());
+        assert_eq!(q.pop().unwrap().context, 1);
+        assert_eq!(q.pop().unwrap().context, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn spills_last_batch_when_full() {
+        let c = 5;
+        let mut q = TaskQueue::new(c);
+        for i in 0..(3 * c as u32) {
+            assert!(q.push(task(i)).is_none());
+        }
+        assert_eq!(q.len(), 15);
+        let spilled = q.push(task(100)).expect("16th push must spill");
+        assert_eq!(spilled.len(), c, "spills exactly C tasks");
+        // Spilled tasks are the *newest* C before the overflow push.
+        let ids: Vec<u32> = spilled.iter().map(|t| t.context).collect();
+        assert_eq!(ids, vec![10, 11, 12, 13, 14]);
+        assert_eq!(q.len(), 2 * c + 1, "paper: |Q_task| = 2C + 1 after spill");
+        // Head order unchanged.
+        assert_eq!(q.pop().unwrap().context, 0);
+    }
+
+    #[test]
+    fn refill_thresholds() {
+        let mut q = TaskQueue::new(4);
+        assert!(q.needs_refill(), "empty queue needs refill");
+        assert_eq!(q.refill_amount(), 8);
+        q.push_batch((0..6).map(task));
+        assert!(!q.needs_refill(), "6 > C = 4");
+        assert_eq!(q.refill_amount(), 2);
+        q.pop();
+        q.pop();
+        assert!(q.needs_refill(), "4 ≤ C");
+        assert_eq!(q.refill_amount(), 4);
+    }
+
+    #[test]
+    fn drain_empties_queue() {
+        let mut q = TaskQueue::new(3);
+        q.push_batch((0..5).map(task));
+        let all = q.drain_all();
+        assert_eq!(all.len(), 5);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_rejected() {
+        let _: TaskQueue<u32> = TaskQueue::new(0);
+    }
+}

@@ -1,0 +1,177 @@
+//! The task abstraction (§IV of the paper).
+//!
+//! A [`Task`] owns a growing subgraph `g` and an application-defined
+//! `context` (e.g. the vertex set `S` for clique tasks). During
+//! `compute()`, a task calls [`Task::pull`] to request adjacency lists
+//! for the next iteration; the framework gathers them (from the local
+//! table or the remote-vertex cache) into the next iteration's
+//! [`Frontier`].
+
+use crate::codec::{CodecError, Decode, Encode};
+use gthinker_graph::adj::SharedAdj;
+use gthinker_graph::ids::VertexId;
+use gthinker_graph::subgraph::Subgraph;
+
+/// A mining task: subgraph + application context + pending pulls.
+#[derive(Clone, Debug, Default)]
+pub struct Task<C> {
+    /// The task's subgraph `g`, grown by saving pulled data.
+    pub subgraph: Subgraph,
+    /// Application-specific state (the paper's `task.context`).
+    pub context: C,
+    /// Vertices pulled in the current iteration — the paper's `P(t)`.
+    /// Deduplicated; drained by the framework when the iteration ends.
+    pulls: Vec<VertexId>,
+}
+
+impl<C> Task<C> {
+    /// Creates a task with the given context and an empty subgraph.
+    pub fn new(context: C) -> Self {
+        Task { subgraph: Subgraph::new(), context, pulls: Vec::new() }
+    }
+
+    /// Requests `Γ(v)` for the next iteration (`t.pull(v)` in the
+    /// paper). Duplicate pulls of the same vertex within one iteration
+    /// are coalesced, so each pulled vertex holds exactly one cache
+    /// lock.
+    pub fn pull(&mut self, v: VertexId) {
+        if !self.pulls.contains(&v) {
+            self.pulls.push(v);
+        }
+    }
+
+    /// The vertices pulled so far this iteration.
+    pub fn pending_pulls(&self) -> &[VertexId] {
+        &self.pulls
+    }
+
+    /// True if the task requested any vertex this iteration.
+    pub fn has_pulls(&self) -> bool {
+        !self.pulls.is_empty()
+    }
+
+    /// Removes and returns the pull set (called by the framework when
+    /// `compute()` returns and the pulls become the next `P(t)`).
+    pub fn take_pulls(&mut self) -> Vec<VertexId> {
+        std::mem::take(&mut self.pulls)
+    }
+
+    /// Restores a pull set (checkpoint restore / task migration).
+    pub fn set_pulls(&mut self, pulls: Vec<VertexId>) {
+        self.pulls = pulls;
+    }
+}
+
+impl<C: Encode> Encode for Task<C> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.subgraph.encode(buf);
+        self.context.encode(buf);
+        self.pulls.encode(buf);
+    }
+}
+
+impl<C: Decode> Decode for Task<C> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let subgraph = Subgraph::decode(buf)?;
+        let context = C::decode(buf)?;
+        let pulls = Vec::decode(buf)?;
+        Ok(Task { subgraph, context, pulls })
+    }
+}
+
+/// The adjacency lists delivered to `compute(t, frontier)`: one entry
+/// per vertex pulled in the previous iteration, in pull order.
+///
+/// Entries are `Arc`s pointing into the local vertex table or the
+/// remote-vertex cache; they are released right after `compute()`
+/// returns, so tasks must copy what they need into their subgraph.
+#[derive(Clone, Debug, Default)]
+pub struct Frontier {
+    entries: Vec<(VertexId, SharedAdj)>,
+}
+
+impl Frontier {
+    /// Creates a frontier from gathered `(v, Γ(v))` pairs.
+    pub fn new(entries: Vec<(VertexId, SharedAdj)>) -> Self {
+        Frontier { entries }
+    }
+
+    /// Number of pulled vertices.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the previous iteration pulled nothing (first iteration
+    /// after spawn, unless the spawn itself pulled).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(v, Γ(v))` in pull order.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, &SharedAdj)> {
+        self.entries.iter().map(|(v, a)| (*v, a))
+    }
+
+    /// Looks up the adjacency list of a specific pulled vertex.
+    pub fn get(&self, v: VertexId) -> Option<&SharedAdj> {
+        self.entries.iter().find(|(u, _)| *u == v).map(|(_, a)| a)
+    }
+
+    /// The pulled vertex IDs in pull order.
+    pub fn vertex_ids(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.entries.iter().map(|(v, _)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{from_bytes, to_bytes};
+    use gthinker_graph::adj::AdjList;
+    use std::sync::Arc;
+
+    #[test]
+    fn pull_deduplicates() {
+        let mut t: Task<u32> = Task::new(7);
+        t.pull(VertexId(1));
+        t.pull(VertexId(2));
+        t.pull(VertexId(1));
+        assert_eq!(t.pending_pulls(), &[VertexId(1), VertexId(2)]);
+        assert!(t.has_pulls());
+        let p = t.take_pulls();
+        assert_eq!(p.len(), 2);
+        assert!(!t.has_pulls());
+    }
+
+    #[test]
+    fn task_round_trips_through_codec() {
+        let mut t: Task<u64> = Task::new(99);
+        t.subgraph.add_vertex(VertexId(5), AdjList::from_unsorted(vec![VertexId(6)]));
+        t.pull(VertexId(6));
+        let back: Task<u64> = from_bytes(&to_bytes(&t)).unwrap();
+        assert_eq!(back.context, 99);
+        assert_eq!(back.pending_pulls(), &[VertexId(6)]);
+        assert!(back.subgraph.contains(VertexId(5)));
+    }
+
+    #[test]
+    fn frontier_lookup_and_iteration() {
+        let a = Arc::new(AdjList::from_unsorted(vec![VertexId(9)]));
+        let f = Frontier::new(vec![(VertexId(1), Arc::clone(&a)), (VertexId(2), a)]);
+        assert_eq!(f.len(), 2);
+        assert!(!f.is_empty());
+        assert!(f.get(VertexId(2)).is_some());
+        assert!(f.get(VertexId(3)).is_none());
+        assert_eq!(f.vertex_ids().collect::<Vec<_>>(), vec![VertexId(1), VertexId(2)]);
+        for (_, adj) in f.iter() {
+            assert_eq!(adj.as_slice(), &[VertexId(9)]);
+        }
+    }
+
+    #[test]
+    fn empty_frontier() {
+        let f = Frontier::default();
+        assert!(f.is_empty());
+        assert_eq!(f.len(), 0);
+    }
+}

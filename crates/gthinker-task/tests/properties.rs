@@ -1,0 +1,153 @@
+//! Property-based tests for task management: codec round-trips,
+//! queue/spill conservation, pending-table readiness.
+
+use gthinker_graph::adj::AdjList;
+use gthinker_graph::ids::{TaskId, VertexId};
+use gthinker_task::codec::{from_bytes, to_bytes};
+use gthinker_task::pending::PendingTable;
+use gthinker_task::queue::TaskQueue;
+use gthinker_task::spill::SpillManager;
+use gthinker_task::task::Task;
+use proptest::prelude::*;
+
+/// Builds an arbitrary task from proptest inputs.
+fn make_task(ctx: u32, verts: &[(u32, Vec<u32>)], pulls: &[u32]) -> Task<u32> {
+    let mut t = Task::new(ctx);
+    for (v, nbrs) in verts {
+        t.subgraph.add_vertex(
+            VertexId(*v),
+            AdjList::from_unsorted(nbrs.iter().map(|&x| VertexId(x)).collect()),
+        );
+    }
+    for &p in pulls {
+        t.pull(VertexId(p));
+    }
+    t
+}
+
+proptest! {
+    #[test]
+    fn task_codec_round_trips(
+        ctx in any::<u32>(),
+        verts in proptest::collection::vec(
+            (0u32..1000, proptest::collection::vec(0u32..1000, 0..12)), 0..10),
+        pulls in proptest::collection::vec(0u32..1000, 0..8),
+    ) {
+        // Deduplicate vertex IDs (Subgraph rejects duplicates).
+        let mut seen = std::collections::HashSet::new();
+        let verts: Vec<_> = verts.into_iter().filter(|(v, _)| seen.insert(*v)).collect();
+        let t = make_task(ctx, &verts, &pulls);
+        let back: Task<u32> = from_bytes(&to_bytes(&t)).unwrap();
+        prop_assert_eq!(back.context, t.context);
+        prop_assert_eq!(back.pending_pulls(), t.pending_pulls());
+        prop_assert_eq!(back.subgraph.num_vertices(), t.subgraph.num_vertices());
+        prop_assert_eq!(back.subgraph.vertex_ids(), t.subgraph.vertex_ids());
+        for &v in t.subgraph.vertex_ids() {
+            prop_assert_eq!(back.subgraph.neighbors(v), t.subgraph.neighbors(v));
+        }
+    }
+
+    /// Any push/pop interleaving conserves tasks: everything pushed is
+    /// eventually popped or spilled exactly once, in FIFO order among
+    /// the non-spilled.
+    #[test]
+    fn queue_conserves_tasks(
+        batch in 1usize..8,
+        n_push in 0usize..120,
+        pop_every in 1usize..10,
+    ) {
+        let mut q: TaskQueue<u32> = TaskQueue::new(batch);
+        let mut spilled: Vec<u32> = Vec::new();
+        let mut popped: Vec<u32> = Vec::new();
+        for i in 0..n_push as u32 {
+            if let Some(b) = q.push(Task::new(i)) {
+                prop_assert_eq!(b.len(), batch, "spills are exactly one batch");
+                spilled.extend(b.into_iter().map(|t| t.context));
+            }
+            if i as usize % pop_every == 0 {
+                if let Some(t) = q.pop() {
+                    popped.push(t.context);
+                }
+            }
+            prop_assert!(q.len() <= q.capacity());
+        }
+        while let Some(t) = q.pop() {
+            popped.push(t.context);
+        }
+        let mut all: Vec<u32> = spilled.iter().chain(popped.iter()).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n_push as u32).collect::<Vec<_>>());
+        // FIFO among popped.
+        prop_assert!(popped.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Spill + refill across a random number of batches returns every
+    /// task exactly once in FIFO batch order.
+    #[test]
+    fn spill_manager_round_trips_batches(
+        sizes in proptest::collection::vec(1usize..20, 1..8),
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "gthinker-prop-spill-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let m = SpillManager::new(&dir).unwrap();
+        let mut next = 0u32;
+        let mut expect: Vec<Vec<u32>> = Vec::new();
+        for size in &sizes {
+            let batch: Vec<Task<u32>> = (0..*size)
+                .map(|_| {
+                    next += 1;
+                    Task::new(next)
+                })
+                .collect();
+            expect.push(batch.iter().map(|t| t.context).collect());
+            m.spill(&batch).unwrap();
+        }
+        prop_assert_eq!(m.num_files(), sizes.len());
+        for want in expect {
+            let got: Vec<Task<u32>> = m.refill().unwrap().unwrap();
+            prop_assert_eq!(got.into_iter().map(|t| t.context).collect::<Vec<_>>(), want);
+        }
+        prop_assert!(m.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A pending task becomes ready after exactly `req - met`
+    /// notifications, never earlier, regardless of interleaving with
+    /// other tasks' notifications.
+    #[test]
+    fn pending_readiness_is_exact(
+        tasks in proptest::collection::vec((1u32..6, 0u32..6), 1..20),
+    ) {
+        let table: PendingTable<u32> = PendingTable::new();
+        let mut waiting: Vec<(TaskId, u32)> = Vec::new(); // (id, missing)
+        for (i, (req_extra, met)) in tasks.iter().enumerate() {
+            let req = met + req_extra; // req > met always
+            let id = TaskId::new(0, i as u64);
+            let none = table.insert(id, Task::new(i as u32), req, *met);
+            prop_assert!(none.is_none());
+            waiting.push((id, req - met));
+        }
+        // Round-robin notifications.
+        let mut released = 0usize;
+        while !waiting.is_empty() {
+            let mut next = Vec::new();
+            for (id, missing) in waiting {
+                let out = table.notify(id);
+                if missing == 1 {
+                    prop_assert!(out.is_some(), "final notification releases");
+                    released += 1;
+                } else {
+                    prop_assert!(out.is_none(), "early release!");
+                    next.push((id, missing - 1));
+                }
+            }
+            waiting = next;
+        }
+        prop_assert_eq!(released, tasks.len());
+        prop_assert!(table.is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! γ-quasi-clique counting — the paper's §III motivating example of a
+//! task that pulls in two rounds: the anchor's neighbors first, then
+//! the second hop, before mining its 2-hop ego network.
+//!
+//! Run with: `cargo run --release --example quasi_clique`
+
+use gthinker_apps::QuasiCliqueApp;
+use gthinker_core::prelude::*;
+use gthinker_graph::gen;
+use std::sync::Arc;
+
+fn main() {
+    let graph = gen::gnp(1_200, 0.003, 17);
+    println!(
+        "graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    for gamma in [0.5, 0.7, 0.9] {
+        let single = run_job(
+            Arc::new(QuasiCliqueApp::new(gamma, 3, 4)),
+            &graph,
+            &JobConfig::single_machine(4),
+        )
+        .expect("job runs");
+        let multi = run_job(
+            Arc::new(QuasiCliqueApp::new(gamma, 3, 4)),
+            &graph,
+            &JobConfig::cluster(3, 2),
+        )
+        .expect("job runs");
+        assert_eq!(single.global, multi.global);
+        println!(
+            "γ = {gamma}: {:>8} quasi-cliques of size 3–4  \
+             (1 machine {:.2?}, 3 machines {:.2?})",
+            single.global, single.elapsed, multi.elapsed
+        );
+    }
+    println!("denser thresholds admit fewer quasi-cliques ✓");
+}

@@ -1,0 +1,48 @@
+//! Labeled subgraph matching: count embeddings of small query patterns
+//! in a labeled data graph, with label-based trimming reducing the
+//! adjacency lists shipped over the (simulated) wire.
+//!
+//! Run with: `cargo run --release --example subgraph_matching`
+
+use gthinker_apps::{MatchingApp, Pattern};
+use gthinker_core::prelude::*;
+use gthinker_graph::gen;
+use std::sync::Arc;
+
+fn main() {
+    // A labeled scale-free data graph: 5 labels.
+    let data = gen::random_labels(gen::barabasi_albert(8_000, 5, 11), 5, 99);
+    println!(
+        "data graph: {} vertices, {} edges, 5 labels",
+        data.num_vertices(),
+        data.num_edges()
+    );
+
+    let queries: Vec<(&str, Pattern)> = vec![
+        ("triangle 0-1-2", Pattern::triangle(Label(0), Label(1), Label(2))),
+        ("triangle 0-1-1", Pattern::triangle(Label(0), Label(1), Label(1))),
+        ("path 2-0-2   ", Pattern::path3(Label(2), Label(0), Label(2))),
+    ];
+
+    for (name, pattern) in queries {
+        let labels = data.labels().expect("labeled").to_vec();
+        let single = run_job(
+            Arc::new(MatchingApp::new(pattern.clone(), labels.clone())),
+            &data,
+            &JobConfig::single_machine(4),
+        )
+        .expect("job runs");
+        let multi = run_job(
+            Arc::new(MatchingApp::new(pattern, labels)),
+            &data,
+            &JobConfig::cluster(3, 2),
+        )
+        .expect("job runs");
+        assert_eq!(single.global, multi.global);
+        println!(
+            "query {name}: {:>9} embeddings  (1 machine {:.2?}, 3 machines {:.2?})",
+            single.global, single.elapsed, multi.elapsed
+        );
+    }
+    println!("single-machine and distributed counts agree ✓");
+}
