@@ -113,11 +113,7 @@ mod tests {
         for seed in 0..4 {
             let g = gen::gnp(12, 0.35, seed);
             let expected = count_kplexes_brute(&to_local(&g), 2, 3, 5);
-            assert_eq!(
-                run(&g, 2, 3, 5, &JobConfig::single_machine(2)),
-                expected,
-                "seed {seed}"
-            );
+            assert_eq!(run(&g, 2, 3, 5, &JobConfig::single_machine(2)), expected, "seed {seed}");
         }
     }
 

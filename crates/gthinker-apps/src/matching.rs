@@ -15,8 +15,8 @@ use crate::serial::matching::{count_embeddings_from, Pattern};
 use crate::triangle::SumAgg;
 use gthinker_core::prelude::*;
 use gthinker_graph::adj::AdjList;
-use gthinker_graph::trim::{LabelSetTrimmer, Trimmer};
 use gthinker_graph::ids::Label;
+use gthinker_graph::trim::{LabelSetTrimmer, Trimmer};
 
 /// The subgraph matching application.
 pub struct MatchingApp {
@@ -50,10 +50,7 @@ impl App for MatchingApp {
     }
 
     fn trimmer(&self) -> Option<Box<dyn Trimmer>> {
-        Some(Box::new(LabelSetTrimmer::new(
-            &self.pattern.label_set(),
-            self.labels.clone(),
-        )))
+        Some(Box::new(LabelSetTrimmer::new(&self.pattern.label_set(), self.labels.clone())))
     }
 
     fn task_spawn(&self, v: VertexId, adj: &AdjList, env: &mut SpawnEnv<'_, Self>) {

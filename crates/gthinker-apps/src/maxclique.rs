@@ -155,11 +155,8 @@ impl App for MaxCliqueApp {
             // subgraph induced by u's candidates (its oriented
             // adjacency within g).
             for &u in g.vertex_ids() {
-                let ext: Vec<VertexId> = g
-                    .neighbors(u)
-                    .expect("member of its own subgraph")
-                    .iter()
-                    .collect();
+                let ext: Vec<VertexId> =
+                    g.neighbors(u).expect("member of its own subgraph").iter().collect();
                 if s.len() + 1 + ext.len() <= best {
                     continue; // line 9: even ext(S ∪ u) cannot win
                 }

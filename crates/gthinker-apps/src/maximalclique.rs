@@ -54,8 +54,7 @@ impl App for MaximalCliqueApp {
         members.push(anchor);
         members.sort_unstable();
         for (u, adj) in frontier.iter() {
-            task.subgraph
-                .add_vertex(u, AdjList::from_sorted(adj.intersect_slice(&members)));
+            task.subgraph.add_vertex(u, AdjList::from_sorted(adj.intersect_slice(&members)));
         }
         let local = task.subgraph.to_local();
         let anchor_local = (0..local.num_vertices() as u32)
@@ -107,11 +106,7 @@ mod tests {
     fn matches_serial_on_random_graphs() {
         for seed in 0..5 {
             let g = gen::gnp(40, 0.2, seed);
-            assert_eq!(
-                run(&g, &JobConfig::single_machine(2)),
-                serial_count(&g),
-                "seed {seed}"
-            );
+            assert_eq!(run(&g, &JobConfig::single_machine(2)), serial_count(&g), "seed {seed}");
         }
     }
 

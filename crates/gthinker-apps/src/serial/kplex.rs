@@ -15,6 +15,7 @@
 //!   diameter at most 2, so the distributed app's 2-hop ego networks
 //!   are sufficient; the size floor is enforced.
 
+use gthinker_graph::bitset::BitSet;
 use gthinker_graph::subgraph::LocalGraph;
 
 /// True if `s` is a k-plex of `g` (every member has ≥ `|s| − k`
@@ -84,8 +85,100 @@ pub fn count_kplexes_from(
     cand.sort_unstable();
     let mut count = 0u64;
     let mut s = vec![anchor];
-    extend(g, &mut s, &cand, k, min_size, max_size, &mut count);
+    if g.is_dense() {
+        let n = g.num_vertices();
+        let mut scratch = KplexScratch {
+            sbits: BitSet::new(n),
+            visited: BitSet::new(n),
+            reach: BitSet::new(n),
+            stack: Vec::new(),
+        };
+        scratch.sbits.insert(anchor);
+        extend_bitset(g, &mut s, &cand, k, min_size, max_size, &mut count, &mut scratch);
+    } else {
+        extend(g, &mut s, &cand, k, min_size, max_size, &mut count);
+    }
     count
+}
+
+/// Shared scratch for the word-parallel recursion: the member bitset
+/// (maintained incrementally alongside `s`) and BFS workspace, reused
+/// by every node so the hot path never allocates.
+struct KplexScratch {
+    sbits: BitSet,
+    visited: BitSet,
+    reach: BitSet,
+    stack: Vec<u32>,
+}
+
+/// BFS connectivity over the members bitset: every frontier expansion
+/// is `Γ(v) ∧ S ∧ ¬visited`, two word sweeps instead of a scan of `s`.
+fn is_connected_bitset(g: &LocalGraph, s: &[u32], scratch: &mut KplexScratch) -> bool {
+    let KplexScratch { sbits, visited, reach, stack } = scratch;
+    visited.clear();
+    stack.clear();
+    visited.insert(s[0]);
+    stack.push(s[0]);
+    let mut reached = 1usize;
+    while let Some(v) = stack.pop() {
+        reach.assign_and_words(sbits, g.dense_row(v).expect("dense"));
+        reach.and_not_assign(visited);
+        for u in reach.iter() {
+            visited.insert(u);
+            stack.push(u);
+            reached += 1;
+        }
+    }
+    reached == s.len()
+}
+
+/// Word-parallel twin of [`extend`]: membership counts are AND-popcount
+/// sweeps against the dense rows (`indeg_S(v) = |S ∧ Γ(v)|`).
+#[allow(clippy::too_many_arguments)]
+fn extend_bitset(
+    g: &LocalGraph,
+    s: &mut Vec<u32>,
+    cand: &[u32],
+    k: usize,
+    min_size: usize,
+    max_size: usize,
+    count: &mut u64,
+    scratch: &mut KplexScratch,
+) {
+    if s.len() >= min_size && is_connected_bitset(g, s, scratch) {
+        *count += 1; // s is a k-plex by construction (heredity)
+    }
+    if s.len() >= max_size || s.len() + cand.len() < min_size {
+        return;
+    }
+    // Heredity, word-parallel: S ∪ {u} stays a k-plex iff u has enough
+    // members as neighbors and no member drops below the floor. Member
+    // inside-degrees only grow by the u-adjacency bit, so one popcount
+    // per member suffices.
+    let viable: Vec<u32> = cand
+        .iter()
+        .copied()
+        .filter(|&u| {
+            let su_len = s.len() + 1;
+            let urow = g.dense_row(u).expect("dense");
+            let inside_u = scratch.sbits.and_count_words(urow);
+            if inside_u + k < su_len {
+                return false;
+            }
+            s.iter().all(|&v| {
+                let vrow = g.dense_row(v).expect("dense");
+                let inside_v = scratch.sbits.and_count_words(vrow) + usize::from(g.has_edge(u, v));
+                inside_v + k >= su_len
+            })
+        })
+        .collect();
+    for (i, &u) in viable.iter().enumerate() {
+        s.push(u);
+        scratch.sbits.insert(u);
+        extend_bitset(g, s, &viable[i + 1..], k, min_size, max_size, count, scratch);
+        scratch.sbits.remove(u);
+        s.pop();
+    }
 }
 
 fn extend(
@@ -130,11 +223,7 @@ pub fn count_kplexes_brute(g: &LocalGraph, k: usize, min_size: usize, max_size: 
     let mut count = 0u64;
     for mask in 1u32..(1 << n) {
         let s: Vec<u32> = (0..n as u32).filter(|&i| mask & (1 << i) != 0).collect();
-        if s.len() >= min_size
-            && s.len() <= max_size
-            && is_kplex(g, &s, k)
-            && is_connected(g, &s)
-        {
+        if s.len() >= min_size && s.len() <= max_size && is_kplex(g, &s, k) && is_connected(g, &s) {
             count += 1;
         }
     }
@@ -188,9 +277,7 @@ mod tests {
             let g = to_local(&gen::gnp(10, 0.4, seed));
             for (k, min, max) in [(1, 3, 5), (2, 3, 5), (3, 5, 6)] {
                 let brute = count_kplexes_brute(&g, k, min, max);
-                let sum: u64 = (0..10u32)
-                    .map(|a| count_kplexes_from(&g, a, k, min, max))
-                    .sum();
+                let sum: u64 = (0..10u32).map(|a| count_kplexes_from(&g, a, k, min, max)).sum();
                 assert_eq!(sum, brute, "seed {seed}, k {k}, sizes {min}..{max}");
             }
         }
@@ -201,19 +288,41 @@ mod tests {
         let g = to_local(&gen::gnp(12, 0.5, 9));
         // Count 1-plexes (cliques) of size 3..4 and compare with a
         // direct clique count.
-        let sum: u64 = (0..12u32).map(|a| count_kplexes_from(&g, a, 1, 3, 4)).collect::<Vec<_>>().iter().sum();
+        let sum: u64 =
+            (0..12u32).map(|a| count_kplexes_from(&g, a, 1, 3, 4)).collect::<Vec<_>>().iter().sum();
         let mut direct = 0u64;
         for mask in 1u32..(1 << 12) {
             let s: Vec<u32> = (0..12u32).filter(|&i| mask & (1 << i) != 0).collect();
             if (3..=4).contains(&s.len())
-                && s.iter().enumerate().all(|(i, &u)| {
-                    s[i + 1..].iter().all(|&v| g.has_edge(u, v))
-                })
+                && s.iter().enumerate().all(|(i, &u)| s[i + 1..].iter().all(|&v| g.has_edge(u, v)))
             {
                 direct += 1;
             }
         }
         assert_eq!(sum, direct);
+    }
+
+    #[test]
+    fn bitset_and_list_kernels_agree() {
+        for seed in 0..4 {
+            let g = gen::gnp(11, 0.45, seed + 30);
+            let mut sg = Subgraph::new();
+            for v in g.vertices() {
+                sg.add_vertex(v, g.neighbors(v).clone());
+            }
+            let dense = sg.to_local();
+            let sparse = sg.to_local_with_threshold(0);
+            assert!(dense.is_dense() && !sparse.is_dense());
+            for (k, min, max) in [(1usize, 3usize, 5usize), (2, 3, 6), (3, 5, 7)] {
+                for a in 0..11u32 {
+                    assert_eq!(
+                        count_kplexes_from(&dense, a, k, min, max),
+                        count_kplexes_from(&sparse, a, k, min, max),
+                        "seed {seed} anchor {a} k {k}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -57,10 +57,7 @@ impl Pattern {
 
     /// A labeled 4-clique.
     pub fn clique4(l0: Label, l1: Label, l2: Label, l3: Label) -> Self {
-        Pattern::new(
-            vec![l0, l1, l2, l3],
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        )
+        Pattern::new(vec![l0, l1, l2, l3], &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
     }
 
     /// Number of query vertices.
@@ -203,14 +200,7 @@ pub fn count_embeddings_brute(g: &LocalGraph, pattern: &Pattern) -> u64 {
     assert!(n.pow(k as u32) <= 10_000_000, "brute force too large");
     let mut count = 0u64;
     let mut map = vec![0u32; k];
-    fn rec(
-        g: &LocalGraph,
-        p: &Pattern,
-        map: &mut Vec<u32>,
-        depth: usize,
-        n: u32,
-        count: &mut u64,
-    ) {
+    fn rec(g: &LocalGraph, p: &Pattern, map: &mut Vec<u32>, depth: usize, n: u32, count: &mut u64) {
         if depth == map.len() {
             // validate
             for q in 0..map.len() {
@@ -285,9 +275,7 @@ mod tests {
                 Pattern::path3(Label(0), Label(1), Label(0)),
             ] {
                 let brute = count_embeddings_brute(&g, &pattern);
-                let sum: u64 = (0..12u32)
-                    .map(|a| count_embeddings_from(&g, &pattern, a))
-                    .sum();
+                let sum: u64 = (0..12u32).map(|a| count_embeddings_from(&g, &pattern, a)).sum();
                 assert_eq!(sum, brute, "seed {seed}, pattern {pattern:?}");
             }
         }
@@ -303,9 +291,7 @@ mod tests {
                 Pattern::clique4(Label(0), Label(0), Label(1), Label(1)),
             ] {
                 let brute = count_embeddings_brute(&g, &pattern);
-                let sum: u64 = (0..11u32)
-                    .map(|a| count_embeddings_from(&g, &pattern, a))
-                    .sum();
+                let sum: u64 = (0..11u32).map(|a| count_embeddings_from(&g, &pattern, a)).sum();
                 assert_eq!(sum, brute, "seed {seed}, pattern {pattern:?}");
             }
         }

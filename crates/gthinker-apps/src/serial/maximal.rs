@@ -6,7 +6,15 @@
 //! exclusion set). The G-thinker application seeds per-vertex calls in
 //! degeneracy style: `R = {v}`, `P = Γ_>(v)`, `X = Γ_<(v)`, so each
 //! maximal clique is reported exactly once — by its minimum vertex.
+//!
+//! When the [`LocalGraph`] carries its dense adjacency matrix, the
+//! entry points run a word-parallel variant: `P` and `X` are
+//! [`BitSet`]s, pivot scoring is an AND-popcount per candidate, and the
+//! child sets `P ∧ Γ(v)` / `X ∧ Γ(v)` are single AND sweeps into
+//! per-depth scratch. The sorted-list recursion is kept as the
+//! fallback for subgraphs above the dense threshold.
 
+use gthinker_graph::bitset::BitSet;
 use gthinker_graph::subgraph::LocalGraph;
 
 /// Enumerates maximal cliques of `g` that contain all of `r`, can be
@@ -45,27 +53,99 @@ pub fn bron_kerbosch(
     }
 }
 
+/// Per-depth scratch for the word-parallel recursion.
+struct BkLevel {
+    p: BitSet,
+    x: BitSet,
+    branch: BitSet,
+}
+
+impl BkLevel {
+    fn new(n: usize) -> Self {
+        BkLevel { p: BitSet::new(n), x: BitSet::new(n), branch: BitSet::new(n) }
+    }
+}
+
+/// Word-parallel Bron–Kerbosch over the dense adjacency matrix; same
+/// reporting contract as [`bron_kerbosch`]. `scratch[depth]` must hold
+/// the node's `P` and `X` on entry.
+fn bron_kerbosch_bitset(
+    g: &LocalGraph,
+    depth: usize,
+    r: &mut Vec<u32>,
+    scratch: &mut Vec<BkLevel>,
+    visit: &mut impl FnMut(&[u32]),
+) {
+    if scratch[depth].p.is_empty() && scratch[depth].x.is_empty() {
+        let mut clique = r.clone();
+        clique.sort_unstable();
+        visit(&clique);
+        return;
+    }
+    // Pivot scoring: |P ∧ Γ(u)| is one AND-popcount sweep per u ∈ P ∪ X.
+    {
+        let BkLevel { p, x, branch } = &mut scratch[depth];
+        let mut pivot = u32::MAX;
+        let mut best_score = usize::MAX; // sentinel: no pivot yet
+        for u in p.iter().chain(x.iter()) {
+            let score = p.and_count_words(g.dense_row(u).expect("dense"));
+            if best_score == usize::MAX || score > best_score {
+                best_score = score;
+                pivot = u;
+            }
+        }
+        branch.assign_and_not_words(p, g.dense_row(pivot).expect("dense"));
+    }
+    if scratch.len() <= depth + 1 {
+        scratch.push(BkLevel::new(g.num_vertices()));
+    }
+    // Consume the branch set smallest-first; P and X evolve as vertices
+    // are processed, exactly like the list variant.
+    while let Some(v) = scratch[depth].branch.first_set() {
+        scratch[depth].branch.remove(v);
+        let (lo, hi) = scratch.split_at_mut(depth + 1);
+        let lvl = &mut lo[depth];
+        let child = &mut hi[0];
+        let row = g.dense_row(v).expect("dense");
+        child.p.assign_and_words(&lvl.p, row);
+        child.x.assign_and_words(&lvl.x, row);
+        r.push(v);
+        bron_kerbosch_bitset(g, depth + 1, r, scratch, visit);
+        r.pop();
+        scratch[depth].p.remove(v);
+        scratch[depth].x.insert(v);
+    }
+}
+
+/// Runs the full enumeration (all vertices as initial candidates) with
+/// whichever kernel matches the graph's representation.
+fn enumerate_all(g: &LocalGraph, visit: &mut impl FnMut(&[u32])) {
+    let n = g.num_vertices();
+    if n == 0 {
+        return; // BK would report the empty clique
+    }
+    let mut r = Vec::new();
+    if g.is_dense() {
+        let mut scratch = vec![BkLevel::new(n)];
+        scratch[0].p.set_all();
+        bron_kerbosch_bitset(g, 0, &mut r, &mut scratch, visit);
+    } else {
+        let p: Vec<u32> = (0..n as u32).collect();
+        bron_kerbosch(g, &mut r, p, Vec::new(), visit);
+    }
+}
+
 /// Counts all maximal cliques of `g`.
 pub fn count_maximal_cliques(g: &LocalGraph) -> u64 {
-    if g.num_vertices() == 0 {
-        return 0; // BK would report the empty clique
-    }
     let mut count = 0u64;
-    let mut r = Vec::new();
-    let p: Vec<u32> = (0..g.num_vertices() as u32).collect();
-    bron_kerbosch(g, &mut r, p, Vec::new(), &mut |_| count += 1);
+    enumerate_all(g, &mut |_| count += 1);
     count
 }
 
 /// Lists all maximal cliques of `g` (sorted local indices each).
 pub fn list_maximal_cliques(g: &LocalGraph) -> Vec<Vec<u32>> {
-    if g.num_vertices() == 0 {
-        return Vec::new();
-    }
     let mut out = Vec::new();
-    let mut r = Vec::new();
-    let p: Vec<u32> = (0..g.num_vertices() as u32).collect();
-    bron_kerbosch(g, &mut r, p, Vec::new(), &mut |c| out.push(c.to_vec()));
+    enumerate_all(g, &mut |c| out.push(c.to_vec()));
     out
 }
 
@@ -102,12 +182,16 @@ mod tests {
     use gthinker_graph::graph::Graph;
     use gthinker_graph::subgraph::Subgraph;
 
-    fn to_local(g: &Graph) -> LocalGraph {
+    fn subgraph_of(g: &Graph) -> Subgraph {
         let mut sg = Subgraph::new();
         for v in g.vertices() {
             sg.add_vertex(v, g.neighbors(v).clone());
         }
-        sg.to_local()
+        sg
+    }
+
+    fn to_local(g: &Graph) -> LocalGraph {
+        subgraph_of(g).to_local()
     }
 
     #[test]
@@ -122,11 +206,19 @@ mod tests {
     fn matches_brute_force() {
         for seed in 0..8 {
             let g = to_local(&gen::gnp(13, 0.4, seed));
-            assert_eq!(
-                count_maximal_cliques(&g),
-                count_maximal_cliques_brute(&g),
-                "seed {seed}"
-            );
+            assert_eq!(count_maximal_cliques(&g), count_maximal_cliques_brute(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn bitset_and_list_kernels_enumerate_identically() {
+        for seed in 0..6 {
+            let sg = subgraph_of(&gen::gnp(18, 0.45, seed));
+            let mut dense = list_maximal_cliques(&sg.to_local());
+            let mut sparse = list_maximal_cliques(&sg.to_local_with_threshold(0));
+            dense.sort();
+            sparse.sort();
+            assert_eq!(dense, sparse, "seed {seed}");
         }
     }
 
@@ -146,10 +238,7 @@ mod tests {
             // Maximality.
             for v in 0..g.num_vertices() as u32 {
                 if !c.contains(&v) {
-                    assert!(
-                        !c.iter().all(|&m| g.has_edge(v, m)),
-                        "{c:?} extendable by {v}"
-                    );
+                    assert!(!c.iter().all(|&m| g.has_edge(v, m)), "{c:?} extendable by {v}");
                 }
             }
         }

@@ -14,6 +14,7 @@
 //! size-monotone bound only (candidates exhausted), because the
 //! quasi-clique property is not hereditary.
 
+use gthinker_graph::bitset::BitSet;
 use gthinker_graph::subgraph::LocalGraph;
 
 /// Returns `⌈γ·k⌉` as a usize degree threshold.
@@ -62,8 +63,81 @@ pub fn count_quasi_cliques_from(
     cand.sort_unstable();
     let mut count = 0u64;
     let mut s = vec![anchor];
-    enumerate(g, &mut s, &cand, gamma, min_size, max_size, &mut count);
+    if g.is_dense() {
+        let n = g.num_vertices();
+        let mut scratch = QuasiScratch { sbits: BitSet::new(n), cand_bits: BitSet::new(n) };
+        scratch.sbits.insert(anchor);
+        enumerate_bitset(g, &mut s, &cand, gamma, min_size, max_size, &mut count, &mut scratch);
+    } else {
+        enumerate(g, &mut s, &cand, gamma, min_size, max_size, &mut count);
+    }
     count
+}
+
+/// Shared scratch for the word-parallel recursion: the member bitset
+/// (maintained incrementally alongside `s`) and a candidate bitset
+/// refilled at each node entry. Both are reused across all nodes.
+struct QuasiScratch {
+    sbits: BitSet,
+    cand_bits: BitSet,
+}
+
+/// Word-parallel twin of [`enumerate`]: all inside-degree and potential
+/// counts are AND-popcount sweeps against the dense adjacency rows.
+#[allow(clippy::too_many_arguments)]
+fn enumerate_bitset(
+    g: &LocalGraph,
+    s: &mut Vec<u32>,
+    cand: &[u32],
+    gamma: f64,
+    min_size: usize,
+    max_size: usize,
+    count: &mut u64,
+    scratch: &mut QuasiScratch,
+) {
+    if s.len() >= min_size {
+        // is_quasi_clique, word-parallel: indeg_S(v) = |S ∧ Γ(v)|.
+        let need = threshold(gamma, s.len() - 1);
+        let ok = s
+            .iter()
+            .all(|&v| scratch.sbits.and_count_words(g.dense_row(v).expect("dense")) >= need);
+        if ok {
+            *count += 1;
+        }
+    }
+    if s.len() >= max_size {
+        return;
+    }
+    // Same sound upper-bound prune as the list kernel: if some member
+    // can never reach the minimum inside-degree bar even with every
+    // remaining candidate adjacent to it, the whole subtree is dead.
+    if !s.is_empty() {
+        let need = threshold(gamma, min_size - 1);
+        scratch.cand_bits.clear();
+        for &u in cand {
+            scratch.cand_bits.insert(u);
+        }
+        let doomed = s.iter().any(|&v| {
+            let row = g.dense_row(v).expect("dense");
+            let inside = scratch.sbits.and_count_words(row);
+            let potential = scratch.cand_bits.and_count_words(row);
+            inside + potential < need
+        });
+        if doomed {
+            return;
+        }
+    }
+    // Size pruning: not enough candidates left to ever reach min_size.
+    if s.len() + cand.len() < min_size {
+        return;
+    }
+    for (i, &v) in cand.iter().enumerate() {
+        s.push(v);
+        scratch.sbits.insert(v);
+        enumerate_bitset(g, s, &cand[i + 1..], gamma, min_size, max_size, count, scratch);
+        scratch.sbits.remove(v);
+        s.pop();
+    }
 }
 
 fn enumerate(
@@ -167,9 +241,7 @@ mod tests {
         for seed in 0..5 {
             let g = to_local(&gen::gnp(10, 0.5, seed));
             let brute = count_quasi_cliques_brute(&g, 0.6, 3, 5);
-            let sum: u64 = (0..10u32)
-                .map(|a| count_quasi_cliques_from(&g, a, 0.6, 3, 5))
-                .sum();
+            let sum: u64 = (0..10u32).map(|a| count_quasi_cliques_from(&g, a, 0.6, 3, 5)).sum();
             assert_eq!(sum, brute, "seed {seed}");
         }
     }
@@ -180,8 +252,7 @@ mod tests {
         for seed in 5..9 {
             let g = to_local(&gen::gnp(9, 0.4, seed));
             let brute = count_quasi_cliques_brute(&g, 0.5, 3, 4);
-            let sum: u64 =
-                (0..9u32).map(|a| count_quasi_cliques_from(&g, a, 0.5, 3, 4)).sum();
+            let sum: u64 = (0..9u32).map(|a| count_quasi_cliques_from(&g, a, 0.5, 3, 4)).sum();
             assert_eq!(sum, brute, "seed {seed}");
         }
     }
@@ -194,10 +265,31 @@ mod tests {
             let g = to_local(&gen::gnp(11, 0.45, seed));
             for (gamma, min, max) in [(0.9, 4, 6), (1.0, 3, 5), (0.75, 5, 7)] {
                 let brute = count_quasi_cliques_brute(&g, gamma, min, max);
-                let sum: u64 = (0..11u32)
-                    .map(|a| count_quasi_cliques_from(&g, a, gamma, min, max))
-                    .sum();
+                let sum: u64 =
+                    (0..11u32).map(|a| count_quasi_cliques_from(&g, a, gamma, min, max)).sum();
                 assert_eq!(sum, brute, "seed {seed}, γ {gamma}, sizes {min}..{max}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_and_list_kernels_agree() {
+        for seed in 0..4 {
+            let g = gen::gnp(11, 0.5, seed + 70);
+            let mut sg = Subgraph::new();
+            for v in g.vertices() {
+                sg.add_vertex(v, g.neighbors(v).clone());
+            }
+            let dense = sg.to_local();
+            let sparse = sg.to_local_with_threshold(0);
+            for (gamma, min, max) in [(0.5, 3usize, 5usize), (0.75, 3, 6), (1.0, 2, 5)] {
+                for a in 0..11u32 {
+                    assert_eq!(
+                        count_quasi_cliques_from(&dense, a, gamma, min, max),
+                        count_quasi_cliques_from(&sparse, a, gamma, min, max),
+                        "seed {seed} anchor {a} γ {gamma}"
+                    );
+                }
             }
         }
     }

@@ -132,12 +132,9 @@ mod tests {
     fn bundling_reduces_task_count() {
         let g = gen::barabasi_albert(2_000, 3, 5);
         let plain = run_job(Arc::new(TriangleApp), &g, &JobConfig::single_machine(2)).unwrap();
-        let bundled = run_job(
-            Arc::new(BundledTriangleApp::new(16)),
-            &g,
-            &JobConfig::single_machine(2),
-        )
-        .unwrap();
+        let bundled =
+            run_job(Arc::new(BundledTriangleApp::new(16)), &g, &JobConfig::single_machine(2))
+                .unwrap();
         assert_eq!(plain.global, bundled.global);
         assert!(
             bundled.total_tasks() < plain.total_tasks() / 2,
@@ -151,12 +148,8 @@ mod tests {
     fn distributed_bundled_matches() {
         let g = gen::barabasi_albert(600, 5, 21);
         let expected = count_triangles(&g);
-        let r = run_job(
-            Arc::new(BundledTriangleApp::new(8)),
-            &g,
-            &JobConfig::cluster(3, 2),
-        )
-        .unwrap();
+        let r =
+            run_job(Arc::new(BundledTriangleApp::new(8)), &g, &JobConfig::cluster(3, 2)).unwrap();
         assert_eq!(r.global, expected);
     }
 }

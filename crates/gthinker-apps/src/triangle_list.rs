@@ -65,8 +65,10 @@ impl App for TriangleListApp {
         let v = *task.subgraph.vertex_ids().first().expect("anchor present");
         let gv: Vec<VertexId> = frontier.vertex_ids().collect();
         let mut count = 0u64;
+        let mut common = Vec::new(); // one buffer for every frontier entry
         for (u, adj) in frontier.iter() {
-            for w in adj.intersect_slice(&gv) {
+            adj.intersect_slice_into(&gv, &mut common);
+            for &w in &common {
                 env.emit(&encode_triangle(v, u, w));
                 count += 1;
             }
@@ -87,8 +89,7 @@ mod tests {
     use std::sync::Arc;
 
     fn out_dir(tag: &str) -> std::path::PathBuf {
-        let d = std::env::temp_dir()
-            .join(format!("gthinker-trilist-{tag}-{}", std::process::id()));
+        let d = std::env::temp_dir().join(format!("gthinker-trilist-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         d
     }

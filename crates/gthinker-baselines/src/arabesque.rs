@@ -112,7 +112,12 @@ pub fn run_filter_process<A: FilterProcessApp>(
             };
         }
     }
-    RunOutcome { result: Some(()), elapsed: start.elapsed(), peak_bytes: peak, status: RunStatus::Completed }
+    RunOutcome {
+        result: Some(()),
+        elapsed: start.elapsed(),
+        peak_bytes: peak,
+        status: RunStatus::Completed,
+    }
 }
 
 /// Clique exploration: keep embeddings that are cliques, track the

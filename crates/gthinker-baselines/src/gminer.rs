@@ -94,7 +94,8 @@ impl DiskQueue {
         let len = bytes.len() as u32;
         let offset = {
             let mut f = self.file.lock();
-            let offset = self.tail.fetch_add(bytes.len() as u64, std::sync::atomic::Ordering::SeqCst);
+            let offset =
+                self.tail.fetch_add(bytes.len() as u64, std::sync::atomic::Ordering::SeqCst);
             f.seek(SeekFrom::Start(offset))?;
             f.write_all(&bytes)?;
             offset
@@ -183,8 +184,7 @@ pub fn gminer_max_clique(graph: &Graph, config: &GMinerConfig) -> RunOutcome<Vec
                     in_flight.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
                     // Finished only when nobody is mid-step (a step may
                     // reinsert children).
-                    if queue.is_empty()
-                        && in_flight.load(std::sync::atomic::Ordering::SeqCst) == 0
+                    if queue.is_empty() && in_flight.load(std::sync::atomic::Ordering::SeqCst) == 0
                     {
                         return;
                     }
@@ -199,12 +199,7 @@ pub fn gminer_max_clique(graph: &Graph, config: &GMinerConfig) -> RunOutcome<Vec
 
     let status = aborted.into_inner().unwrap_or(RunStatus::Completed);
     let result = (status == RunStatus::Completed).then(|| best.into_inner());
-    RunOutcome {
-        result,
-        elapsed: start.elapsed(),
-        peak_bytes: queue.log_bytes(),
-        status,
-    }
+    RunOutcome { result, elapsed: start.elapsed(), peak_bytes: queue.log_bytes(), status }
 }
 
 /// One processing step: decompose or solve, mirroring the G-thinker
@@ -223,8 +218,7 @@ fn process_step(
     }
     if g.num_vertices() > tau {
         for &u in g.vertex_ids() {
-            let ext: Vec<VertexId> =
-                g.neighbors(u).expect("member").iter().collect();
+            let ext: Vec<VertexId> = g.neighbors(u).expect("member").iter().collect();
             if s.len() + 1 + ext.len() <= bound {
                 continue;
             }
@@ -311,8 +305,8 @@ pub fn gminer_triangle_count(graph: &Graph, config: &GMinerConfig) -> RunOutcome
         }
     });
     let status = aborted.into_inner().unwrap_or(RunStatus::Completed);
-    let result = (status == RunStatus::Completed)
-        .then(|| total.load(std::sync::atomic::Ordering::Relaxed));
+    let result =
+        (status == RunStatus::Completed).then(|| total.load(std::sync::atomic::Ordering::Relaxed));
     RunOutcome { result, elapsed: start.elapsed(), peak_bytes: queue.log_bytes(), status }
 }
 
@@ -360,10 +354,7 @@ mod tests {
             decomposed.result.unwrap().len(),
             "τ must not change the answer"
         );
-        assert!(
-            decomposed.peak_bytes > full.peak_bytes,
-            "reinserting children grows the disk log"
-        );
+        assert!(decomposed.peak_bytes > full.peak_bytes, "reinserting children grows the disk log");
     }
 
     #[test]

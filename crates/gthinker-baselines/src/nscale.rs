@@ -240,7 +240,7 @@ pub fn nscale_max_clique(
         config.threads,
         |(v, ego)| {
             let bound = best.lock().len();
-            if 1 + ego.len() <= bound {
+            if ego.len() < bound {
                 return;
             }
             let mut sub = Subgraph::with_capacity(ego.len());

@@ -239,10 +239,7 @@ mod tests {
         let mut cfg = config("expand");
         cfg.solve_below = 4; // force deep best-first expansion
         let expanded = nuri_max_clique(&g, &cfg);
-        assert_eq!(
-            direct.result.unwrap().len(),
-            expanded.result.unwrap().len()
-        );
+        assert_eq!(direct.result.unwrap().len(), expanded.result.unwrap().len());
     }
 
     #[test]

@@ -106,8 +106,7 @@ pub fn run_bsp<P: VertexProgram>(
                                 halted.push(true);
                                 continue;
                             }
-                            let proceed =
-                                program.compute(v, graph, superstep, &inboxes[i], ctx);
+                            let proceed = program.compute(v, graph, superstep, &inboxes[i], ctx);
                             halted.push(!proceed);
                         }
                         halted

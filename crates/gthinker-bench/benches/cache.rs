@@ -64,10 +64,7 @@ fn bench_miss_cycle(c: &mut Criterion) {
         b.iter(|| {
             let v = VertexId(i);
             i = i.wrapping_add(1);
-            assert!(matches!(
-                cache.request(v, TaskId(2), &mut h),
-                RequestOutcome::MustRequest
-            ));
+            assert!(matches!(cache.request(v, TaskId(2), &mut h), RequestOutcome::MustRequest));
             cache.insert_response(v, AdjList::from_unsorted(vec![VertexId(1)]));
             cache.release(v);
             cache.gc_pass(&mut h);

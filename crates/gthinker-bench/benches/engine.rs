@@ -34,8 +34,7 @@ fn bench_jobs(c: &mut Criterion) {
     });
     group.bench_function("maximal_cliques_single_machine_2c", |b| {
         b.iter(|| {
-            let r =
-                run_job(Arc::new(MaximalCliqueApp), &g, &JobConfig::single_machine(2)).unwrap();
+            let r = run_job(Arc::new(MaximalCliqueApp), &g, &JobConfig::single_machine(2)).unwrap();
             std::hint::black_box(r.global)
         })
     });

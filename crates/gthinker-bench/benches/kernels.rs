@@ -1,0 +1,101 @@
+//! Criterion benchmarks for the word-parallel bitset kernels against
+//! the sorted-list kernels they replace on dense task subgraphs.
+//!
+//! The headline pair is `max_clique/bitset/200` vs `max_clique/lists/200`
+//! on G(n = 200, p = 0.5) — the dense-core regime where tasks spend
+//! their time — which the bitset kernel must win by ≥ 2×.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gthinker_apps::serial::clique::{max_clique_above_bitset, max_clique_above_lists};
+use gthinker_apps::serial::maximal::count_maximal_cliques;
+use gthinker_apps::serial::triangle::count_triangles_local;
+use gthinker_graph::adj::count_intersect_sorted;
+use gthinker_graph::bitset::{and_count, BitSet};
+use gthinker_graph::gen;
+use gthinker_graph::graph::Graph;
+use gthinker_graph::ids::VertexId;
+use gthinker_graph::subgraph::{LocalGraph, Subgraph};
+
+fn snapshot(g: &Graph) -> Subgraph {
+    let mut sg = Subgraph::new();
+    for v in g.vertices() {
+        sg.add_vertex(v, g.neighbors(v).clone());
+    }
+    sg
+}
+
+fn dense_and_sparse(n: usize, p: f64, seed: u64) -> (LocalGraph, LocalGraph) {
+    let sg = snapshot(&gen::gnp(n, p, seed));
+    (sg.to_local_with_threshold(usize::MAX), sg.to_local_with_threshold(0))
+}
+
+/// Set-intersection micro-kernel: AND-popcount over words vs the
+/// sorted-merge count, on ~half-full sets of `n` elements.
+fn bench_intersection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersect_count");
+    for &n in &[256usize, 1024, 4096] {
+        let a_ids: Vec<u32> = (0..n as u32).filter(|v| v % 2 == 0).collect();
+        let b_ids: Vec<u32> = (0..n as u32).filter(|v| v % 3 != 0).collect();
+        let mut a_bits = BitSet::new(n);
+        let mut b_bits = BitSet::new(n);
+        a_ids.iter().for_each(|&v| a_bits.insert(v));
+        b_ids.iter().for_each(|&v| b_bits.insert(v));
+        let a_sorted: Vec<VertexId> = a_ids.iter().map(|&v| VertexId(v)).collect();
+        let b_sorted: Vec<VertexId> = b_ids.iter().map(|&v| VertexId(v)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("bitset", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(and_count(a_bits.words(), b_bits.words())))
+        });
+        group.bench_with_input(BenchmarkId::new("lists", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(count_intersect_sorted(&a_sorted, &b_sorted)))
+        });
+    }
+    group.finish();
+}
+
+/// The acceptance-criterion pair: BBMC-style bitset maximum clique vs
+/// the sorted-list solver on a dense G(200, 0.5).
+fn bench_max_clique(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_clique");
+    group.sample_size(10);
+    for &(n, p) in &[(100usize, 0.5f64), (200, 0.5)] {
+        let (dense, sparse) = dense_and_sparse(n, p, n as u64);
+        group.bench_with_input(BenchmarkId::new("bitset", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(max_clique_above_bitset(&dense, 0).map(|c| c.len())))
+        });
+        group.bench_with_input(BenchmarkId::new("lists", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(max_clique_above_lists(&sparse, 0).map(|c| c.len())))
+        });
+    }
+    group.finish();
+}
+
+/// Maximal-clique enumeration (Bron–Kerbosch with pivoting), both paths.
+fn bench_maximal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maximal_cliques");
+    group.sample_size(10);
+    let (dense, sparse) = dense_and_sparse(120, 0.3, 11);
+    group.bench_function("bitset", |b| {
+        b.iter(|| std::hint::black_box(count_maximal_cliques(&dense)))
+    });
+    group.bench_function("lists", |b| {
+        b.iter(|| std::hint::black_box(count_maximal_cliques(&sparse)))
+    });
+    group.finish();
+}
+
+/// Local triangle counting: masked AND-popcount vs suffix merges.
+fn bench_triangles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triangles_local");
+    let (dense, sparse) = dense_and_sparse(400, 0.2, 5);
+    group.bench_function("bitset", |b| {
+        b.iter(|| std::hint::black_box(count_triangles_local(&dense)))
+    });
+    group.bench_function("lists", |b| {
+        b.iter(|| std::hint::black_box(count_triangles_local(&sparse)))
+    });
+    group.finish();
+}
+
+criterion_group!(kernels, bench_intersection, bench_max_clique, bench_maximal, bench_triangles);
+criterion_main!(kernels);

@@ -65,9 +65,7 @@ fn bench_codec(c: &mut Criterion) {
     let bytes = to_bytes(&task);
     let mut group = c.benchmark_group("codec");
     group.throughput(Throughput::Bytes(bytes.len() as u64));
-    group.bench_function("encode_task", |b| {
-        b.iter(|| std::hint::black_box(to_bytes(&task).len()))
-    });
+    group.bench_function("encode_task", |b| b.iter(|| std::hint::black_box(to_bytes(&task).len())));
     group.bench_function("decode_task", |b| {
         b.iter(|| {
             let t: Task<Vec<VertexId>> = from_bytes(&bytes).expect("round trip");

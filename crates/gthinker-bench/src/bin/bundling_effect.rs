@@ -31,12 +31,9 @@ fn main() {
     gthinker_bench::rule(84);
     let mut reference = None;
     for threshold in [0usize, 2, 8, 32, 128] {
-        let r = run_job(
-            Arc::new(BundledTriangleApp::new(threshold)),
-            &g,
-            &JobConfig::cluster(4, 2),
-        )
-        .unwrap();
+        let r =
+            run_job(Arc::new(BundledTriangleApp::new(threshold)), &g, &JobConfig::cluster(4, 2))
+                .unwrap();
         let count = *reference.get_or_insert(r.global);
         assert_eq!(r.global, count, "bundling changed the answer!");
         let misses: u64 = r.workers.iter().map(|w| w.cache.2).sum();

@@ -1,0 +1,60 @@
+//! Kernel crossover — where the word-parallel bitset miners overtake
+//! the sorted-list miners (DESIGN.md §"Kernel selection").
+//!
+//! For growing task-subgraph sizes at fixed density, times the serial
+//! maximum-clique solve with both kernels on the same snapshot and
+//! reports the speedup. The dense adjacency matrix costs n²/8 bytes,
+//! so the interesting question is not *whether* bits win on dense
+//! cores but how early — which justifies the default threshold in
+//! `LocalGraph` being far above typical task sizes.
+//!
+//! `cargo run -p gthinker-bench --release --bin kernel_crossover [--scale f]`
+
+use gthinker_apps::serial::clique::{max_clique_above_bitset, max_clique_above_lists};
+use gthinker_bench::{fmt_duration, scale_from_args};
+use gthinker_graph::gen;
+use gthinker_graph::subgraph::Subgraph;
+use std::time::{Duration, Instant};
+
+fn time_it(mut f: impl FnMut() -> usize) -> (Duration, usize) {
+    // One warm-up, then best of three (serial solves are deterministic;
+    // min filters scheduler noise).
+    let mut out = f();
+    let mut best = Duration::MAX;
+    for _ in 0..3 {
+        let t = Instant::now();
+        out = std::hint::black_box(f());
+        best = best.min(t.elapsed());
+    }
+    (best, out)
+}
+
+fn main() {
+    let scale = scale_from_args(1.0);
+    println!("Kernel crossover — sorted-list vs bitset maximum clique, G(n, 0.5)\n");
+    println!("{:>6} | {:>12} {:>12} | {:>8} | ω", "n", "lists", "bitset", "speedup");
+    gthinker_bench::rule(58);
+    let sizes = [32usize, 64, 96, 128, 192, 256];
+    let take = ((sizes.len() as f64 * scale).round() as usize).clamp(1, sizes.len());
+    for &n in sizes.iter().take(take) {
+        let mut sg = Subgraph::new();
+        let g = gen::gnp(n, 0.5, n as u64);
+        for v in g.vertices() {
+            sg.add_vertex(v, g.neighbors(v).clone());
+        }
+        let dense = sg.to_local_with_threshold(usize::MAX);
+        let sparse = sg.to_local_with_threshold(0);
+        let (t_lists, w1) = time_it(|| max_clique_above_lists(&sparse, 0).map_or(0, |c| c.len()));
+        let (t_bits, w2) = time_it(|| max_clique_above_bitset(&dense, 0).map_or(0, |c| c.len()));
+        assert_eq!(w1, w2, "kernels disagree on ω at n = {n}");
+        println!(
+            "{:>6} | {:>12} {:>12} | {:>7.2}x | {}",
+            n,
+            fmt_duration(t_lists),
+            fmt_duration(t_bits),
+            t_lists.as_secs_f64() / t_bits.as_secs_f64().max(1e-12),
+            w1
+        );
+    }
+    println!("\nspeedup = lists / bitset; > 1 means the word-parallel kernel wins");
+}

@@ -35,8 +35,7 @@ fn main() {
         };
         // TC
         let (out, phases) = nscale_triangle_count(&d.graph, &cfg);
-        let gt = run_job(Arc::new(TriangleApp), &d.graph, &JobConfig::single_machine(4))
-            .unwrap();
+        let gt = run_job(Arc::new(TriangleApp), &d.graph, &JobConfig::single_machine(4)).unwrap();
         if let (Some(count), true) = (out.result, out.completed()) {
             assert_eq!(count, gt.global, "engines disagree");
         }
@@ -53,12 +52,9 @@ fn main() {
         );
         // MCF
         let (out, phases) = nscale_max_clique(&d.graph, &cfg);
-        let gt = run_job(
-            Arc::new(MaxCliqueApp::default()),
-            &d.graph,
-            &JobConfig::single_machine(4),
-        )
-        .unwrap();
+        let gt =
+            run_job(Arc::new(MaxCliqueApp::default()), &d.graph, &JobConfig::single_machine(4))
+                .unwrap();
         if let Some(found) = &out.result {
             assert_eq!(found.len(), gt.global.len(), "engines disagree");
         }

@@ -50,12 +50,8 @@ fn main() {
                 f * f
             })
             .sum();
-        let r = run_job(
-            Arc::new(MaxCliqueApp::default()),
-            graph,
-            &JobConfig::single_machine(4),
-        )
-        .unwrap();
+        let r = run_job(Arc::new(MaxCliqueApp::default()), graph, &JobConfig::single_machine(4))
+            .unwrap();
         assert!(r.global.len() >= d.planted_clique.len());
         println!(
             "{name:<22} | {:>12} {:>14} | {:>10} {:>10}",

@@ -134,8 +134,7 @@ fn main() {
         };
         println!(
             "{:<13} {:<4} | {giraph:>22} | {arabesque:>22} | {gminer:>22} | {gthinker:>22}",
-            "",
-            "TC"
+            "", "TC"
         );
 
         // ---- GM (G-thinker only, like the paper) ----

@@ -10,7 +10,9 @@
 //! `cargo run -p gthinker-bench --release --bin table4a_horizontal [--scale f]`
 
 use gthinker_apps::MaxCliqueApp;
-use gthinker_bench::{fmt_bytes, fmt_duration, load_balance, modeled_parallel_time, scale_from_args};
+use gthinker_bench::{
+    fmt_bytes, fmt_duration, load_balance, modeled_parallel_time, scale_from_args,
+};
 use gthinker_core::prelude::*;
 use gthinker_graph::datasets::{generate, DatasetKind};
 use std::sync::Arc;

@@ -15,10 +15,7 @@ use std::sync::Arc;
 fn main() {
     let scale = scale_from_args(0.4);
     let d = generate(DatasetKind::Friendster, scale);
-    println!(
-        "Table IV(b) — vertical scalability, MCF on {} with 16 machines\n",
-        d.kind.name()
-    );
+    println!("Table IV(b) — vertical scalability, MCF on {} with 16 machines\n", d.kind.name());
     println!(
         "{:>8} | {:>10} {:>12} {:>12} {:>10} | clique",
         "compers", "wall", "modeled ∥", "speedup ∥", "peak mem"

@@ -17,10 +17,7 @@ use std::sync::Arc;
 fn main() {
     let scale = scale_from_args(0.6);
     let d = generate(DatasetKind::Friendster, scale);
-    println!(
-        "Table IV(c) — single-machine scalability, MCF on {}\n",
-        d.kind.name()
-    );
+    println!("Table IV(c) — single-machine scalability, MCF on {}\n", d.kind.name());
     println!(
         "{:>8} | {:>10} {:>12} {:>12} {:>10} {:>12} | clique",
         "compers", "wall", "modeled ∥", "speedup ∥", "peak mem", "cache misses"

@@ -38,8 +38,7 @@ fn main() {
                 disk_budget: DISK_BUDGET,
             },
         );
-        let gt = run_job(Arc::new(TriangleApp), &d.graph, &JobConfig::single_machine(4))
-            .unwrap();
+        let gt = run_job(Arc::new(TriangleApp), &d.graph, &JobConfig::single_machine(4)).unwrap();
         let rs_cell = if rs.completed() {
             assert_eq!(rs.result.unwrap(), gt.global, "engines disagree!");
             format!("{} / {} wedges", fmt_duration(rs.elapsed), fmt_bytes(rs.peak_bytes))
@@ -75,8 +74,8 @@ fn main() {
         &hard,
         &NuriConfig { dir: std::env::temp_dir().join("tsm-nuri"), ..Default::default() },
     );
-    let gt = run_job(Arc::new(MaxCliqueApp::default()), &hard, &JobConfig::single_machine(8))
-        .unwrap();
+    let gt =
+        run_job(Arc::new(MaxCliqueApp::default()), &hard, &JobConfig::single_machine(8)).unwrap();
     if let Some(found) = &nuri.result {
         assert_eq!(found.len(), gt.global.len(), "engines disagree!");
     }

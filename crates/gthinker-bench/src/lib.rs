@@ -62,8 +62,7 @@ pub fn modeled_parallel_time<G>(result: &JobResult<G>, compers_per_worker: usize
 /// Load-balance ratio: busiest worker's compute time over the mean
 /// (1.0 = perfectly even).
 pub fn load_balance<G>(result: &JobResult<G>) -> f64 {
-    let times: Vec<f64> =
-        result.workers.iter().map(|w| w.compute_time.as_secs_f64()).collect();
+    let times: Vec<f64> = result.workers.iter().map(|w| w.compute_time.as_secs_f64()).collect();
     let max = times.iter().cloned().fold(0.0, f64::max);
     let mean = times.iter().sum::<f64>() / times.len().max(1) as f64;
     if mean == 0.0 {
@@ -84,10 +83,7 @@ pub fn scale_from_args(default: f64) -> f64 {
             }
         }
     }
-    std::env::var("GTHINKER_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
+    std::env::var("GTHINKER_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
 }
 
 /// Prints a horizontal rule sized for our tables.

@@ -196,7 +196,8 @@ fn cmd_gen(mut args: Vec<String>) -> Result<String, CliError> {
         return err("gen: missing generator kind");
     }
     let kind = args.remove(0);
-    let out = take_flag(&mut args, "-o")?.ok_or_else(|| CliError("gen: -o FILE required".into()))?;
+    let out =
+        take_flag(&mut args, "-o")?.ok_or_else(|| CliError("gen: -o FILE required".into()))?;
     let n: usize = take_parsed(&mut args, "-n")?.unwrap_or(10_000);
     let m: usize = take_parsed(&mut args, "-m")?.unwrap_or(5);
     let p: f64 = take_parsed(&mut args, "-p")?.unwrap_or(0.001);
@@ -219,11 +220,7 @@ fn cmd_gen(mut args: Vec<String>) -> Result<String, CliError> {
         g = gen::random_labels(g, labels, seed ^ 0x1abe1);
     }
     save_graph(&g, &out)?;
-    Ok(format!(
-        "wrote {} vertices / {} edges to {out}",
-        g.num_vertices(),
-        g.num_edges()
-    ))
+    Ok(format!("wrote {} vertices / {} edges to {out}", g.num_vertices(), g.num_edges()))
 }
 
 fn cmd_stats(args: Vec<String>) -> Result<String, CliError> {
@@ -328,10 +325,7 @@ fn cmd_qc(mut args: Vec<String>) -> Result<String, CliError> {
     let g = load_graph(path)?;
     let r = run_job(Arc::new(QuasiCliqueApp::new(gamma, min, max)), &g, &job_config(&opts))
         .map_err(|e| CliError(format!("job failed: {e}")))?;
-    Ok(format!(
-        "γ={gamma} quasi-cliques of size {min}..{max}: {} in {:.2?}",
-        r.global, r.elapsed
-    ))
+    Ok(format!("γ={gamma} quasi-cliques of size {min}..{max}: {} in {:.2?}", r.global, r.elapsed))
 }
 
 fn cmd_kp(mut args: Vec<String>) -> Result<String, CliError> {
@@ -344,10 +338,7 @@ fn cmd_kp(mut args: Vec<String>) -> Result<String, CliError> {
     let g = load_graph(path)?;
     let r = run_job(Arc::new(KPlexApp::new(k, min, max)), &g, &job_config(&opts))
         .map_err(|e| CliError(format!("job failed: {e}")))?;
-    Ok(format!(
-        "connected {k}-plexes of size {min}..{max}: {} in {:.2?}",
-        r.global, r.elapsed
-    ))
+    Ok(format!("connected {k}-plexes of size {min}..{max}: {} in {:.2?}", r.global, r.elapsed))
 }
 
 fn cmd_gm(mut args: Vec<String>) -> Result<String, CliError> {
@@ -384,8 +375,8 @@ mod tests {
     #[test]
     fn gen_stats_convert_round_trip() {
         let el = tmp("g1.el");
-        let out = run(args(&["gen", "ba", "-n", "500", "-m", "3", "--seed", "7", "-o", &el]))
-            .unwrap();
+        let out =
+            run(args(&["gen", "ba", "-n", "500", "-m", "3", "--seed", "7", "-o", &el])).unwrap();
         assert!(out.contains("500 vertices"), "{out}");
         let stats = run(args(&["stats", &el])).unwrap();
         assert!(stats.contains("vertices      500"), "{stats}");
@@ -422,8 +413,7 @@ mod tests {
         let dir = tmp("g6-out");
         let out = run(args(&["tc", &el, "--list", &dir])).unwrap();
         assert!(out.contains("records written"), "{out}");
-        let records =
-            gthinker_core::output::read_all_records(std::path::Path::new(&dir)).unwrap();
+        let records = gthinker_core::output::read_all_records(std::path::Path::new(&dir)).unwrap();
         let g = load_graph(&el).unwrap();
         let expected = gthinker_apps::serial::triangle::count_triangles(&g);
         assert_eq!(records.len() as u64, expected);
@@ -436,8 +426,7 @@ mod tests {
         assert!(run(args(&["gm", &el, "--pattern", "triangle:0,0,0"])).is_err());
         let labeled = tmp("g3l.adj");
         run(args(&[
-            "gen", "gnp", "-n", "40", "-p", "0.2", "--seed", "5", "--labels", "2", "-o",
-            &labeled,
+            "gen", "gnp", "-n", "40", "-p", "0.2", "--seed", "5", "--labels", "2", "-o", &labeled,
         ]))
         .unwrap();
         let out = run(args(&["gm", &labeled, "--pattern", "triangle:0,1,1"])).unwrap();
@@ -481,8 +470,7 @@ mod tests {
     #[test]
     fn dataset_standins_generate() {
         let el = tmp("g5.bin");
-        let out =
-            run(args(&["gen", "youtube-s", "--scale", "0.05", "-o", &el])).unwrap();
+        let out = run(args(&["gen", "youtube-s", "--scale", "0.05", "-o", &el])).unwrap();
         assert!(out.contains("vertices"), "{out}");
     }
 }

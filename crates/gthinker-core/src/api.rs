@@ -147,9 +147,7 @@ impl<'a, A: App + ?Sized> ComputeEnv<'a, A> {
     /// Panics if the job was configured without
     /// [`crate::config::JobConfig::output_dir`].
     pub fn emit(&self, record: &[u8]) {
-        self.output
-            .expect("ComputeEnv::emit requires JobConfig::output_dir")
-            .emit(record);
+        self.output.expect("ComputeEnv::emit requires JobConfig::output_dir").emit(record);
     }
 
     /// The label of any data-graph vertex.

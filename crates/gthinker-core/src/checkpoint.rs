@@ -115,8 +115,7 @@ mod tests {
     use gthinker_graph::ids::VertexId;
 
     fn tempdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir()
-            .join(format!("gthinker-ckpt-{tag}-{}", std::process::id()));
+        let d = std::env::temp_dir().join(format!("gthinker-ckpt-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         d
     }

@@ -145,10 +145,7 @@ fn drive_task<A: App>(
             Frontier::default()
         } else if first_ready {
             // All pulled vertices are guaranteed available.
-            let entries = pulls
-                .iter()
-                .map(|&v| (v, resolve_available(shared, v)))
-                .collect();
+            let entries = pulls.iter().map(|&v| (v, resolve_available(shared, v))).collect();
             Frontier::new(entries)
         } else {
             // Resolve through T_local / T_cache; may park the task.
@@ -227,11 +224,8 @@ fn compute_once<A: App>(
     task: &mut Task<A::Context>,
     frontier: &Frontier,
 ) -> bool {
-    let mut env = ComputeEnv::<A>::new(
-        &shared.agg,
-        shared.labels.as_ref(),
-        shared.output.as_deref(),
-    );
+    let mut env =
+        ComputeEnv::<A>::new(&shared.agg, shared.labels.as_ref(), shared.output.as_deref());
     let start = crate::worker::thread_cpu_nanos();
     // A panicking UDF must not strand the job (the worker would never
     // reach quiescence): record it, abort the job, finish the task.

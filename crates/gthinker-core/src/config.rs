@@ -193,8 +193,18 @@ mod tests {
             elapsed: Duration::ZERO,
             outcome: JobOutcome::Completed,
             workers: vec![
-                WorkerStats { peak_mem_bytes: 10, net_bytes_sent: 5, tasks_finished: 2, ..Default::default() },
-                WorkerStats { peak_mem_bytes: 30, net_bytes_sent: 7, tasks_finished: 3, ..Default::default() },
+                WorkerStats {
+                    peak_mem_bytes: 10,
+                    net_bytes_sent: 5,
+                    tasks_finished: 2,
+                    ..Default::default()
+                },
+                WorkerStats {
+                    peak_mem_bytes: 30,
+                    net_bytes_sent: 7,
+                    tasks_finished: 3,
+                    ..Default::default()
+                },
             ],
         };
         assert_eq!(r.peak_mem_bytes(), 30);

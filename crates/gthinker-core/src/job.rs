@@ -30,7 +30,11 @@ type Partial<A> = <<A as App>::Agg as Aggregator>::Partial;
 /// Runs an application over `graph` with the given configuration,
 /// blocking until completion (or suspension if
 /// `config.suspend_after` fires first).
-pub fn run_job<A: App>(app: Arc<A>, graph: &Graph, config: &JobConfig) -> io::Result<JobResult<Global<A>>> {
+pub fn run_job<A: App>(
+    app: Arc<A>,
+    graph: &Graph,
+    config: &JobConfig,
+) -> io::Result<JobResult<Global<A>>> {
     run_inner(app, graph, config, None, None)
 }
 
@@ -119,9 +123,7 @@ fn run_inner<A: App>(
     let handles = router.take_handles();
 
     let job_id = JOB_SEQ.fetch_add(1, Ordering::Relaxed);
-    let job_dir = config
-        .spill_dir
-        .join(format!("job-{}-{}", std::process::id(), job_id));
+    let job_dir = config.spill_dir.join(format!("job-{}-{}", std::process::id(), job_id));
 
     let (resume_manifest, resume_shards) = match resume {
         Some((m, s)) => (Some(m), Some(s)),
@@ -129,8 +131,7 @@ fn run_inner<A: App>(
     };
 
     // Labels are replicated to every worker (2 bytes per vertex).
-    let label_table: Option<Arc<Vec<Label>>> =
-        graph.labels().map(|l| Arc::new(l.to_vec()));
+    let label_table: Option<Arc<Vec<Label>>> = graph.labels().map(|l| Arc::new(l.to_vec()));
 
     // Build per-worker shared state.
     let mut workers: Vec<Arc<WorkerShared<A>>> = Vec::with_capacity(config.num_workers);
@@ -143,12 +144,9 @@ fn run_inner<A: App>(
         let local = LocalTable::with_labels(part, labels);
         let cache = VertexCache::new(config.cache.clone());
         let spill = SpillManager::new(job_dir.join(format!("worker-{w}")))?;
-        let output = match &config.output_dir {
-            Some(dir) => Some(Arc::new(
-                crate::output::OutputSink::create(dir, w).expect("output dir writable"),
-            )),
-            None => None,
-        };
+        let output = config.output_dir.as_ref().map(|dir| {
+            Arc::new(crate::output::OutputSink::create(dir, w).expect("output dir writable"))
+        });
         let shared = WorkerShared::new(
             WorkerId(w as u16),
             Arc::clone(&app),
@@ -199,14 +197,8 @@ fn run_inner<A: App>(
                             .map(|w| w.counters.tasks_finished.load(Ordering::Relaxed))
                             .sum(),
                         remaining: workers.iter().map(|w| w.remaining_estimate()).sum(),
-                        cache_hits: workers
-                            .iter()
-                            .map(|w| w.cache.stats().snapshot().0)
-                            .sum(),
-                        cache_misses: workers
-                            .iter()
-                            .map(|w| w.cache.stats().snapshot().2)
-                            .sum(),
+                        cache_hits: workers.iter().map(|w| w.cache.stats().snapshot().0).sum(),
+                        cache_misses: workers.iter().map(|w| w.cache.stats().snapshot().2).sum(),
                         net_bytes: workers
                             .iter()
                             .map(|w| w.net.stats().bytes_sent.load(Ordering::Relaxed))

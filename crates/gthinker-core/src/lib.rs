@@ -54,8 +54,8 @@ pub mod api;
 pub mod checkpoint;
 mod comper;
 pub mod config;
-mod master;
 pub mod job;
+mod master;
 pub mod output;
 mod worker;
 

@@ -9,8 +9,8 @@ use crate::agg::Aggregator;
 use crate::api::App;
 use crate::worker::WorkerShared;
 use crossbeam::channel::Receiver;
-use gthinker_net::message::Message;
 use gthinker_graph::ids::WorkerId;
+use gthinker_net::message::Message;
 use gthinker_task::codec::{from_bytes, to_bytes};
 use std::sync::Arc;
 
@@ -96,8 +96,7 @@ impl<A: App> MasterState<A> {
     fn absorb(&mut self, msg: Message) {
         match msg {
             Message::Progress { worker, remaining, idle } => {
-                self.reports[worker.index()] =
-                    Report { remaining, quiescent: idle, seen: true };
+                self.reports[worker.index()] = Report { remaining, quiescent: idle, seen: true };
             }
             Message::AggregatorSync { payload, is_final, .. } => {
                 let partial: <A::Agg as Aggregator>::Partial =
@@ -143,12 +142,8 @@ impl<A: App> MasterState<A> {
         if !self.shared.config.work_stealing || self.plan.is_some() {
             return;
         }
-        let thief = self
-            .reports
-            .iter()
-            .enumerate()
-            .find(|(_, r)| r.seen && r.quiescent)
-            .map(|(w, _)| w);
+        let thief =
+            self.reports.iter().enumerate().find(|(_, r)| r.seen && r.quiescent).map(|(w, _)| w);
         let victim = self
             .reports
             .iter()
@@ -223,7 +218,9 @@ impl<A: App> MasterState<A> {
     pub fn collect_suspends(&mut self) -> <A::Agg as Aggregator>::Global {
         let n = self.shared.config.num_workers;
         while self.suspend_done < n {
-            if let Ok(msg) = self.ctrl.recv_timeout(std::time::Duration::from_millis(100)) { self.absorb(msg) }
+            if let Ok(msg) = self.ctrl.recv_timeout(std::time::Duration::from_millis(100)) {
+                self.absorb(msg)
+            }
         }
         self.global.clone()
     }

@@ -23,8 +23,8 @@ use gthinker_store::local::LocalTable;
 use gthinker_task::buffer::TaskBuffer;
 use gthinker_task::codec::to_bytes;
 use gthinker_task::pending::PendingTable;
-use gthinker_task::task::Task;
 use gthinker_task::spill::SpillManager;
+use gthinker_task::task::Task;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -190,11 +190,7 @@ impl<A: App> WorkerShared<A> {
         let queued: u64 = self
             .compers
             .iter()
-            .map(|c| {
-                (c.queue_len.load(Ordering::SeqCst)
-                    + c.buffer.len()
-                    + c.pending.len()) as u64
-            })
+            .map(|c| (c.queue_len.load(Ordering::SeqCst) + c.buffer.len() + c.pending.len()) as u64)
             .sum();
         spilled + unspawned + queued
     }
@@ -297,12 +293,10 @@ fn handle_message<A: App>(shared: &Arc<WorkerShared<A>>, ctrl: &Sender<Message>,
             shared.spill.push_file_bytes(bytes).expect("spill dir writable");
             shared.net.send(WorkerId(0), Message::StealDone);
         }
-        Message::AggregatorGlobal { payload } => {
-            match gthinker_task::codec::from_bytes(&payload) {
-                Ok(global) => shared.agg.set_global(global),
-                Err(e) => panic!("corrupt aggregator broadcast: {e}"),
-            }
-        }
+        Message::AggregatorGlobal { payload } => match gthinker_task::codec::from_bytes(&payload) {
+            Ok(global) => shared.agg.set_global(global),
+            Err(e) => panic!("corrupt aggregator broadcast: {e}"),
+        },
         Message::Terminate => {
             shared.done.store(true, Ordering::SeqCst);
         }

@@ -122,10 +122,7 @@ fn udf_panic_aborts_the_job_and_propagates_the_message() {
         let _ = run_job(Arc::new(PanicsOnVertex(50)), &g, &JobConfig::cluster(2, 2));
     })
     .expect_err("job must propagate the UDF panic");
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_default();
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
     assert!(msg.contains("boom on vertex 50"), "got: {msg}");
 }
 

@@ -103,6 +103,18 @@ impl AdjList {
         intersect_sorted(&self.neighbors, other)
     }
 
+    /// Buffer-reusing form of [`AdjList::intersect`]: clears `out` and
+    /// fills it with the intersection, so a caller looping over many
+    /// lists allocates once instead of once per intersection.
+    pub fn intersect_into(&self, other: &AdjList, out: &mut Vec<VertexId>) {
+        intersect_sorted_into(&self.neighbors, other.as_slice(), out);
+    }
+
+    /// Buffer-reusing form of [`AdjList::intersect_slice`].
+    pub fn intersect_slice_into(&self, other: &[VertexId], out: &mut Vec<VertexId>) {
+        intersect_sorted_into(&self.neighbors, other, out);
+    }
+
     /// Counts (without materializing) the intersection size with a sorted
     /// slice; the inner loop of triangle counting.
     pub fn intersection_count(&self, other: &[VertexId]) -> usize {
@@ -151,10 +163,19 @@ pub type SharedAdj = Arc<AdjList>;
 /// which matters when intersecting a hub's list with a small candidate
 /// set.
 pub fn intersect_sorted(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+    let mut out = Vec::new();
+    intersect_sorted_into(a, b, &mut out);
+    out
+}
+
+/// Merge-intersects two strictly ascending slices into `out` (cleared
+/// first), reusing its capacity across calls.
+pub fn intersect_sorted_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    out.clear();
     let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    out.reserve(short.len());
     // Galloping pays off only with a large size imbalance.
     if long.len() / 32 > short.len() {
-        let mut out = Vec::with_capacity(short.len());
         let mut lo = 0usize;
         for &x in short {
             match long[lo..].binary_search(&x) {
@@ -168,9 +189,8 @@ pub fn intersect_sorted(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
                 break;
             }
         }
-        return out;
+        return;
     }
-    let mut out = Vec::with_capacity(short.len());
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -183,7 +203,6 @@ pub fn intersect_sorted(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
             }
         }
     }
-    out
 }
 
 /// Counts the intersection of two strictly ascending slices.
@@ -268,6 +287,21 @@ mod tests {
         let a = AdjList::from_sorted(long);
         assert_eq!(a.intersect_slice(&short), ids(&[3, 5_000, 9_999]));
         assert_eq!(a.intersection_count(&short), 3);
+    }
+
+    #[test]
+    fn intersect_into_reuses_buffer_and_matches() {
+        let a = AdjList::from_unsorted(ids(&[1, 2, 3, 5, 8, 13]));
+        let b = AdjList::from_unsorted(ids(&[2, 3, 4, 5, 13, 21]));
+        let mut buf = ids(&[99, 98]); // stale contents must be cleared
+        a.intersect_into(&b, &mut buf);
+        assert_eq!(buf, ids(&[2, 3, 5, 13]));
+        a.intersect_slice_into(&ids(&[3, 21]), &mut buf);
+        assert_eq!(buf, ids(&[3]));
+        // Galloping path through the same entry point.
+        let long = AdjList::from_sorted((0..10_000).map(VertexId).collect());
+        long.intersect_slice_into(&ids(&[3, 5_000, 20_000]), &mut buf);
+        assert_eq!(buf, ids(&[3, 5_000]));
     }
 
     #[test]

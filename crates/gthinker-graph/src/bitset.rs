@@ -1,0 +1,421 @@
+//! Dense bitsets for word-parallel mining kernels.
+//!
+//! The serial miners spend their time on three primitives: membership
+//! (`u ∈ S`), intersection (`S ∩ Γ(v)`) and intersection *size*
+//! (`|S ∩ Γ(v)|`). On the small, dense subgraphs a task mines, all
+//! three collapse to a handful of 64-bit word operations when the sets
+//! are stored as bitsets — the BBMC family of maximum-clique solvers
+//! is built on exactly this observation. [`BitSet`] is that
+//! representation: a fixed-universe set over `Vec<u64>` words whose
+//! combining operations never allocate, so recursion scratch can be
+//! reused across millions of branch-and-bound nodes.
+//!
+//! [`LocalGraph`](crate::subgraph::LocalGraph) stores its optional
+//! dense adjacency matrix as raw word rows (`&[u64]`), so every
+//! combining operation comes in two flavors: one taking another
+//! [`BitSet`] and one taking a bare word slice.
+
+/// A fixed-universe set of `u32` elements backed by `u64` words.
+///
+/// Bits at positions `>= universe size` are kept zero at all times, so
+/// popcounts and word-wise combines never need trailing masks.
+///
+/// ```
+/// use gthinker_graph::bitset::BitSet;
+///
+/// let mut s = BitSet::new(100);
+/// s.insert(3);
+/// s.insert(64);
+/// assert!(s.contains(3) && !s.contains(4));
+/// assert_eq!(s.count(), 2);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 64]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    nbits: usize,
+}
+
+/// Number of `u64` words needed for `nbits` bits.
+#[inline]
+pub const fn words_for(nbits: usize) -> usize {
+    nbits.div_ceil(64)
+}
+
+impl BitSet {
+    /// An empty set over the universe `0..nbits`.
+    pub fn new(nbits: usize) -> Self {
+        BitSet { words: vec![0; words_for(nbits)], nbits }
+    }
+
+    /// The full set `{0, …, nbits−1}`.
+    pub fn full(nbits: usize) -> Self {
+        let mut s = BitSet::new(nbits);
+        s.set_all();
+        s
+    }
+
+    /// Universe size (maximum element + 1).
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.nbits
+    }
+
+    /// The backing words.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Inserts `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is outside the universe.
+    #[inline]
+    pub fn insert(&mut self, i: u32) {
+        debug_assert!((i as usize) < self.nbits, "bit {i} outside universe {}", self.nbits);
+        self.words[i as usize >> 6] |= 1u64 << (i & 63);
+    }
+
+    /// Removes `i` (no-op if absent).
+    #[inline]
+    pub fn remove(&mut self, i: u32) {
+        debug_assert!((i as usize) < self.nbits, "bit {i} outside universe {}", self.nbits);
+        self.words[i as usize >> 6] &= !(1u64 << (i & 63));
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: u32) -> bool {
+        (i as usize) < self.nbits && self.words[i as usize >> 6] & (1u64 << (i & 63)) != 0
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Inserts every element of the universe.
+    pub fn set_all(&mut self) {
+        self.words.fill(!0);
+        self.mask_tail();
+    }
+
+    /// Zeroes the bits above the universe in the last word.
+    #[inline]
+    fn mask_tail(&mut self) {
+        let tail = self.nbits & 63;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of elements (popcount over all words).
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no element is present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// The smallest element, if any.
+    #[inline]
+    pub fn first_set(&self) -> Option<u32> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some((wi as u32) << 6 | w.trailing_zeros());
+            }
+        }
+        None
+    }
+
+    /// Copies `src` into `self` (universes must match).
+    #[inline]
+    pub fn copy_from(&mut self, src: &BitSet) {
+        debug_assert_eq!(self.nbits, src.nbits);
+        self.words.copy_from_slice(&src.words);
+    }
+
+    /// `self ∧= other`.
+    #[inline]
+    pub fn and_assign(&mut self, other: &BitSet) {
+        self.and_assign_words(&other.words);
+    }
+
+    /// `self ∨= other`.
+    #[inline]
+    pub fn or_assign(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.nbits, other.nbits);
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// `self ∧= ¬other` (set difference).
+    #[inline]
+    pub fn and_not_assign(&mut self, other: &BitSet) {
+        self.and_not_assign_words(&other.words);
+    }
+
+    /// `self ∧= row` where `row` is a raw word slice (e.g. a dense
+    /// adjacency row).
+    #[inline]
+    pub fn and_assign_words(&mut self, row: &[u64]) {
+        debug_assert_eq!(self.words.len(), row.len());
+        for (a, &b) in self.words.iter_mut().zip(row) {
+            *a &= b;
+        }
+    }
+
+    /// `self ∧= ¬row`.
+    #[inline]
+    pub fn and_not_assign_words(&mut self, row: &[u64]) {
+        debug_assert_eq!(self.words.len(), row.len());
+        for (a, &b) in self.words.iter_mut().zip(row) {
+            *a &= !b;
+        }
+    }
+
+    /// `self = src ∧ row` — the one-sweep candidate-set refinement of
+    /// BBMC (`new_cand = cand ∧ Γ(v)`).
+    #[inline]
+    pub fn assign_and_words(&mut self, src: &BitSet, row: &[u64]) {
+        debug_assert_eq!(self.words.len(), src.words.len());
+        debug_assert_eq!(self.words.len(), row.len());
+        for ((d, &a), &b) in self.words.iter_mut().zip(&src.words).zip(row) {
+            *d = a & b;
+        }
+    }
+
+    /// `self = src ∧ ¬row`.
+    #[inline]
+    pub fn assign_and_not_words(&mut self, src: &BitSet, row: &[u64]) {
+        debug_assert_eq!(self.words.len(), src.words.len());
+        debug_assert_eq!(self.words.len(), row.len());
+        for ((d, &a), &b) in self.words.iter_mut().zip(&src.words).zip(row) {
+            *d = a & !b;
+        }
+    }
+
+    /// `|self ∧ row|` without materializing the intersection.
+    #[inline]
+    pub fn and_count_words(&self, row: &[u64]) -> usize {
+        and_count(&self.words, row)
+    }
+
+    /// True if `self ∧ row` is non-empty (early-exits on the first
+    /// overlapping word) — the coloring test `class ∧ Γ(v) ≠ ∅`.
+    #[inline]
+    pub fn intersects_words(&self, row: &[u64]) -> bool {
+        self.words.iter().zip(row).any(|(&a, &b)| a & b != 0)
+    }
+
+    /// Iterates elements in ascending order.
+    pub fn iter(&self) -> Ones<'_> {
+        Ones { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+}
+
+/// `|a ∧ b|` over raw word slices (slices must have equal length).
+#[inline]
+pub fn and_count(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| (x & y).count_ones() as usize).sum()
+}
+
+/// `|{i ≥ from : i ∈ a ∧ b}|` — intersection size restricted to
+/// elements at or above `from`; the oriented inner loop of triangle
+/// counting (`|Γ_>(u) ∩ Γ_>(v)|`).
+#[inline]
+pub fn and_count_from(a: &[u64], b: &[u64], from: u32) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    let start = (from as usize) >> 6;
+    if start >= a.len() {
+        return 0;
+    }
+    let mut n = ((a[start] & b[start]) >> (from & 63)).count_ones() as usize;
+    for i in (start + 1)..a.len() {
+        n += (a[i] & b[i]).count_ones() as usize;
+    }
+    n
+}
+
+/// Ascending iterator over the set bits of a word slice.
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros();
+        self.current &= self.current - 1; // clear lowest set bit
+        Some((self.word_idx as u32) << 6 | bit)
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = u32;
+    type IntoIter = Ones<'a>;
+    fn into_iter(self) -> Ones<'a> {
+        self.iter()
+    }
+}
+
+impl FromIterator<u32> for BitSet {
+    /// Collects into a set whose universe is `max + 1`.
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        let elems: Vec<u32> = iter.into_iter().collect();
+        let nbits = elems.iter().max().map_or(0, |&m| m as usize + 1);
+        let mut s = BitSet::new(nbits);
+        for e in elems {
+            s.insert(e);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        for i in [0u32, 63, 64, 65, 129] {
+            assert!(!s.contains(i));
+            s.insert(i);
+            assert!(s.contains(i));
+        }
+        assert_eq!(s.count(), 5);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 4);
+        s.remove(64); // idempotent
+        assert_eq!(s.count(), 4);
+    }
+
+    #[test]
+    fn full_and_clear() {
+        let mut s = BitSet::full(70);
+        assert_eq!(s.count(), 70);
+        assert!(s.contains(69));
+        assert!(!s.contains(70), "tail bits stay clear");
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.first_set(), None);
+    }
+
+    #[test]
+    fn zero_universe() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(BitSet::full(0).count(), 0);
+    }
+
+    #[test]
+    fn word_parallel_combines() {
+        let mut a = BitSet::new(128);
+        for i in [1u32, 5, 64, 100] {
+            a.insert(i);
+        }
+        let mut b = BitSet::new(128);
+        for i in [5u32, 64, 99] {
+            b.insert(i);
+        }
+        assert_eq!(a.and_count_words(b.words()), 2);
+        assert!(a.intersects_words(b.words()));
+        let mut and = BitSet::new(128);
+        and.assign_and_words(&a, b.words());
+        assert_eq!(and.iter().collect::<Vec<_>>(), vec![5, 64]);
+        let mut diff = BitSet::new(128);
+        diff.assign_and_not_words(&a, b.words());
+        assert_eq!(diff.iter().collect::<Vec<_>>(), vec![1, 100]);
+        a.and_not_assign(&b);
+        assert_eq!(a, diff);
+        a.or_assign(&and);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 5, 64, 100]);
+    }
+
+    #[test]
+    fn first_set_and_iter_order() {
+        let mut s = BitSet::new(200);
+        for i in [199u32, 3, 77] {
+            s.insert(i);
+        }
+        assert_eq!(s.first_set(), Some(3));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 77, 199]);
+    }
+
+    #[test]
+    fn and_count_from_restricts_to_suffix() {
+        let mut a = BitSet::new(200);
+        let mut b = BitSet::new(200);
+        for i in [2u32, 10, 63, 64, 150] {
+            a.insert(i);
+            b.insert(i);
+        }
+        assert_eq!(and_count_from(a.words(), b.words(), 0), 5);
+        assert_eq!(and_count_from(a.words(), b.words(), 10), 4);
+        assert_eq!(and_count_from(a.words(), b.words(), 11), 3);
+        assert_eq!(and_count_from(a.words(), b.words(), 64), 2);
+        assert_eq!(and_count_from(a.words(), b.words(), 151), 0);
+        assert_eq!(and_count_from(a.words(), b.words(), 1000), 0);
+    }
+
+    #[test]
+    fn matches_naive_on_random_universes() {
+        // Deterministic pseudo-random membership; cross-checks every
+        // combine against a naive set model.
+        let n = 300usize;
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut a = BitSet::new(n);
+        let mut b = BitSet::new(n);
+        let mut na = std::collections::BTreeSet::new();
+        let mut nb = std::collections::BTreeSet::new();
+        for i in 0..n as u32 {
+            if next() % 3 == 0 {
+                a.insert(i);
+                na.insert(i);
+            }
+            if next() % 2 == 0 {
+                b.insert(i);
+                nb.insert(i);
+            }
+        }
+        assert_eq!(a.count(), na.len());
+        assert_eq!(a.and_count_words(b.words()), na.intersection(&nb).count());
+        assert_eq!(a.iter().collect::<Vec<_>>(), na.iter().copied().collect::<Vec<_>>());
+        let mut and = BitSet::new(n);
+        and.assign_and_words(&a, b.words());
+        assert_eq!(
+            and.iter().collect::<Vec<_>>(),
+            na.intersection(&nb).copied().collect::<Vec<_>>()
+        );
+    }
+}

@@ -94,30 +94,15 @@ struct Spec {
 
 fn spec(kind: DatasetKind) -> Spec {
     match kind {
-        DatasetKind::Youtube => Spec {
-            vertices: 6_000,
-            ba_m: 3,
-            hubs: 0,
-            hub_degree: 0,
-            clique: 12,
-            seed: 0x59_54,
-        },
-        DatasetKind::Skitter => Spec {
-            vertices: 9_000,
-            ba_m: 6,
-            hubs: 0,
-            hub_degree: 0,
-            clique: 16,
-            seed: 0x53_4b,
-        },
-        DatasetKind::Orkut => Spec {
-            vertices: 12_000,
-            ba_m: 18,
-            hubs: 0,
-            hub_degree: 0,
-            clique: 24,
-            seed: 0x4f_52,
-        },
+        DatasetKind::Youtube => {
+            Spec { vertices: 6_000, ba_m: 3, hubs: 0, hub_degree: 0, clique: 12, seed: 0x59_54 }
+        }
+        DatasetKind::Skitter => {
+            Spec { vertices: 9_000, ba_m: 6, hubs: 0, hub_degree: 0, clique: 16, seed: 0x53_4b }
+        }
+        DatasetKind::Orkut => {
+            Spec { vertices: 12_000, ba_m: 18, hubs: 0, hub_degree: 0, clique: 24, seed: 0x4f_52 }
+        }
         DatasetKind::Btc => Spec {
             vertices: 20_000,
             ba_m: 3,
@@ -126,14 +111,9 @@ fn spec(kind: DatasetKind) -> Spec {
             clique: 10,
             seed: 0x42_54,
         },
-        DatasetKind::Friendster => Spec {
-            vertices: 24_000,
-            ba_m: 22,
-            hubs: 0,
-            hub_degree: 0,
-            clique: 32,
-            seed: 0x46_52,
-        },
+        DatasetKind::Friendster => {
+            Spec { vertices: 24_000, ba_m: 22, hubs: 0, hub_degree: 0, clique: 32, seed: 0x46_52 }
+        }
     }
 }
 

@@ -139,9 +139,7 @@ pub fn plant_clique(g: &Graph, k: usize, seed: u64) -> (Graph, Vec<VertexId>) {
 pub fn random_labels(g: Graph, num_labels: u16, seed: u64) -> Graph {
     assert!(num_labels >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
-    let labels = (0..g.num_vertices())
-        .map(|_| Label(rng.gen_range(0..num_labels)))
-        .collect();
+    let labels = (0..g.num_vertices()).map(|_| Label(rng.gen_range(0..num_labels))).collect();
     g.with_labels(labels)
 }
 
@@ -151,7 +149,7 @@ pub fn random_labels(g: Graph, num_labels: u16, seed: u64) -> Graph {
 /// choosing quadrants with probabilities `(a, b, c, 1−a−b−c)`;
 /// duplicates and self-loops collapse, so the edge count is ≤ `m`.
 pub fn rmat(scale: u32, m: usize, a: f64, b: f64, c: f64, seed: u64) -> Graph {
-    assert!(scale >= 1 && scale <= 28, "2^scale vertices must be sane");
+    assert!((1..=28).contains(&scale), "2^scale vertices must be sane");
     assert!(a > 0.0 && b >= 0.0 && c >= 0.0 && a + b + c < 1.0, "bad quadrant probabilities");
     let n = 1usize << scale;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -187,9 +185,8 @@ pub fn complete(n: usize) -> Graph {
 /// A cycle `C_n`.
 pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "a cycle needs at least 3 vertices");
-    let edges: Vec<_> = (0..n)
-        .map(|i| (VertexId(i as u32), VertexId(((i + 1) % n) as u32)))
-        .collect();
+    let edges: Vec<_> =
+        (0..n).map(|i| (VertexId(i as u32), VertexId(((i + 1) % n) as u32))).collect();
     Graph::from_edges(n, &edges)
 }
 
@@ -210,14 +207,8 @@ mod tests {
         let b = gnp(100, 0.05, 7);
         let c = gnp(100, 0.05, 8);
         assert_eq!(a.num_edges(), b.num_edges());
-        assert_eq!(
-            a.edges().collect::<Vec<_>>(),
-            b.edges().collect::<Vec<_>>()
-        );
-        assert_ne!(
-            a.edges().collect::<Vec<_>>(),
-            c.edges().collect::<Vec<_>>()
-        );
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+        assert_ne!(a.edges().collect::<Vec<_>>(), c.edges().collect::<Vec<_>>());
     }
 
     #[test]
@@ -227,10 +218,7 @@ mod tests {
         let g = gnp(n, p, 42);
         let expected = (n * (n - 1) / 2) as f64 * p;
         let got = g.num_edges() as f64;
-        assert!(
-            (got - expected).abs() < expected * 0.15,
-            "got {got}, expected ~{expected}"
-        );
+        assert!((got - expected).abs() < expected * 0.15, "got {got}, expected ~{expected}");
         g.validate_undirected().unwrap();
     }
 

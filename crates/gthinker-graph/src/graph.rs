@@ -29,10 +29,7 @@ impl Graph {
             if u == v {
                 continue;
             }
-            assert!(
-                u.index() < n && v.index() < n,
-                "edge ({u}, {v}) out of range for n = {n}"
-            );
+            assert!(u.index() < n && v.index() < n, "edge ({u}, {v}) out of range for n = {n}");
             nbrs[u.index()].push(v);
             nbrs[v.index()].push(u);
         }
@@ -106,12 +103,8 @@ impl Graph {
 
     /// Iterates over each undirected edge once, as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-        self.vertices().flat_map(move |u| {
-            self.neighbors(u)
-                .greater_than(u)
-                .iter()
-                .map(move |&v| (u, v))
-        })
+        self.vertices()
+            .flat_map(move |u| self.neighbors(u).greater_than(u).iter().map(move |&v| (u, v)))
     }
 
     /// Membership test for edge `{u, v}`.
@@ -154,10 +147,7 @@ impl Graph {
         let lists: usize = self.adj.iter().map(AdjList::heap_bytes).sum();
         lists
             + self.adj.capacity() * std::mem::size_of::<AdjList>()
-            + self
-                .labels
-                .as_ref()
-                .map_or(0, |l| l.capacity() * std::mem::size_of::<Label>())
+            + self.labels.as_ref().map_or(0, |l| l.capacity() * std::mem::size_of::<Label>())
     }
 }
 
@@ -185,11 +175,7 @@ mod tests {
     fn self_loops_and_duplicates_are_dropped() {
         let g = Graph::from_edges(
             2,
-            &[
-                (VertexId(0), VertexId(0)),
-                (VertexId(0), VertexId(1)),
-                (VertexId(1), VertexId(0)),
-            ],
+            &[(VertexId(0), VertexId(0)), (VertexId(0), VertexId(1)), (VertexId(1), VertexId(0))],
         );
         assert_eq!(g.num_edges(), 1);
         assert!(!g.has_edge(VertexId(0), VertexId(0)));

@@ -6,6 +6,8 @@
 //! * [`VertexId`] / [`Label`] — compact identifier newtypes ([`ids`]).
 //! * [`AdjList`] — sorted adjacency lists with the `Γ(v)` / `Γ_>(v)`
 //!   operations used throughout the paper ([`adj`]).
+//! * [`bitset::BitSet`] — dense word-parallel sets backing the serial
+//!   miners' BBMC-style kernels ([`bitset`]).
 //! * [`Graph`] — an in-memory undirected (optionally labeled) graph with
 //!   builders, induced-subgraph extraction and degree statistics
 //!   ([`graph`]).
@@ -23,6 +25,7 @@
 //! reproduces that model with local files and [`partition::HashPartitioner`].
 
 pub mod adj;
+pub mod bitset;
 pub mod csr;
 pub mod datasets;
 pub mod gen;

@@ -64,10 +64,8 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, LoadError> {
         let (u, v) = match (it.next(), it.next()) {
             (Some(a), Some(b)) => {
                 let parse = |s: &str| {
-                    s.parse::<u32>().map_err(|_| LoadError::Parse {
-                        line: lineno + 1,
-                        content: line.clone(),
-                    })
+                    s.parse::<u32>()
+                        .map_err(|_| LoadError::Parse { line: lineno + 1, content: line.clone() })
                 };
                 (parse(a)?, parse(b)?)
             }
@@ -262,10 +260,7 @@ mod tests {
         write_edge_list(&g, &mut buf).unwrap();
         let g2 = read_edge_list(buf.as_slice()).unwrap();
         assert_eq!(g.num_vertices(), g2.num_vertices());
-        assert_eq!(
-            g.edges().collect::<Vec<_>>(),
-            g2.edges().collect::<Vec<_>>()
-        );
+        assert_eq!(g.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
     }
 
     #[test]
@@ -275,10 +270,7 @@ mod tests {
         write_adjacency(&g, &mut buf).unwrap();
         let g2 = read_adjacency(buf.as_slice()).unwrap();
         assert!(!g2.is_labeled());
-        assert_eq!(
-            g.edges().collect::<Vec<_>>(),
-            g2.edges().collect::<Vec<_>>()
-        );
+        assert_eq!(g.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
     }
 
     #[test]
@@ -309,10 +301,7 @@ mod tests {
             other => panic!("expected parse error, got {other:?}"),
         }
         let text2 = "0\t3 1 2\n"; // claims 3 neighbors, lists 2
-        assert!(matches!(
-            read_adjacency(text2.as_bytes()),
-            Err(LoadError::Parse { line: 1, .. })
-        ));
+        assert!(matches!(read_adjacency(text2.as_bytes()), Err(LoadError::Parse { line: 1, .. })));
     }
 
     #[test]
@@ -326,9 +315,8 @@ mod tests {
             assert_eq!(g2.neighbors(v), g.neighbors(v));
         }
         // Size is deterministic: header + per-vertex records.
-        let expected = 8 + 8 + 1
-            + g.num_vertices() * 4
-            + g.vertices().map(|v| 4 * g.degree(v)).sum::<usize>();
+        let expected =
+            8 + 8 + 1 + g.num_vertices() * 4 + g.vertices().map(|v| 4 * g.degree(v)).sum::<usize>();
         assert_eq!(buf.len(), expected);
     }
 

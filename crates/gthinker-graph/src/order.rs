@@ -151,10 +151,7 @@ mod tests {
         assert!(relabeled.validate_undirected().is_ok());
         assert_eq!(relabeled.num_edges(), g.num_edges());
         let fwd = max_forward_degree(&relabeled);
-        assert!(
-            fwd <= d,
-            "forward degree {fwd} exceeds degeneracy {d}"
-        );
+        assert!(fwd <= d, "forward degree {fwd} exceeds degeneracy {d}");
         // And it is a real improvement over the hub-dominated raw order.
         assert!(fwd < max_forward_degree(&g));
     }

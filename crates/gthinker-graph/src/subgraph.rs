@@ -13,6 +13,7 @@
 //!   [`Subgraph::to_local`].
 
 use crate::adj::AdjList;
+use crate::bitset::words_for;
 use crate::hash::{fast_map_with_capacity, FastMap};
 use crate::ids::{Label, VertexId};
 
@@ -142,47 +143,118 @@ impl Subgraph {
             || self.neighbors(v).map(|a| a.contains(u)).unwrap_or(false)
     }
 
-    /// Snapshots into a dense [`LocalGraph`] for serial mining.
+    /// Snapshots into a dense [`LocalGraph`] for serial mining, using
+    /// the default dense-matrix threshold
+    /// ([`LocalGraph::DEFAULT_DENSE_THRESHOLD`]).
     ///
     /// Vertices are renumbered `0..n` **in ascending global-ID order** so
     /// that ID-based pruning rules keep working on local indices.
     /// Adjacency is symmetrized and restricted to subgraph members.
     pub fn to_local(&self) -> LocalGraph {
-        let mut order: Vec<u32> = (0..self.verts.len() as u32).collect();
+        self.to_local_with_threshold(LocalGraph::DEFAULT_DENSE_THRESHOLD)
+    }
+
+    /// Like [`Subgraph::to_local`], but builds the O(n²/8)-byte dense
+    /// adjacency bit matrix only when `n ≤ dense_threshold` (pass `0` to
+    /// force the sorted-list representation, `usize::MAX` to force the
+    /// matrix; see DESIGN.md §"Kernel selection").
+    ///
+    /// Symmetric rows are assembled CSR-style with a degree-count pass
+    /// followed by a fill pass into one flat buffer — no per-vertex
+    /// vectors, no doubled peak memory from mirror-then-dedup.
+    pub fn to_local_with_threshold(&self, dense_threshold: usize) -> LocalGraph {
+        let n = self.verts.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
         order.sort_unstable_by_key(|&i| self.verts[i as usize]);
-        let mut rank = vec![0u32; self.verts.len()];
+        let mut rank = vec![0u32; n];
         for (new, &old) in order.iter().enumerate() {
             rank[old as usize] = new as u32;
         }
-        let n = self.verts.len();
-        let mut nbrs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        // Pass 1: count each local vertex's symmetric degree (mirror
+        // entries and duplicates still counted; deduped after sorting).
+        let mut deg = vec![0u32; n];
         for (old, a) in self.adj.iter().enumerate() {
-            let lu = rank[old] as usize;
+            let lu = rank[old];
             for v in a.iter() {
                 if let Some(&ov) = self.index.get(&v) {
-                    let lv = rank[ov as usize] as usize;
+                    let lv = rank[ov as usize];
                     if lu != lv {
-                        nbrs[lu].push(lv as u32);
-                        nbrs[lv].push(lu as u32);
+                        deg[lu as usize] += 1;
+                        deg[lv as usize] += 1;
                     }
                 }
             }
         }
-        let adj: Vec<Vec<u32>> = nbrs
-            .into_iter()
-            .map(|mut l| {
-                l.sort_unstable();
-                l.dedup();
-                l
-            })
-            .collect();
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + deg[i];
+        }
+        // Pass 2: scatter both directions of every edge into the flat
+        // row buffer, reusing `deg` as per-row write cursors.
+        let mut nbrs = vec![0u32; offsets[n] as usize];
+        let mut cursor = std::mem::take(&mut deg);
+        cursor.copy_from_slice(&offsets[..n]);
+        for (old, a) in self.adj.iter().enumerate() {
+            let lu = rank[old];
+            for v in a.iter() {
+                if let Some(&ov) = self.index.get(&v) {
+                    let lv = rank[ov as usize];
+                    if lu != lv {
+                        nbrs[cursor[lu as usize] as usize] = lv;
+                        cursor[lu as usize] += 1;
+                        nbrs[cursor[lv as usize] as usize] = lu;
+                        cursor[lv as usize] += 1;
+                    }
+                }
+            }
+        }
+        // Sort each row in place, then compact duplicates (a mirror
+        // entry stored at both endpoints lands twice in each row). The
+        // write head never overtakes the read head, so this is safe in
+        // the same buffer.
+        let mut write = 0usize;
+        let mut compact = vec![0u32; n + 1];
+        for i in 0..n {
+            let (s, e) = (offsets[i] as usize, offsets[i + 1] as usize);
+            nbrs[s..e].sort_unstable();
+            compact[i] = write as u32;
+            let mut last = u32::MAX;
+            for k in s..e {
+                let v = nbrs[k];
+                if v != last {
+                    nbrs[write] = v;
+                    write += 1;
+                    last = v;
+                }
+            }
+        }
+        compact[n] = write as u32;
+        nbrs.truncate(write);
+        let offsets = compact;
+        // Dense adjacency bit matrix for word-parallel kernels; rows
+        // mirror the (already symmetric, deduped) CSR rows. A zero
+        // threshold disables the matrix even for an empty snapshot, so
+        // it reliably forces the sorted-list kernels.
+        let dense = if dense_threshold > 0 && n <= dense_threshold {
+            let wpr = words_for(n);
+            let mut bits = vec![0u64; n * wpr];
+            for i in 0..n {
+                let row = &mut bits[i * wpr..(i + 1) * wpr];
+                for &j in &nbrs[offsets[i] as usize..offsets[i + 1] as usize] {
+                    row[j as usize >> 6] |= 1u64 << (j & 63);
+                }
+            }
+            Some(DenseAdj { words_per_row: wpr, bits })
+        } else {
+            None
+        };
         let ids: Vec<VertexId> = order.iter().map(|&i| self.verts[i as usize]).collect();
         let labels = if self.labeled {
             Some(order.iter().map(|&i| self.labels[i as usize]).collect())
         } else {
             None
         };
-        LocalGraph { ids, adj, labels }
+        LocalGraph { ids, offsets, nbrs, labels, dense }
     }
 
     /// Approximate heap bytes held by this subgraph (task memory
@@ -192,21 +264,43 @@ impl Subgraph {
         lists
             + self.verts.capacity() * std::mem::size_of::<VertexId>()
             + self.adj.capacity() * std::mem::size_of::<AdjList>()
-            + self.index.capacity()
-                * (std::mem::size_of::<VertexId>() + std::mem::size_of::<u32>())
+            + self.index.capacity() * (std::mem::size_of::<VertexId>() + std::mem::size_of::<u32>())
             + self.labels.capacity() * std::mem::size_of::<Label>()
     }
 }
 
+/// The dense adjacency bit matrix: row `i` holds `words_per_row` words
+/// whose set bits are the neighbors of local vertex `i`.
+#[derive(Clone, Debug)]
+struct DenseAdj {
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
 /// A dense-index, symmetric snapshot of a [`Subgraph`] for serial miners.
+///
+/// Adjacency is stored CSR-style (one flat sorted buffer plus offsets).
+/// For subgraphs up to the dense threshold an adjacency **bit matrix**
+/// is also kept, turning [`LocalGraph::has_edge`] into a single bit
+/// test and exposing word rows ([`LocalGraph::dense_row`]) that the
+/// serial miners combine with [`crate::bitset::BitSet`] scratch.
 #[derive(Clone, Debug)]
 pub struct LocalGraph {
     ids: Vec<VertexId>,
-    adj: Vec<Vec<u32>>,
+    offsets: Vec<u32>,
+    nbrs: Vec<u32>,
     labels: Option<Vec<Label>>,
+    dense: Option<DenseAdj>,
 }
 
 impl LocalGraph {
+    /// Largest vertex count for which [`Subgraph::to_local`] builds the
+    /// dense bit matrix. At this size the matrix costs `n²/8` = 8 MiB —
+    /// comparable to the CSR rows a task of that size already holds —
+    /// while above it the quadratic memory (and row-scan cost on mostly
+    /// empty words) overtakes the win; see DESIGN.md §"Kernel selection".
+    pub const DEFAULT_DENSE_THRESHOLD: usize = 8192;
+
     /// Number of vertices.
     #[inline]
     pub fn num_vertices(&self) -> usize {
@@ -215,19 +309,19 @@ impl LocalGraph {
 
     /// Number of undirected edges.
     pub fn num_edges(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+        self.nbrs.len() / 2
     }
 
     /// Sorted neighbor indices of local vertex `i`.
     #[inline]
     pub fn neighbors(&self, i: u32) -> &[u32] {
-        &self.adj[i as usize]
+        &self.nbrs[self.offsets[i as usize] as usize..self.offsets[i as usize + 1] as usize]
     }
 
     /// Degree of local vertex `i`.
     #[inline]
     pub fn degree(&self, i: u32) -> usize {
-        self.adj[i as usize].len()
+        (self.offsets[i as usize + 1] - self.offsets[i as usize]) as usize
     }
 
     /// The global ID of local vertex `i`.
@@ -241,14 +335,53 @@ impl LocalGraph {
         self.labels.as_ref().map(|l| l[i as usize])
     }
 
-    /// Edge membership between local indices.
+    /// True when the dense adjacency bit matrix is available and the
+    /// word-parallel kernels apply.
+    #[inline]
+    pub fn is_dense(&self) -> bool {
+        self.dense.is_some()
+    }
+
+    /// Words per dense adjacency row (`⌈n/64⌉`); 0 when sparse.
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.dense.as_ref().map_or(0, |d| d.words_per_row)
+    }
+
+    /// The dense adjacency row of local vertex `i` as a word slice, if
+    /// the bit matrix was built.
+    #[inline]
+    pub fn dense_row(&self, i: u32) -> Option<&[u64]> {
+        self.dense.as_ref().map(|d| {
+            let start = i as usize * d.words_per_row;
+            &d.bits[start..start + d.words_per_row]
+        })
+    }
+
+    /// Edge membership between local indices: an O(1) bit test when the
+    /// dense matrix is present, a binary search otherwise.
+    #[inline]
     pub fn has_edge(&self, i: u32, j: u32) -> bool {
-        self.adj[i as usize].binary_search(&j).is_ok()
+        match &self.dense {
+            Some(d) => {
+                d.bits[i as usize * d.words_per_row + (j as usize >> 6)] & (1u64 << (j & 63)) != 0
+            }
+            None => self.neighbors(i).binary_search(&j).is_ok(),
+        }
     }
 
     /// Maps a set of local indices back to global IDs.
     pub fn to_global(&self, locals: &[u32]) -> Vec<VertexId> {
         locals.iter().map(|&i| self.global_id(i)).collect()
+    }
+
+    /// Approximate heap bytes (CSR rows + bit matrix), for task memory
+    /// accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.nbrs.capacity() * std::mem::size_of::<u32>()
+            + self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.ids.capacity() * std::mem::size_of::<VertexId>()
+            + self.dense.as_ref().map_or(0, |d| d.bits.capacity() * 8)
     }
 }
 
@@ -328,5 +461,90 @@ mod tests {
         g.add_vertex(VertexId(1), adj(&[]));
         assert_eq!(g.label(VertexId(1)), None);
         assert_eq!(g.to_local().label(0), None);
+    }
+
+    #[test]
+    fn dense_matrix_built_iff_within_threshold() {
+        let mut g = Subgraph::new();
+        for v in 0..10u32 {
+            g.add_vertex(VertexId(v), adj(&[(v + 1) % 10]));
+        }
+        assert!(g.to_local().is_dense(), "default threshold covers n=10");
+        assert!(g.to_local_with_threshold(10).is_dense(), "exactly at threshold");
+        assert!(!g.to_local_with_threshold(9).is_dense(), "just above threshold");
+        let sparse = g.to_local_with_threshold(0);
+        assert!(!sparse.is_dense());
+        assert_eq!(sparse.words_per_row(), 0);
+        assert_eq!(sparse.dense_row(0), None);
+    }
+
+    #[test]
+    fn dense_and_sparse_agree_on_all_queries() {
+        // Oriented storage with dangling entries, to stress the
+        // symmetrize-and-restrict path of both representations.
+        let mut g = Subgraph::new();
+        g.add_vertex(VertexId(9), adj(&[2, 5, 77]));
+        g.add_vertex(VertexId(2), adj(&[5, 9]));
+        g.add_vertex(VertexId(5), adj(&[]));
+        g.add_vertex(VertexId(14), adj(&[2]));
+        let dense = g.to_local();
+        let sparse = g.to_local_with_threshold(0);
+        assert!(dense.is_dense() && !sparse.is_dense());
+        assert_eq!(dense.num_vertices(), sparse.num_vertices());
+        assert_eq!(dense.num_edges(), sparse.num_edges());
+        for i in 0..dense.num_vertices() as u32 {
+            assert_eq!(dense.neighbors(i), sparse.neighbors(i));
+            assert_eq!(dense.degree(i), sparse.degree(i));
+            assert_eq!(dense.global_id(i), sparse.global_id(i));
+            for j in 0..dense.num_vertices() as u32 {
+                assert_eq!(dense.has_edge(i, j), sparse.has_edge(i, j), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_rows_match_csr_rows() {
+        let mut g = Subgraph::new();
+        for v in 0..70u32 {
+            // Ring + chords so rows span more than one word.
+            g.add_vertex(VertexId(v), adj(&[(v + 1) % 70, (v + 13) % 70]));
+        }
+        let l = g.to_local();
+        assert!(l.is_dense());
+        assert_eq!(l.words_per_row(), 2);
+        for i in 0..70u32 {
+            let row = l.dense_row(i).unwrap();
+            let from_bits: Vec<u32> =
+                (0..70u32).filter(|&j| row[j as usize >> 6] & (1u64 << (j & 63)) != 0).collect();
+            assert_eq!(from_bits, l.neighbors(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn mirrored_storage_dedups_rows() {
+        // Both endpoints store the edge: the fill pass sees it twice
+        // per row; compaction must leave a single entry.
+        let mut g = Subgraph::new();
+        g.add_vertex(VertexId(1), adj(&[2]));
+        g.add_vertex(VertexId(2), adj(&[1]));
+        let l = g.to_local();
+        assert_eq!(l.num_edges(), 1);
+        assert_eq!(l.neighbors(0), &[1]);
+        assert_eq!(l.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn empty_and_singleton_local_graphs() {
+        let g = Subgraph::new();
+        let l = g.to_local();
+        assert_eq!(l.num_vertices(), 0);
+        assert_eq!(l.num_edges(), 0);
+        let mut g1 = Subgraph::new();
+        g1.add_vertex(VertexId(3), adj(&[3, 99])); // self-loop + dangling: dropped
+        let l1 = g1.to_local();
+        assert_eq!(l1.num_vertices(), 1);
+        assert_eq!(l1.num_edges(), 0);
+        assert!(l1.neighbors(0).is_empty());
+        assert!(!l1.has_edge(0, 0));
     }
 }

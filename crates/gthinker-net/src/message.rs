@@ -94,11 +94,7 @@ impl Message {
         match self {
             Message::VertexRequest { vertices, .. } => HEADER + 4 * vertices.len(),
             Message::VertexResponse { entries } => {
-                HEADER
-                    + entries
-                        .iter()
-                        .map(|(_, adj)| 8 + 4 * adj.degree())
-                        .sum::<usize>()
+                HEADER + entries.iter().map(|(_, adj)| 8 + 4 * adj.degree()).sum::<usize>()
             }
             Message::StealBatch { bytes } => HEADER + bytes.len(),
             Message::Progress { .. } => HEADER + 16,

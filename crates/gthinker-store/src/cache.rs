@@ -196,15 +196,12 @@ impl VertexCache {
         counter: &mut CounterHandle,
     ) -> RequestOutcome {
         let mut b = self.bucket_of(v).lock();
-        if let Some(entry) = b.gamma.get_mut(&v) {
+        // Split borrows: the Γ- and Z-table updates touch disjoint
+        // fields, so the hit path is a single branch.
+        let Bucket { gamma, zero, .. } = &mut *b;
+        if let Some(entry) = gamma.get_mut(&v) {
             if entry.lock_count == 0 {
-                b.zero.remove(&v);
-                // Re-borrow after the Z-table update.
-                let entry = b.gamma.get_mut(&v).expect("entry just seen");
-                entry.lock_count = 1;
-                let adj = Arc::clone(&entry.adj);
-                self.stats.hits.fetch_add(1, Ordering::Relaxed);
-                return RequestOutcome::Hit(adj);
+                zero.remove(&v);
             }
             entry.lock_count += 1;
             let adj = Arc::clone(&entry.adj);
@@ -297,10 +294,12 @@ impl VertexCache {
             }
             let i = self.gc_cursor.fetch_add(1, Ordering::Relaxed) % k;
             let mut b = self.buckets[i].lock();
-            // Batched removal amortizes the bucket lock (paper: evict
-            // Z-table entries one by one while holding the lock).
-            while evicted < target {
-                let Some(&v) = b.zero.iter().next() else { break };
+            // Drain up to the remaining quota in one pass over the
+            // Z-table instead of restarting its iterator per victim
+            // (each `iter().next()` re-probes from slot 0, turning a
+            // batch eviction quadratic in the bucket's Z-table size).
+            let victims: Vec<VertexId> = b.zero.iter().copied().take(target - evicted).collect();
+            for v in victims {
                 b.zero.remove(&v);
                 let removed = b.gamma.remove(&v);
                 debug_assert!(removed.is_some(), "Z-table entry missing from Γ-table");
@@ -366,10 +365,7 @@ mod tests {
         let c = small_cache(100);
         let mut h = c.counter_handle();
         assert!(matches!(c.request(VertexId(5), T1, &mut h), RequestOutcome::MustRequest));
-        assert!(matches!(
-            c.request(VertexId(5), T2, &mut h),
-            RequestOutcome::AlreadyRequested
-        ));
+        assert!(matches!(c.request(VertexId(5), T2, &mut h), RequestOutcome::AlreadyRequested));
         assert_eq!(c.approx_size(), 1, "one R-table entry counted once");
         let (_, shared, misses, _, _) = c.stats().snapshot();
         assert_eq!(misses, 1);

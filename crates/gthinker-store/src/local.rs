@@ -31,10 +31,7 @@ impl LocalTable {
 
     /// Builds a table from records plus `(v, label)` pairs for labeled
     /// graphs.
-    pub fn with_labels(
-        records: Vec<(VertexId, AdjList)>,
-        labels: Vec<(VertexId, Label)>,
-    ) -> Self {
+    pub fn with_labels(records: Vec<(VertexId, AdjList)>, labels: Vec<(VertexId, Label)>) -> Self {
         let mut map = fast_map_with_capacity(records.len());
         let mut order = Vec::with_capacity(records.len());
         for (v, adj) in records {
@@ -190,10 +187,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate local vertex")]
     fn duplicate_vertices_rejected() {
-        let _ = LocalTable::new(vec![
-            (VertexId(1), AdjList::new()),
-            (VertexId(1), AdjList::new()),
-        ]);
+        let _ = LocalTable::new(vec![(VertexId(1), AdjList::new()), (VertexId(1), AdjList::new())]);
     }
 
     #[test]

@@ -391,10 +391,7 @@ mod tests {
     #[test]
     fn corrupt_tags_rejected() {
         assert_eq!(from_bytes::<bool>(&[2]), Err(CodecError::Invalid("bool tag")));
-        assert_eq!(
-            from_bytes::<Option<u8>>(&[9, 0]),
-            Err(CodecError::Invalid("option tag"))
-        );
+        assert_eq!(from_bytes::<Option<u8>>(&[9, 0]), Err(CodecError::Invalid("option tag")));
     }
 
     #[test]

@@ -29,8 +29,7 @@ fn main() {
     cfg.checkpoint_dir = Some(ckpt_dir);
 
     let mut attempt = 1;
-    let mut result = run_job(Arc::new(MaxCliqueApp::default()), &graph, &cfg)
-        .expect("job runs");
+    let mut result = run_job(Arc::new(MaxCliqueApp::default()), &graph, &cfg).expect("job runs");
     loop {
         match result.outcome {
             JobOutcome::Completed => break,

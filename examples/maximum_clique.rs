@@ -25,12 +25,8 @@ fn main() {
     );
 
     // Single machine (Table IV(c) setting): no remote pulls at all.
-    let single = run_job(
-        Arc::new(MaxCliqueApp::default()),
-        g,
-        &JobConfig::single_machine(4),
-    )
-    .expect("job runs");
+    let single = run_job(Arc::new(MaxCliqueApp::default()), g, &JobConfig::single_machine(4))
+        .expect("job runs");
     println!(
         "1 machine:  clique of {:>3} in {:.2?} (peak mem ~{} MiB)",
         single.global.len(),
@@ -39,12 +35,8 @@ fn main() {
     );
 
     // Simulated 4-machine cluster with work stealing.
-    let multi = run_job(
-        Arc::new(MaxCliqueApp::default()),
-        g,
-        &JobConfig::cluster(4, 2),
-    )
-    .expect("job runs");
+    let multi =
+        run_job(Arc::new(MaxCliqueApp::default()), g, &JobConfig::cluster(4, 2)).expect("job runs");
     println!(
         "4 machines: clique of {:>3} in {:.2?} ({} KiB network)",
         multi.global.len(),

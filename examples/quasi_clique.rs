@@ -11,11 +11,7 @@ use std::sync::Arc;
 
 fn main() {
     let graph = gen::gnp(1_200, 0.003, 17);
-    println!(
-        "graph: {} vertices, {} edges",
-        graph.num_vertices(),
-        graph.num_edges()
-    );
+    println!("graph: {} vertices, {} edges", graph.num_vertices(), graph.num_edges());
 
     for gamma in [0.5, 0.7, 0.9] {
         let single = run_job(
@@ -24,12 +20,9 @@ fn main() {
             &JobConfig::single_machine(4),
         )
         .expect("job runs");
-        let multi = run_job(
-            Arc::new(QuasiCliqueApp::new(gamma, 3, 4)),
-            &graph,
-            &JobConfig::cluster(3, 2),
-        )
-        .expect("job runs");
+        let multi =
+            run_job(Arc::new(QuasiCliqueApp::new(gamma, 3, 4)), &graph, &JobConfig::cluster(3, 2))
+                .expect("job runs");
         assert_eq!(single.global, multi.global);
         println!(
             "γ = {gamma}: {:>8} quasi-cliques of size 3–4  \

@@ -12,11 +12,7 @@ use std::sync::Arc;
 fn main() {
     // A labeled scale-free data graph: 5 labels.
     let data = gen::random_labels(gen::barabasi_albert(8_000, 5, 11), 5, 99);
-    println!(
-        "data graph: {} vertices, {} edges, 5 labels",
-        data.num_vertices(),
-        data.num_edges()
-    );
+    println!("data graph: {} vertices, {} edges, 5 labels", data.num_vertices(), data.num_edges());
 
     let queries: Vec<(&str, Pattern)> = vec![
         ("triangle 0-1-2", Pattern::triangle(Label(0), Label(1), Label(2))),
@@ -32,12 +28,9 @@ fn main() {
             &JobConfig::single_machine(4),
         )
         .expect("job runs");
-        let multi = run_job(
-            Arc::new(MatchingApp::new(pattern, labels)),
-            &data,
-            &JobConfig::cluster(3, 2),
-        )
-        .expect("job runs");
+        let multi =
+            run_job(Arc::new(MatchingApp::new(pattern, labels)), &data, &JobConfig::cluster(3, 2))
+                .expect("job runs");
         assert_eq!(single.global, multi.global);
         println!(
             "query {name}: {:>9} embeddings  (1 machine {:.2?}, 3 machines {:.2?})",

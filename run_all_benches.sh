@@ -27,6 +27,8 @@ banner "Table V(b) — GC overflow tolerance α"
 "$BIN/table5b_alpha" --scale 0.5
 banner "Fig. 2 — IO vs CPU crossover"
 "$BIN/fig2_crossover"
+banner "Kernel selection — sorted-list vs bitset miners"
+"$BIN/kernel_crossover" --scale 0.7
 banner "§VI — vertex-ordering effect (Skitter anomaly)"
 "$BIN/ordering_effect" --scale 0.6
 banner "Future work [38] — low-degree task bundling"

@@ -8,9 +8,7 @@ use gthinker_baselines::arabesque::{
 use gthinker_baselines::gminer::{gminer_max_clique, GMinerConfig};
 use gthinker_baselines::nuri::{nuri_max_clique, NuriConfig};
 use gthinker_baselines::rstream::{rstream_triangle_count, RStreamConfig};
-use gthinker_baselines::vertexcentric::{
-    run_bsp, BspConfig, BspMaxClique, BspTriangleCount,
-};
+use gthinker_baselines::vertexcentric::{run_bsp, BspConfig, BspMaxClique, BspTriangleCount};
 use gthinker_core::prelude::*;
 use gthinker_graph::gen;
 use std::sync::Arc;
@@ -22,9 +20,8 @@ fn tmp(tag: &str) -> std::path::PathBuf {
 #[test]
 fn every_engine_counts_the_same_triangles() {
     let g = gen::barabasi_albert(400, 5, 2);
-    let expected = run_job(Arc::new(TriangleApp), &g, &JobConfig::single_machine(2))
-        .unwrap()
-        .global;
+    let expected =
+        run_job(Arc::new(TriangleApp), &g, &JobConfig::single_machine(2)).unwrap().global;
 
     let bsp = run_bsp(&g, &BspTriangleCount::new(), &BspConfig::default());
     assert_eq!(bsp.result.unwrap(), expected, "vertex-centric");
@@ -42,13 +39,9 @@ fn every_engine_counts_the_same_triangles() {
 fn every_engine_finds_the_same_max_clique() {
     let base = gen::barabasi_albert(300, 4, 3);
     let (g, planted) = gen::plant_clique(&base, 9, 4);
-    let expected = run_job(
-        Arc::new(MaxCliqueApp::default()),
-        &g,
-        &JobConfig::single_machine(2),
-    )
-    .unwrap()
-    .global;
+    let expected = run_job(Arc::new(MaxCliqueApp::default()), &g, &JobConfig::single_machine(2))
+        .unwrap()
+        .global;
     assert!(expected.len() >= planted.len());
 
     let bsp = run_bsp(&g, &BspMaxClique::new(), &BspConfig::default());
@@ -59,10 +52,8 @@ fn every_engine_finds_the_same_max_clique() {
     assert!(out.completed());
     assert_eq!(arab.best().len(), expected.len(), "arabesque-like");
 
-    let gm = gminer_max_clique(
-        &g,
-        &GMinerConfig { dir: tmp("gm"), threads: 2, ..Default::default() },
-    );
+    let gm =
+        gminer_max_clique(&g, &GMinerConfig { dir: tmp("gm"), threads: 2, ..Default::default() });
     assert_eq!(gm.result.unwrap().len(), expected.len(), "g-miner-like");
 
     let nuri = nuri_max_clique(&g, &NuriConfig { dir: tmp("nuri"), ..Default::default() });
@@ -76,12 +67,8 @@ fn gthinker_spills_negligible_bytes_compared_to_gminer() {
     // every task. Compare disk traffic on the same workload.
     let base = gen::barabasi_albert(500, 6, 4);
     let (g, _) = gen::plant_clique(&base, 10, 5);
-    let gt = run_job(
-        Arc::new(MaxCliqueApp::with_tau(64)),
-        &g,
-        &JobConfig::single_machine(2),
-    )
-    .unwrap();
+    let gt =
+        run_job(Arc::new(MaxCliqueApp::with_tau(64)), &g, &JobConfig::single_machine(2)).unwrap();
     let gm = gminer_max_clique(
         &g,
         &GMinerConfig { dir: tmp("spill"), threads: 2, tau: 64, ..Default::default() },

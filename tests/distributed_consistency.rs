@@ -30,9 +30,8 @@ fn topologies() -> Vec<JobConfig> {
 #[test]
 fn triangle_count_invariant_across_topologies() {
     let g = gen::barabasi_albert(1_000, 5, 3);
-    let reference = run_job(Arc::new(TriangleApp), &g, &JobConfig::single_machine(1))
-        .unwrap()
-        .global;
+    let reference =
+        run_job(Arc::new(TriangleApp), &g, &JobConfig::single_machine(1)).unwrap().global;
     for (i, cfg) in topologies().into_iter().enumerate() {
         let r = run_job(Arc::new(TriangleApp), &g, &cfg).unwrap();
         assert_eq!(r.global, reference, "topology {i}");
@@ -43,13 +42,9 @@ fn triangle_count_invariant_across_topologies() {
 fn max_clique_size_invariant_across_topologies() {
     let base = gen::barabasi_albert(500, 4, 9);
     let (g, planted) = gen::plant_clique(&base, 10, 14);
-    let reference = run_job(
-        Arc::new(MaxCliqueApp::default()),
-        &g,
-        &JobConfig::single_machine(1),
-    )
-    .unwrap()
-    .global;
+    let reference = run_job(Arc::new(MaxCliqueApp::default()), &g, &JobConfig::single_machine(1))
+        .unwrap()
+        .global;
     assert!(reference.len() >= planted.len());
     for (i, cfg) in topologies().into_iter().enumerate() {
         let r = run_job(Arc::new(MaxCliqueApp::default()), &g, &cfg).unwrap();
@@ -60,13 +55,10 @@ fn max_clique_size_invariant_across_topologies() {
 #[test]
 fn quasi_clique_count_invariant_across_topologies() {
     let g = gen::gnp(80, 0.08, 31);
-    let reference = run_job(
-        Arc::new(QuasiCliqueApp::new(0.5, 3, 4)),
-        &g,
-        &JobConfig::single_machine(1),
-    )
-    .unwrap()
-    .global;
+    let reference =
+        run_job(Arc::new(QuasiCliqueApp::new(0.5, 3, 4)), &g, &JobConfig::single_machine(1))
+            .unwrap()
+            .global;
     for (i, cfg) in topologies().into_iter().enumerate() {
         let r = run_job(Arc::new(QuasiCliqueApp::new(0.5, 3, 4)), &g, &cfg).unwrap();
         assert_eq!(r.global, reference, "topology {i}");
@@ -77,9 +69,7 @@ fn quasi_clique_count_invariant_across_topologies() {
 fn repeated_runs_are_stable() {
     // The scheduler is nondeterministic; the answer must not be.
     let g = gen::barabasi_albert(600, 6, 17);
-    let first = run_job(Arc::new(TriangleApp), &g, &JobConfig::cluster(3, 3))
-        .unwrap()
-        .global;
+    let first = run_job(Arc::new(TriangleApp), &g, &JobConfig::cluster(3, 3)).unwrap().global;
     for _ in 0..3 {
         let r = run_job(Arc::new(TriangleApp), &g, &JobConfig::cluster(3, 3)).unwrap();
         assert_eq!(r.global, first);
@@ -93,9 +83,8 @@ fn work_stealing_moves_tasks_to_idle_workers() {
     // links, and verify stealing does not corrupt results (the
     // detailed accounting is exercised in the unit layer).
     let g = gen::barabasi_albert(2_000, 8, 23);
-    let expected = run_job(Arc::new(TriangleApp), &g, &JobConfig::single_machine(2))
-        .unwrap()
-        .global;
+    let expected =
+        run_job(Arc::new(TriangleApp), &g, &JobConfig::single_machine(2)).unwrap().global;
     let mut cfg = JobConfig::cluster(6, 1);
     cfg.task_batch = 4; // small batches → files exist → steals possible
     let r = run_job(Arc::new(TriangleApp), &g, &cfg).unwrap();

@@ -2,7 +2,7 @@
 //! stand-in, checked against independent serial implementations.
 
 use gthinker_apps::serial::triangle::count_triangles;
-use gthinker_apps::{MaxCliqueApp, Pattern, QuasiCliqueApp, TriangleApp, MatchingApp};
+use gthinker_apps::{MatchingApp, MaxCliqueApp, Pattern, QuasiCliqueApp, TriangleApp};
 use gthinker_core::prelude::*;
 use gthinker_graph::datasets::{self, DatasetKind};
 use gthinker_graph::gen;
@@ -23,12 +23,9 @@ fn triangle_counts_on_all_dataset_standins() {
 fn max_clique_finds_planted_clique_on_all_standins() {
     for &kind in &DatasetKind::ALL {
         let d = datasets::generate(kind, 0.05);
-        let result = run_job(
-            Arc::new(MaxCliqueApp::default()),
-            &d.graph,
-            &JobConfig::single_machine(4),
-        )
-        .unwrap();
+        let result =
+            run_job(Arc::new(MaxCliqueApp::default()), &d.graph, &JobConfig::single_machine(4))
+                .unwrap();
         assert!(
             result.global.len() >= d.planted_clique.len(),
             "{}: found {} < planted {}",
@@ -55,10 +52,8 @@ fn matching_distributed_agrees_with_brute_force() {
     for v in g.vertices() {
         sg.add_labeled_vertex(v, g.label(v).unwrap(), g.neighbors(v).clone());
     }
-    let expected = gthinker_apps::serial::matching::count_embeddings_brute(
-        &sg.to_local(),
-        &pattern,
-    );
+    let expected =
+        gthinker_apps::serial::matching::count_embeddings_brute(&sg.to_local(), &pattern);
     let result = run_job(
         Arc::new(MatchingApp::new(pattern, g.labels().unwrap().to_vec())),
         &g,
@@ -77,12 +72,8 @@ fn quasi_cliques_distributed_agree_with_brute_force() {
     }
     let expected =
         gthinker_apps::serial::quasi::count_quasi_cliques_brute(&sg.to_local(), 0.6, 3, 5);
-    let result = run_job(
-        Arc::new(QuasiCliqueApp::new(0.6, 3, 5)),
-        &g,
-        &JobConfig::cluster(2, 2),
-    )
-    .unwrap();
+    let result =
+        run_job(Arc::new(QuasiCliqueApp::new(0.6, 3, 5)), &g, &JobConfig::cluster(2, 2)).unwrap();
     assert_eq!(result.global, expected);
 }
 

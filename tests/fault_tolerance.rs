@@ -43,9 +43,8 @@ fn run_with_interruptions<A: gthinker_core::App>(
 #[test]
 fn triangle_count_survives_suspension() {
     let g = gen::barabasi_albert(3_000, 6, 5);
-    let expected = run_job(Arc::new(TriangleApp), &g, &JobConfig::single_machine(2))
-        .unwrap()
-        .global;
+    let expected =
+        run_job(Arc::new(TriangleApp), &g, &JobConfig::single_machine(2)).unwrap().global;
     let mut cfg = JobConfig::cluster(2, 2);
     cfg.suspend_after = Some(Duration::from_millis(120));
     let (global, suspensions) = run_with_interruptions(|| TriangleApp, &g, cfg, "tc");
@@ -62,18 +61,13 @@ fn triangle_count_survives_suspension() {
 fn max_clique_survives_suspension() {
     let base = gen::barabasi_albert(1_500, 6, 6);
     let (g, planted) = gen::plant_clique(&base, 12, 7);
-    let expected = run_job(
-        Arc::new(MaxCliqueApp::default()),
-        &g,
-        &JobConfig::single_machine(2),
-    )
-    .unwrap()
-    .global;
+    let expected = run_job(Arc::new(MaxCliqueApp::default()), &g, &JobConfig::single_machine(2))
+        .unwrap()
+        .global;
     assert!(expected.len() >= planted.len());
     let mut cfg = JobConfig::cluster(2, 2);
     cfg.suspend_after = Some(Duration::from_millis(100));
-    let (global, _suspensions) =
-        run_with_interruptions(MaxCliqueApp::default, &g, cfg, "mcf");
+    let (global, _suspensions) = run_with_interruptions(MaxCliqueApp::default, &g, cfg, "mcf");
     assert_eq!(global.len(), expected.len());
     for i in 0..global.len() {
         for j in (i + 1)..global.len() {
@@ -87,9 +81,8 @@ fn immediate_suspension_checkpoints_everything() {
     // Suspend before any meaningful progress: the checkpoint carries
     // essentially the whole job.
     let g = gen::barabasi_albert(2_000, 5, 8);
-    let expected = run_job(Arc::new(TriangleApp), &g, &JobConfig::single_machine(2))
-        .unwrap()
-        .global;
+    let expected =
+        run_job(Arc::new(TriangleApp), &g, &JobConfig::single_machine(2)).unwrap().global;
     let mut cfg = JobConfig::cluster(2, 2);
     cfg.suspend_after = Some(Duration::from_millis(1));
     let (global, _) = run_with_interruptions(|| TriangleApp, &g, cfg, "early");

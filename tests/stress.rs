@@ -18,10 +18,7 @@ fn torture_config() -> JobConfig {
     cfg.cache.num_buckets = 8;
     cfg.cache.alpha = 0.02; // eager GC
     cfg.request_batch = 16;
-    cfg.link = LinkConfig {
-        latency: Duration::from_micros(500),
-        bytes_per_sec: Some(2_000_000),
-    };
+    cfg.link = LinkConfig { latency: Duration::from_micros(500), bytes_per_sec: Some(2_000_000) };
     cfg
 }
 
@@ -39,12 +36,8 @@ fn triangle_count_survives_torture() {
 fn max_clique_survives_torture_with_decomposition() {
     let base = gen::gnp(250, 0.12, 41);
     let (g, planted) = gen::plant_clique(&base, 10, 42);
-    let reference = run_job(
-        Arc::new(MaxCliqueApp::default()),
-        &g,
-        &JobConfig::single_machine(1),
-    )
-    .unwrap();
+    let reference =
+        run_job(Arc::new(MaxCliqueApp::default()), &g, &JobConfig::single_machine(1)).unwrap();
     assert!(reference.global.len() >= planted.len());
     let mut cfg = torture_config();
     cfg.suspend_after = None;
@@ -57,9 +50,8 @@ fn max_clique_survives_torture_with_decomposition() {
 #[test]
 fn maximal_cliques_survive_torture() {
     let g = gen::gnp(150, 0.1, 51);
-    let expected = run_job(Arc::new(MaximalCliqueApp), &g, &JobConfig::single_machine(1))
-        .unwrap()
-        .global;
+    let expected =
+        run_job(Arc::new(MaximalCliqueApp), &g, &JobConfig::single_machine(1)).unwrap().global;
     let r = run_job(Arc::new(MaximalCliqueApp), &g, &torture_config()).unwrap();
     assert_eq!(r.global, expected);
 }
@@ -68,8 +60,7 @@ fn maximal_cliques_survive_torture() {
 fn bundled_triangles_survive_torture_plus_suspension() {
     let g = gen::barabasi_albert(900, 4, 61);
     let expected = count_triangles(&g);
-    let dir = std::env::temp_dir()
-        .join(format!("gthinker-stress-ckpt-{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("gthinker-stress-ckpt-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let mut cfg = torture_config();
     cfg.suspend_after = Some(Duration::from_millis(200));
@@ -83,9 +74,8 @@ fn bundled_triangles_survive_torture_plus_suspension() {
                 attempts += 1;
                 assert!(attempts < 30, "never converges");
                 cfg.suspend_after = Some(Duration::from_millis(200 * (1 << attempts.min(4))));
-                result =
-                    resume_job(Arc::new(BundledTriangleApp::new(8)), &g, &cfg, &checkpoint)
-                        .unwrap();
+                result = resume_job(Arc::new(BundledTriangleApp::new(8)), &g, &cfg, &checkpoint)
+                    .unwrap();
             }
         }
     }
