@@ -7,13 +7,15 @@
 //!   releasing cache locks) even when `pop()` is blocked.
 //! * **pop()** — only if the cache is not over its overflow limit and
 //!   `|T_task| + |B_task| ≤ D`: refill `Q_task` if it dropped to `≤ C`
-//!   (spilled files first, then fresh spawns), pop a task and process
-//!   it. Tasks whose pulled vertices are all locally available compute
-//!   immediately; otherwise they park in `T_task`.
+//!   (spilled files first, then stealing from the largest sibling
+//!   queue, then fresh spawns), pop a task and process it. Tasks whose
+//!   pulled vertices are all locally available compute immediately;
+//!   otherwise they park in `T_task`.
 //!
 //! A comper that makes no progress in a round flushes its worker's
-//! request batches (so parked tasks' pulls actually go out) and naps
-//! briefly.
+//! request batches (so parked tasks' pulls actually go out) and parks
+//! on the worker's scheduler event count until new work is published
+//! (see `DESIGN.md` §"Intra-worker scheduling & wakeup protocol").
 
 use crate::api::{App, ComputeEnv, SpawnEnv};
 use crate::worker::{task_cost, WorkerShared};
@@ -21,50 +23,66 @@ use gthinker_graph::adj::SharedAdj;
 use gthinker_graph::ids::{TaskId, VertexId};
 use gthinker_store::cache::RequestOutcome;
 use gthinker_store::counter::CounterHandle;
-use gthinker_task::queue::TaskQueue;
 use gthinker_task::task::{Frontier, Task};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Safety-net timeout for a parked comper. Every work source has a
+/// matching notify, so in a correct schedule parks end with an event;
+/// the fallback only bounds the damage of a missed-notify bug.
+const PARK_FALLBACK: Duration = Duration::from_millis(5);
+
+/// Smallest sibling queue worth stealing from. Below this the transfer
+/// costs more than letting the owner drain the queue, and halving
+/// single tasks back and forth between idle compers is pure churn.
+/// `stealable_sibling` (the park predicate) and `try_steal` must agree
+/// on this threshold, and `enqueue` must notify when a queue crosses
+/// it — together those three keep "parked" equivalent to "no reachable
+/// work".
+const STEAL_MIN: usize = 4;
+
+/// Floor on the period (in queued tasks) of the redundant safety-net
+/// notify in `enqueue`, so configs with a tiny task batch `C` don't
+/// notify on every other push.
+const PERIODIC_NOTIFY: usize = 32;
+
 /// Runs one comper until the worker stops; `idx` is the comper's index
 /// within the worker (also the comper half of its task IDs).
 pub(crate) fn comper_loop<A: App>(shared: Arc<WorkerShared<A>>, idx: usize) {
-    let mut ctx = ComperCtx {
-        queue: TaskQueue::new(shared.config.task_batch),
-        counter: shared.cache.counter_handle(),
-        seq: 0,
-        idx,
-    };
+    let mut ctx = ComperCtx { counter: shared.cache.counter_handle(), seq: 0, idx };
     let me = || &shared.compers[idx];
     loop {
         if shared.stopping() {
             break;
         }
+        // Take the park key *before* checking sources: any work
+        // published after this point bumps the event epoch, so the
+        // wait at the bottom of an empty round returns immediately
+        // instead of losing the wakeup.
+        let key = shared.sched_events.listen();
         // Quick emptiness hint. If every source is empty the comper
         // stays provably idle this round: a task can only appear via
-        // the receiver (making B_task non-empty → worker non-quiescent)
-        // or via another comper spilling (L_file non-empty →
-        // non-quiescent), so skipping the round cannot race
-        // termination.
+        // the receiver (making B_task non-empty → worker non-quiescent),
+        // via another comper spilling (L_file non-empty → non-quiescent)
+        // or via a sibling queue growing stealable (owner busy →
+        // non-quiescent), so skipping the round cannot race termination.
         let may_have_work = !me().buffer.is_empty()
-            || !ctx.queue.is_empty()
+            || !me().queue.is_empty()
             || !shared.spill.is_empty()
-            || shared.local.unspawned() > 0;
+            || shared.local.unspawned() > 0
+            || stealable_sibling(&shared, idx);
         if !may_have_work {
             me().busy.store(false, Ordering::SeqCst);
             shared.batcher.flush_all(&shared.net);
-            let nap = Instant::now();
-            std::thread::sleep(Duration::from_micros(100));
-            shared
-                .counters
-                .idle_nanos
-                .fetch_add(nap.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            park(&shared, key);
             continue;
         }
         // Declare busy *before* actually taking from the sources, so
         // the quiescence check cannot slip between "sources empty" and
-        // "task started".
+        // "task started". Stays `SeqCst`: the store must be ordered
+        // before the subsequent source reads (a StoreLoad edge only
+        // seqcst provides) for the termination argument to hold.
         me().busy.store(true, Ordering::SeqCst);
         let mut progressed = false;
 
@@ -79,46 +97,70 @@ pub(crate) fn comper_loop<A: App>(shared: Arc<WorkerShared<A>>, idx: usize) {
         let gate_open = !shared.cache.over_limit()
             && me().pending.len() + me().buffer.len() <= shared.config.pending_limit();
         if gate_open {
-            if ctx.queue.needs_refill() {
-                refill(&shared, &mut ctx);
+            if me().queue.needs_refill() {
+                // Consuming a source (a spill file, a sibling's tasks,
+                // or a claim on unspawned vertices) is progress even
+                // when it yields no runnable task — apps may spawn
+                // nothing for pruned vertices, and parking on such a
+                // round would throttle spawning to one batch per
+                // fallback period.
+                progressed |= refill(&shared, &mut ctx);
             }
-            if let Some(task) = ctx.queue.pop() {
+            if let Some(task) = me().queue.pop() {
                 shared.task_mem.fetch_sub(task_cost(&task), Ordering::Relaxed);
                 progressed = true;
                 drive_task(&shared, &mut ctx, task, false);
             }
         }
-        me().queue_len.store(ctx.queue.len(), Ordering::SeqCst);
 
         if !progressed {
             me().busy.store(false, Ordering::SeqCst);
             // Push out partial request batches so remote pulls that
             // tasks are parked on actually leave the machine.
             shared.batcher.flush_all(&shared.net);
-            let nap = Instant::now();
-            std::thread::sleep(Duration::from_micros(100));
-            shared
-                .counters
-                .idle_nanos
-                .fetch_add(nap.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            // The round's sources were non-empty but unusable (e.g. the
+            // pop gate is closed, or a steal raced): park on the same
+            // key — GC evictions, response arrivals and sibling
+            // enqueues all notify.
+            park(&shared, key);
         }
     }
     me().busy.store(false, Ordering::SeqCst);
     ctx.counter.flush();
     // On suspension, park residual queue contents for the checkpoint.
     if shared.suspend.load(Ordering::SeqCst) {
-        let rest = ctx.queue.drain_all();
+        let rest = me().queue.drain_all();
         for t in &rest {
             shared.task_mem.fetch_sub(task_cost(t), Ordering::Relaxed);
         }
         shared.drained_queues.lock().extend(rest);
     }
-    me().queue_len.store(ctx.queue.len(), Ordering::SeqCst);
 }
 
-/// Comper-local state threaded through the processing functions.
-struct ComperCtx<C> {
-    queue: TaskQueue<C>,
+/// Parks the calling comper until new work is published (or the
+/// fallback elapses), maintaining the idle/park/wakeup counters.
+fn park<A: App>(shared: &Arc<WorkerShared<A>>, key: u64) {
+    let start = Instant::now();
+    shared.counters.parks.fetch_add(1, Ordering::Relaxed);
+    if shared.sched_events.wait(key, PARK_FALLBACK) {
+        shared.counters.wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+    shared.counters.idle_nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// True when some sibling's queue is worth visiting for a steal. Part
+/// of the park predicate: a comper never parks while a sibling holds a
+/// stealable queue, which is what makes "notify on crossing the
+/// stealable threshold" a sufficient wakeup rule for enqueues.
+fn stealable_sibling<A: App>(shared: &Arc<WorkerShared<A>>, idx: usize) -> bool {
+    shared.config.intra_steal
+        && shared.compers.iter().enumerate().any(|(j, c)| j != idx && c.queue.len() >= STEAL_MIN)
+}
+
+/// Comper-local state threaded through the processing functions. The
+/// task queue itself lives in `ComperShared` so siblings can steal
+/// from it.
+struct ComperCtx {
     counter: CounterHandle,
     seq: u64,
     idx: usize,
@@ -134,7 +176,7 @@ struct ComperCtx<C> {
 /// something is missing.
 fn drive_task<A: App>(
     shared: &Arc<WorkerShared<A>>,
-    ctx: &mut ComperCtx<A::Context>,
+    ctx: &mut ComperCtx,
     mut task: Task<A::Context>,
     ready: bool,
 ) {
@@ -163,7 +205,12 @@ fn drive_task<A: App>(
                     RequestOutcome::MustRequest => {
                         missing += 1;
                         // Count before the request can possibly leave,
-                        // so quiescence never under-counts.
+                        // so quiescence never under-counts. Stays
+                        // `SeqCst`: this comper's `busy = true` store
+                        // must be globally ordered before the
+                        // increment, so a quiescence check that misses
+                        // the increment necessarily sees the busy flag
+                        // (see `WorkerShared::quiescent`).
                         shared.outstanding_pulls.fetch_add(1, Ordering::SeqCst);
                         let owner = shared.partitioner.owner(v);
                         shared.batcher.add(&shared.net, owner, v);
@@ -220,7 +267,7 @@ fn resolve_available<A: App>(shared: &Arc<WorkerShared<A>>, v: VertexId) -> Shar
 /// (decomposed tasks, statistics).
 fn compute_once<A: App>(
     shared: &Arc<WorkerShared<A>>,
-    ctx: &mut ComperCtx<A::Context>,
+    ctx: &mut ComperCtx,
     task: &mut Task<A::Context>,
     frontier: &Frontier,
 ) -> bool {
@@ -236,6 +283,7 @@ fn compute_once<A: App>(
         Err(payload) => {
             shared.record_failure(payload);
             shared.done.store(true, Ordering::SeqCst);
+            shared.wake_all();
             false
         }
     };
@@ -251,40 +299,66 @@ fn compute_once<A: App>(
 }
 
 /// Adds a task to this comper's `Q_task`, spilling an overflow batch to
-/// disk if needed.
-fn enqueue<A: App>(
-    shared: &Arc<WorkerShared<A>>,
-    ctx: &mut ComperCtx<A::Context>,
-    task: Task<A::Context>,
-) {
+/// disk if needed, and waking parked siblings when the push creates
+/// work they can reach.
+fn enqueue<A: App>(shared: &Arc<WorkerShared<A>>, ctx: &mut ComperCtx, task: Task<A::Context>) {
     shared.task_mem.fetch_add(task_cost(&task), Ordering::Relaxed);
-    if let Some(batch) = ctx.queue.push(task) {
+    let (batch, new_len) = shared.compers[ctx.idx].queue.push(task);
+    if let Some(batch) = batch {
         for t in &batch {
             shared.task_mem.fetch_sub(task_cost(t), Ordering::Relaxed);
         }
+        // Notify only on the pool's empty → non-empty edge: compers
+        // never park while a spill file exists (`may_have_work` checks
+        // `spill.is_empty()`), so parked siblings only need the edge,
+        // and awake ones find further files through `refill`. Spilling
+        // on every push — the tiny-`C` regime — would otherwise wake
+        // the whole worker each time. The unsynchronized read can
+        // over-notify under a concurrent refill, which is harmless.
+        let was_empty = shared.spill.is_empty();
         shared.spill.spill(&batch).expect("spill directory writable");
+        if was_empty {
+            shared.sched_events.notify_all();
+        }
+    } else if new_len == STEAL_MIN
+        || new_len % shared.compers[ctx.idx].queue.batch().max(PERIODIC_NOTIFY) == 0
+    {
+        // Crossing the stealable threshold is the edge parked siblings
+        // need: they only park while *no* queue holds ≥ `STEAL_MIN`
+        // tasks (see `stealable_sibling`), so later growth needs no
+        // wakeup. Notifying again periodically is a cheap safety net
+        // for steal races; the period is floored so tiny `C` configs
+        // do not turn every other push into a thundering herd.
+        shared.sched_events.notify_all();
     }
-    shared.compers[ctx.idx].queue_len.store(ctx.queue.len(), Ordering::SeqCst);
 }
 
-/// Refills `Q_task` (§V-B priority): (1) a spilled batch file if one
-/// exists, else (2) spawn fresh tasks from unspawned vertices in
-/// `T_local`. (Ready tasks — the paper's source 2 — are consumed
-/// directly from `B_task` by the push() phase each round, which keeps
-/// the lock discipline simple: tasks inside `Q_task` or spill files
-/// never hold cache locks.)
-fn refill<A: App>(shared: &Arc<WorkerShared<A>>, ctx: &mut ComperCtx<A::Context>) {
+/// Refills `Q_task` (§V-B priority, extended by the tail-latency
+/// scheduler): (1) a spilled batch file if one exists, else (2) steal
+/// the newest half of the largest sibling queue, else (3) spawn fresh
+/// tasks from unspawned vertices in `T_local`. (Ready tasks — the
+/// paper's source 2 — are consumed directly from `B_task` by the push()
+/// phase each round, which keeps the lock discipline simple: tasks
+/// inside `Q_task` or spill files never hold cache locks.)
+///
+/// Returns `true` when a source was consumed — a file loaded, tasks
+/// stolen, or spawn vertices claimed — even if no task reached the
+/// queue (a claimed vertex may legitimately spawn nothing).
+fn refill<A: App>(shared: &Arc<WorkerShared<A>>, ctx: &mut ComperCtx) -> bool {
     if let Ok(Some(batch)) = shared.spill.refill::<A::Context>() {
         for t in &batch {
             shared.task_mem.fetch_add(task_cost(t), Ordering::Relaxed);
         }
-        ctx.queue.push_batch(batch);
-        return;
+        shared.compers[ctx.idx].queue.push_batch(batch);
+        return true;
     }
-    let want = ctx.queue.refill_amount().max(1);
+    if shared.config.intra_steal && try_steal(shared, ctx) {
+        return true;
+    }
+    let want = shared.compers[ctx.idx].queue.refill_amount().max(1);
     let verts: Vec<VertexId> = shared.local.claim_spawn_batch(want).to_vec();
     if verts.is_empty() {
-        return;
+        return false;
     }
     let batch: Vec<_> = verts
         .into_iter()
@@ -299,9 +373,51 @@ fn refill<A: App>(shared: &Arc<WorkerShared<A>>, ctx: &mut ComperCtx<A::Context>
     })) {
         shared.record_failure(payload);
         shared.done.store(true, Ordering::SeqCst);
-        return;
+        shared.wake_all();
+        return true;
     }
     for t in env.take_tasks() {
         enqueue(shared, ctx, t);
     }
+    true
+}
+
+/// Steals the newest half of the largest sibling queue into this
+/// comper's own `Q_task`. Returns `false` when no victim is worth it.
+///
+/// While unspawned local vertices remain, spawning is cheaper than
+/// contending on a sibling's lock, so a victim must then hold at least
+/// a full batch; once spawns are exhausted any queue with ≥ `STEAL_MIN`
+/// tasks qualifies. Capacity is safe without spilling: the thief refills only
+/// when its queue is ≤ C, and a steal takes ≤ 1.5C (half of a ≤ 3C
+/// victim), staying within the 3C bound.
+///
+/// Quiescence cannot miss a stolen task: the thief set its own `busy`
+/// flag (`SeqCst`) before calling this, so from the moment tasks leave
+/// the victim's queue until they are visible in the thief's queue, the
+/// thief's flag keeps the worker non-quiescent.
+fn try_steal<A: App>(shared: &Arc<WorkerShared<A>>, ctx: &mut ComperCtx) -> bool {
+    let min_victim = if shared.local.unspawned() > 0 {
+        shared.config.task_batch.max(STEAL_MIN)
+    } else {
+        STEAL_MIN
+    };
+    let victim = shared
+        .compers
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| *j != ctx.idx)
+        .map(|(j, c)| (j, c.queue.len()))
+        .max_by_key(|&(_, len)| len)
+        .filter(|&(_, len)| len >= min_victim);
+    let Some((j, _)) = victim else {
+        return false;
+    };
+    let Some(stolen) = shared.compers[j].queue.steal_half(min_victim) else {
+        return false;
+    };
+    shared.counters.steals.fetch_add(1, Ordering::Relaxed);
+    shared.counters.stolen_tasks.fetch_add(stolen.len() as u64, Ordering::Relaxed);
+    shared.compers[ctx.idx].queue.push_batch(stolen);
+    true
 }

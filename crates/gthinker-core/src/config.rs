@@ -31,6 +31,14 @@ pub struct JobConfig {
     pub spill_dir: PathBuf,
     /// Enable work stealing between workers.
     pub work_stealing: bool,
+    /// Enable intra-worker stealing: an idle comper refilling its
+    /// `Q_task` may take the newest half of the largest sibling queue
+    /// (between spilled files and fresh spawns in the refill priority).
+    pub intra_steal: bool,
+    /// Threads per worker serving inbound `VertexRequest` traffic, so
+    /// adjacency-list cloning overlaps with response installation on
+    /// the receiver thread. Clamped to at least 1.
+    pub responders_per_worker: usize,
     /// Suspend the job (writing a checkpoint) after this long; used by
     /// the fault-tolerance path and tests.
     pub suspend_after: Option<Duration>,
@@ -55,6 +63,8 @@ impl Default for JobConfig {
             sync_interval: Duration::from_millis(20),
             spill_dir: std::env::temp_dir().join("gthinker-spill"),
             work_stealing: true,
+            intra_steal: true,
+            responders_per_worker: 2,
             suspend_after: None,
             checkpoint_dir: None,
             output_dir: None,
@@ -111,6 +121,19 @@ pub struct WorkerStats {
     pub compute_time: Duration,
     /// Records emitted to this worker's output sink.
     pub output_records: u64,
+    /// Intra-worker steal operations performed by this worker's compers.
+    pub steals: u64,
+    /// Tasks moved by intra-worker steals.
+    pub stolen_tasks: u64,
+    /// Times a comper parked on the scheduler event count.
+    pub parks: u64,
+    /// Parks that ended in an event wakeup rather than the fallback
+    /// timeout.
+    pub wakeups: u64,
+    /// Vertices served to remote pull requests by the responder pool.
+    pub responses_served: u64,
+    /// Peak responder queue depth (request batches awaiting service).
+    pub responder_peak_backlog: u64,
 }
 
 /// Why a job returned.
@@ -174,6 +197,8 @@ mod tests {
         assert_eq!(c.pending_limit(), 1200, "D = 8C");
         assert_eq!(c.cache.capacity, 2_000_000);
         assert!((c.cache.alpha - 0.2).abs() < 1e-9);
+        assert!(c.intra_steal, "intra-worker stealing is on by default");
+        assert!(c.responders_per_worker >= 1);
     }
 
     #[test]

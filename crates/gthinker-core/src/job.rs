@@ -7,7 +7,9 @@ use crate::checkpoint::{self, Manifest, WorkerShard};
 use crate::comper::comper_loop;
 use crate::config::{JobConfig, JobOutcome, JobResult, WorkerStats};
 use crate::master::MasterState;
-use crate::worker::{gc_loop, receiver_loop, worker_tick, WorkerShared};
+use crate::worker::{
+    gc_loop, receiver_loop, responder_loop, worker_tick, ResponderRing, WorkerShared,
+};
 use gthinker_graph::graph::Graph;
 use gthinker_graph::ids::{Label, VertexId, WorkerId};
 use gthinker_graph::partition::HashPartitioner;
@@ -179,34 +181,39 @@ fn run_inner<A: App>(
         }
     }
 
-    // Observer thread: samples all workers until they report done.
+    // Observer thread: samples all workers until they report done. The
+    // channel doubles as the sampling timer (recv_timeout) and as the
+    // shutdown wakeup, so no sleep-polling is involved.
     let observer_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let (observer_wake_tx, observer_wake_rx) = crossbeam::channel::unbounded::<()>();
     let observer_thread = observer.map(|mut obs| {
         let workers: Vec<Arc<WorkerShared<A>>> = workers.iter().map(Arc::clone).collect();
         let stop = Arc::clone(&observer_stop);
+        let wake = observer_wake_rx;
         let interval = config.sync_interval;
         std::thread::Builder::new()
             .name("job-observer".into())
-            .spawn(move || {
-                while !stop.load(Ordering::SeqCst) {
-                    std::thread::sleep(interval);
-                    let snapshot = ProgressSnapshot {
-                        elapsed: start.elapsed(),
-                        tasks_finished: workers
-                            .iter()
-                            .map(|w| w.counters.tasks_finished.load(Ordering::Relaxed))
-                            .sum(),
-                        remaining: workers.iter().map(|w| w.remaining_estimate()).sum(),
-                        cache_hits: workers.iter().map(|w| w.cache.stats().snapshot().0).sum(),
-                        cache_misses: workers.iter().map(|w| w.cache.stats().snapshot().2).sum(),
-                        net_bytes: workers
-                            .iter()
-                            .map(|w| w.net.stats().bytes_sent.load(Ordering::Relaxed))
-                            .sum(),
-                        quiescent_workers: workers.iter().filter(|w| w.quiescent()).count(),
-                    };
-                    obs(snapshot);
+            .spawn(move || loop {
+                let _ = wake.recv_timeout(interval);
+                if stop.load(Ordering::SeqCst) {
+                    break;
                 }
+                let snapshot = ProgressSnapshot {
+                    elapsed: start.elapsed(),
+                    tasks_finished: workers
+                        .iter()
+                        .map(|w| w.counters.tasks_finished.load(Ordering::Relaxed))
+                        .sum(),
+                    remaining: workers.iter().map(|w| w.remaining_estimate()).sum(),
+                    cache_hits: workers.iter().map(|w| w.cache.stats().snapshot().0).sum(),
+                    cache_misses: workers.iter().map(|w| w.cache.stats().snapshot().2).sum(),
+                    net_bytes: workers
+                        .iter()
+                        .map(|w| w.net.stats().bytes_sent.load(Ordering::Relaxed))
+                        .sum(),
+                    quiescent_workers: workers.iter().filter(|w| w.quiescent()).count(),
+                };
+                obs(snapshot);
             })
             .expect("spawn observer")
     });
@@ -234,6 +241,7 @@ fn run_inner<A: App>(
         }
     }
     observer_stop.store(true, Ordering::SeqCst);
+    let _ = observer_wake_tx.send(());
     if let Some(t) = observer_thread {
         t.join().expect("observer panicked");
     }
@@ -274,11 +282,30 @@ fn worker_main<A: App>(
     let is_master = shared.me == WorkerId(0);
     let (ctrl_tx, ctrl_rx) = crossbeam::channel::unbounded();
 
+    // Responder pool (one channel per responder; the receiver
+    // round-robins request batches over them and, by dropping the ring
+    // on exit, hangs them up — so responders always drain fully before
+    // the join below).
+    let respond_n = shared.config.responders_per_worker.max(1);
+    let mut responder_txs = Vec::with_capacity(respond_n);
+    let responders: Vec<_> = (0..respond_n)
+        .map(|r| {
+            let (tx, rx) = crossbeam::channel::unbounded();
+            responder_txs.push(tx);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("respond-{}-{r}", shared.me))
+                .spawn(move || responder_loop(&shared, rx))
+                .expect("spawn responder")
+        })
+        .collect();
+
     let receiver = {
         let shared = Arc::clone(&shared);
+        let ring = ResponderRing::new(responder_txs);
         std::thread::Builder::new()
             .name(format!("recv-{}", shared.me))
-            .spawn(move || receiver_loop(&shared, ctrl_tx))
+            .spawn(move || receiver_loop(&shared, ctrl_tx, ring))
             .expect("spawn receiver")
     };
     let gc = {
@@ -309,9 +336,15 @@ fn worker_main<A: App>(
     });
     let deadline = shared.config.suspend_after.map(|d| Instant::now() + d);
 
-    // Periodic synchronization loop.
+    // Periodic synchronization loop. The event-count wait replaces the
+    // old `thread::sleep`: the sync interval is the fallback cadence,
+    // and `wake_all` (stop/suspend) cuts the wait short so shutdown
+    // latency is not bounded by the tick period.
     loop {
-        std::thread::sleep(shared.config.sync_interval);
+        let key = shared.tick_events.listen();
+        if !shared.stopping() {
+            shared.tick_events.wait(key, shared.config.sync_interval);
+        }
         worker_tick(&shared, WorkerId(0));
         // A UDF panic on this worker aborts the whole job: tell every
         // other worker to stop, then go through the normal shutdown
@@ -319,6 +352,7 @@ fn worker_main<A: App>(
         if shared.failure.lock().is_some() {
             shared.net.broadcast(&Message::Terminate);
             shared.done.store(true, Ordering::SeqCst);
+            shared.wake_all();
         }
         if let Some(m) = master.as_mut() {
             let decided = m.tick();
@@ -395,6 +429,11 @@ fn worker_main<A: App>(
     // All control traffic this worker cares about has been consumed.
     shared.receiver_stop.store(true, Ordering::SeqCst);
     receiver.join().expect("receiver panicked");
+    // The receiver dropped the responder ring on exit; each responder
+    // drains its channel and sees the hangup.
+    for r in responders {
+        r.join().expect("responder panicked");
+    }
     gc.join().expect("gc panicked");
 
     shared.sample_memory();
@@ -417,6 +456,12 @@ fn worker_main<A: App>(
             shared.counters.compute_nanos.load(Ordering::Relaxed),
         ),
         output_records: shared.output.as_ref().map_or(0, |o| o.records()),
+        steals: shared.counters.steals.load(Ordering::Relaxed),
+        stolen_tasks: shared.counters.stolen_tasks.load(Ordering::Relaxed),
+        parks: shared.counters.parks.load(Ordering::Relaxed),
+        wakeups: shared.counters.wakeups.load(Ordering::Relaxed),
+        responses_served: shared.counters.responses_served.load(Ordering::Relaxed),
+        responder_peak_backlog: shared.counters.responder_peak_backlog.load(Ordering::Relaxed),
     };
     (stats, outcome)
 }

@@ -186,6 +186,9 @@ impl<A: App> MasterState<A> {
             self.terminated = true;
             self.shared.net.broadcast(&Message::Terminate);
             self.shared.done.store(true, std::sync::atomic::Ordering::SeqCst);
+            // Remote workers are woken by their receivers on Terminate;
+            // this wakes the master's own parked threads.
+            self.shared.wake_all();
             return true;
         }
         false
@@ -196,6 +199,7 @@ impl<A: App> MasterState<A> {
         self.terminated = true;
         self.shared.net.broadcast(&Message::Suspend);
         self.shared.suspend.store(true, std::sync::atomic::Ordering::SeqCst);
+        self.shared.wake_all();
     }
 
     /// After termination: waits until one final partial per worker has

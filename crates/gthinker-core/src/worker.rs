@@ -12,6 +12,7 @@
 use crate::agg::LocalAgg;
 use crate::api::{App, SpawnEnv};
 use crate::config::JobConfig;
+use crossbeam::channel::Receiver;
 use crossbeam::channel::Sender;
 use gthinker_graph::ids::{VertexId, WorkerId};
 use gthinker_graph::partition::HashPartitioner;
@@ -22,11 +23,13 @@ use gthinker_store::cache::VertexCache;
 use gthinker_store::local::LocalTable;
 use gthinker_task::buffer::TaskBuffer;
 use gthinker_task::codec::to_bytes;
+use gthinker_task::park::EventCount;
 use gthinker_task::pending::PendingTable;
+use gthinker_task::queue::SharedTaskQueue;
 use gthinker_task::spill::SpillManager;
 use gthinker_task::task::Task;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -55,14 +58,17 @@ pub(crate) fn task_cost<C>(t: &Task<C>) -> i64 {
     (t.subgraph.heap_bytes() + TASK_OVERHEAD_BYTES) as i64
 }
 
-/// Per-comper state shared with the receiver thread.
+/// Per-comper state shared with the receiver thread and with sibling
+/// compers (which steal from `queue`).
 pub(crate) struct ComperShared<C> {
     /// `B_task`: ready tasks moved here by the receiver.
     pub buffer: TaskBuffer<C>,
     /// `T_task`: pending tasks keyed by task ID.
     pub pending: PendingTable<C>,
-    /// Mirror of `|Q_task|` for quiescence detection.
-    pub queue_len: AtomicUsize,
+    /// `Q_task`, behind a stealable structure so idle siblings can take
+    /// the newest half (tail-latency scheduler, layer 1). Its cached
+    /// length replaces the old `queue_len` mirror for quiescence.
+    pub queue: SharedTaskQueue<C>,
     /// True while the comper is (or may be about to start) processing a
     /// task; set **before** checking task sources to close the
     /// quiescence race.
@@ -70,23 +76,38 @@ pub(crate) struct ComperShared<C> {
 }
 
 impl<C> ComperShared<C> {
-    fn new() -> Self {
+    fn new(task_batch: usize) -> Self {
         ComperShared {
             buffer: TaskBuffer::new(),
             pending: PendingTable::new(),
-            queue_len: AtomicUsize::new(0),
+            queue: SharedTaskQueue::new(task_batch),
             busy: AtomicBool::new(true), // busy until the comper proves idle
         }
     }
 }
 
-/// Counters the comper threads update.
+/// Counters the comper, responder and GC threads update.
 #[derive(Default)]
 pub(crate) struct WorkerCounters {
     pub tasks_finished: AtomicU64,
     pub compute_calls: AtomicU64,
     pub compute_nanos: AtomicU64,
     pub idle_nanos: AtomicU64,
+    /// Successful intra-worker steals by this worker's compers.
+    pub steals: AtomicU64,
+    /// Tasks moved by those steals.
+    pub stolen_tasks: AtomicU64,
+    /// Times a comper parked on the scheduler event count.
+    pub parks: AtomicU64,
+    /// Parks that ended in an event wakeup (the rest hit the fallback
+    /// timeout — near zero when every wake source notifies correctly).
+    pub wakeups: AtomicU64,
+    /// Vertices served to remote pulls by the responder pool.
+    pub responses_served: AtomicU64,
+    /// Request batches queued to responders but not yet served (gauge).
+    pub responder_backlog: AtomicU64,
+    /// Peak of `responder_backlog`.
+    pub responder_peak_backlog: AtomicU64,
 }
 
 /// Everything one worker's threads share.
@@ -118,6 +139,17 @@ pub(crate) struct WorkerShared<A: App> {
     pub task_mem: AtomicI64,
     /// Peak of the per-tick memory estimate.
     pub peak_mem: AtomicU64,
+    /// Wakes compers parked for lack of work. Notified by the receiver
+    /// (`B_task` push, new spill file), by sibling compers (enqueue
+    /// crossing the stealable threshold, overflow spill), by the GC
+    /// (evictions reopening the pop gate) and on stop/suspend.
+    pub sched_events: EventCount,
+    /// Wakes the GC thread when the cache may have grown past its
+    /// limit (receiver installed responses) or the worker is stopping.
+    pub gc_events: EventCount,
+    /// Wakes the worker main thread out of its sync-interval wait so
+    /// shutdown is not bounded by the tick period.
+    pub tick_events: EventCount,
     pub counters: WorkerCounters,
     /// First UDF panic observed on this worker (message), if any. A
     /// panicking `compute()`/`task_spawn()` must not strand the job in
@@ -149,7 +181,8 @@ impl<A: App> WorkerShared<A> {
         output: Option<Arc<crate::output::OutputSink>>,
     ) -> Arc<Self> {
         let agg = LocalAgg::new(Arc::new(app.make_aggregator()));
-        let compers = (0..config.compers_per_worker).map(|_| ComperShared::new()).collect();
+        let compers =
+            (0..config.compers_per_worker).map(|_| ComperShared::new(config.task_batch)).collect();
         let batcher = RequestBatcher::new(me, config.num_workers, config.request_batch);
         Arc::new(WorkerShared {
             me,
@@ -169,6 +202,9 @@ impl<A: App> WorkerShared<A> {
             receiver_stop: AtomicBool::new(false),
             task_mem: AtomicI64::new(0),
             peak_mem: AtomicU64::new(0),
+            sched_events: EventCount::new(),
+            gc_events: EventCount::new(),
+            tick_events: EventCount::new(),
             counters: WorkerCounters::default(),
             failure: Mutex::new(None),
             drained_queues: Mutex::new(Vec::new()),
@@ -178,8 +214,24 @@ impl<A: App> WorkerShared<A> {
     }
 
     /// True when this worker should stop its threads.
+    ///
+    /// `Relaxed` loads: both flags are monotone one-shot signals, and
+    /// every code path that sets one also calls [`WorkerShared::wake_all`],
+    /// whose `SeqCst` epoch bump makes the flag visible to any thread it
+    /// wakes; a thread that reads a stale `false` here merely runs one
+    /// more (harmless) round before the park/wait path observes the
+    /// wakeup.
     pub fn stopping(&self) -> bool {
-        self.done.load(Ordering::SeqCst) || self.suspend.load(Ordering::SeqCst)
+        self.done.load(Ordering::Relaxed) || self.suspend.load(Ordering::Relaxed)
+    }
+
+    /// Wakes every parked thread of this worker. Call after flipping
+    /// `done` or `suspend` so shutdown latency is bounded by the wakeup
+    /// path, not by park fallbacks or the sync interval.
+    pub fn wake_all(&self) {
+        self.sched_events.notify_all();
+        self.gc_events.notify_all();
+        self.tick_events.notify_all();
     }
 
     /// Estimated remaining load in tasks: spilled batches plus
@@ -190,7 +242,7 @@ impl<A: App> WorkerShared<A> {
         let queued: u64 = self
             .compers
             .iter()
-            .map(|c| (c.queue_len.load(Ordering::SeqCst) + c.buffer.len() + c.pending.len()) as u64)
+            .map(|c| (c.queue.len() + c.buffer.len() + c.pending.len()) as u64)
             .sum();
         spilled + unspawned + queued
     }
@@ -199,14 +251,33 @@ impl<A: App> WorkerShared<A> {
     /// local work of any kind and no pull in flight. Busy flags are set
     /// by compers *before* they check their task sources, so this check
     /// cannot race past a task that is about to start.
+    ///
+    /// Memory-ordering notes (the weakest orderings the protocol
+    /// permits, per site):
+    ///
+    /// * `outstanding_pulls` is read `Acquire` to pair with the
+    ///   `Release` decrement the receiver performs *after* pushing the
+    ///   ready task into `B_task`: reading 0 here implies every such
+    ///   push is visible to the buffer checks below.
+    /// * `busy` is read `SeqCst` — it anchors the protocol. A comper
+    ///   stores `busy = true` (`SeqCst`) *before* taking from any
+    ///   source, so in the seqcst total order either this check sees
+    ///   `busy == true`, or the comper's source reads happen after this
+    ///   check's (empty) snapshot.
+    /// * The short-circuit order matters: `busy` is read *before* the
+    ///   queue length. `SharedTaskQueue::len` is a relaxed mirror, but
+    ///   queues only grow while their owner (or a stealing sibling) is
+    ///   busy, and observing `busy == false` (a `SeqCst` store by the
+    ///   comper after its last queue update) makes all prior relaxed
+    ///   stores — including the length mirror — visible.
     pub fn quiescent(&self) -> bool {
-        self.outstanding_pulls.load(Ordering::SeqCst) == 0
+        self.outstanding_pulls.load(Ordering::Acquire) == 0
             && self.local.unspawned() == 0
             && self.spill.is_empty()
             && self.batcher.pending() == 0
             && self.compers.iter().all(|c| {
                 !c.busy.load(Ordering::SeqCst)
-                    && c.queue_len.load(Ordering::SeqCst) == 0
+                    && c.queue.is_empty()
                     && c.buffer.is_empty()
                     && c.pending.is_empty()
             })
@@ -234,18 +305,71 @@ impl<A: App> WorkerShared<A> {
     }
 }
 
-/// The receiver thread: serves pull requests from `T_local`, installs
-/// responses into `T_cache`, wakes pending tasks, executes steal plans,
-/// and forwards control-plane messages to the worker main thread.
-pub(crate) fn receiver_loop<A: App>(shared: &Arc<WorkerShared<A>>, ctrl: Sender<Message>) {
+/// Round-robin dispatcher from the receiver to the responder pool
+/// (tail-latency scheduler, layer 3). The receiver owns it; dropping it
+/// (receiver exit) hangs up every responder channel, which is how the
+/// pool shuts down.
+pub(crate) struct ResponderRing {
+    txs: Vec<Sender<(WorkerId, Vec<VertexId>)>>,
+    next: usize,
+}
+
+impl ResponderRing {
+    pub fn new(txs: Vec<Sender<(WorkerId, Vec<VertexId>)>>) -> Self {
+        assert!(!txs.is_empty(), "at least one responder");
+        ResponderRing { txs, next: 0 }
+    }
+
+    fn dispatch(&mut self, from: WorkerId, vertices: Vec<VertexId>) {
+        self.txs[self.next].send((from, vertices)).expect("responder outlives the receiver");
+        self.next = (self.next + 1) % self.txs.len();
+    }
+}
+
+/// One responder thread: serves `VertexRequest` batches from `T_local`
+/// off the receiver thread, so response installation and request
+/// serving overlap instead of serializing behind one thread. Exits when
+/// the receiver drops the [`ResponderRing`].
+pub(crate) fn responder_loop<A: App>(
+    shared: &Arc<WorkerShared<A>>,
+    rx: Receiver<(WorkerId, Vec<VertexId>)>,
+) {
+    while let Ok((from, vertices)) = rx.recv() {
+        let served = vertices.len() as u64;
+        let entries = vertices
+            .into_iter()
+            .map(|v| {
+                let adj = shared
+                    .local
+                    .get(v)
+                    .unwrap_or_else(|| panic!("worker {} asked for non-local {v}", shared.me));
+                // The clone models the copy onto the wire.
+                (v, (*adj).clone())
+            })
+            .collect();
+        shared.net.send(from, Message::VertexResponse { entries });
+        shared.counters.responses_served.fetch_add(served, Ordering::Relaxed);
+        shared.counters.responder_backlog.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The receiver thread: dispatches pull requests to the responder pool,
+/// installs responses into `T_cache`, wakes pending tasks, executes
+/// steal plans, and forwards control-plane messages to the worker main
+/// thread.
+pub(crate) fn receiver_loop<A: App>(
+    shared: &Arc<WorkerShared<A>>,
+    ctrl: Sender<Message>,
+    mut responders: ResponderRing,
+) {
     loop {
         match shared.net.recv_timeout(Duration::from_millis(1)) {
-            Some(msg) => handle_message(shared, &ctrl, msg),
+            Some(msg) => handle_message(shared, &ctrl, &mut responders, msg),
             None => {
                 if shared.receiver_stop.load(Ordering::SeqCst) {
                     // Drain whatever is still queued, then exit.
                     while let Some(msg) = shared.net.try_recv() {
-                        handle_message(shared, &ctrl, msg);
+                        handle_message(shared, &ctrl, &mut responders, msg);
                     }
                     return;
                 }
@@ -254,23 +378,20 @@ pub(crate) fn receiver_loop<A: App>(shared: &Arc<WorkerShared<A>>, ctrl: Sender<
     }
 }
 
-fn handle_message<A: App>(shared: &Arc<WorkerShared<A>>, ctrl: &Sender<Message>, msg: Message) {
+fn handle_message<A: App>(
+    shared: &Arc<WorkerShared<A>>,
+    ctrl: &Sender<Message>,
+    responders: &mut ResponderRing,
+    msg: Message,
+) {
     match msg {
         Message::VertexRequest { from, vertices } => {
-            let entries = vertices
-                .into_iter()
-                .map(|v| {
-                    let adj = shared
-                        .local
-                        .get(v)
-                        .unwrap_or_else(|| panic!("worker {} asked for non-local {v}", shared.me));
-                    // The clone models the copy onto the wire.
-                    (v, (*adj).clone())
-                })
-                .collect();
-            shared.net.send(from, Message::VertexResponse { entries });
+            let depth = shared.counters.responder_backlog.fetch_add(1, Ordering::Relaxed) + 1;
+            shared.counters.responder_peak_backlog.fetch_max(depth, Ordering::Relaxed);
+            responders.dispatch(from, vertices);
         }
         Message::VertexResponse { entries } => {
+            let mut made_ready = false;
             for (v, adj) in entries {
                 let waiters = shared.cache.insert_response(v, adj);
                 for id in waiters {
@@ -278,11 +399,29 @@ fn handle_message<A: App>(shared: &Arc<WorkerShared<A>>, ctrl: &Sender<Message>,
                     if let Some(task) = comper.pending.notify(id) {
                         // Task accounting moves with the task.
                         comper.buffer.push(task);
+                        made_ready = true;
                     }
                 }
                 // Decrement only after the ready task is visible in
-                // B_task, so quiescence can never miss it.
-                shared.outstanding_pulls.fetch_sub(1, Ordering::SeqCst);
+                // B_task, so quiescence can never miss it. `Release`
+                // (paired with the `Acquire` load in `quiescent`)
+                // orders the buffer push before the count reaching 0;
+                // nothing here needs the full seqcst fence the old code
+                // paid per entry.
+                shared.outstanding_pulls.fetch_sub(1, Ordering::Release);
+            }
+            // Edge-triggered wakes, at most one notify per message: a
+            // comper parks only with an empty B_task, so a response
+            // that completes no task carries no edge it could act on —
+            // pull-count decrements alone keep `pending + buffer`
+            // constant. Likewise the GC only has work once the inserts
+            // leave the cache over its limit (eviction of released
+            // entries below the limit is not its job).
+            if made_ready {
+                shared.sched_events.notify_all();
+            }
+            if shared.cache.over_limit() {
+                shared.gc_events.notify_all();
             }
         }
         Message::StealPlan { victim, thief, batches } => {
@@ -291,6 +430,8 @@ fn handle_message<A: App>(shared: &Arc<WorkerShared<A>>, ctrl: &Sender<Message>,
         }
         Message::StealBatch { bytes } => {
             shared.spill.push_file_bytes(bytes).expect("spill dir writable");
+            // A new spill file is a refill source every comper checks.
+            shared.sched_events.notify_all();
             shared.net.send(WorkerId(0), Message::StealDone);
         }
         Message::AggregatorGlobal { payload } => match gthinker_task::codec::from_bytes(&payload) {
@@ -299,9 +440,11 @@ fn handle_message<A: App>(shared: &Arc<WorkerShared<A>>, ctrl: &Sender<Message>,
         },
         Message::Terminate => {
             shared.done.store(true, Ordering::SeqCst);
+            shared.wake_all();
         }
         Message::Suspend => {
             shared.suspend.store(true, Ordering::SeqCst);
+            shared.wake_all();
         }
         m @ (Message::Progress { .. }
         | Message::AggregatorSync { .. }
@@ -345,6 +488,7 @@ fn execute_steal_plan<A: App>(shared: &Arc<WorkerShared<A>>, thief: WorkerId, ba
         })) {
             shared.record_failure(payload);
             shared.done.store(true, std::sync::atomic::Ordering::SeqCst);
+            shared.wake_all();
             break;
         }
         let tasks: Vec<Task<A::Context>> = env.take_tasks();
@@ -357,13 +501,27 @@ fn execute_steal_plan<A: App>(shared: &Arc<WorkerShared<A>>, thief: WorkerId, ba
     shared.net.send(WorkerId(0), Message::StealExecuted { sent });
 }
 
-/// The GC thread: periodically runs lazy eviction passes until the
-/// worker stops.
+/// The GC thread: runs lazy eviction passes until the worker stops.
+/// Event-driven: parks on `gc_events` whenever a pass evicts nothing
+/// (the cache is under its limit), and is woken by the receiver after
+/// response installs grow the cache, or by `wake_all` at shutdown.
 pub(crate) fn gc_loop<A: App>(shared: &Arc<WorkerShared<A>>) {
     let mut handle = shared.cache.counter_handle();
-    while !shared.stopping() {
-        shared.cache.gc_pass(&mut handle);
-        std::thread::sleep(Duration::from_micros(500));
+    loop {
+        // Listen before the stop check and the pass, so a wake between
+        // "nothing evicted" and the wait below is never lost.
+        let key = shared.gc_events.listen();
+        if shared.stopping() {
+            break;
+        }
+        let evicted = shared.cache.gc_pass(&mut handle);
+        if evicted > 0 {
+            // Evictions may reopen the pop() gate (`over_limit`) that
+            // idle compers are parked behind.
+            shared.sched_events.notify_all();
+        } else {
+            shared.gc_events.wait(key, Duration::from_millis(5));
+        }
     }
     handle.flush();
 }

@@ -13,6 +13,7 @@ use crate::message::Message;
 use crate::router::NetHandle;
 use gthinker_graph::ids::{VertexId, WorkerId};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default number of vertex requests per network message.
 pub const DEFAULT_REQUEST_BATCH: usize = 512;
@@ -21,6 +22,16 @@ pub const DEFAULT_REQUEST_BATCH: usize = 512;
 /// worker.
 pub struct RequestBatcher {
     per_dest: Vec<Mutex<Vec<VertexId>>>,
+    /// Mirror of the summed accumulator lengths, so the per-round
+    /// quiescence check reads one atomic instead of locking every
+    /// per-destination mutex. Updated inside the per-dest lock;
+    /// `Relaxed` is enough because the count is advisory for
+    /// termination: every queued request is already covered by the
+    /// `outstanding_pulls` counter, which the requesting comper
+    /// increments (SeqCst) *before* calling [`RequestBatcher::add`],
+    /// so a quiescence check that reads a stale 0 here still sees the
+    /// pull in flight there.
+    queued: AtomicUsize,
     batch_size: usize,
     me: WorkerId,
 }
@@ -31,6 +42,7 @@ impl RequestBatcher {
         assert!(batch_size >= 1);
         RequestBatcher {
             per_dest: (0..num_workers).map(|_| Mutex::new(Vec::new())).collect(),
+            queued: AtomicUsize::new(0),
             batch_size,
             me,
         }
@@ -43,8 +55,10 @@ impl RequestBatcher {
             let mut acc = self.per_dest[to.index()].lock();
             acc.push(v);
             if acc.len() >= self.batch_size {
+                self.queued.fetch_sub(acc.len().saturating_sub(1), Ordering::Relaxed);
                 Some(std::mem::take(&mut *acc))
             } else {
+                self.queued.fetch_add(1, Ordering::Relaxed);
                 None
             }
         };
@@ -61,6 +75,7 @@ impl RequestBatcher {
                 if acc.is_empty() {
                     continue;
                 }
+                self.queued.fetch_sub(acc.len(), Ordering::Relaxed);
                 std::mem::take(&mut *acc)
             };
             net.send(
@@ -70,9 +85,11 @@ impl RequestBatcher {
         }
     }
 
-    /// Number of queued-but-unsent requests (diagnostics).
+    /// Number of queued-but-unsent requests. Lock-free: reads the
+    /// mirror counter (see the `queued` field for why `Relaxed` is
+    /// sound for the quiescence check, its only hot caller).
     pub fn pending(&self) -> usize {
-        self.per_dest.iter().map(|a| a.lock().len()).sum()
+        self.queued.load(Ordering::Relaxed)
     }
 }
 
@@ -139,5 +156,31 @@ mod tests {
         b.add(&h0, WorkerId(1), VertexId(3));
         assert!(h1.recv_timeout(Duration::from_secs(1)).is_some());
         assert!(h2.try_recv().is_none(), "worker 2's batch still short");
+    }
+
+    #[test]
+    fn pending_counter_consistent_under_concurrency() {
+        let (h0, _h1) = pair();
+        let b = std::sync::Arc::new(RequestBatcher::new(WorkerId(0), 2, 7));
+        let h0 = std::sync::Arc::new(h0);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let b = std::sync::Arc::clone(&b);
+                let h0 = std::sync::Arc::clone(&h0);
+                std::thread::spawn(move || {
+                    for i in 0..500u32 {
+                        b.add(&h0, WorkerId(1), VertexId(t * 1000 + i));
+                        if i % 31 == 0 {
+                            b.flush_all(&h0);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        b.flush_all(&h0);
+        assert_eq!(b.pending(), 0, "counter must return to zero once drained");
     }
 }

@@ -15,9 +15,15 @@
 //! (`L_file`) shared by all compers and by the work stealer. Everything
 //! that crosses a thread, disk or (simulated) machine boundary uses the
 //! hand-rolled binary [`codec`].
+//!
+//! For the tail-latency scheduler, `Q_task` is shared as a
+//! [`SharedTaskQueue`] so idle sibling compers can steal the newest
+//! half, and idle threads park on a per-worker [`EventCount`] instead
+//! of sleep-polling.
 
 pub mod buffer;
 pub mod codec;
+pub mod park;
 pub mod pending;
 pub mod queue;
 pub mod spill;
@@ -25,7 +31,8 @@ pub mod task;
 
 pub use buffer::TaskBuffer;
 pub use codec::{CodecError, Decode, Encode};
+pub use park::EventCount;
 pub use pending::PendingTable;
-pub use queue::{TaskQueue, DEFAULT_BATCH};
+pub use queue::{SharedTaskQueue, TaskQueue, DEFAULT_BATCH};
 pub use spill::SpillManager;
 pub use task::{Frontier, Task};

@@ -104,6 +104,141 @@ impl<C> TaskQueue<C> {
     pub fn drain_all(&mut self) -> Vec<Task<C>> {
         self.deque.drain(..).collect()
     }
+
+    /// Removes the newest `⌊len/2⌋` tasks for an intra-worker thief.
+    ///
+    /// The owner pops from the front (FIFO), so stealing from the back
+    /// takes the *newest* tasks — the same end the overflow spill takes,
+    /// preserving the paper's "oldest work drains first" discipline for
+    /// the owner while handing thieves the work least likely to be hot
+    /// in the owner's cache working set.
+    pub fn steal_half(&mut self) -> Vec<Task<C>> {
+        let take = self.deque.len() / 2;
+        let at = self.deque.len() - take;
+        self.deque.split_off(at).into_iter().collect()
+    }
+}
+
+/// `Q_task` behind a mutex so sibling compers can steal from it
+/// (tentpole layer 1 of the tail-latency scheduler).
+///
+/// The queue is still *owned* by one comper — only the owner pushes,
+/// pops and refills — but idle siblings may call
+/// [`SharedTaskQueue::steal_half`] to take the newest half. Contention
+/// is negligible: the owner holds the lock for O(1) deque ops and
+/// thieves only show up when they have nothing else to do.
+///
+/// A cached length lets the quiescence check and steal-victim selection
+/// read `len()` without touching the mutex. The load is `Relaxed`: the
+/// count is advisory (victim ranking, progress estimates), and the
+/// quiescence protocol never relies on it being fresh — a comper sets
+/// its `busy` flag (SeqCst) *before* draining its queue, so any task
+/// not yet reflected in a stale `len()` read is covered by the flag of
+/// the comper that holds or will take it.
+#[derive(Debug)]
+pub struct SharedTaskQueue<C> {
+    inner: std::sync::Mutex<TaskQueue<C>>,
+    len: std::sync::atomic::AtomicUsize,
+    /// Copy of the inner batch size, readable without the lock.
+    batch: usize,
+}
+
+impl<C> SharedTaskQueue<C> {
+    /// Creates an empty shared queue with batch size `batch` (`C`).
+    pub fn new(batch: usize) -> Self {
+        SharedTaskQueue {
+            inner: std::sync::Mutex::new(TaskQueue::new(batch)),
+            len: std::sync::atomic::AtomicUsize::new(0),
+            batch,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TaskQueue<C>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Publishes the length cache after a mutation. `Relaxed` suffices:
+    /// see the type-level docs for why stale reads are harmless.
+    fn set_len(&self, n: usize) {
+        self.len.store(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Advisory current length (relaxed; may lag a concurrent steal).
+    pub fn len(&self) -> usize {
+        self.len.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Advisory emptiness check (relaxed, like [`SharedTaskQueue::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Owner-side push, preserving the C/3C overflow-spill contract of
+    /// [`TaskQueue::push`]. Returns the spill batch plus the new length
+    /// so the owner can decide whether to wake parked siblings.
+    #[must_use = "a returned batch must be spilled, or tasks are lost"]
+    pub fn push(&self, task: Task<C>) -> (Option<Vec<Task<C>>>, usize) {
+        let mut q = self.lock();
+        let spilled = q.push(task);
+        let n = q.len();
+        self.set_len(n);
+        (spilled, n)
+    }
+
+    /// Owner-side refill append (never spills; see
+    /// [`TaskQueue::push_batch`]). Returns the new length.
+    pub fn push_batch(&self, tasks: impl IntoIterator<Item = Task<C>>) -> usize {
+        let mut q = self.lock();
+        q.push_batch(tasks);
+        let n = q.len();
+        self.set_len(n);
+        n
+    }
+
+    /// Owner-side pop (FIFO head).
+    pub fn pop(&self) -> Option<Task<C>> {
+        let mut q = self.lock();
+        let t = q.pop();
+        self.set_len(q.len());
+        t
+    }
+
+    /// True when the owner should refill (`|Q_task| ≤ C`).
+    pub fn needs_refill(&self) -> bool {
+        self.len() <= self.batch()
+    }
+
+    /// How many tasks a refill should add to reach `2C`.
+    pub fn refill_amount(&self) -> usize {
+        (2 * self.batch()).saturating_sub(self.len())
+    }
+
+    /// The batch size `C` (lock-free).
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Thief-side steal: takes the newest half if the queue still holds
+    /// at least `min_len` tasks under the lock (the advisory `len()`
+    /// the thief ranked victims by may be stale). Returns `None` when
+    /// the victim turned out too small to be worth splitting.
+    pub fn steal_half(&self, min_len: usize) -> Option<Vec<Task<C>>> {
+        let mut q = self.lock();
+        if q.len() < min_len.max(2) {
+            return None;
+        }
+        let stolen = q.steal_half();
+        self.set_len(q.len());
+        Some(stolen)
+    }
+
+    /// Drains every queued task (checkpointing / shutdown).
+    pub fn drain_all(&self) -> Vec<Task<C>> {
+        let mut q = self.lock();
+        let all = q.drain_all();
+        self.set_len(0);
+        all
+    }
 }
 
 #[cfg(test)]
@@ -169,5 +304,102 @@ mod tests {
     #[should_panic(expected = "batch size must be positive")]
     fn zero_batch_rejected() {
         let _: TaskQueue<u32> = TaskQueue::new(0);
+    }
+
+    #[test]
+    fn steal_half_takes_newest() {
+        let mut q = TaskQueue::new(4);
+        q.push_batch((0..7).map(task));
+        let stolen = q.steal_half();
+        let ids: Vec<u32> = stolen.iter().map(|t| t.context).collect();
+        assert_eq!(ids, vec![4, 5, 6], "thief gets the newest ⌊7/2⌋ = 3");
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop().unwrap().context, 0, "owner's FIFO head untouched");
+    }
+
+    #[test]
+    fn shared_queue_push_pop_and_len() {
+        let q: SharedTaskQueue<u32> = SharedTaskQueue::new(3);
+        assert!(q.is_empty());
+        let (spill, n) = q.push(task(7));
+        assert!(spill.is_none());
+        assert_eq!(n, 1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().context, 7);
+        assert!(q.pop().is_none());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn shared_queue_preserves_spill_contract() {
+        let c = 3;
+        let q: SharedTaskQueue<u32> = SharedTaskQueue::new(c);
+        for i in 0..(3 * c as u32) {
+            let (spill, _) = q.push(task(i));
+            assert!(spill.is_none());
+        }
+        let (spill, n) = q.push(task(100));
+        let spill = spill.expect("overflow push spills newest C");
+        assert_eq!(spill.len(), c);
+        assert_eq!(n, 2 * c + 1, "paper: |Q_task| = 2C + 1 after spill");
+        assert_eq!(q.len(), 2 * c + 1);
+    }
+
+    #[test]
+    fn shared_queue_steal_half() {
+        let q: SharedTaskQueue<u32> = SharedTaskQueue::new(4);
+        q.push_batch((0..8).map(task));
+        let stolen = q.steal_half(2).expect("8 ≥ 2");
+        assert_eq!(stolen.len(), 4);
+        assert_eq!(q.len(), 4);
+        // Thief sees newest tasks; owner keeps FIFO head.
+        assert_eq!(stolen[0].context, 4);
+        assert_eq!(q.pop().unwrap().context, 0);
+    }
+
+    #[test]
+    fn shared_queue_steal_respects_min_len() {
+        let q: SharedTaskQueue<u32> = SharedTaskQueue::new(4);
+        q.push_batch((0..3).map(task));
+        assert!(q.steal_half(4).is_none(), "victim shrank below min_len");
+        assert_eq!(q.len(), 3, "refused steal leaves the queue intact");
+        // min_len below 2 is clamped: stealing from a 1-task queue
+        // would take 0 tasks and busy-loop the thief.
+        let q1: SharedTaskQueue<u32> = SharedTaskQueue::new(4);
+        q1.push_batch((0..1).map(task));
+        assert!(q1.steal_half(0).is_none());
+    }
+
+    #[test]
+    fn shared_queue_concurrent_steal_loses_nothing() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        const TOTAL: usize = 4000;
+        let q: Arc<SharedTaskQueue<u32>> = Arc::new(SharedTaskQueue::new(2000));
+        q.push_batch((0..TOTAL as u32).map(task));
+        let taken = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let q = Arc::clone(&q);
+            let taken = Arc::clone(&taken);
+            handles.push(std::thread::spawn(move || {
+                while let Some(batch) = q.steal_half(2) {
+                    taken.fetch_add(batch.len(), Ordering::SeqCst);
+                }
+            }));
+        }
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Stragglers the owner raced past.
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped + taken.load(Ordering::SeqCst), TOTAL);
+        assert_eq!(q.len(), 0);
     }
 }

@@ -37,5 +37,7 @@ banner "§II — NScale construct-then-mine phases"
 "$BIN/nscale_phases" --scale 0.3
 banner "Design ablations"
 "$BIN/ablations" --scale 0.35
+banner "Tail-latency scheduler — intra-worker stealing + parking"
+"$BIN/sched_tail" --scale 1
 echo
 echo "all harnesses completed"

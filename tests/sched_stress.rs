@@ -1,0 +1,82 @@
+//! Randomized termination stress for the tail-latency scheduler: many
+//! short jobs with more compers than cores, intra-worker stealing and
+//! event-driven parking all active. Each iteration must (a) terminate
+//! inside a watchdog window — a lost wakeup or a broken quiescence
+//! argument shows up here as a hang — and (b) produce the same
+//! aggregate and task count with stealing on and off.
+//!
+//! Sized so the whole test stays in CI budget: `ITERATIONS` jobs on
+//! graphs of ≤ 90 vertices, each pair of runs well under a second.
+
+use gthinker_apps::serial::triangle::count_triangles;
+use gthinker_apps::TriangleApp;
+use gthinker_core::prelude::*;
+use gthinker_graph::gen;
+use gthinker_net::router::LinkConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+const ITERATIONS: u64 = 50;
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+/// One randomized scheduler configuration. Compers always outnumber
+/// the host's cores in CI, so parked threads, fallback timeouts and
+/// steal races all interleave on real preemption.
+fn random_config(rng: &mut StdRng, intra_steal: bool) -> JobConfig {
+    let mut cfg = JobConfig::cluster(rng.gen_range(1..4), rng.gen_range(3..9));
+    cfg.task_batch = rng.gen_range(1..7); // tiny C: constant spill + steal churn
+    cfg.request_batch = rng.gen_range(4..65);
+    cfg.intra_steal = intra_steal;
+    cfg.responders_per_worker = rng.gen_range(1..4);
+    cfg.link = LinkConfig {
+        latency: Duration::from_micros(rng.gen_range(0u64..300)),
+        bytes_per_sec: Some(rng.gen_range(2_000_000u64..50_000_000)),
+    };
+    cfg
+}
+
+/// Runs one job on its own thread and panics if it outlives the
+/// watchdog — a termination hang must fail the test, not wedge it.
+fn run_with_watchdog(seed: u64, n: usize, cfg: JobConfig, label: &str) -> (u64, u64) {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let g = gen::gnp(n, 0.12, seed);
+        let r = run_job(Arc::new(TriangleApp), &g, &cfg).unwrap();
+        let _ = tx.send((r.global, r.total_tasks() as u64));
+    });
+    match rx.recv_timeout(WATCHDOG) {
+        Ok(result) => {
+            handle.join().unwrap();
+            result
+        }
+        Err(_) => panic!("job hung past {WATCHDOG:?} (seed {seed}, {label})"),
+    }
+}
+
+#[test]
+fn randomized_short_jobs_terminate_and_agree() {
+    for iter in 0..ITERATIONS {
+        // Deterministically seeded per iteration so a CI failure
+        // reproduces locally from the printed seed alone.
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ iter);
+        let n = rng.gen_range(40..91);
+        let graph_seed = rng.gen();
+        let expected = count_triangles(&gen::gnp(n, 0.12, graph_seed));
+
+        let steal_cfg = random_config(&mut rng, true);
+        let plain_cfg = random_config(&mut rng, false);
+        let (agg_steal, tasks_steal) =
+            run_with_watchdog(graph_seed, n, steal_cfg, "intra-steal on");
+        let (agg_plain, tasks_plain) =
+            run_with_watchdog(graph_seed, n, plain_cfg, "intra-steal off");
+
+        assert_eq!(agg_steal, expected, "steal run wrong (iter {iter}, seed {graph_seed})");
+        assert_eq!(agg_plain, expected, "no-steal run wrong (iter {iter}, seed {graph_seed})");
+        assert_eq!(
+            tasks_steal, tasks_plain,
+            "task counts diverged (iter {iter}, seed {graph_seed})"
+        );
+    }
+}
