@@ -55,13 +55,37 @@ pub struct MineOpts {
     pub workers: usize,
     /// Compers per machine.
     pub compers: usize,
+    /// Observability exports requested via flags.
+    pub metrics: MetricsOpts,
 }
 
 impl Default for MineOpts {
     fn default() -> Self {
-        MineOpts { workers: 1, compers: 4 }
+        MineOpts { workers: 1, compers: 4, metrics: MetricsOpts::default() }
     }
 }
+
+/// Observability flags shared by the mining subcommands.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsOpts {
+    /// `--metrics-json PATH`: write the full metrics snapshot as JSON.
+    pub metrics_json: Option<String>,
+    /// `--trace-out PATH`: write the scheduler/cache event timeline as
+    /// Chrome `trace_event` JSON (chrome://tracing / Perfetto).
+    pub trace_out: Option<String>,
+    /// `--tail`: print the end-of-run tail-latency report even without
+    /// the file exports.
+    pub tail: bool,
+}
+
+impl MetricsOpts {
+    fn wanted(&self) -> bool {
+        self.tail || self.metrics_json.is_some() || self.trace_out.is_some()
+    }
+}
+
+/// Event-ring capacity per worker when `--trace-out` is requested.
+const TRACE_CAPACITY: usize = 65_536;
 
 /// Reads a flag's value from an argument list.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliError> {
@@ -86,6 +110,17 @@ fn take_parsed<T: std::str::FromStr>(
     }
 }
 
+/// Removes a boolean switch from the argument list, reporting whether
+/// it was present.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
 fn mine_opts(args: &mut Vec<String>) -> Result<MineOpts, CliError> {
     let mut o = MineOpts::default();
     if let Some(w) = take_parsed(args, "--workers")? {
@@ -94,15 +129,46 @@ fn mine_opts(args: &mut Vec<String>) -> Result<MineOpts, CliError> {
     if let Some(c) = take_parsed(args, "--compers")? {
         o.compers = c;
     }
+    o.metrics.metrics_json = take_flag(args, "--metrics-json")?;
+    o.metrics.trace_out = take_flag(args, "--trace-out")?;
+    o.metrics.tail = take_switch(args, "--tail");
     Ok(o)
 }
 
 fn job_config(o: &MineOpts) -> JobConfig {
-    if o.workers <= 1 {
+    let mut cfg = if o.workers <= 1 {
         JobConfig::single_machine(o.compers)
     } else {
         JobConfig::cluster(o.workers, o.compers)
+    };
+    if o.metrics.trace_out.is_some() {
+        cfg.trace_capacity = TRACE_CAPACITY;
     }
+    cfg
+}
+
+/// Performs the `--metrics-json` / `--trace-out` exports and renders
+/// the tail-latency report; the returned text is appended to the
+/// subcommand's normal output.
+fn export_metrics(m: &MetricsOpts, snap: &MetricsSnapshot) -> Result<String, CliError> {
+    let mut extra = String::new();
+    if let Some(path) = &m.metrics_json {
+        std::fs::write(path, snap.to_json()).map_err(|e| CliError(format!("write {path}: {e}")))?;
+        extra.push_str(&format!("\nmetrics JSON written to {path}"));
+    }
+    if let Some(path) = &m.trace_out {
+        let f = std::fs::File::create(path).map_err(|e| CliError(format!("create {path}: {e}")))?;
+        snap.write_chrome_trace(std::io::BufWriter::new(f))
+            .map_err(|e| CliError(format!("write {path}: {e}")))?;
+        extra.push_str(&format!(
+            "\ntrace written to {path} (load in chrome://tracing or ui.perfetto.dev)"
+        ));
+    }
+    if m.wanted() {
+        extra.push('\n');
+        extra.push_str(snap.tail_report().trim_end());
+    }
+    Ok(extra)
 }
 
 /// Loads a graph, picking the parser from the file extension.
@@ -189,7 +255,13 @@ pub const USAGE: &str = "usage: gthinker <command> [options]
   mc  <FILE> [--workers N] [--compers N]
   qc  <FILE> --gamma G [--min N] [--max N] [--workers N] [--compers N]
   kp  <FILE> --k K [--min N] [--max N] [--workers N] [--compers N]
-  gm  <FILE> --pattern triangle:0,1,2|path:..|star:..|clique4:.. [--workers N] [--compers N]";
+  gm  <FILE> --pattern triangle:0,1,2|path:..|star:..|clique4:.. [--workers N] [--compers N]
+
+mining commands also accept observability flags:
+  --metrics-json PATH   write counters + latency quantiles as JSON
+  --trace-out PATH      write the scheduler/cache event timeline as
+                        Chrome trace_event JSON (chrome://tracing, Perfetto)
+  --tail                print the per-comper tail-latency report";
 
 fn cmd_gen(mut args: Vec<String>) -> Result<String, CliError> {
     if args.is_empty() {
@@ -268,8 +340,9 @@ fn cmd_mcf(mut args: Vec<String>) -> Result<String, CliError> {
     let g = load_graph(path)?;
     let r = run_job(Arc::new(MaxCliqueApp::with_tau(tau)), &g, &job_config(&opts))
         .map_err(|e| CliError(format!("job failed: {e}")))?;
+    let extra = export_metrics(&opts.metrics, &r.metrics)?;
     Ok(format!(
-        "maximum clique: {} vertices in {:.2?}\nmembers: {:?}",
+        "maximum clique: {} vertices in {:.2?}\nmembers: {:?}{extra}",
         r.global.len(),
         r.elapsed,
         r.global
@@ -289,21 +362,23 @@ fn cmd_tc(mut args: Vec<String>) -> Result<String, CliError> {
         let r = run_job(Arc::new(TriangleListApp), &g, &cfg)
             .map_err(|e| CliError(format!("job failed: {e}")))?;
         let emitted: u64 = r.workers.iter().map(|w| w.output_records).sum();
+        let extra = export_metrics(&opts.metrics, &r.metrics)?;
         return Ok(format!(
-            "triangles: {} in {:.2?}; {emitted} records written under {dir}",
+            "triangles: {} in {:.2?}; {emitted} records written under {dir}{extra}",
             r.global, r.elapsed
         ));
     }
-    let (count, elapsed, tasks) = if bundle > 0 {
+    let (count, elapsed, tasks, metrics) = if bundle > 0 {
         let r = run_job(Arc::new(BundledTriangleApp::new(bundle)), &g, &cfg)
             .map_err(|e| CliError(format!("job failed: {e}")))?;
-        (r.global, r.elapsed, r.total_tasks())
+        (r.global, r.elapsed, r.total_tasks(), r.metrics)
     } else {
         let r = run_job(Arc::new(TriangleApp), &g, &cfg)
             .map_err(|e| CliError(format!("job failed: {e}")))?;
-        (r.global, r.elapsed, r.total_tasks())
+        (r.global, r.elapsed, r.total_tasks(), r.metrics)
     };
-    Ok(format!("triangles: {count} in {elapsed:.2?} ({tasks} tasks)"))
+    let extra = export_metrics(&opts.metrics, &metrics)?;
+    Ok(format!("triangles: {count} in {elapsed:.2?} ({tasks} tasks){extra}"))
 }
 
 fn cmd_mc(mut args: Vec<String>) -> Result<String, CliError> {
@@ -312,7 +387,8 @@ fn cmd_mc(mut args: Vec<String>) -> Result<String, CliError> {
     let g = load_graph(path)?;
     let r = run_job(Arc::new(MaximalCliqueApp), &g, &job_config(&opts))
         .map_err(|e| CliError(format!("job failed: {e}")))?;
-    Ok(format!("maximal cliques: {} in {:.2?}", r.global, r.elapsed))
+    let extra = export_metrics(&opts.metrics, &r.metrics)?;
+    Ok(format!("maximal cliques: {} in {:.2?}{extra}", r.global, r.elapsed))
 }
 
 fn cmd_qc(mut args: Vec<String>) -> Result<String, CliError> {
@@ -325,7 +401,11 @@ fn cmd_qc(mut args: Vec<String>) -> Result<String, CliError> {
     let g = load_graph(path)?;
     let r = run_job(Arc::new(QuasiCliqueApp::new(gamma, min, max)), &g, &job_config(&opts))
         .map_err(|e| CliError(format!("job failed: {e}")))?;
-    Ok(format!("γ={gamma} quasi-cliques of size {min}..{max}: {} in {:.2?}", r.global, r.elapsed))
+    let extra = export_metrics(&opts.metrics, &r.metrics)?;
+    Ok(format!(
+        "γ={gamma} quasi-cliques of size {min}..{max}: {} in {:.2?}{extra}",
+        r.global, r.elapsed
+    ))
 }
 
 fn cmd_kp(mut args: Vec<String>) -> Result<String, CliError> {
@@ -338,7 +418,11 @@ fn cmd_kp(mut args: Vec<String>) -> Result<String, CliError> {
     let g = load_graph(path)?;
     let r = run_job(Arc::new(KPlexApp::new(k, min, max)), &g, &job_config(&opts))
         .map_err(|e| CliError(format!("job failed: {e}")))?;
-    Ok(format!("connected {k}-plexes of size {min}..{max}: {} in {:.2?}", r.global, r.elapsed))
+    let extra = export_metrics(&opts.metrics, &r.metrics)?;
+    Ok(format!(
+        "connected {k}-plexes of size {min}..{max}: {} in {:.2?}{extra}",
+        r.global, r.elapsed
+    ))
 }
 
 fn cmd_gm(mut args: Vec<String>) -> Result<String, CliError> {
@@ -354,7 +438,8 @@ fn cmd_gm(mut args: Vec<String>) -> Result<String, CliError> {
         .to_vec();
     let r = run_job(Arc::new(MatchingApp::new(pattern, labels)), &g, &job_config(&opts))
         .map_err(|e| CliError(format!("job failed: {e}")))?;
-    Ok(format!("embeddings of {spec}: {} in {:.2?}", r.global, r.elapsed))
+    let extra = export_metrics(&opts.metrics, &r.metrics)?;
+    Ok(format!("embeddings of {spec}: {} in {:.2?}{extra}", r.global, r.elapsed))
 }
 
 #[cfg(test)]
@@ -445,6 +530,38 @@ mod tests {
         use gthinker_graph::order::max_forward_degree;
         assert!(max_forward_degree(&r) < max_forward_degree(&g));
         assert_eq!(g.num_edges(), r.num_edges());
+    }
+
+    #[test]
+    fn metrics_flags_export_files() {
+        let el = tmp("g7.el");
+        run(args(&["gen", "gnp", "-n", "50", "-p", "0.2", "--seed", "4", "-o", &el])).unwrap();
+        let json = tmp("g7-metrics.json");
+        let trace = tmp("g7-trace.json");
+        let out = run(args(&[
+            "mcf",
+            &el,
+            "--compers",
+            "2",
+            "--metrics-json",
+            &json,
+            "--trace-out",
+            &trace,
+        ]))
+        .unwrap();
+        assert!(out.contains("metrics JSON written"), "{out}");
+        assert!(out.contains("trace written"), "{out}");
+        assert!(out.contains("task latency tail"), "{out}");
+        let j = std::fs::read_to_string(&json).unwrap();
+        for key in ["\"workers\"", "\"compers\"", "\"p50_ns\"", "\"p99_ns\"", "\"cache\""] {
+            assert!(j.contains(key), "metrics JSON missing {key}: {j}");
+        }
+        let t = std::fs::read_to_string(&trace).unwrap();
+        assert!(t.trim_start().starts_with('['), "not a JSON array: {t}");
+        assert!(t.contains("\"ph\""), "no trace events/metadata: {t}");
+        // --tail alone prints the report without writing files.
+        let tail = run(args(&["tc", &el, "--compers", "2", "--tail"])).unwrap();
+        assert!(tail.contains("task latency tail"), "{tail}");
     }
 
     #[test]

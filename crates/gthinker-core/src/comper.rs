@@ -21,6 +21,7 @@ use crate::api::{App, ComputeEnv, SpawnEnv};
 use crate::worker::{task_cost, WorkerShared};
 use gthinker_graph::adj::SharedAdj;
 use gthinker_graph::ids::{TaskId, VertexId};
+use gthinker_metrics::{now_nanos, Event, EventKind};
 use gthinker_store::cache::RequestOutcome;
 use gthinker_store::counter::CounterHandle;
 use gthinker_task::task::{Frontier, Task};
@@ -75,7 +76,7 @@ pub(crate) fn comper_loop<A: App>(shared: Arc<WorkerShared<A>>, idx: usize) {
         if !may_have_work {
             me().busy.store(false, Ordering::SeqCst);
             shared.batcher.flush_all(&shared.net);
-            park(&shared, key);
+            park(&shared, idx, key);
             continue;
         }
         // Declare busy *before* actually taking from the sources, so
@@ -90,7 +91,7 @@ pub(crate) fn comper_loop<A: App>(shared: Arc<WorkerShared<A>>, idx: usize) {
         if let Some(task) = me().buffer.pop() {
             shared.task_mem.fetch_sub(task_cost(&task), Ordering::Relaxed);
             progressed = true;
-            drive_task(&shared, &mut ctx, task, true);
+            drive_spanned(&shared, &mut ctx, task, true);
         }
 
         // pop(): gated on cache capacity and the pending limit D.
@@ -109,7 +110,7 @@ pub(crate) fn comper_loop<A: App>(shared: Arc<WorkerShared<A>>, idx: usize) {
             if let Some(task) = me().queue.pop() {
                 shared.task_mem.fetch_sub(task_cost(&task), Ordering::Relaxed);
                 progressed = true;
-                drive_task(&shared, &mut ctx, task, false);
+                drive_spanned(&shared, &mut ctx, task, false);
             }
         }
 
@@ -122,7 +123,7 @@ pub(crate) fn comper_loop<A: App>(shared: Arc<WorkerShared<A>>, idx: usize) {
             // pop gate is closed, or a steal raced): park on the same
             // key — GC evictions, response arrivals and sibling
             // enqueues all notify.
-            park(&shared, key);
+            park(&shared, idx, key);
         }
     }
     me().busy.store(false, Ordering::SeqCst);
@@ -138,14 +139,22 @@ pub(crate) fn comper_loop<A: App>(shared: Arc<WorkerShared<A>>, idx: usize) {
 }
 
 /// Parks the calling comper until new work is published (or the
-/// fallback elapses), maintaining the idle/park/wakeup counters.
-fn park<A: App>(shared: &Arc<WorkerShared<A>>, key: u64) {
+/// fallback elapses), maintaining the idle/park/wakeup counters, the
+/// park-duration histogram and (when tracing) a `Park` span.
+fn park<A: App>(shared: &Arc<WorkerShared<A>>, idx: usize, key: u64) {
     let start = Instant::now();
+    let trace = shared.metrics.ring.enabled();
+    let ts = if trace { now_nanos() } else { 0 };
     shared.counters.parks.fetch_add(1, Ordering::Relaxed);
     if shared.sched_events.wait(key, PARK_FALLBACK) {
         shared.counters.wakeups.fetch_add(1, Ordering::Relaxed);
     }
-    shared.counters.idle_nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    let dur = start.elapsed().as_nanos() as u64;
+    shared.counters.idle_nanos.fetch_add(dur, Ordering::Relaxed);
+    shared.compers[idx].hists.park.record(dur);
+    if trace {
+        shared.metrics.ring.push(Event { ts, dur, tid: idx as u32, arg: 0, kind: EventKind::Park });
+    }
 }
 
 /// True when some sibling's queue is worth visiting for a steal. Part
@@ -164,6 +173,30 @@ struct ComperCtx {
     counter: CounterHandle,
     seq: u64,
     idx: usize,
+}
+
+/// [`drive_task`] wrapped in a `Compute` trace span covering the whole
+/// on-CPU streak (one or more iterations until the task finishes or
+/// parks on missing pulls). The span is wall-clock on the shared
+/// metrics timeline so streaks from all compers line up in one trace.
+fn drive_spanned<A: App>(
+    shared: &Arc<WorkerShared<A>>,
+    ctx: &mut ComperCtx,
+    task: Task<A::Context>,
+    ready: bool,
+) {
+    let trace = shared.metrics.ring.enabled();
+    let ts = if trace { now_nanos() } else { 0 };
+    drive_task(shared, ctx, task, ready);
+    if trace {
+        shared.metrics.ring.push(Event {
+            ts,
+            dur: now_nanos().saturating_sub(ts),
+            tid: ctx.idx as u32,
+            arg: 0,
+            kind: EventKind::Compute,
+        });
+    }
 }
 
 /// Drives a task through as many iterations as possible.
@@ -249,6 +282,9 @@ fn drive_task<A: App>(
         }
         if !proceed {
             shared.counters.tasks_finished.fetch_add(1, Ordering::Relaxed);
+            // End-to-end latency: spawn → finish, including every pull
+            // wait and queue/spill residence in between.
+            shared.compers[ctx.idx].hists.e2e.record(now_nanos().saturating_sub(task.born_nanos));
             return;
         }
     }
@@ -287,11 +323,10 @@ fn compute_once<A: App>(
             false
         }
     };
-    shared
-        .counters
-        .compute_nanos
-        .fetch_add(crate::worker::thread_cpu_nanos().saturating_sub(start), Ordering::Relaxed);
+    let spent = crate::worker::thread_cpu_nanos().saturating_sub(start);
+    shared.counters.compute_nanos.fetch_add(spent, Ordering::Relaxed);
     shared.counters.compute_calls.fetch_add(1, Ordering::Relaxed);
+    shared.compers[ctx.idx].hists.compute.record(spent);
     for t in env.take_tasks() {
         enqueue(shared, ctx, t);
     }
@@ -317,6 +352,15 @@ fn enqueue<A: App>(shared: &Arc<WorkerShared<A>>, ctx: &mut ComperCtx, task: Tas
         // over-notify under a concurrent refill, which is harmless.
         let was_empty = shared.spill.is_empty();
         shared.spill.spill(&batch).expect("spill directory writable");
+        if shared.metrics.ring.enabled() {
+            shared.metrics.ring.push(Event {
+                ts: now_nanos(),
+                dur: 0,
+                tid: ctx.idx as u32,
+                arg: batch.len() as u64,
+                kind: EventKind::Spill,
+            });
+        }
         if was_empty {
             shared.sched_events.notify_all();
         }
@@ -348,6 +392,15 @@ fn refill<A: App>(shared: &Arc<WorkerShared<A>>, ctx: &mut ComperCtx) -> bool {
     if let Ok(Some(batch)) = shared.spill.refill::<A::Context>() {
         for t in &batch {
             shared.task_mem.fetch_add(task_cost(t), Ordering::Relaxed);
+        }
+        if shared.metrics.ring.enabled() {
+            shared.metrics.ring.push(Event {
+                ts: now_nanos(),
+                dur: 0,
+                tid: ctx.idx as u32,
+                arg: batch.len() as u64,
+                kind: EventKind::Refill,
+            });
         }
         shared.compers[ctx.idx].queue.push_batch(batch);
         return true;
@@ -418,6 +471,15 @@ fn try_steal<A: App>(shared: &Arc<WorkerShared<A>>, ctx: &mut ComperCtx) -> bool
     };
     shared.counters.steals.fetch_add(1, Ordering::Relaxed);
     shared.counters.stolen_tasks.fetch_add(stolen.len() as u64, Ordering::Relaxed);
+    if shared.metrics.ring.enabled() {
+        shared.metrics.ring.push(Event {
+            ts: now_nanos(),
+            dur: 0,
+            tid: ctx.idx as u32,
+            arg: stolen.len() as u64,
+            kind: EventKind::Steal,
+        });
+    }
     shared.compers[ctx.idx].queue.push_batch(stolen);
     true
 }

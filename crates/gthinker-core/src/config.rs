@@ -1,7 +1,8 @@
 //! Job configuration and result/statistics types.
 
+use crate::metrics::MetricsSnapshot;
 use gthinker_net::router::LinkConfig;
-use gthinker_store::cache::CacheConfig;
+use gthinker_store::cache::{CacheConfig, CacheSnapshot};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -48,6 +49,10 @@ pub struct JobConfig {
     /// `part-<worker>.out` file per worker in this directory (the
     /// paper's workers commit outputs to HDFS).
     pub output_dir: Option<PathBuf>,
+    /// Capacity of each worker's scheduler/cache event ring (events
+    /// kept, overwrite-oldest). 0 — the default — disables event
+    /// recording entirely; the CLI sets it when `--trace-out` is given.
+    pub trace_capacity: usize,
 }
 
 impl Default for JobConfig {
@@ -68,6 +73,7 @@ impl Default for JobConfig {
             suspend_after: None,
             checkpoint_dir: None,
             output_dir: None,
+            trace_capacity: 0,
         }
     }
 }
@@ -102,9 +108,9 @@ pub struct WorkerStats {
     pub tasks_finished: u64,
     /// Total `compute()` invocations (iterations).
     pub compute_calls: u64,
-    /// Cache statistics `(hits, shared_waits, misses, evictions,
-    /// gc_passes)`.
-    pub cache: (u64, u64, u64, u64, u64),
+    /// Cache statistics (hits, shared waits, misses, evictions, GC
+    /// passes) as a named snapshot.
+    pub cache: CacheSnapshot,
     /// Bytes sent over the simulated network.
     pub net_bytes_sent: u64,
     /// Bytes received.
@@ -132,6 +138,10 @@ pub struct WorkerStats {
     pub wakeups: u64,
     /// Vertices served to remote pull requests by the responder pool.
     pub responses_served: u64,
+    /// Responder queue depth at job end (request batches dispatched but
+    /// not yet served). A true gauge — 0 on a clean completion, since
+    /// responders drain fully before the worker's threads join.
+    pub responder_backlog: u64,
     /// Peak responder queue depth (request batches awaiting service).
     pub responder_peak_backlog: u64,
 }
@@ -160,6 +170,10 @@ pub struct JobResult<G> {
     pub outcome: JobOutcome,
     /// Per-worker statistics.
     pub workers: Vec<WorkerStats>,
+    /// Full end-of-run metrics: per-comper latency histograms, named
+    /// counters and (when `trace_capacity > 0`) the event timelines.
+    /// Empty histograms when the `metrics` feature is disabled.
+    pub metrics: MetricsSnapshot,
 }
 
 impl<G> JobResult<G> {
@@ -231,6 +245,7 @@ mod tests {
                     ..Default::default()
                 },
             ],
+            metrics: MetricsSnapshot::default(),
         };
         assert_eq!(r.peak_mem_bytes(), 30);
         assert_eq!(r.total_net_bytes(), 12);

@@ -7,6 +7,7 @@ use crate::checkpoint::{self, Manifest, WorkerShard};
 use crate::comper::comper_loop;
 use crate::config::{JobConfig, JobOutcome, JobResult, WorkerStats};
 use crate::master::MasterState;
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::worker::{
     gc_loop, receiver_loop, responder_loop, worker_tick, ResponderRing, WorkerShared,
 };
@@ -63,17 +64,37 @@ pub struct ProgressSnapshot {
 }
 
 /// Like [`run_job`], but invokes `observer` with a [`ProgressSnapshot`]
-/// every `config.sync_interval` until the job ends.
+/// every `config.sync_interval` until the job ends. The snapshot is a
+/// projection of the full [`MetricsSnapshot`]; use
+/// [`run_job_metrics_observed`] for the complete view.
 pub fn run_job_observed<A: App>(
     app: Arc<A>,
     graph: &Graph,
     config: &JobConfig,
-    observer: impl FnMut(ProgressSnapshot) + Send + 'static,
+    mut observer: impl FnMut(ProgressSnapshot) + Send + 'static,
+) -> io::Result<JobResult<Global<A>>> {
+    run_inner(
+        app,
+        graph,
+        config,
+        None,
+        Some(Box::new(move |m: &MetricsSnapshot| observer(m.progress()))),
+    )
+}
+
+/// Like [`run_job`], but invokes `observer` with a full
+/// [`MetricsSnapshot`] (counters, cache stats, per-comper latency
+/// histograms) every `config.sync_interval` until the job ends.
+pub fn run_job_metrics_observed<A: App>(
+    app: Arc<A>,
+    graph: &Graph,
+    config: &JobConfig,
+    observer: impl FnMut(&MetricsSnapshot) + Send + 'static,
 ) -> io::Result<JobResult<Global<A>>> {
     run_inner(app, graph, config, None, Some(Box::new(observer)))
 }
 
-type Observer = Box<dyn FnMut(ProgressSnapshot) + Send>;
+type Observer = Box<dyn FnMut(&MetricsSnapshot) + Send>;
 
 /// Resumes a suspended job from the checkpoint directory written when
 /// it suspended. Topology (worker count) must match the original run.
@@ -181,13 +202,18 @@ fn run_inner<A: App>(
         }
     }
 
-    // Observer thread: samples all workers until they report done. The
-    // channel doubles as the sampling timer (recv_timeout) and as the
-    // shutdown wakeup, so no sleep-polling is involved.
+    // The registry reads every worker's atomics/histograms lock-free;
+    // one instance feeds the observer thread, another takes the final
+    // snapshot after the join below.
+    let registry = MetricsRegistry::new(workers.iter().map(Arc::clone).collect(), start);
+
+    // Observer thread: samples the registry until the workers report
+    // done. The channel doubles as the sampling timer (recv_timeout)
+    // and as the shutdown wakeup, so no sleep-polling is involved.
     let observer_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
     let (observer_wake_tx, observer_wake_rx) = crossbeam::channel::unbounded::<()>();
     let observer_thread = observer.map(|mut obs| {
-        let workers: Vec<Arc<WorkerShared<A>>> = workers.iter().map(Arc::clone).collect();
+        let registry = MetricsRegistry::new(workers.iter().map(Arc::clone).collect(), start);
         let stop = Arc::clone(&observer_stop);
         let wake = observer_wake_rx;
         let interval = config.sync_interval;
@@ -198,22 +224,7 @@ fn run_inner<A: App>(
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
-                let snapshot = ProgressSnapshot {
-                    elapsed: start.elapsed(),
-                    tasks_finished: workers
-                        .iter()
-                        .map(|w| w.counters.tasks_finished.load(Ordering::Relaxed))
-                        .sum(),
-                    remaining: workers.iter().map(|w| w.remaining_estimate()).sum(),
-                    cache_hits: workers.iter().map(|w| w.cache.stats().snapshot().0).sum(),
-                    cache_misses: workers.iter().map(|w| w.cache.stats().snapshot().2).sum(),
-                    net_bytes: workers
-                        .iter()
-                        .map(|w| w.net.stats().bytes_sent.load(Ordering::Relaxed))
-                        .sum(),
-                    quiescent_workers: workers.iter().filter(|w| w.quiescent()).count(),
-                };
-                obs(snapshot);
+                obs(&registry.snapshot());
             })
             .expect("spawn observer")
     });
@@ -262,7 +273,14 @@ fn run_inner<A: App>(
         WorkerOutcome::Completed(g) => (g, JobOutcome::Completed),
         WorkerOutcome::Suspended(g, dir) => (g, JobOutcome::Suspended { checkpoint: dir }),
     };
-    Ok(JobResult { global, elapsed: start.elapsed(), outcome: job_outcome, workers: stats })
+    let metrics = registry.final_snapshot();
+    Ok(JobResult {
+        global,
+        elapsed: start.elapsed(),
+        outcome: job_outcome,
+        workers: stats,
+        metrics,
+    })
 }
 
 static JOB_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -295,7 +313,7 @@ fn worker_main<A: App>(
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name(format!("respond-{}-{r}", shared.me))
-                .spawn(move || responder_loop(&shared, rx))
+                .spawn(move || responder_loop(&shared, rx, r))
                 .expect("spawn responder")
         })
         .collect();
@@ -340,12 +358,32 @@ fn worker_main<A: App>(
     // old `thread::sleep`: the sync interval is the fallback cadence,
     // and `wake_all` (stop/suspend) cuts the wait short so shutdown
     // latency is not bounded by the tick period.
+    let mut was_idle = false;
     loop {
         let key = shared.tick_events.listen();
         if !shared.stopping() {
             shared.tick_events.wait(key, shared.config.sync_interval);
         }
-        worker_tick(&shared, WorkerId(0));
+        let idle = worker_tick(&shared, WorkerId(0));
+        // Mark quiescence edges in the timeline (sampled at tick
+        // granularity; a sub-tick dip into and out of quiescence is
+        // invisible here, as in the paper's periodic sync).
+        if idle != was_idle {
+            was_idle = idle;
+            if shared.metrics.ring.enabled() {
+                shared.metrics.ring.push(gthinker_metrics::Event {
+                    ts: gthinker_metrics::now_nanos(),
+                    dur: 0,
+                    tid: gthinker_metrics::TID_MAIN,
+                    arg: 0,
+                    kind: if idle {
+                        gthinker_metrics::EventKind::QuiesceEnter
+                    } else {
+                        gthinker_metrics::EventKind::QuiesceExit
+                    },
+                });
+            }
+        }
         // A UDF panic on this worker aborts the whole job: tell every
         // other worker to stop, then go through the normal shutdown
         // path (final syncs keep the master's collection loop sound).
@@ -440,11 +478,10 @@ fn worker_main<A: App>(
     if let Some(output) = &shared.output {
         output.flush();
     }
-    let (hits, shared_waits, misses, evictions, gc_passes) = shared.cache.stats().snapshot();
     let stats = WorkerStats {
         tasks_finished: shared.counters.tasks_finished.load(Ordering::Relaxed),
         compute_calls: shared.counters.compute_calls.load(Ordering::Relaxed),
-        cache: (hits, shared_waits, misses, evictions, gc_passes),
+        cache: shared.cache.stats().snapshot(),
         net_bytes_sent: shared.net.stats().bytes_sent.load(Ordering::Relaxed),
         net_bytes_received: shared.net.stats().bytes_received.load(Ordering::Relaxed),
         spill_bytes: shared.spill.bytes_spilled(),
@@ -461,6 +498,7 @@ fn worker_main<A: App>(
         parks: shared.counters.parks.load(Ordering::Relaxed),
         wakeups: shared.counters.wakeups.load(Ordering::Relaxed),
         responses_served: shared.counters.responses_served.load(Ordering::Relaxed),
+        responder_backlog: shared.counters.responder_backlog.load(Ordering::Relaxed),
         responder_peak_backlog: shared.counters.responder_peak_backlog.load(Ordering::Relaxed),
     };
     (stats, outcome)

@@ -56,20 +56,25 @@ mod comper;
 pub mod config;
 pub mod job;
 mod master;
+pub mod metrics;
 pub mod output;
 mod worker;
 
 pub use agg::{Aggregator, LocalAgg, NoAgg};
 pub use api::{App, ComputeEnv, SpawnEnv};
 pub use config::{JobConfig, JobOutcome, JobResult, WorkerStats};
-pub use job::{resume_job, run_job, run_job_observed, ProgressSnapshot};
+pub use job::{resume_job, run_job, run_job_metrics_observed, run_job_observed, ProgressSnapshot};
+pub use metrics::{MetricsRegistry, MetricsSnapshot, WorkerMetricsSnapshot};
 
 /// Convenient glob-import surface for applications.
 pub mod prelude {
     pub use crate::agg::{Aggregator, NoAgg};
     pub use crate::api::{App, ComputeEnv, SpawnEnv};
     pub use crate::config::{JobConfig, JobOutcome, JobResult};
-    pub use crate::job::{resume_job, run_job, run_job_observed, ProgressSnapshot};
+    pub use crate::job::{
+        resume_job, run_job, run_job_metrics_observed, run_job_observed, ProgressSnapshot,
+    };
+    pub use crate::metrics::{MetricsSnapshot, WorkerMetricsSnapshot};
     pub use gthinker_graph::adj::AdjList;
     pub use gthinker_graph::ids::{Label, VertexId};
     pub use gthinker_graph::subgraph::Subgraph;

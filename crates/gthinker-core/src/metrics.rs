@@ -1,0 +1,453 @@
+//! Unified job metrics: the [`MetricsRegistry`] and its
+//! [`MetricsSnapshot`], subsuming the raw `WorkerCounters`, the cache
+//! statistics and the progress view into one structured, exportable
+//! snapshot (DESIGN.md §"Observability").
+//!
+//! A snapshot is safe to take at any moment of a running job — every
+//! source is either an atomic counter or a lock-free histogram read —
+//! and is plain data afterwards: mergeable, comparable, serialisable
+//! to JSON or pretty text, and (with events) dumpable as a Chrome
+//! trace.
+
+use crate::api::App;
+use crate::job::ProgressSnapshot;
+use crate::worker::WorkerShared;
+use gthinker_metrics::{ComperHistSnapshot, Event, HistSnapshot};
+use gthinker_store::cache::CacheSnapshot;
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Live handle over a running job's workers; the factory for
+/// [`MetricsSnapshot`]s. Owned by the job runner.
+pub struct MetricsRegistry<A: App> {
+    workers: Vec<Arc<WorkerShared<A>>>,
+    start: Instant,
+}
+
+impl<A: App> MetricsRegistry<A> {
+    pub(crate) fn new(workers: Vec<Arc<WorkerShared<A>>>, start: Instant) -> Self {
+        MetricsRegistry { workers, start }
+    }
+
+    /// Mid-run snapshot: counters, cache stats and histograms, but no
+    /// event dump (rings keep filling; reading them mid-run is cheap
+    /// but rarely useful before the job ends).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.snapshot_inner(false)
+    }
+
+    /// End-of-run snapshot including each worker's event timeline.
+    pub fn final_snapshot(&self) -> MetricsSnapshot {
+        self.snapshot_inner(true)
+    }
+
+    fn snapshot_inner(&self, with_events: bool) -> MetricsSnapshot {
+        MetricsSnapshot {
+            elapsed: self.start.elapsed(),
+            workers: self.workers.iter().map(|w| snapshot_worker(w, with_events)).collect(),
+        }
+    }
+}
+
+fn snapshot_worker<A: App>(w: &WorkerShared<A>, with_events: bool) -> WorkerMetricsSnapshot {
+    let c = &w.counters;
+    WorkerMetricsSnapshot {
+        tasks_finished: c.tasks_finished.load(Ordering::Relaxed),
+        compute_calls: c.compute_calls.load(Ordering::Relaxed),
+        compute_nanos: c.compute_nanos.load(Ordering::Relaxed),
+        idle_nanos: c.idle_nanos.load(Ordering::Relaxed),
+        steals: c.steals.load(Ordering::Relaxed),
+        stolen_tasks: c.stolen_tasks.load(Ordering::Relaxed),
+        parks: c.parks.load(Ordering::Relaxed),
+        wakeups: c.wakeups.load(Ordering::Relaxed),
+        responses_served: c.responses_served.load(Ordering::Relaxed),
+        responder_backlog: c.responder_backlog.load(Ordering::Relaxed),
+        responder_peak_backlog: c.responder_peak_backlog.load(Ordering::Relaxed),
+        cache: w.cache.stats().snapshot(),
+        net_bytes_sent: w.net.stats().bytes_sent.load(Ordering::Relaxed),
+        net_bytes_received: w.net.stats().bytes_received.load(Ordering::Relaxed),
+        spill_bytes: w.spill.bytes_spilled(),
+        remaining: w.remaining_estimate(),
+        quiescent: w.quiescent(),
+        compers: w.compers.iter().map(|c| c.hists.snapshot()).collect(),
+        pull_rtt: w.metrics.pull_rtt.snapshot(),
+        responder_drain: w.metrics.responder_drain.snapshot(),
+        events: if with_events { w.metrics.ring.snapshot() } else { Vec::new() },
+    }
+}
+
+/// One worker's slice of a [`MetricsSnapshot`]: every scheduler/cache
+/// counter, the per-comper latency histograms and (in final snapshots)
+/// the event timeline.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerMetricsSnapshot {
+    /// Tasks whose `compute()` returned `false`.
+    pub tasks_finished: u64,
+    /// Total `compute()` invocations (iterations).
+    pub compute_calls: u64,
+    /// Thread-CPU nanoseconds inside `compute()`, summed over compers.
+    pub compute_nanos: u64,
+    /// Nanoseconds compers spent parked, summed over compers.
+    pub idle_nanos: u64,
+    /// Successful intra-worker steals by this worker's compers.
+    pub steals: u64,
+    /// Tasks moved by those steals.
+    pub stolen_tasks: u64,
+    /// Times a comper parked on the scheduler event count.
+    pub parks: u64,
+    /// Parks that ended in an event wakeup (not the fallback timeout).
+    pub wakeups: u64,
+    /// Vertices served to remote pulls by the responder pool.
+    pub responses_served: u64,
+    /// Request batches queued to responders but not yet served (gauge;
+    /// 0 at quiescence).
+    pub responder_backlog: u64,
+    /// Peak of that gauge over the run.
+    pub responder_peak_backlog: u64,
+    /// Named cache counters (previously the opaque 5-tuple).
+    pub cache: CacheSnapshot,
+    /// Bytes sent over the simulated network.
+    pub net_bytes_sent: u64,
+    /// Bytes received.
+    pub net_bytes_received: u64,
+    /// Bytes of task batches spilled to disk.
+    pub spill_bytes: u64,
+    /// Estimated remaining load in tasks.
+    pub remaining: u64,
+    /// Whether the worker was quiescent at snapshot time.
+    pub quiescent: bool,
+    /// Per-comper latency histograms (compute / e2e / park).
+    pub compers: Vec<ComperHistSnapshot>,
+    /// Pull round-trip time (request sent → response installed).
+    pub pull_rtt: HistSnapshot,
+    /// Responder backlog drain time (dispatch → response sent).
+    pub responder_drain: HistSnapshot,
+    /// Event timeline (final snapshots only; bounded by the ring).
+    pub events: Vec<Event>,
+}
+
+impl WorkerMetricsSnapshot {
+    /// All compers' histograms merged into one (lossless bucket sums).
+    pub fn merged_hists(&self) -> ComperHistSnapshot {
+        let mut m = ComperHistSnapshot::default();
+        for c in &self.compers {
+            m.merge(c);
+        }
+        m
+    }
+}
+
+/// A point-in-time view of every worker's metrics. Plain data; all
+/// methods are derived views.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Time since the job started.
+    pub elapsed: Duration,
+    /// One entry per worker.
+    pub workers: Vec<WorkerMetricsSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Every comper of every worker merged into one histogram set.
+    pub fn merged_hists(&self) -> ComperHistSnapshot {
+        let mut m = ComperHistSnapshot::default();
+        for w in &self.workers {
+            m.merge(&w.merged_hists());
+        }
+        m
+    }
+
+    /// Tasks finished across all workers.
+    pub fn total_tasks(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks_finished).sum()
+    }
+
+    /// The legacy progress view, derived (the observer API's
+    /// [`ProgressSnapshot`] is a strict projection of this snapshot).
+    pub fn progress(&self) -> ProgressSnapshot {
+        ProgressSnapshot {
+            elapsed: self.elapsed,
+            tasks_finished: self.total_tasks(),
+            remaining: self.workers.iter().map(|w| w.remaining).sum(),
+            cache_hits: self.workers.iter().map(|w| w.cache.hits).sum(),
+            cache_misses: self.workers.iter().map(|w| w.cache.misses).sum(),
+            net_bytes: self.workers.iter().map(|w| w.net_bytes_sent).sum(),
+            quiescent_workers: self.workers.iter().filter(|w| w.quiescent).count(),
+        }
+    }
+
+    /// Writes all workers' event timelines as Chrome `trace_event`
+    /// JSON (chrome://tracing / Perfetto). Only meaningful on a final
+    /// snapshot of a job run with a non-zero `trace_capacity`.
+    pub fn write_chrome_trace<W: std::io::Write>(&self, w: W) -> std::io::Result<()> {
+        let per_worker: Vec<Vec<Event>> = self.workers.iter().map(|ws| ws.events.clone()).collect();
+        gthinker_metrics::trace::write_chrome_trace(w, &per_worker)
+    }
+
+    /// Machine-readable JSON export: per-worker counters plus quantile
+    /// summaries (count/mean/p50/p90/p95/p99/max) of every histogram,
+    /// per comper and merged.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(s, "{{\n  \"elapsed_ms\": {:.3},\n  \"workers\": [", ms(self.elapsed));
+        for (wi, w) in self.workers.iter().enumerate() {
+            if wi > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\n      \"worker\": {wi},\n      \
+                 \"tasks_finished\": {},\n      \"compute_calls\": {},\n      \
+                 \"compute_ms\": {:.3},\n      \"idle_ms\": {:.3},\n      \
+                 \"steals\": {},\n      \"stolen_tasks\": {},\n      \
+                 \"parks\": {},\n      \"wakeups\": {},\n      \
+                 \"responses_served\": {},\n      \"responder_backlog\": {},\n      \
+                 \"responder_peak_backlog\": {},\n      \
+                 \"cache\": {{\"hits\": {}, \"shared_waits\": {}, \"misses\": {}, \
+                 \"evictions\": {}, \"gc_passes\": {}}},\n      \
+                 \"net_bytes_sent\": {},\n      \"net_bytes_received\": {},\n      \
+                 \"spill_bytes\": {},\n      \
+                 \"pull_rtt\": {},\n      \"responder_drain\": {},\n      \
+                 \"compers\": [",
+                w.tasks_finished,
+                w.compute_calls,
+                w.compute_nanos as f64 / 1e6,
+                w.idle_nanos as f64 / 1e6,
+                w.steals,
+                w.stolen_tasks,
+                w.parks,
+                w.wakeups,
+                w.responses_served,
+                w.responder_backlog,
+                w.responder_peak_backlog,
+                w.cache.hits,
+                w.cache.shared_waits,
+                w.cache.misses,
+                w.cache.evictions,
+                w.cache.gc_passes,
+                w.net_bytes_sent,
+                w.net_bytes_received,
+                w.spill_bytes,
+                hist_json(&w.pull_rtt),
+                hist_json(&w.responder_drain),
+            );
+            for (ci, c) in w.compers.iter().enumerate() {
+                if ci > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "\n        {{\"comper\": {ci}, \"compute\": {}, \"e2e\": {}, \"park\": {}}}",
+                    hist_json(&c.compute),
+                    hist_json(&c.e2e),
+                    hist_json(&c.park),
+                );
+            }
+            s.push_str("\n      ]\n    }");
+        }
+        let m = self.merged_hists();
+        let _ = write!(
+            s,
+            "\n  ],\n  \"merged\": {{\"compute\": {}, \"e2e\": {}, \"park\": {}}}\n}}\n",
+            hist_json(&m.compute),
+            hist_json(&m.e2e),
+            hist_json(&m.park),
+        );
+        s
+    }
+
+    /// Human-readable summary: per-worker counters and merged latency
+    /// quantiles.
+    pub fn pretty(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "job metrics after {:.1} ms", ms(self.elapsed));
+        let _ = writeln!(
+            s,
+            "{:>6} | {:>8} {:>9} {:>9} | {:>6} {:>6} {:>7} | {:>9} {:>9}",
+            "worker", "tasks", "compute", "idle", "steals", "parks", "served", "hits", "misses"
+        );
+        for (wi, w) in self.workers.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "{:>6} | {:>8} {:>8.1}ms {:>8.1}ms | {:>6} {:>6} {:>7} | {:>9} {:>9}",
+                wi,
+                w.tasks_finished,
+                w.compute_nanos as f64 / 1e6,
+                w.idle_nanos as f64 / 1e6,
+                w.steals,
+                w.parks,
+                w.responses_served,
+                w.cache.hits,
+                w.cache.misses,
+            );
+        }
+        let m = self.merged_hists();
+        for (name, h) in [("compute", &m.compute), ("task e2e", &m.e2e), ("park", &m.park)] {
+            let _ = writeln!(
+                s,
+                "{name:>9}: n={} p50={} p95={} p99={} max={}",
+                h.count(),
+                fmt_nanos(h.quantile(0.50)),
+                fmt_nanos(h.quantile(0.95)),
+                fmt_nanos(h.quantile(0.99)),
+                fmt_nanos(h.max_estimate()),
+            );
+        }
+        s
+    }
+
+    /// End-of-run tail-latency report: task e2e p50/p95/p99/max per
+    /// comper, with a straggler flag on any comper whose busy time
+    /// (thread-CPU in `compute()`) deviates more than 2× from the
+    /// median comper.
+    pub fn tail_report(&self) -> String {
+        let mut s = String::new();
+        let mut busies: Vec<u64> =
+            self.workers.iter().flat_map(|w| w.compers.iter().map(|c| c.compute.sum)).collect();
+        if busies.is_empty() {
+            return "no comper metrics recorded (metrics feature off?)\n".to_string();
+        }
+        busies.sort_unstable();
+        let median = busies[busies.len() / 2];
+        let _ = writeln!(s, "task latency tail (end-to-end, spawn -> finish)");
+        let _ = writeln!(
+            s,
+            "{:>6} {:>6} | {:>7} {:>9} {:>9} {:>9} {:>9} | {:>9}",
+            "worker", "comper", "tasks", "p50", "p95", "p99", "max", "busy"
+        );
+        let mut stragglers = Vec::new();
+        for (wi, w) in self.workers.iter().enumerate() {
+            for (ci, c) in w.compers.iter().enumerate() {
+                let busy = c.compute.sum;
+                // A comper is a straggler when its busy time is more
+                // than 2x the median (overloaded) or under half of it
+                // (starved) — both directions of >2x deviation.
+                let straggler = median > 0 && (busy > 2 * median || busy * 2 < median);
+                let _ = writeln!(
+                    s,
+                    "{:>6} {:>6} | {:>7} {:>9} {:>9} {:>9} {:>9} | {:>7.1}ms{}",
+                    wi,
+                    ci,
+                    c.e2e.count(),
+                    fmt_nanos(c.e2e.quantile(0.50)),
+                    fmt_nanos(c.e2e.quantile(0.95)),
+                    fmt_nanos(c.e2e.quantile(0.99)),
+                    fmt_nanos(c.e2e.max_estimate()),
+                    busy as f64 / 1e6,
+                    if straggler { "  <-- straggler" } else { "" },
+                );
+                if straggler {
+                    stragglers.push((wi, ci, busy));
+                }
+            }
+        }
+        if stragglers.is_empty() {
+            let _ = writeln!(s, "no stragglers (all busy times within 2x of the median)");
+        } else {
+            for (wi, ci, busy) in stragglers {
+                let _ = writeln!(
+                    s,
+                    "straggler: worker {wi} comper {ci} busy {:.1}ms vs median {:.1}ms",
+                    busy as f64 / 1e6,
+                    median as f64 / 1e6,
+                );
+            }
+        }
+        s
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Quantile summary of one histogram as a JSON object.
+fn hist_json(h: &HistSnapshot) -> String {
+    format!(
+        "{{\"count\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \
+         \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+        h.count(),
+        h.mean(),
+        h.quantile(0.50),
+        h.quantile(0.90),
+        h.quantile(0.95),
+        h.quantile(0.99),
+        h.max_estimate(),
+    )
+}
+
+/// Human-scale duration from nanoseconds.
+fn fmt_nanos(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.2}s", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.1}ms", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1}us", n as f64 / 1e3)
+    } else {
+        format!("{n}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap_with(counts: &[u64]) -> MetricsSnapshot {
+        let workers = counts
+            .iter()
+            .map(|&n| {
+                let h = gthinker_metrics::ComperHists::new();
+                for i in 0..n {
+                    h.compute.record(1_000 * (i + 1));
+                    h.e2e.record(10_000 * (i + 1));
+                }
+                WorkerMetricsSnapshot {
+                    tasks_finished: n,
+                    compers: vec![h.snapshot()],
+                    ..Default::default()
+                }
+            })
+            .collect();
+        MetricsSnapshot { elapsed: Duration::from_millis(5), workers }
+    }
+
+    #[test]
+    fn progress_projection_sums_workers() {
+        let s = snap_with(&[3, 7]);
+        let p = s.progress();
+        assert_eq!(p.tasks_finished, 10);
+        assert_eq!(p.quiescent_workers, 0);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn merged_hists_keep_all_counts() {
+        let s = snap_with(&[3, 7]);
+        let m = s.merged_hists();
+        assert_eq!(m.compute.count(), 10);
+        assert_eq!(m.e2e.count(), 10);
+    }
+
+    #[test]
+    fn json_and_reports_render() {
+        let s = snap_with(&[2, 2]);
+        let json = s.to_json();
+        for key in ["\"workers\"", "\"compers\"", "\"p50_ns\"", "\"p99_ns\"", "\"merged\""] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(s.pretty().contains("job metrics"));
+        assert!(s.tail_report().contains("task latency tail"));
+    }
+
+    #[test]
+    fn fmt_nanos_scales() {
+        assert_eq!(fmt_nanos(50), "50ns");
+        assert_eq!(fmt_nanos(1_500), "1.5us");
+        assert_eq!(fmt_nanos(2_500_000), "2.5ms");
+        assert_eq!(fmt_nanos(3_000_000_000), "3.00s");
+    }
+}

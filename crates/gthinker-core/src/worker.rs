@@ -16,6 +16,7 @@ use crossbeam::channel::Receiver;
 use crossbeam::channel::Sender;
 use gthinker_graph::ids::{VertexId, WorkerId};
 use gthinker_graph::partition::HashPartitioner;
+use gthinker_metrics::{now_nanos, ComperHists, Event, EventKind, WorkerMetrics, TID_GC};
 use gthinker_net::batch::RequestBatcher;
 use gthinker_net::message::Message;
 use gthinker_net::router::NetHandle;
@@ -73,6 +74,9 @@ pub(crate) struct ComperShared<C> {
     /// task; set **before** checking task sources to close the
     /// quiescence race.
     pub busy: AtomicBool,
+    /// Per-comper latency histograms (compute / e2e / park); merged
+    /// lock-free at snapshot time by the metrics registry.
+    pub hists: ComperHists,
 }
 
 impl<C> ComperShared<C> {
@@ -82,6 +86,7 @@ impl<C> ComperShared<C> {
             pending: PendingTable::new(),
             queue: SharedTaskQueue::new(task_batch),
             busy: AtomicBool::new(true), // busy until the comper proves idle
+            hists: ComperHists::new(),
         }
     }
 }
@@ -164,6 +169,9 @@ pub(crate) struct WorkerShared<A: App> {
     pub labels: Option<Arc<Vec<gthinker_graph::ids::Label>>>,
     /// Output sink when `JobConfig::output_dir` is set.
     pub output: Option<Arc<crate::output::OutputSink>>,
+    /// Worker-level instrumentation: pull-RTT / responder-drain
+    /// histograms and the scheduler/cache event ring.
+    pub metrics: WorkerMetrics,
 }
 
 impl<A: App> WorkerShared<A> {
@@ -184,6 +192,7 @@ impl<A: App> WorkerShared<A> {
         let compers =
             (0..config.compers_per_worker).map(|_| ComperShared::new(config.task_batch)).collect();
         let batcher = RequestBatcher::new(me, config.num_workers, config.request_batch);
+        let metrics = WorkerMetrics::new(config.trace_capacity);
         Arc::new(WorkerShared {
             me,
             app,
@@ -210,6 +219,7 @@ impl<A: App> WorkerShared<A> {
             drained_queues: Mutex::new(Vec::new()),
             labels,
             output,
+            metrics,
         })
     }
 
@@ -305,23 +315,36 @@ impl<A: App> WorkerShared<A> {
     }
 }
 
+/// One request batch queued from the receiver to a responder.
+#[derive(Debug)]
+pub(crate) struct RespondJob {
+    /// Requesting worker (the response's destination).
+    pub from: WorkerId,
+    /// Requested vertices.
+    pub vertices: Vec<VertexId>,
+    /// The request's `sent_nanos`, echoed back for RTT measurement.
+    pub req_nanos: u64,
+    /// When the receiver dispatched the job (drain-time measurement).
+    pub enqueued_nanos: u64,
+}
+
 /// Round-robin dispatcher from the receiver to the responder pool
 /// (tail-latency scheduler, layer 3). The receiver owns it; dropping it
 /// (receiver exit) hangs up every responder channel, which is how the
 /// pool shuts down.
 pub(crate) struct ResponderRing {
-    txs: Vec<Sender<(WorkerId, Vec<VertexId>)>>,
+    txs: Vec<Sender<RespondJob>>,
     next: usize,
 }
 
 impl ResponderRing {
-    pub fn new(txs: Vec<Sender<(WorkerId, Vec<VertexId>)>>) -> Self {
+    pub fn new(txs: Vec<Sender<RespondJob>>) -> Self {
         assert!(!txs.is_empty(), "at least one responder");
         ResponderRing { txs, next: 0 }
     }
 
-    fn dispatch(&mut self, from: WorkerId, vertices: Vec<VertexId>) {
-        self.txs[self.next].send((from, vertices)).expect("responder outlives the receiver");
+    fn dispatch(&mut self, job: RespondJob) {
+        self.txs[self.next].send(job).expect("responder outlives the receiver");
         self.next = (self.next + 1) % self.txs.len();
     }
 }
@@ -329,12 +352,14 @@ impl ResponderRing {
 /// One responder thread: serves `VertexRequest` batches from `T_local`
 /// off the receiver thread, so response installation and request
 /// serving overlap instead of serializing behind one thread. Exits when
-/// the receiver drops the [`ResponderRing`].
+/// the receiver drops the [`ResponderRing`]. `ridx` is the responder's
+/// index in the pool (trace thread ID only).
 pub(crate) fn responder_loop<A: App>(
     shared: &Arc<WorkerShared<A>>,
-    rx: Receiver<(WorkerId, Vec<VertexId>)>,
+    rx: Receiver<RespondJob>,
+    ridx: usize,
 ) {
-    while let Ok((from, vertices)) = rx.recv() {
+    while let Ok(RespondJob { from, vertices, req_nanos, enqueued_nanos }) = rx.recv() {
         let served = vertices.len() as u64;
         let entries = vertices
             .into_iter()
@@ -347,7 +372,18 @@ pub(crate) fn responder_loop<A: App>(
                 (v, (*adj).clone())
             })
             .collect();
-        shared.net.send(from, Message::VertexResponse { entries });
+        shared.net.send(from, Message::VertexResponse { entries, req_nanos });
+        let now = now_nanos();
+        shared.metrics.responder_drain.record(now.saturating_sub(enqueued_nanos));
+        if shared.metrics.ring.enabled() {
+            shared.metrics.ring.push(Event {
+                ts: enqueued_nanos,
+                dur: now.saturating_sub(enqueued_nanos),
+                tid: gthinker_metrics::TID_RESPONDER_BASE + ridx as u32,
+                arg: served,
+                kind: EventKind::Respond,
+            });
+        }
         shared.counters.responses_served.fetch_add(served, Ordering::Relaxed);
         shared.counters.responder_backlog.fetch_sub(1, Ordering::Relaxed);
     }
@@ -385,12 +421,21 @@ fn handle_message<A: App>(
     msg: Message,
 ) {
     match msg {
-        Message::VertexRequest { from, vertices } => {
+        Message::VertexRequest { from, vertices, sent_nanos } => {
             let depth = shared.counters.responder_backlog.fetch_add(1, Ordering::Relaxed) + 1;
             shared.counters.responder_peak_backlog.fetch_max(depth, Ordering::Relaxed);
-            responders.dispatch(from, vertices);
+            responders.dispatch(RespondJob {
+                from,
+                vertices,
+                req_nanos: sent_nanos,
+                enqueued_nanos: now_nanos(),
+            });
         }
-        Message::VertexResponse { entries } => {
+        Message::VertexResponse { entries, req_nanos } => {
+            // One RTT sample per response batch: send → install start.
+            if req_nanos > 0 {
+                shared.metrics.pull_rtt.record(now_nanos().saturating_sub(req_nanos));
+            }
             let mut made_ready = false;
             for (v, adj) in entries {
                 let waiters = shared.cache.insert_response(v, adj);
@@ -514,8 +559,19 @@ pub(crate) fn gc_loop<A: App>(shared: &Arc<WorkerShared<A>>) {
         if shared.stopping() {
             break;
         }
+        let trace = shared.metrics.ring.enabled();
+        let pass_start = if trace { now_nanos() } else { 0 };
         let evicted = shared.cache.gc_pass(&mut handle);
         if evicted > 0 {
+            if trace {
+                shared.metrics.ring.push(Event {
+                    ts: pass_start,
+                    dur: now_nanos().saturating_sub(pass_start),
+                    tid: TID_GC,
+                    arg: evicted as u64,
+                    kind: EventKind::GcPass,
+                });
+            }
             // Evictions may reopen the pop() gate (`over_limit`) that
             // idle compers are parked behind.
             shared.sched_events.notify_all();
@@ -528,8 +584,9 @@ pub(crate) fn gc_loop<A: App>(shared: &Arc<WorkerShared<A>>) {
 
 /// Periodic duties of every worker's main thread (master or not):
 /// report progress, ship the aggregator partial, flush request batches
-/// and sample memory.
-pub(crate) fn worker_tick<A: App>(shared: &Arc<WorkerShared<A>>, master: WorkerId) {
+/// and sample memory. Returns the quiescence verdict this tick
+/// reported, so the caller can trace quiescence edges.
+pub(crate) fn worker_tick<A: App>(shared: &Arc<WorkerShared<A>>, master: WorkerId) -> bool {
     shared.batcher.flush_all(&shared.net);
     shared.sample_memory();
     let partial = shared.agg.take_partial();
@@ -537,12 +594,10 @@ pub(crate) fn worker_tick<A: App>(shared: &Arc<WorkerShared<A>>, master: WorkerI
         master,
         Message::AggregatorSync { worker: shared.me, payload: to_bytes(&partial), is_final: false },
     );
+    let idle = shared.quiescent();
     shared.net.send(
         master,
-        Message::Progress {
-            worker: shared.me,
-            remaining: shared.remaining_estimate(),
-            idle: shared.quiescent(),
-        },
+        Message::Progress { worker: shared.me, remaining: shared.remaining_estimate(), idle },
     );
+    idle
 }

@@ -1,0 +1,210 @@
+//! Bounded per-worker event timeline.
+//!
+//! [`EventRing`] is a fixed-capacity, overwrite-oldest buffer of
+//! timestamped scheduler/cache [`Event`]s. Writers claim a slot with
+//! one `fetch_add` on the head counter and then take that single
+//! slot's mutex — writers on different slots never contend, and a full
+//! ring silently recycles the oldest entries instead of growing or
+//! blocking. Capacity 0 (or the `metrics` feature off) disables
+//! recording entirely; call sites guard the timestamp computation with
+//! [`EventRing::enabled`] so a disabled ring costs one branch.
+
+/// What happened. Span kinds carry a duration; instant kinds are
+/// points in time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A comper ran one `compute()` streak on a task (span).
+    Compute,
+    /// A comper parked on the scheduler event count (span).
+    Park,
+    /// A comper stole tasks from a sibling; `arg` = tasks taken.
+    Steal,
+    /// A comper spilled a batch to `L_file`; `arg` = tasks spilled.
+    Spill,
+    /// A comper refilled its queue; `arg` = tasks obtained.
+    Refill,
+    /// A cache GC pass that evicted something; `arg` = evictions (span).
+    GcPass,
+    /// A responder drained one request batch; `arg` = vertices (span).
+    Respond,
+    /// The worker's tick thread first observed local quiescence.
+    QuiesceEnter,
+    /// The worker left quiescence (new work arrived).
+    QuiesceExit,
+}
+
+impl EventKind {
+    /// Short stable name used in trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Compute => "compute",
+            EventKind::Park => "park",
+            EventKind::Steal => "steal",
+            EventKind::Spill => "spill",
+            EventKind::Refill => "refill",
+            EventKind::GcPass => "gc_pass",
+            EventKind::Respond => "respond",
+            EventKind::QuiesceEnter => "quiesce_enter",
+            EventKind::QuiesceExit => "quiesce_exit",
+        }
+    }
+
+    /// Spans render as Chrome `ph:"X"` complete events; the rest as
+    /// `ph:"i"` instants.
+    pub fn is_span(self) -> bool {
+        matches!(
+            self,
+            EventKind::Compute | EventKind::Park | EventKind::GcPass | EventKind::Respond
+        )
+    }
+
+    /// JSON key under which `arg` is reported (None = no payload).
+    pub fn arg_key(self) -> Option<&'static str> {
+        match self {
+            EventKind::Steal | EventKind::Spill | EventKind::Refill => Some("tasks"),
+            EventKind::GcPass => Some("evicted"),
+            EventKind::Respond => Some("vertices"),
+            _ => None,
+        }
+    }
+}
+
+/// One timestamped event. `ts`/`dur` are nanoseconds on the
+/// process-wide [`crate::now_nanos`] timeline; `tid` is the comper
+/// index or a `TID_*` service-thread constant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Start time (nanoseconds since the metrics epoch).
+    pub ts: u64,
+    /// Duration for span kinds, 0 for instants.
+    pub dur: u64,
+    /// Emitting thread (comper index or `TID_*`).
+    pub tid: u32,
+    /// Kind-specific payload (see [`EventKind::arg_key`]).
+    pub arg: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[cfg(feature = "metrics")]
+mod imp {
+    use super::Event;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// Fixed-capacity, overwrite-oldest concurrent event buffer.
+    pub struct EventRing {
+        slots: Box<[Mutex<Option<Event>>]>,
+        head: AtomicUsize,
+    }
+
+    impl EventRing {
+        /// A ring holding the most recent `capacity` events (0 = off).
+        pub fn new(capacity: usize) -> Self {
+            EventRing {
+                slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+                head: AtomicUsize::new(0),
+            }
+        }
+
+        /// Whether pushes will be kept. Call sites use this to skip
+        /// clock reads when tracing is off.
+        #[inline]
+        pub fn enabled(&self) -> bool {
+            !self.slots.is_empty()
+        }
+
+        /// Records an event, overwriting the oldest when full.
+        #[inline]
+        pub fn push(&self, ev: Event) {
+            if self.slots.is_empty() {
+                return;
+            }
+            let i = self.head.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+            *self.slots[i].lock().unwrap() = Some(ev);
+        }
+
+        /// Events currently retained, sorted by start time.
+        pub fn snapshot(&self) -> Vec<Event> {
+            let mut out: Vec<Event> =
+                self.slots.iter().filter_map(|s| *s.lock().unwrap()).collect();
+            out.sort_by_key(|e| e.ts);
+            out
+        }
+    }
+}
+
+#[cfg(not(feature = "metrics"))]
+mod imp {
+    use super::Event;
+
+    /// Metrics disabled: zero-sized, never records.
+    pub struct EventRing;
+
+    impl EventRing {
+        /// No storage when metrics are off.
+        pub fn new(_capacity: usize) -> Self {
+            EventRing
+        }
+
+        /// Always disabled.
+        #[inline(always)]
+        pub fn enabled(&self) -> bool {
+            false
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn push(&self, _ev: Event) {}
+
+        /// Always empty.
+        pub fn snapshot(&self) -> Vec<Event> {
+            Vec::new()
+        }
+    }
+}
+
+pub use imp::EventRing;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64) -> Event {
+        Event { ts, dur: 0, tid: 0, arg: 0, kind: EventKind::Steal }
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn ring_overwrites_oldest_and_sorts() {
+        let r = EventRing::new(4);
+        assert!(r.enabled());
+        for ts in [5u64, 1, 9, 3, 7, 2] {
+            r.push(ev(ts));
+        }
+        let snap = r.snapshot();
+        // 6 pushes into 4 slots: the first two (ts 5, 1) were recycled.
+        assert_eq!(snap.len(), 4);
+        let ts: Vec<u64> = snap.iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![2, 3, 7, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_ring_is_disabled() {
+        let r = EventRing::new(0);
+        assert!(!r.enabled());
+        r.push(ev(1));
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn span_and_arg_taxonomy() {
+        assert!(EventKind::Compute.is_span());
+        assert!(EventKind::Park.is_span());
+        assert!(!EventKind::Steal.is_span());
+        assert!(!EventKind::QuiesceEnter.is_span());
+        assert_eq!(EventKind::Steal.arg_key(), Some("tasks"));
+        assert_eq!(EventKind::GcPass.arg_key(), Some("evicted"));
+        assert_eq!(EventKind::Park.arg_key(), None);
+    }
+}

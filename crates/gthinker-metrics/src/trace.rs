@@ -1,0 +1,136 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Emits the JSON-array flavour of the Trace Event Format that
+//! chrome://tracing and Perfetto load directly: span events as
+//! `ph:"X"` (complete) with `ts`/`dur` in microseconds, instants as
+//! `ph:"i"` with process scope, plus `ph:"M"` metadata records naming
+//! each process (worker) and thread (comper / service thread). `pid`
+//! is the worker index, `tid` the comper index or a `TID_*` constant.
+
+use crate::ring::Event;
+use crate::tid_name;
+use std::collections::BTreeSet;
+use std::io::{self, Write};
+
+/// Writes all workers' event timelines as one Chrome trace JSON array.
+/// `events` is indexed by worker; each worker's events become one
+/// `pid` row group in the viewer.
+pub fn write_chrome_trace<W: Write>(mut w: W, events: &[Vec<Event>]) -> io::Result<()> {
+    writeln!(w, "[")?;
+    let mut first = true;
+    let sep = |w: &mut W, first: &mut bool| -> io::Result<()> {
+        if *first {
+            *first = false;
+            Ok(())
+        } else {
+            writeln!(w, ",")
+        }
+    };
+
+    for (pid, worker_events) in events.iter().enumerate() {
+        // Metadata: name the process and every thread that appears.
+        sep(&mut w, &mut first)?;
+        write!(
+            w,
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"worker-{pid}\"}}}}"
+        )?;
+        let tids: BTreeSet<u32> = worker_events.iter().map(|e| e.tid).collect();
+        for tid in tids {
+            sep(&mut w, &mut first)?;
+            write!(
+                w,
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                tid_name(tid)
+            )?;
+        }
+
+        for e in worker_events {
+            sep(&mut w, &mut first)?;
+            // Chrome expects microseconds; keep fractional precision so
+            // sub-µs spans stay visible.
+            let ts = e.ts as f64 / 1e3;
+            let args = match e.kind.arg_key() {
+                Some(k) => format!("{{\"{k}\":{}}}", e.arg),
+                None => "{}".to_string(),
+            };
+            if e.kind.is_span() {
+                let dur = e.dur as f64 / 1e3;
+                write!(
+                    w,
+                    "{{\"ph\":\"X\",\"name\":\"{}\",\"pid\":{pid},\"tid\":{},\
+                     \"ts\":{ts:.3},\"dur\":{dur:.3},\"args\":{args}}}",
+                    e.kind.name(),
+                    e.tid
+                )?;
+            } else {
+                write!(
+                    w,
+                    "{{\"ph\":\"i\",\"name\":\"{}\",\"pid\":{pid},\"tid\":{},\
+                     \"ts\":{ts:.3},\"s\":\"p\",\"args\":{args}}}",
+                    e.kind.name(),
+                    e.tid
+                )?;
+            }
+        }
+    }
+    writeln!(w, "\n]")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::EventKind;
+
+    fn sample_events() -> Vec<Vec<Event>> {
+        vec![
+            vec![
+                Event { ts: 1_000, dur: 500, tid: 0, arg: 0, kind: EventKind::Compute },
+                Event { ts: 2_000, dur: 0, tid: 1, arg: 3, kind: EventKind::Steal },
+            ],
+            vec![Event {
+                ts: 1_500,
+                dur: 200,
+                tid: crate::TID_GC,
+                arg: 7,
+                kind: EventKind::GcPass,
+            }],
+        ]
+    }
+
+    #[test]
+    fn trace_has_required_keys_and_balanced_json() {
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &sample_events()).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.trim_start().starts_with('['));
+        assert!(s.trim_end().ends_with(']'));
+        for key in ["\"ph\":", "\"ts\":", "\"pid\":", "\"tid\":"] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+        // One X span, one i instant, one gc span, plus metadata rows.
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\"ph\":\"i\""));
+        assert!(s.contains("\"name\":\"compute\""));
+        assert!(s.contains("\"name\":\"gc_pass\""));
+        assert!(s.contains("\"args\":{\"tasks\":3}"));
+        assert!(s.contains("\"args\":{\"evicted\":7}"));
+        assert!(s.contains("\"name\":\"worker-0\""));
+        assert!(s.contains("\"name\":\"worker-1\""));
+        assert!(s.contains("\"name\":\"gc\""));
+        // Braces and brackets balance (cheap well-formedness check —
+        // CI additionally runs a real JSON parser over CLI output).
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn empty_trace_is_valid_array() {
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &[]).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert_eq!(s.split_whitespace().collect::<String>(), "[]");
+    }
+}

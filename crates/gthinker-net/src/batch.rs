@@ -63,7 +63,16 @@ impl RequestBatcher {
             }
         };
         if let Some(vertices) = full {
-            net.send(to, Message::VertexRequest { from: self.me, vertices });
+            // Stamp at transmission (not enqueue) so the RTT histogram
+            // measures the wire + responder path, not sender batching.
+            net.send(
+                to,
+                Message::VertexRequest {
+                    from: self.me,
+                    vertices,
+                    sent_nanos: gthinker_metrics::now_nanos(),
+                },
+            );
         }
     }
 
@@ -80,7 +89,11 @@ impl RequestBatcher {
             };
             net.send(
                 WorkerId(w as u16),
-                Message::VertexRequest { from: self.me, vertices: pending },
+                Message::VertexRequest {
+                    from: self.me,
+                    vertices: pending,
+                    sent_nanos: gthinker_metrics::now_nanos(),
+                },
             );
         }
     }
@@ -117,7 +130,7 @@ mod tests {
         assert_eq!(b.pending(), 2);
         b.add(&h0, WorkerId(1), VertexId(3));
         match h1.recv_timeout(Duration::from_secs(1)).expect("flushed") {
-            Message::VertexRequest { from, vertices } => {
+            Message::VertexRequest { from, vertices, .. } => {
                 assert_eq!(from, WorkerId(0));
                 assert_eq!(vertices.len(), 3);
             }

@@ -18,11 +18,18 @@ pub enum Message {
         from: WorkerId,
         /// Requested vertex IDs (batched for round-trip amortization).
         vertices: Vec<VertexId>,
+        /// Metrics-clock send timestamp, echoed by the responder so the
+        /// requester can histogram pull round-trip time. Out-of-band
+        /// for byte accounting (0 when metrics are disabled).
+        sent_nanos: u64,
     },
     /// A batch of `(v, Γ(v))` responses.
     VertexResponse {
         /// The served records; adjacency lists are already trimmed.
         entries: Vec<(VertexId, AdjList)>,
+        /// The originating request's `sent_nanos`, echoed back verbatim
+        /// (0 when metrics are disabled or for multi-request merges).
+        req_nanos: u64,
     },
     /// A batch of serialized tasks moved by the work stealer (raw spill
     /// file bytes; the thief appends them to its `L_file`).
@@ -93,7 +100,7 @@ impl Message {
         const HEADER: usize = 16;
         match self {
             Message::VertexRequest { vertices, .. } => HEADER + 4 * vertices.len(),
-            Message::VertexResponse { entries } => {
+            Message::VertexResponse { entries, .. } => {
                 HEADER + entries.iter().map(|(_, adj)| 8 + 4 * adj.degree()).sum::<usize>()
             }
             Message::StealBatch { bytes } => HEADER + bytes.len(),
@@ -117,16 +124,22 @@ mod tests {
 
     #[test]
     fn wire_bytes_scale_with_content() {
-        let small = Message::VertexRequest { from: WorkerId(0), vertices: vec![VertexId(1)] };
+        let small = Message::VertexRequest {
+            from: WorkerId(0),
+            vertices: vec![VertexId(1)],
+            sent_nanos: 0,
+        };
         let big = Message::VertexRequest {
             from: WorkerId(0),
             vertices: (0..100).map(VertexId).collect(),
+            sent_nanos: 0,
         };
         assert!(big.wire_bytes() > small.wire_bytes());
         assert_eq!(big.wire_bytes() - small.wire_bytes(), 99 * 4);
 
         let resp = Message::VertexResponse {
             entries: vec![(VertexId(1), AdjList::from_unsorted((0..10).map(VertexId).collect()))],
+            req_nanos: 0,
         };
         assert_eq!(resp.wire_bytes(), 16 + 8 + 40);
         assert_eq!(Message::Terminate.wire_bytes(), 16);

@@ -299,10 +299,14 @@ mod tests {
         let h0 = handles.remove(0);
         h0.send(
             WorkerId(1),
-            Message::VertexRequest { from: WorkerId(0), vertices: vec![VertexId(3)] },
+            Message::VertexRequest {
+                from: WorkerId(0),
+                vertices: vec![VertexId(3)],
+                sent_nanos: 0,
+            },
         );
         match h1.recv_timeout(Duration::from_secs(1)).expect("delivered") {
-            Message::VertexRequest { from, vertices } => {
+            Message::VertexRequest { from, vertices, .. } => {
                 assert_eq!(from, WorkerId(0));
                 assert_eq!(vertices, vec![VertexId(3)]);
             }

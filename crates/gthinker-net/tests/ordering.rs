@@ -17,7 +17,11 @@ fn per_link_delivery_is_fifo_under_latency() {
     for i in 0..200u32 {
         h0.send(
             WorkerId(1),
-            Message::VertexRequest { from: WorkerId(0), vertices: vec![VertexId(i)] },
+            Message::VertexRequest {
+                from: WorkerId(0),
+                vertices: vec![VertexId(i)],
+                sent_nanos: 0,
+            },
         );
     }
     for expect in 0..200u32 {
@@ -46,6 +50,7 @@ fn concurrent_senders_lose_nothing() {
                         Message::VertexRequest {
                             from: WorkerId(w as u16),
                             vertices: vec![VertexId(i)],
+                            sent_nanos: 0,
                         },
                     );
                 }
@@ -54,7 +59,7 @@ fn concurrent_senders_lose_nothing() {
         let mut per_sender = [0u32; 3];
         for _ in 0..1500 {
             match sink.recv_timeout(Duration::from_secs(10)).expect("no loss") {
-                Message::VertexRequest { from, vertices } => {
+                Message::VertexRequest { from, vertices, .. } => {
                     // Per sender, arrivals must be in send order.
                     assert_eq!(vertices, vec![VertexId(per_sender[from.index()])]);
                     per_sender[from.index()] += 1;

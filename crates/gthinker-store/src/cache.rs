@@ -78,16 +78,51 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Snapshot as plain numbers `(hits, shared_waits, misses, evictions,
-    /// gc_passes)`.
-    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.shared_waits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-            self.evictions.load(Ordering::Relaxed),
-            self.gc_passes.load(Ordering::Relaxed),
-        )
+    /// Point-in-time copy of the counters as a named plain-data struct.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            shared_waits: self.shared_waits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            gc_passes: self.gc_passes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Named snapshot of [`CacheStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// OP1 case 1 outcomes (Γ-table hits).
+    pub hits: u64,
+    /// OP1 case 2.2 outcomes (piggybacked on an in-flight request).
+    pub shared_waits: u64,
+    /// OP1 case 2.1 outcomes (actual network requests).
+    pub misses: u64,
+    /// Vertices evicted by GC.
+    pub evictions: u64,
+    /// GC passes that ran (i.e. overflow observed).
+    pub gc_passes: u64,
+}
+
+impl CacheSnapshot {
+    /// Field-wise sum, for aggregating across workers.
+    pub fn merge(&mut self, other: &CacheSnapshot) {
+        self.hits += other.hits;
+        self.shared_waits += other.shared_waits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.gc_passes += other.gc_passes;
+    }
+
+    /// Hit ratio over all OP1 calls (0 when no requests were made).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.shared_waits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
     }
 }
 
@@ -367,9 +402,9 @@ mod tests {
         assert!(matches!(c.request(VertexId(5), T1, &mut h), RequestOutcome::MustRequest));
         assert!(matches!(c.request(VertexId(5), T2, &mut h), RequestOutcome::AlreadyRequested));
         assert_eq!(c.approx_size(), 1, "one R-table entry counted once");
-        let (_, shared, misses, _, _) = c.stats().snapshot();
-        assert_eq!(misses, 1);
-        assert_eq!(shared, 1);
+        let snap = c.stats().snapshot();
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.shared_waits, 1);
     }
 
     #[test]

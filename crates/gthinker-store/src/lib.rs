@@ -17,6 +17,6 @@ pub mod cache;
 pub mod counter;
 pub mod local;
 
-pub use cache::{CacheConfig, CacheStats, RequestOutcome, VertexCache};
+pub use cache::{CacheConfig, CacheSnapshot, CacheStats, RequestOutcome, VertexCache};
 pub use counter::{ApproxCounter, CounterHandle};
 pub use local::LocalTable;

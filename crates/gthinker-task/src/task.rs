@@ -22,12 +22,22 @@ pub struct Task<C> {
     /// Vertices pulled in the current iteration — the paper's `P(t)`.
     /// Deduplicated; drained by the framework when the iteration ends.
     pulls: Vec<VertexId>,
+    /// Spawn timestamp on the metrics clock — the start of the task's
+    /// end-to-end latency measurement. Travels with the task through
+    /// spills, steals and checkpoints so the spawn→finish distribution
+    /// includes queue/disk residence; 0 when metrics are disabled.
+    pub born_nanos: u64,
 }
 
 impl<C> Task<C> {
     /// Creates a task with the given context and an empty subgraph.
     pub fn new(context: C) -> Self {
-        Task { subgraph: Subgraph::new(), context, pulls: Vec::new() }
+        Task {
+            subgraph: Subgraph::new(),
+            context,
+            pulls: Vec::new(),
+            born_nanos: gthinker_metrics::now_nanos(),
+        }
     }
 
     /// Requests `Γ(v)` for the next iteration (`t.pull(v)` in the
@@ -67,6 +77,7 @@ impl<C: Encode> Encode for Task<C> {
         self.subgraph.encode(buf);
         self.context.encode(buf);
         self.pulls.encode(buf);
+        self.born_nanos.encode(buf);
     }
 }
 
@@ -75,7 +86,8 @@ impl<C: Decode> Decode for Task<C> {
         let subgraph = Subgraph::decode(buf)?;
         let context = C::decode(buf)?;
         let pulls = Vec::decode(buf)?;
-        Ok(Task { subgraph, context, pulls })
+        let born_nanos = u64::decode(buf)?;
+        Ok(Task { subgraph, context, pulls, born_nanos })
     }
 }
 

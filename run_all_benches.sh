@@ -39,5 +39,7 @@ banner "Design ablations"
 "$BIN/ablations" --scale 0.35
 banner "Tail-latency scheduler — intra-worker stealing + parking"
 "$BIN/sched_tail" --scale 1
+banner "Observability — metrics & tracing overhead"
+"$BIN/metrics_overhead" --scale 1
 echo
 echo "all harnesses completed"
