@@ -14,6 +14,7 @@ fn seeded_cache(n: u32, buckets: usize) -> VertexCache {
         capacity: 10_000_000,
         alpha: 0.2,
         counter_delta: 10,
+        ..CacheConfig::default()
     });
     let mut h = cache.counter_handle();
     for i in 0..n {
@@ -58,6 +59,7 @@ fn bench_miss_cycle(c: &mut Criterion) {
             capacity: 4,
             alpha: 0.0,
             counter_delta: 1,
+            ..CacheConfig::default()
         });
         let mut h = cache.counter_handle();
         let mut i = 0u32;

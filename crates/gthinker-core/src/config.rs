@@ -1,6 +1,8 @@
 //! Job configuration and result/statistics types.
 
 use crate::metrics::MetricsSnapshot;
+use gthinker_graph::ids::WorkerId;
+use gthinker_net::fault::FaultConfig;
 use gthinker_net::router::LinkConfig;
 use gthinker_store::cache::{CacheConfig, CacheSnapshot};
 use std::path::PathBuf;
@@ -53,6 +55,21 @@ pub struct JobConfig {
     /// kept, overwrite-oldest). 0 — the default — disables event
     /// recording entirely; the CLI sets it when `--trace-out` is given.
     pub trace_capacity: usize,
+    /// Fault injection on the simulated interconnect (drops, dups,
+    /// reorder jitter, latency spikes, scheduled crashes). Disabled by
+    /// default; the chaos tests turn it on.
+    pub fault: FaultConfig,
+    /// Checkpoint cadence for `run_job_with_recovery`: the job suspends
+    /// and writes an epoch this often. `None` (the default) means no
+    /// periodic checkpoints — recovery falls back to rerunning from
+    /// scratch.
+    pub checkpoint_interval: Option<Duration>,
+    /// How long the master waits without hearing from a worker before
+    /// declaring it crashed (`JobOutcome::Failed`). `None` — the
+    /// default — disables detection; `run_job_with_recovery` enables it
+    /// (as does an armed crash schedule, so a killed worker cannot hang
+    /// the job).
+    pub heartbeat_timeout: Option<Duration>,
 }
 
 impl Default for JobConfig {
@@ -74,6 +91,9 @@ impl Default for JobConfig {
             checkpoint_dir: None,
             output_dir: None,
             trace_capacity: 0,
+            fault: FaultConfig::default(),
+            checkpoint_interval: None,
+            heartbeat_timeout: None,
         }
     }
 }
@@ -144,6 +164,17 @@ pub struct WorkerStats {
     pub responder_backlog: u64,
     /// Peak responder queue depth (request batches awaiting service).
     pub responder_peak_backlog: u64,
+    /// Vertex pulls re-requested after their R-table deadline expired
+    /// (loss tolerance; equals the cache's `retries` counter).
+    pub pull_retries: u64,
+    /// Data-plane messages the fault-injected wire dropped on this
+    /// worker's sends (0 with fault injection off).
+    pub net_msgs_dropped: u64,
+    /// Data-plane messages the fault-injected wire duplicated.
+    pub net_msgs_duplicated: u64,
+    /// Data-plane messages the fault-injected wire delayed (reorder
+    /// jitter or latency spike).
+    pub net_msgs_delayed: u64,
 }
 
 /// Why a job returned.
@@ -156,6 +187,14 @@ pub enum JobOutcome {
     Suspended {
         /// Checkpoint directory.
         checkpoint: PathBuf,
+    },
+    /// A worker stopped responding (crashed) and the master's heartbeat
+    /// timeout fired; partial results are unreliable and the job should
+    /// be rerun from the latest checkpoint (`run_job_with_recovery`
+    /// does this automatically).
+    Failed {
+        /// The worker that went silent.
+        worker: WorkerId,
     },
 }
 

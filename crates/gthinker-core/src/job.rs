@@ -105,10 +105,17 @@ pub fn resume_job<A: App>(
     checkpoint: &std::path::Path,
 ) -> io::Result<JobResult<Global<A>>> {
     let manifest: Manifest<Global<A>> = checkpoint::read_manifest(checkpoint)?;
-    assert_eq!(
-        manifest.num_workers as usize, config.num_workers,
-        "resume requires the worker count the checkpoint was taken with"
-    );
+    if manifest.num_workers as usize != config.num_workers {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "checkpoint {} was taken with {} workers, cannot resume with {}",
+                checkpoint.display(),
+                manifest.num_workers,
+                config.num_workers
+            ),
+        ));
+    }
     let mut shards = Vec::with_capacity(config.num_workers);
     for w in 0..config.num_workers {
         shards.push(checkpoint::read_shard::<A::Context, Partial<A>>(checkpoint, w)?);
@@ -117,6 +124,115 @@ pub fn resume_job<A: App>(
 }
 
 type Resume<A> = (Manifest<Global<A>>, Vec<WorkerShard<<A as App>::Context, Partial<A>>>);
+
+/// What [`run_job_with_recovery`] did to finish the job.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Times a crashed worker was detected and the job rerun.
+    pub recoveries: u32,
+    /// Valid checkpoint epochs written along the way.
+    pub checkpoints: u32,
+    /// The worker declared dead at each recovery, in order.
+    pub failed_workers: Vec<WorkerId>,
+}
+
+/// Like [`run_job`], but survives worker crashes: the job runs in
+/// segments of `config.checkpoint_interval`, each segment ending in a
+/// validated checkpoint epoch, and when the master's heartbeat declares
+/// a worker dead ([`JobOutcome::Failed`]) the job is rerun from the
+/// last epoch that validates (or from scratch if none does yet). Gives
+/// up with an error after `max_recoveries` reruns.
+///
+/// With `checkpoint_interval == None` the job never suspends — a crash
+/// simply reruns it from the start.
+pub fn run_job_with_recovery<A: App>(
+    app: Arc<A>,
+    graph: &Graph,
+    config: &JobConfig,
+    max_recoveries: u32,
+) -> io::Result<(JobResult<Global<A>>, RecoveryReport)> {
+    let (base, auto_base) = match &config.checkpoint_dir {
+        Some(dir) => (dir.clone(), false),
+        None => {
+            let id = JOB_SEQ.fetch_add(1, Ordering::Relaxed);
+            (
+                std::env::temp_dir().join(format!("gthinker-recovery-{}-{id}", std::process::id())),
+                true,
+            )
+        }
+    };
+    let mut cfg = config.clone();
+    cfg.heartbeat_timeout = cfg.heartbeat_timeout.or(Some(DEFAULT_HEARTBEAT));
+    let mut interval = cfg.checkpoint_interval;
+    let mut report = RecoveryReport::default();
+    let mut last_good: Option<PathBuf> = None;
+    let mut epoch = 0u32;
+    loop {
+        let mut seg = cfg.clone();
+        seg.suspend_after = interval;
+        let epoch_dir = base.join(format!("epoch-{epoch}"));
+        seg.checkpoint_dir = Some(epoch_dir.clone());
+        epoch += 1;
+        let result = match &last_good {
+            Some(cp) => resume_job(Arc::clone(&app), graph, &seg, cp)?,
+            None => run_job(Arc::clone(&app), graph, &seg)?,
+        };
+        match result.outcome {
+            JobOutcome::Completed => {
+                if let Some(old) = last_good.take() {
+                    let _ = std::fs::remove_dir_all(old);
+                }
+                if auto_base {
+                    let _ = std::fs::remove_dir_all(&base);
+                }
+                return Ok((result, report));
+            }
+            JobOutcome::Suspended { ref checkpoint } => {
+                // Only a checkpoint that validates end-to-end (manifest
+                // + every shard, CRCs intact, topology matching) may
+                // become the recovery point.
+                match checkpoint::validate::<A::Context, Partial<A>, Global<A>>(
+                    checkpoint,
+                    cfg.num_workers,
+                ) {
+                    Ok(()) => {
+                        report.checkpoints += 1;
+                        if let Some(old) = last_good.replace(checkpoint.clone()) {
+                            let _ = std::fs::remove_dir_all(old);
+                        }
+                    }
+                    Err(_) => {
+                        let _ = std::fs::remove_dir_all(checkpoint);
+                    }
+                }
+                // A segment that checkpointed without finishing a single
+                // task would loop forever at this cadence; back off.
+                if result.total_tasks() == 0 {
+                    if let Some(i) = interval.as_mut() {
+                        *i *= 2;
+                    }
+                }
+            }
+            JobOutcome::Failed { worker } => {
+                report.recoveries += 1;
+                report.failed_workers.push(worker);
+                let _ = std::fs::remove_dir_all(&epoch_dir);
+                if report.recoveries > max_recoveries {
+                    return Err(io::Error::other(format!(
+                        "worker {} crashed and the job failed {} times; giving up",
+                        worker.index(),
+                        report.recoveries
+                    )));
+                }
+                // An injected crash schedule fires once per job run —
+                // and counts messages from zero again on a rerun, which
+                // would kill the same worker at the same point forever.
+                // The fault it models has happened; clear it.
+                cfg.fault.crash = None;
+            }
+        }
+    }
+}
 
 fn run_inner<A: App>(
     app: Arc<A>,
@@ -142,7 +258,7 @@ fn run_inner<A: App>(
     let partitioner = HashPartitioner::new(config.num_workers as u16);
     let parts = partitioner.split(graph);
 
-    let mut router = Router::new(config.num_workers, config.link);
+    let mut router = Router::with_faults(config.num_workers, config.link, config.fault.clone());
     let handles = router.take_handles();
 
     let job_id = JOB_SEQ.fetch_add(1, Ordering::Relaxed);
@@ -167,9 +283,10 @@ fn run_inner<A: App>(
         let local = LocalTable::with_labels(part, labels);
         let cache = VertexCache::new(config.cache.clone());
         let spill = SpillManager::new(job_dir.join(format!("worker-{w}")))?;
-        let output = config.output_dir.as_ref().map(|dir| {
-            Arc::new(crate::output::OutputSink::create(dir, w).expect("output dir writable"))
-        });
+        let output = match config.output_dir.as_ref() {
+            Some(dir) => Some(Arc::new(crate::output::OutputSink::create(dir, w)?)),
+            None => None,
+        };
         let shared = WorkerShared::new(
             WorkerId(w as u16),
             Arc::clone(&app),
@@ -229,7 +346,7 @@ fn run_inner<A: App>(
             .expect("spawn observer")
     });
 
-    let results: Vec<std::thread::JoinHandle<(WorkerStats, Option<WorkerOutcome<A>>)>> = workers
+    let results: Vec<std::thread::JoinHandle<WorkerExit<A>>> = workers
         .iter()
         .enumerate()
         .map(|(w, shared)| {
@@ -244,11 +361,15 @@ fn run_inner<A: App>(
 
     let mut stats = Vec::with_capacity(config.num_workers);
     let mut outcome: Option<WorkerOutcome<A>> = None;
+    let mut io_error: Option<io::Error> = None;
     for handle in results {
-        let (s, o) = handle.join().expect("worker thread panicked");
+        let (s, o, e) = handle.join().expect("worker thread panicked");
         stats.push(s);
         if o.is_some() {
             outcome = o;
+        }
+        if io_error.is_none() {
+            io_error = e;
         }
     }
     observer_stop.store(true, Ordering::SeqCst);
@@ -267,11 +388,17 @@ fn run_inner<A: App>(
             panic!("{msg}");
         }
     }
+    // First checkpoint/output I/O error wins, after the orderly
+    // shutdown (so no thread is left dangling behind the `?`).
+    if let Some(e) = io_error {
+        return Err(e);
+    }
 
     let outcome = outcome.expect("master worker returns the job outcome");
     let (global, job_outcome) = match outcome {
         WorkerOutcome::Completed(g) => (g, JobOutcome::Completed),
         WorkerOutcome::Suspended(g, dir) => (g, JobOutcome::Suspended { checkpoint: dir }),
+        WorkerOutcome::Failed(g, w) => (g, JobOutcome::Failed { worker: w }),
     };
     let metrics = registry.final_snapshot();
     Ok(JobResult {
@@ -288,7 +415,21 @@ static JOB_SEQ: AtomicU64 = AtomicU64::new(0);
 enum WorkerOutcome<A: App> {
     Completed(Global<A>),
     Suspended(Global<A>, PathBuf),
+    /// The master's heartbeat declared a worker dead; the global is
+    /// whatever had been merged when the job was torn down.
+    Failed(Global<A>, WorkerId),
 }
+
+/// What each worker's main thread hands back to [`run_inner`]: stats,
+/// the job outcome (master only), and the first checkpoint/output I/O
+/// error hit during shutdown (reported instead of panicking, after all
+/// threads have joined).
+type WorkerExit<A> = (WorkerStats, Option<WorkerOutcome<A>>, Option<io::Error>);
+
+/// Failure-detection window used when the caller enabled recovery (or
+/// armed a crash schedule) without picking an explicit
+/// [`JobConfig::heartbeat_timeout`].
+pub(crate) const DEFAULT_HEARTBEAT: std::time::Duration = std::time::Duration::from_secs(2);
 
 /// One worker's main thread: spawns the receiver/GC/comper threads,
 /// runs the periodic tick (plus master logic on worker 0), coordinates
@@ -296,7 +437,7 @@ enum WorkerOutcome<A: App> {
 fn worker_main<A: App>(
     shared: Arc<WorkerShared<A>>,
     resume_global: Option<Global<A>>,
-) -> (WorkerStats, Option<WorkerOutcome<A>>) {
+) -> WorkerExit<A> {
     let is_master = shared.me == WorkerId(0);
     let (ctrl_tx, ctrl_rx) = crossbeam::channel::unbounded();
 
@@ -343,8 +484,14 @@ fn worker_main<A: App>(
         })
         .collect();
 
+    // Failure detection is armed explicitly, or implicitly whenever a
+    // crash schedule is — a killed worker must not hang the job.
+    let heartbeat = shared
+        .config
+        .heartbeat_timeout
+        .or_else(|| shared.config.fault.crash.as_ref().map(|_| DEFAULT_HEARTBEAT));
     let mut master = is_master.then(|| {
-        let mut m = MasterState::new(Arc::clone(&shared), ctrl_rx);
+        let mut m = MasterState::new(Arc::clone(&shared), ctrl_rx, heartbeat);
         // On resume, the checkpointed global is the starting point for
         // all further merges (e.g. the best clique found pre-suspend).
         if let Some(g) = resume_global.clone() {
@@ -412,9 +559,16 @@ fn worker_main<A: App>(
         c.join().expect("comper panicked");
     }
 
+    let crashed = shared.crashed.load(Ordering::SeqCst);
     let suspended = shared.suspend.load(Ordering::SeqCst);
     let mut outcome = None;
-    if suspended {
+    let mut io_error: Option<io::Error> = None;
+    if crashed {
+        // A crashed machine does nothing on the way out: no checkpoint
+        // shard, no final sync. The master's heartbeat notices the
+        // silence and fails the job. (The router refuses crash
+        // schedules for worker 0, so the master itself never gets here.)
+    } else if suspended {
         // Gather every remaining task: drained queues, ready buffers,
         // pending tables, spilled files.
         let mut tasks: Vec<gthinker_task::task::Task<A::Context>> =
@@ -436,16 +590,32 @@ fn worker_main<A: App>(
             tasks,
             partial: shared.agg.take_partial(),
         };
-        checkpoint::write_shard(&dir, shared.me.index(), &shard).expect("write checkpoint shard");
+        if let Err(e) = checkpoint::write_shard(&dir, shared.me.index(), &shard) {
+            // Report instead of panicking; SuspendDone still goes out
+            // so the master's collection loop stays live (the epoch is
+            // discarded by validation on the recovery side).
+            io_error = Some(e);
+        }
         shared.net.send(WorkerId(0), Message::SuspendDone { worker: shared.me });
         if let Some(m) = master.as_mut() {
             let global = m.collect_suspends();
-            checkpoint::write_manifest(
-                &dir,
-                &Manifest { num_workers: shared.config.num_workers as u64, global: global.clone() },
-            )
-            .expect("write checkpoint manifest");
-            outcome = Some(WorkerOutcome::Suspended(global, dir));
+            outcome = Some(match m.failed() {
+                // A worker died before writing its shard: the epoch is
+                // incomplete, so no manifest — surface the failure and
+                // let the recovery runner fall back to the last good
+                // checkpoint.
+                Some(w) => WorkerOutcome::Failed(global, w),
+                None => {
+                    let manifest = Manifest {
+                        num_workers: shared.config.num_workers as u64,
+                        global: global.clone(),
+                    };
+                    if let Err(e) = checkpoint::write_manifest(&dir, &manifest) {
+                        io_error.get_or_insert(e);
+                    }
+                    WorkerOutcome::Suspended(global, dir)
+                }
+            });
         }
     } else {
         // Final aggregator sync: one per worker, marked final.
@@ -460,7 +630,10 @@ fn worker_main<A: App>(
         );
         if let Some(m) = master.as_mut() {
             let global = m.collect_finals();
-            outcome = Some(WorkerOutcome::Completed(global));
+            outcome = Some(match m.failed() {
+                Some(w) => WorkerOutcome::Failed(global, w),
+                None => WorkerOutcome::Completed(global),
+            });
         }
     }
 
@@ -500,6 +673,13 @@ fn worker_main<A: App>(
         responses_served: shared.counters.responses_served.load(Ordering::Relaxed),
         responder_backlog: shared.counters.responder_backlog.load(Ordering::Relaxed),
         responder_peak_backlog: shared.counters.responder_peak_backlog.load(Ordering::Relaxed),
+        pull_retries: shared.counters.pull_retries.load(Ordering::Relaxed),
+        net_msgs_dropped: shared.net.fault_stats().map_or(0, |f| f.dropped.load(Ordering::Relaxed)),
+        net_msgs_duplicated: shared
+            .net
+            .fault_stats()
+            .map_or(0, |f| f.duplicated.load(Ordering::Relaxed)),
+        net_msgs_delayed: shared.net.fault_stats().map_or(0, |f| f.delayed.load(Ordering::Relaxed)),
     };
-    (stats, outcome)
+    (stats, outcome, io_error)
 }

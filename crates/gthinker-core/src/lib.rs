@@ -63,7 +63,10 @@ mod worker;
 pub use agg::{Aggregator, LocalAgg, NoAgg};
 pub use api::{App, ComputeEnv, SpawnEnv};
 pub use config::{JobConfig, JobOutcome, JobResult, WorkerStats};
-pub use job::{resume_job, run_job, run_job_metrics_observed, run_job_observed, ProgressSnapshot};
+pub use job::{
+    resume_job, run_job, run_job_metrics_observed, run_job_observed, run_job_with_recovery,
+    ProgressSnapshot, RecoveryReport,
+};
 pub use metrics::{MetricsRegistry, MetricsSnapshot, WorkerMetricsSnapshot};
 
 /// Convenient glob-import surface for applications.
@@ -72,7 +75,8 @@ pub mod prelude {
     pub use crate::api::{App, ComputeEnv, SpawnEnv};
     pub use crate::config::{JobConfig, JobOutcome, JobResult};
     pub use crate::job::{
-        resume_job, run_job, run_job_metrics_observed, run_job_observed, ProgressSnapshot,
+        resume_job, run_job, run_job_metrics_observed, run_job_observed, run_job_with_recovery,
+        ProgressSnapshot, RecoveryReport,
     };
     pub use crate::metrics::{MetricsSnapshot, WorkerMetricsSnapshot};
     pub use gthinker_graph::adj::AdjList;

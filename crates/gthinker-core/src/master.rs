@@ -13,6 +13,7 @@ use gthinker_graph::ids::WorkerId;
 use gthinker_net::message::Message;
 use gthinker_task::codec::{from_bytes, to_bytes};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Number of consecutive all-quiescent sync rounds required before the
 /// master terminates the job (absorbs report staleness).
@@ -53,12 +54,25 @@ pub(crate) struct MasterState<A: App> {
     plan: Option<StealPlanState>,
     quiescent_rounds: u32,
     finals: usize,
+    finals_seen: Vec<bool>,
     suspend_done: usize,
+    suspend_seen: Vec<bool>,
     terminated: bool,
+    /// Failure-detection window; `None` disables detection (a job with
+    /// no fault injection never pays for it).
+    heartbeat: Option<Duration>,
+    /// Last time each worker was heard from on the control channel.
+    last_seen: Vec<Instant>,
+    /// First worker the heartbeat declared dead, if any.
+    failed: Option<WorkerId>,
 }
 
 impl<A: App> MasterState<A> {
-    pub fn new(shared: Arc<WorkerShared<A>>, ctrl: Receiver<Message>) -> Self {
+    pub fn new(
+        shared: Arc<WorkerShared<A>>,
+        ctrl: Receiver<Message>,
+        heartbeat: Option<Duration>,
+    ) -> Self {
         let global = shared.agg.aggregator().init_global();
         let n = shared.config.num_workers;
         MasterState {
@@ -69,9 +83,19 @@ impl<A: App> MasterState<A> {
             plan: None,
             quiescent_rounds: 0,
             finals: 0,
+            finals_seen: vec![false; n],
             suspend_done: 0,
+            suspend_seen: vec![false; n],
             terminated: false,
+            heartbeat,
+            last_seen: vec![Instant::now(); n],
+            failed: None,
         }
+    }
+
+    /// The worker the heartbeat declared crashed, if any.
+    pub fn failed(&self) -> Option<WorkerId> {
+        self.failed
     }
 
     /// Drains control traffic and performs one coordination round.
@@ -79,12 +103,36 @@ impl<A: App> MasterState<A> {
     /// suspend) decision.
     pub fn tick(&mut self) -> bool {
         self.drain_ctrl();
+        if self.detect_failure() {
+            return true;
+        }
         self.broadcast_global();
         if self.terminated {
             return true;
         }
         self.plan_stealing();
         self.check_termination()
+    }
+
+    /// Heartbeat failure detection: a worker that has sent nothing for
+    /// longer than the window is declared crashed and the job is torn
+    /// down (the caller turns this into [`crate::JobOutcome::Failed`]).
+    /// Worker 0 hosts this master loop, so it is exempt.
+    fn detect_failure(&mut self) -> bool {
+        let Some(window) = self.heartbeat else { return false };
+        if self.terminated {
+            return false;
+        }
+        let now = Instant::now();
+        let dead = (1..self.shared.config.num_workers)
+            .find(|&w| now.duration_since(self.last_seen[w]) > window);
+        let Some(w) = dead else { return false };
+        self.failed = Some(WorkerId(w as u16));
+        self.terminated = true;
+        self.shared.net.broadcast(&Message::Terminate);
+        self.shared.done.store(true, std::sync::atomic::Ordering::SeqCst);
+        self.shared.wake_all();
+        true
     }
 
     fn drain_ctrl(&mut self) {
@@ -97,13 +145,16 @@ impl<A: App> MasterState<A> {
         match msg {
             Message::Progress { worker, remaining, idle } => {
                 self.reports[worker.index()] = Report { remaining, quiescent: idle, seen: true };
+                self.last_seen[worker.index()] = Instant::now();
             }
-            Message::AggregatorSync { payload, is_final, .. } => {
+            Message::AggregatorSync { worker, payload, is_final } => {
                 let partial: <A::Agg as Aggregator>::Partial =
                     from_bytes(&payload).expect("partials encode/decode symmetrically");
                 self.shared.agg.aggregator().merge(&mut self.global, &partial);
+                self.last_seen[worker.index()] = Instant::now();
                 if is_final {
                     self.finals += 1;
+                    self.finals_seen[worker.index()] = true;
                 }
             }
             Message::StealExecuted { sent } => {
@@ -116,7 +167,11 @@ impl<A: App> MasterState<A> {
                     plan.acked += 1;
                 }
             }
-            Message::SuspendDone { .. } => self.suspend_done += 1,
+            Message::SuspendDone { worker } => {
+                self.suspend_done += 1;
+                self.suspend_seen[worker.index()] = true;
+                self.last_seen[worker.index()] = Instant::now();
+            }
             other => panic!("unexpected control message at master: {other:?}"),
         }
         if let Some(plan) = &self.plan {
@@ -203,14 +258,25 @@ impl<A: App> MasterState<A> {
     }
 
     /// After termination: waits until one final partial per worker has
-    /// been merged, then returns the final global value.
+    /// been merged, then returns the final global value. A crashed
+    /// worker sends no final, so with a heartbeat configured the wait
+    /// is bounded: quiet for longer than the window → the missing
+    /// worker is declared failed and the (unreliable) global returned.
     pub fn collect_finals(&mut self) -> <A::Agg as Aggregator>::Global {
         let n = self.shared.config.num_workers;
+        let mut quiet_since = Instant::now();
         while self.finals < n {
-            match self.ctrl.recv_timeout(std::time::Duration::from_millis(100)) {
-                Ok(msg) => self.absorb(msg),
+            match self.ctrl.recv_timeout(Duration::from_millis(100)) {
+                Ok(msg) => {
+                    self.absorb(msg);
+                    quiet_since = Instant::now();
+                }
                 Err(_) => {
-                    // Keep waiting; receivers forward finals as they come.
+                    // Keep waiting; receivers forward finals as they
+                    // come — unless the silence outlasts the heartbeat.
+                    if self.give_up(quiet_since, |s| &s.finals_seen) {
+                        break;
+                    }
                 }
             }
         }
@@ -219,14 +285,39 @@ impl<A: App> MasterState<A> {
 
     /// After a suspend broadcast: waits for every worker's checkpoint
     /// shard, then returns the current global value (to be persisted).
+    /// Bounded by the heartbeat window like [`Self::collect_finals`].
     pub fn collect_suspends(&mut self) -> <A::Agg as Aggregator>::Global {
         let n = self.shared.config.num_workers;
+        let mut quiet_since = Instant::now();
         while self.suspend_done < n {
-            if let Ok(msg) = self.ctrl.recv_timeout(std::time::Duration::from_millis(100)) {
-                self.absorb(msg)
+            match self.ctrl.recv_timeout(Duration::from_millis(100)) {
+                Ok(msg) => {
+                    self.absorb(msg);
+                    quiet_since = Instant::now();
+                }
+                Err(_) => {
+                    if self.give_up(quiet_since, |s| &s.suspend_seen) {
+                        break;
+                    }
+                }
             }
         }
         self.global.clone()
+    }
+
+    /// Shared bail-out for the collect loops: once the control channel
+    /// has been silent past the heartbeat window, name the first worker
+    /// still missing from `seen` as failed and stop waiting.
+    fn give_up(&mut self, quiet_since: Instant, seen: impl Fn(&Self) -> &Vec<bool>) -> bool {
+        let Some(window) = self.heartbeat else { return false };
+        if quiet_since.elapsed() <= window {
+            return false;
+        }
+        if self.failed.is_none() {
+            let missing = seen(self).iter().position(|s| !s).unwrap_or(0);
+            self.failed = Some(WorkerId(missing as u16));
+        }
+        true
     }
 
     /// Seeds the master's running global (checkpoint resume).

@@ -65,6 +65,13 @@ fn snapshot_worker<A: App>(w: &WorkerShared<A>, with_events: bool) -> WorkerMetr
         responses_served: c.responses_served.load(Ordering::Relaxed),
         responder_backlog: c.responder_backlog.load(Ordering::Relaxed),
         responder_peak_backlog: c.responder_peak_backlog.load(Ordering::Relaxed),
+        pull_retries: c.pull_retries.load(Ordering::Relaxed),
+        net_msgs_dropped: w.net.fault_stats().map_or(0, |f| f.dropped.load(Ordering::Relaxed)),
+        net_msgs_duplicated: w
+            .net
+            .fault_stats()
+            .map_or(0, |f| f.duplicated.load(Ordering::Relaxed)),
+        net_msgs_delayed: w.net.fault_stats().map_or(0, |f| f.delayed.load(Ordering::Relaxed)),
         cache: w.cache.stats().snapshot(),
         net_bytes_sent: w.net.stats().bytes_sent.load(Ordering::Relaxed),
         net_bytes_received: w.net.stats().bytes_received.load(Ordering::Relaxed),
@@ -106,6 +113,16 @@ pub struct WorkerMetricsSnapshot {
     pub responder_backlog: u64,
     /// Peak of that gauge over the run.
     pub responder_peak_backlog: u64,
+    /// Vertex pulls re-requested after their R-table deadline expired
+    /// (loss tolerance; 0 on a healthy wire).
+    pub pull_retries: u64,
+    /// Data-plane messages the fault-injected wire dropped on this
+    /// worker's sends (0 with fault injection off).
+    pub net_msgs_dropped: u64,
+    /// Data-plane messages the fault-injected wire duplicated.
+    pub net_msgs_duplicated: u64,
+    /// Data-plane messages the fault-injected wire delayed.
+    pub net_msgs_delayed: u64,
     /// Named cache counters (previously the opaque 5-tuple).
     pub cache: CacheSnapshot,
     /// Bytes sent over the simulated network.
@@ -204,9 +221,12 @@ impl MetricsSnapshot {
                  \"steals\": {},\n      \"stolen_tasks\": {},\n      \
                  \"parks\": {},\n      \"wakeups\": {},\n      \
                  \"responses_served\": {},\n      \"responder_backlog\": {},\n      \
-                 \"responder_peak_backlog\": {},\n      \
+                 \"responder_peak_backlog\": {},\n      \"pull_retries\": {},\n      \
+                 \"net_msgs_dropped\": {},\n      \"net_msgs_duplicated\": {},\n      \
+                 \"net_msgs_delayed\": {},\n      \
                  \"cache\": {{\"hits\": {}, \"shared_waits\": {}, \"misses\": {}, \
-                 \"evictions\": {}, \"gc_passes\": {}}},\n      \
+                 \"evictions\": {}, \"gc_passes\": {}, \"retries\": {}, \
+                 \"stale_responses\": {}}},\n      \
                  \"net_bytes_sent\": {},\n      \"net_bytes_received\": {},\n      \
                  \"spill_bytes\": {},\n      \
                  \"pull_rtt\": {},\n      \"responder_drain\": {},\n      \
@@ -222,11 +242,17 @@ impl MetricsSnapshot {
                 w.responses_served,
                 w.responder_backlog,
                 w.responder_peak_backlog,
+                w.pull_retries,
+                w.net_msgs_dropped,
+                w.net_msgs_duplicated,
+                w.net_msgs_delayed,
                 w.cache.hits,
                 w.cache.shared_waits,
                 w.cache.misses,
                 w.cache.evictions,
                 w.cache.gc_passes,
+                w.cache.retries,
+                w.cache.stale_responses,
                 w.net_bytes_sent,
                 w.net_bytes_received,
                 w.spill_bytes,

@@ -113,6 +113,9 @@ pub(crate) struct WorkerCounters {
     pub responder_backlog: AtomicU64,
     /// Peak of `responder_backlog`.
     pub responder_peak_backlog: AtomicU64,
+    /// Vertex pulls re-sent after their R-table deadline expired (the
+    /// loss-tolerance retry path in `worker_tick`).
+    pub pull_retries: AtomicU64,
 }
 
 /// Everything one worker's threads share.
@@ -135,6 +138,10 @@ pub(crate) struct WorkerShared<A: App> {
     pub done: AtomicBool,
     /// Suspend signal (checkpoint-and-stop).
     pub suspend: AtomicBool,
+    /// Set when the fault injector delivered a [`Message::Crash`]: the
+    /// worker stops dead — no final aggregator sync, no checkpoint
+    /// shard — modelling a machine that lost power.
+    pub crashed: AtomicBool,
     /// Set by the worker main thread once no further inbound messages
     /// matter; the receiver thread exits on it. Kept separate from
     /// `done`/`suspend` because control traffic (final aggregator
@@ -208,6 +215,7 @@ impl<A: App> WorkerShared<A> {
             outstanding_pulls: AtomicI64::new(0),
             done: AtomicBool::new(false),
             suspend: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
             receiver_stop: AtomicBool::new(false),
             task_mem: AtomicI64::new(0),
             peak_mem: AtomicU64::new(0),
@@ -420,7 +428,19 @@ fn handle_message<A: App>(
     responders: &mut ResponderRing,
     msg: Message,
 ) {
+    if shared.crashed.load(Ordering::Relaxed) {
+        // A dead machine processes nothing; the router also stops
+        // delivering, but anything already queued is dropped here.
+        return;
+    }
     match msg {
+        Message::Crash => {
+            // Fault-injected kill: stop every thread without the usual
+            // shutdown courtesies (no final sync, no checkpoint shard).
+            shared.crashed.store(true, Ordering::SeqCst);
+            shared.done.store(true, Ordering::SeqCst);
+            shared.wake_all();
+        }
         Message::VertexRequest { from, vertices, sent_nanos } => {
             let depth = shared.counters.responder_backlog.fetch_add(1, Ordering::Relaxed) + 1;
             shared.counters.responder_peak_backlog.fetch_max(depth, Ordering::Relaxed);
@@ -438,7 +458,14 @@ fn handle_message<A: App>(
             }
             let mut made_ready = false;
             for (v, adj) in entries {
-                let waiters = shared.cache.insert_response(v, adj);
+                // `None` = no open R-table entry: a duplicate (the wire
+                // duplicated the response, or a retry raced the
+                // original). OP2 is idempotent — drop it without
+                // touching the pull count, which the first copy already
+                // settled.
+                let Some(waiters) = shared.cache.insert_response(v, adj) else {
+                    continue;
+                };
                 for id in waiters {
                     let comper = &shared.compers[id.comper() as usize];
                     if let Some(task) = comper.pending.notify(id) {
@@ -588,6 +615,20 @@ pub(crate) fn gc_loop<A: App>(shared: &Arc<WorkerShared<A>>) {
 /// reported, so the caller can trace quiescence edges.
 pub(crate) fn worker_tick<A: App>(shared: &Arc<WorkerShared<A>>, master: WorkerId) -> bool {
     shared.batcher.flush_all(&shared.net);
+    // Loss tolerance: re-request pulls whose R-table deadline expired
+    // (the wire may have dropped the request or the response). The scan
+    // is a single atomic load when nothing is in flight, and each lost
+    // vertex backs off exponentially inside the cache, so a healthy
+    // wire pays nothing and a lossy one converges instead of storming.
+    let timed_out = shared.cache.collect_timed_out(std::time::Instant::now());
+    if !timed_out.is_empty() {
+        shared.counters.pull_retries.fetch_add(timed_out.len() as u64, Ordering::Relaxed);
+        for v in timed_out {
+            let owner = shared.partitioner.owner(v);
+            shared.batcher.add(&shared.net, owner, v);
+        }
+        shared.batcher.flush_all(&shared.net);
+    }
     shared.sample_memory();
     let partial = shared.agg.take_partial();
     shared.net.send(

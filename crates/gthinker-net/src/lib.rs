@@ -12,14 +12,19 @@
 //!   transfers, progress reports and aggregator synchronization.
 //! * [`RequestBatcher`] — sender-side batching of pull requests
 //!   (desirability 5 in §III).
+//! * [`FaultConfig`] — seeded, deterministic fault injection (drops,
+//!   duplicates, reorder jitter, latency spikes, scheduled crashes)
+//!   used by the chaos tests to exercise the recovery path.
 //!
 //! Byte and message counters make the communication volume observable,
 //! which the benches report alongside wall-clock time.
 
 pub mod batch;
+pub mod fault;
 pub mod message;
 pub mod router;
 
 pub use batch::{RequestBatcher, DEFAULT_REQUEST_BATCH};
+pub use fault::{CrashSchedule, FaultConfig, FaultStats};
 pub use message::Message;
 pub use router::{LinkConfig, NetHandle, NetStats, Router};

@@ -90,6 +90,10 @@ pub enum Message {
         /// Reporting worker.
         worker: WorkerId,
     },
+    /// Fault injection killed the receiving worker: its threads stop
+    /// immediately without final syncs or checkpoint shards. Only the
+    /// router's crash schedule emits this.
+    Crash,
 }
 
 impl Message {
@@ -113,8 +117,18 @@ impl Message {
             Message::StealDone
             | Message::Terminate
             | Message::Suspend
-            | Message::SuspendDone { .. } => HEADER,
+            | Message::SuspendDone { .. }
+            | Message::Crash => HEADER,
         }
+    }
+
+    /// True for the data-plane messages (vertex pulls) that the fault
+    /// model may drop, duplicate, or delay. The control plane and steal
+    /// batches model reliable TCP-backed channels: losing a
+    /// `StealBatch` would silently lose tasks, which nothing below the
+    /// task layer could recover.
+    pub fn is_data_plane(&self) -> bool {
+        matches!(self, Message::VertexRequest { .. } | Message::VertexResponse { .. })
     }
 }
 

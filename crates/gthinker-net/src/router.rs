@@ -12,13 +12,14 @@
 //! immediately — that models the single-machine case where "tasks never
 //! need to wait for remote vertices" (Table IV(c)).
 
+use crate::fault::{FaultConfig, FaultStats};
 use crate::message::Message;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use gthinker_graph::ids::WorkerId;
 use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -93,6 +94,46 @@ impl Ord for Envelope {
     }
 }
 
+/// Runtime state for an enabled [`FaultConfig`]: per-link decision
+/// sequence numbers, per-worker counters, crash bookkeeping.
+struct FaultRuntime {
+    config: FaultConfig,
+    /// `link_seq[from * n + to]`: data-plane messages seen on the link,
+    /// the sequence input to [`FaultConfig::decide`].
+    link_seq: Vec<AtomicU64>,
+    stats: Vec<FaultStats>,
+    crashed: Vec<AtomicBool>,
+    crash_fired: AtomicBool,
+    msg_count: AtomicU64,
+    started: Instant,
+}
+
+impl FaultRuntime {
+    fn crashed(&self, w: usize) -> bool {
+        self.crashed[w].load(Ordering::Relaxed)
+    }
+
+    /// Advances the crash schedule by one interconnect message; fires
+    /// at most once, marking the victim dead and delivering a
+    /// [`Message::Crash`] straight to its inbox (a dying machine does
+    /// not go through the wire model).
+    fn maybe_crash(&self, inbox_txs: &[Sender<Message>]) {
+        let Some(cs) = &self.config.crash else { return };
+        let n = self.msg_count.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.crash_fired.load(Ordering::Relaxed) {
+            return;
+        }
+        let due = cs.after_messages.is_some_and(|m| n >= m)
+            || cs.after.is_some_and(|d| self.started.elapsed() >= d);
+        if due && !self.crash_fired.swap(true, Ordering::SeqCst) {
+            let w = cs.worker.index();
+            self.crashed[w].store(true, Ordering::SeqCst);
+            self.stats[w].crashes.fetch_add(1, Ordering::Relaxed);
+            let _ = inbox_txs[w].send(Message::Crash);
+        }
+    }
+}
+
 struct Shared {
     inbox_txs: Vec<Sender<Message>>,
     stats: Vec<NetStats>,
@@ -102,6 +143,9 @@ struct Shared {
     delay_tx: Option<Sender<Envelope>>,
     seq: AtomicU64,
     num_workers: usize,
+    /// Present only when fault injection is enabled; the fault-free
+    /// path pays a single `Option` check per send.
+    fault: Option<FaultRuntime>,
 }
 
 /// The simulated interconnect; create once per job, then split into
@@ -114,15 +158,36 @@ pub struct Router {
 }
 
 impl Router {
-    /// Creates a router for `n` workers with the given link model.
+    /// Creates a router for `n` workers with the given link model and
+    /// no fault injection.
     pub fn new(n: usize, config: LinkConfig) -> Router {
+        Router::with_faults(n, config, FaultConfig::default())
+    }
+
+    /// Creates a router whose wire additionally obeys `fault`.
+    pub fn with_faults(n: usize, config: LinkConfig, fault: FaultConfig) -> Router {
         assert!(n >= 1, "need at least one worker");
+        if let Some(cs) = &fault.crash {
+            assert!(cs.worker.index() < n, "crash target out of range");
+            assert!(cs.worker.index() != 0, "worker 0 hosts the master loop and cannot crash");
+        }
         let (inbox_txs, inbox_rxs): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded()).unzip();
         let now = Instant::now();
         let link_busy = (0..n * n).map(|_| Mutex::new(now)).collect();
         let stats = (0..n).map(|_| NetStats::default()).collect();
+        let fault = fault.enabled().then(|| FaultRuntime {
+            config: fault,
+            link_seq: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+            stats: (0..n).map(|_| FaultStats::default()).collect(),
+            crashed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            crash_fired: AtomicBool::new(false),
+            msg_count: AtomicU64::new(0),
+            started: now,
+        });
 
-        let (delay_tx, delivery_thread) = if config.is_instant() {
+        // Fault-injected delays need the delivery heap even on an
+        // otherwise instant link.
+        let (delay_tx, delivery_thread) = if config.is_instant() && fault.is_none() {
             (None, None)
         } else {
             let (tx, rx) = unbounded::<Envelope>();
@@ -143,6 +208,7 @@ impl Router {
                 delay_tx,
                 seq: AtomicU64::new(0),
                 num_workers: n,
+                fault,
             }),
             delivery_thread,
             handles_taken: false,
@@ -174,6 +240,11 @@ impl Router {
     /// Per-worker traffic counters.
     pub fn stats(&self, w: WorkerId) -> &NetStats {
         &self.shared.stats[w.index()]
+    }
+
+    /// Per-worker fault counters; `None` when fault injection is off.
+    pub fn fault_stats(&self, w: WorkerId) -> Option<&FaultStats> {
+        self.shared.fault.as_ref().map(|f| &f.stats[w.index()])
     }
 }
 
@@ -232,22 +303,62 @@ impl NetHandle {
         self.shared.num_workers
     }
 
-    /// Sends `msg` to worker `to`, applying the link model.
+    /// Sends `msg` to worker `to`, applying the link model and, when
+    /// enabled, the fault model.
     pub fn send(&self, to: WorkerId, msg: Message) {
-        let bytes = msg.wire_bytes();
         let s = &self.shared;
+        if let Some(f) = &s.fault {
+            f.maybe_crash(&s.inbox_txs);
+            // A dead machine neither sends nor receives; in-flight
+            // traffic to it still reaches the inbox and is discarded by
+            // the receiver's crashed guard.
+            if f.crashed(self.me) || f.crashed(to.index()) {
+                return;
+            }
+        }
+        let bytes = msg.wire_bytes();
         s.stats[self.me].bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
         s.stats[self.me].msgs_sent.fetch_add(1, Ordering::Relaxed);
-        s.stats[to.index()].bytes_received.fetch_add(bytes as u64, Ordering::Relaxed);
-        s.stats[to.index()].msgs_received.fetch_add(1, Ordering::Relaxed);
-        match (&s.delay_tx, to.index() == self.me) {
+
+        let mut extra = Duration::ZERO;
+        if let Some(f) = &s.fault {
+            if to.index() != self.me && msg.is_data_plane() {
+                let link = self.me * s.num_workers + to.index();
+                let seq = f.link_seq[link].fetch_add(1, Ordering::Relaxed);
+                let d = f.config.decide(self.me, to.index(), seq);
+                if d.drop {
+                    f.stats[self.me].dropped.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                if !d.delay.is_zero() {
+                    f.stats[self.me].delayed.fetch_add(1, Ordering::Relaxed);
+                }
+                if d.duplicate {
+                    f.stats[self.me].duplicated.fetch_add(1, Ordering::Relaxed);
+                    // The copy trails the original by one jitter window.
+                    let lag = d.delay + f.config.reorder_jitter;
+                    self.deliver(to.index(), msg.clone(), bytes, lag);
+                }
+                extra = d.delay;
+            }
+        }
+        self.deliver(to.index(), msg, bytes, extra);
+    }
+
+    /// Delivers one copy of `msg`, through the delay heap when the link
+    /// model or an injected delay requires it.
+    fn deliver(&self, to: usize, msg: Message, bytes: usize, extra: Duration) {
+        let s = &self.shared;
+        s.stats[to].bytes_received.fetch_add(bytes as u64, Ordering::Relaxed);
+        s.stats[to].msgs_received.fetch_add(1, Ordering::Relaxed);
+        match (&s.delay_tx, to == self.me) {
             // Self-sends and instant configs bypass the delay model.
             (None, _) | (_, true) => {
-                let _ = s.inbox_txs[to.index()].send(msg);
+                let _ = s.inbox_txs[to].send(msg);
             }
             (Some(delay_tx), false) => {
                 let now = Instant::now();
-                let link = &s.link_busy[self.me * s.num_workers + to.index()];
+                let link = &s.link_busy[self.me * s.num_workers + to];
                 let deliver_at = {
                     let mut busy = link.lock();
                     let start = (*busy).max(now);
@@ -256,7 +367,10 @@ impl NetHandle {
                     done
                 };
                 let seq = s.seq.fetch_add(1, Ordering::Relaxed);
-                let _ = delay_tx.send(Envelope { deliver_at, seq, to: to.index(), msg });
+                // Injected delay holds the message, not the link: later
+                // traffic overtakes it (that is the reorder).
+                let deliver_at = deliver_at + extra;
+                let _ = delay_tx.send(Envelope { deliver_at, seq, to, msg });
             }
         }
     }
@@ -283,6 +397,11 @@ impl NetHandle {
     /// This worker's traffic counters.
     pub fn stats(&self) -> &NetStats {
         &self.shared.stats[self.me]
+    }
+
+    /// This worker's fault counters; `None` when fault injection is off.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.shared.fault.as_ref().map(|f| &f.stats[self.me])
     }
 }
 
@@ -394,5 +513,134 @@ mod tests {
         let mut r = Router::new(1, LinkConfig::INSTANT);
         let _ = r.take_handles();
         let _ = r.take_handles();
+    }
+
+    use crate::fault::{CrashSchedule, FaultConfig};
+
+    fn lossy_fault() -> FaultConfig {
+        FaultConfig {
+            seed: 7,
+            drop_prob: 0.2,
+            dup_prob: 0.2,
+            reorder_prob: 0.3,
+            reorder_jitter: Duration::from_micros(200),
+            ..FaultConfig::default()
+        }
+    }
+
+    /// Sends `n` single-vertex requests 0→1 and returns the receiver's
+    /// delivered payloads plus the sender's fault counters.
+    fn run_lossy_sequence(n: u32, fault: FaultConfig) -> (Vec<u32>, (u64, u64, u64)) {
+        let mut r = Router::with_faults(2, LinkConfig::INSTANT, fault);
+        let mut handles = r.take_handles();
+        let h1 = handles.remove(1);
+        let h0 = handles.remove(0);
+        for i in 0..n {
+            h0.send(
+                WorkerId(1),
+                Message::VertexRequest {
+                    from: WorkerId(0),
+                    vertices: vec![VertexId(i)],
+                    sent_nanos: 0,
+                },
+            );
+        }
+        let mut got = Vec::new();
+        while let Some(msg) = h1.recv_timeout(Duration::from_millis(100)) {
+            if let Message::VertexRequest { vertices, .. } = msg {
+                got.push(vertices[0].0);
+            }
+        }
+        let fs = h0.fault_stats().expect("fault injection enabled");
+        (
+            got,
+            (
+                fs.dropped.load(Ordering::Relaxed),
+                fs.duplicated.load(Ordering::Relaxed),
+                fs.delayed.load(Ordering::Relaxed),
+            ),
+        )
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_across_routers() {
+        let (got_a, counts_a) = run_lossy_sequence(300, lossy_fault());
+        let (got_b, counts_b) = run_lossy_sequence(300, lossy_fault());
+        assert_eq!(counts_a, counts_b, "same seed → same counters");
+        let mut sorted_a = got_a.clone();
+        let mut sorted_b = got_b.clone();
+        sorted_a.sort_unstable();
+        sorted_b.sort_unstable();
+        // Delivery *order* can race the jitter clock, but the multiset
+        // of delivered copies is fully determined by the seed.
+        assert_eq!(sorted_a, sorted_b, "same seed → same delivered multiset");
+        assert!(counts_a.0 > 0, "some drops expected");
+        assert!(counts_a.1 > 0, "some duplicates expected");
+        assert!(got_a.len() as u64 == 300 - counts_a.0 + counts_a.1);
+    }
+
+    #[test]
+    fn control_plane_is_never_faulted() {
+        let fault = FaultConfig { drop_prob: 1.0, ..FaultConfig::default() };
+        let mut r = Router::with_faults(2, LinkConfig::INSTANT, fault);
+        let mut handles = r.take_handles();
+        let h1 = handles.remove(1);
+        let h0 = handles.remove(0);
+        h0.send(WorkerId(1), Message::Terminate);
+        assert!(
+            matches!(h1.recv_timeout(Duration::from_secs(1)), Some(Message::Terminate)),
+            "control messages bypass the fault model"
+        );
+        h0.send(
+            WorkerId(1),
+            Message::VertexRequest {
+                from: WorkerId(0),
+                vertices: vec![VertexId(1)],
+                sent_nanos: 0,
+            },
+        );
+        assert!(h1.recv_timeout(Duration::from_millis(50)).is_none(), "data plane dropped");
+    }
+
+    #[test]
+    fn crash_schedule_kills_worker_links() {
+        let fault = FaultConfig {
+            crash: Some(CrashSchedule {
+                worker: WorkerId(1),
+                after_messages: Some(3),
+                after: None,
+            }),
+            ..FaultConfig::default()
+        };
+        let mut r = Router::with_faults(2, LinkConfig::INSTANT, fault);
+        let mut handles = r.take_handles();
+        let h1 = handles.remove(1);
+        let h0 = handles.remove(0);
+        h0.send(WorkerId(1), Message::Terminate);
+        h0.send(WorkerId(1), Message::Terminate);
+        assert!(matches!(h1.recv_timeout(Duration::from_secs(1)), Some(Message::Terminate)));
+        assert!(matches!(h1.recv_timeout(Duration::from_secs(1)), Some(Message::Terminate)));
+        // Third send crosses the mark: the victim gets a Crash signal
+        // and all of its links go dark.
+        h0.send(WorkerId(1), Message::Terminate);
+        assert!(matches!(h1.recv_timeout(Duration::from_secs(1)), Some(Message::Crash)));
+        assert!(h1.recv_timeout(Duration::from_millis(50)).is_none(), "link to victim is dark");
+        h1.send(WorkerId(0), Message::Terminate);
+        assert!(h0.recv_timeout(Duration::from_millis(50)).is_none(), "victim cannot send");
+        assert_eq!(r.fault_stats(WorkerId(1)).expect("enabled").crashes.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker 0 hosts the master loop")]
+    fn crashing_the_master_is_rejected() {
+        let fault = FaultConfig {
+            crash: Some(CrashSchedule {
+                worker: WorkerId(0),
+                after_messages: Some(1),
+                after: None,
+            }),
+            ..FaultConfig::default()
+        };
+        let _ = Router::with_faults(2, LinkConfig::INSTANT, fault);
     }
 }

@@ -28,6 +28,7 @@ use gthinker_graph::ids::{TaskId, VertexId};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`VertexCache`]; defaults follow the paper.
 #[derive(Clone, Debug)]
@@ -40,11 +41,21 @@ pub struct CacheConfig {
     pub alpha: f64,
     /// Per-thread counter commit threshold δ. Paper default: 10.
     pub counter_delta: u32,
+    /// How long a pull request may stay unanswered before
+    /// [`VertexCache::collect_timed_out`] schedules a re-request.
+    /// Retries back off exponentially from this base.
+    pub pull_timeout: Duration,
 }
 
 impl Default for CacheConfig {
     fn default() -> Self {
-        CacheConfig { num_buckets: 10_000, capacity: 2_000_000, alpha: 0.2, counter_delta: 10 }
+        CacheConfig {
+            num_buckets: 10_000,
+            capacity: 2_000_000,
+            alpha: 0.2,
+            counter_delta: 10,
+            pull_timeout: Duration::from_millis(500),
+        }
     }
 }
 
@@ -75,6 +86,11 @@ pub struct CacheStats {
     pub evictions: AtomicU64,
     /// GC passes that ran (i.e. overflow observed).
     pub gc_passes: AtomicU64,
+    /// Pull requests that timed out and were scheduled for re-request.
+    pub retries: AtomicU64,
+    /// OP2 calls that found no R-table entry (duplicate or late
+    /// responses, dropped idempotently).
+    pub stale_responses: AtomicU64,
 }
 
 impl CacheStats {
@@ -86,6 +102,8 @@ impl CacheStats {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             gc_passes: self.gc_passes.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            stale_responses: self.stale_responses.load(Ordering::Relaxed),
         }
     }
 }
@@ -103,6 +121,10 @@ pub struct CacheSnapshot {
     pub evictions: u64,
     /// GC passes that ran (i.e. overflow observed).
     pub gc_passes: u64,
+    /// Pull requests that timed out and were re-requested.
+    pub retries: u64,
+    /// Duplicate/late responses dropped by OP2.
+    pub stale_responses: u64,
 }
 
 impl CacheSnapshot {
@@ -113,6 +135,8 @@ impl CacheSnapshot {
         self.misses += other.misses;
         self.evictions += other.evictions;
         self.gc_passes += other.gc_passes;
+        self.retries += other.retries;
+        self.stale_responses += other.stale_responses;
     }
 
     /// Hit ratio over all OP1 calls (0 when no requests were made).
@@ -132,12 +156,22 @@ struct GammaEntry {
     lock_count: u32,
 }
 
+/// An R-table entry: the tasks waiting for the in-flight pull, plus
+/// the loss-tolerance state driving re-requests.
+struct PullRequest {
+    waiters: Vec<TaskId>,
+    /// When the current attempt is declared lost.
+    deadline: Instant,
+    /// Completed (timed-out) attempts; drives exponential backoff.
+    attempts: u32,
+}
+
 /// One bucket: Γ-table, Z-table and R-table under a single mutex.
 #[derive(Default)]
 struct Bucket {
     gamma: FastMap<VertexId, GammaEntry>,
     zero: FastSet<VertexId>,
-    requests: FastMap<VertexId, Vec<TaskId>>,
+    requests: FastMap<VertexId, PullRequest>,
 }
 
 /// The concurrent remote-vertex cache.
@@ -154,7 +188,9 @@ struct Bucket {
 /// assert!(matches!(outcome, RequestOutcome::MustRequest));
 /// // OP2: the response arrives and wakes the waiting task.
 /// let waiters = cache.insert_response(VertexId(7), AdjList::new());
-/// assert_eq!(waiters, vec![TaskId(1)]);
+/// assert_eq!(waiters, Some(vec![TaskId(1)]));
+/// // A duplicated response is dropped idempotently.
+/// assert_eq!(cache.insert_response(VertexId(7), AdjList::new()), None);
 /// // OP3: the task releases its hold after computing.
 /// cache.release(VertexId(7));
 /// ```
@@ -164,6 +200,9 @@ pub struct VertexCache {
     config: CacheConfig,
     gc_cursor: AtomicUsize,
     stats: CacheStats,
+    /// Exact count of open R-table entries; lets the per-tick timeout
+    /// scan exit in one atomic load when no pull is in flight.
+    in_flight: AtomicUsize,
 }
 
 impl VertexCache {
@@ -181,6 +220,7 @@ impl VertexCache {
             config,
             gc_cursor: AtomicUsize::new(0),
             stats: CacheStats::default(),
+            in_flight: AtomicUsize::new(0),
         }
     }
 
@@ -244,13 +284,21 @@ impl VertexCache {
             return RequestOutcome::Hit(adj);
         }
         match b.requests.get_mut(&v) {
-            Some(waiters) => {
-                waiters.push(task);
+            Some(req) => {
+                req.waiters.push(task);
                 self.stats.shared_waits.fetch_add(1, Ordering::Relaxed);
                 RequestOutcome::AlreadyRequested
             }
             None => {
-                b.requests.insert(v, vec![task]);
+                b.requests.insert(
+                    v,
+                    PullRequest {
+                        waiters: vec![task],
+                        deadline: Instant::now() + self.config.pull_timeout,
+                        attempts: 0,
+                    },
+                );
+                self.in_flight.fetch_add(1, Ordering::Relaxed);
                 counter.incr();
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
                 RequestOutcome::MustRequest
@@ -265,20 +313,66 @@ impl VertexCache {
     /// waiter IDs so the receiver can notify their pending tasks.
     /// `s_cache` is unchanged (R-entry becomes a Γ-entry).
     ///
-    /// If no R-table entry exists (e.g. a duplicate or stale response),
-    /// the response is dropped and an empty list returned.
-    pub fn insert_response(&self, v: VertexId, adj: AdjList) -> Vec<TaskId> {
+    /// **Idempotent**: if no R-table entry exists (a duplicated or late
+    /// response — the fault-injected wire produces both, and retries
+    /// can race the original answer), the response is dropped and
+    /// `None` returned so the caller knows the pull was *not* consumed
+    /// and must not adjust its outstanding-pull accounting. Adjacency
+    /// payloads are immutable per vertex, so whichever copy wins
+    /// installs identical data.
+    pub fn insert_response(&self, v: VertexId, adj: AdjList) -> Option<Vec<TaskId>> {
         let mut b = self.bucket_of(v).lock();
-        let Some(waiters) = b.requests.remove(&v) else {
-            return Vec::new();
+        let Some(req) = b.requests.remove(&v) else {
+            self.stats.stale_responses.fetch_add(1, Ordering::Relaxed);
+            return None;
         };
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
         debug_assert!(!b.gamma.contains_key(&v), "response for already-cached vertex");
+        let waiters = req.waiters;
         let lock_count = waiters.len() as u32;
         b.gamma.insert(v, GammaEntry { adj: Arc::new(adj), lock_count });
         if lock_count == 0 {
             b.zero.insert(v);
         }
-        waiters
+        Some(waiters)
+    }
+
+    /// Number of open R-table entries (pulls awaiting a response).
+    pub fn pulls_in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Scans the R-table for pulls whose deadline has passed and
+    /// returns their vertices so the caller can re-send the requests.
+    /// Each returned entry has its deadline pushed out by an
+    /// exponential backoff (capped at `64 × pull_timeout`) plus a
+    /// deterministic per-vertex jitter, so a burst of losses does not
+    /// re-synchronize into a retry storm.
+    ///
+    /// Costs one atomic load when no pull is in flight — the common
+    /// case on every worker tick.
+    pub fn collect_timed_out(&self, now: Instant) -> Vec<VertexId> {
+        if self.in_flight.load(Ordering::Relaxed) == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for bucket in self.buckets.iter() {
+            let mut b = bucket.lock();
+            if b.requests.is_empty() {
+                continue;
+            }
+            for (v, req) in b.requests.iter_mut() {
+                if req.deadline <= now {
+                    req.attempts += 1;
+                    req.deadline = now + retry_backoff(self.config.pull_timeout, req.attempts, *v);
+                    out.push(*v);
+                }
+            }
+        }
+        if !out.is_empty() {
+            self.stats.retries.fetch_add(out.len() as u64, Ordering::Relaxed);
+        }
+        out
     }
 
     /// Fetches the adjacency list of a vertex the calling task already
@@ -375,6 +469,18 @@ impl VertexCache {
     }
 }
 
+/// Deadline extension for the `attempts`-th retry of vertex `v`:
+/// exponential in the attempt count (capped at `2^6`), plus a
+/// deterministic jitter in `[0, base/2)` keyed on the vertex and
+/// attempt so concurrent losses fan back out instead of retrying in
+/// lockstep.
+fn retry_backoff(base: Duration, attempts: u32, v: VertexId) -> Duration {
+    let exp = base * 2u32.pow(attempts.min(6));
+    let range = (base.as_nanos() as u64 / 2).max(1);
+    let jitter = gthinker_graph::hash::hash_u64(v.0 as u64 ^ ((attempts as u64) << 32)) % range;
+    exp + Duration::from_nanos(jitter)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,6 +491,7 @@ mod tests {
             capacity,
             alpha: 0.2,
             counter_delta: 1, // exact counting in tests
+            ..CacheConfig::default()
         })
     }
 
@@ -414,7 +521,7 @@ mod tests {
         c.request(VertexId(5), T1, &mut h);
         c.request(VertexId(5), T2, &mut h);
         let waiters = c.insert_response(VertexId(5), adj(&[1, 2]));
-        assert_eq!(waiters, vec![T1, T2]);
+        assert_eq!(waiters, Some(vec![T1, T2]));
         assert_eq!(c.approx_size(), 1, "R entry became Γ entry");
         // Both tasks hold locks: not evictable yet.
         assert_eq!(c.exact_evictable(), 0);
@@ -458,9 +565,76 @@ mod tests {
         let c = small_cache(100);
         let mut h = c.counter_handle();
         c.request(VertexId(5), T1, &mut h);
-        assert_eq!(c.insert_response(VertexId(5), adj(&[])).len(), 1);
-        assert!(c.insert_response(VertexId(5), adj(&[])).is_empty());
+        assert_eq!(c.pulls_in_flight(), 1);
+        assert_eq!(c.insert_response(VertexId(5), adj(&[])).map(|w| w.len()), Some(1));
+        assert_eq!(c.pulls_in_flight(), 0);
+        // The wire can duplicate or replay responses: OP2 is idempotent
+        // and reports them as stale so the receiver does not touch its
+        // outstanding-pull accounting.
+        assert!(c.insert_response(VertexId(5), adj(&[])).is_none());
+        assert!(c.insert_response(VertexId(5), adj(&[])).is_none());
         assert_eq!(c.exact_size(), 1);
+        assert_eq!(c.pulls_in_flight(), 0);
+        assert_eq!(c.stats().snapshot().stale_responses, 2);
+    }
+
+    #[test]
+    fn timed_out_pulls_are_collected_with_backoff() {
+        let c = VertexCache::new(CacheConfig {
+            num_buckets: 16,
+            capacity: 100,
+            alpha: 0.2,
+            counter_delta: 1,
+            pull_timeout: Duration::from_millis(10),
+        });
+        let mut h = c.counter_handle();
+        c.request(VertexId(5), T1, &mut h);
+        c.request(VertexId(9), T2, &mut h);
+
+        let now = Instant::now();
+        assert!(c.collect_timed_out(now).is_empty(), "fresh requests have not timed out");
+
+        // Jump past the first deadline: both pulls report lost.
+        let later = now + Duration::from_millis(20);
+        let mut lost = c.collect_timed_out(later);
+        lost.sort_unstable();
+        assert_eq!(lost, vec![VertexId(5), VertexId(9)]);
+        assert_eq!(c.stats().snapshot().retries, 2);
+
+        // Backoff doubled the deadline: one base timeout later they are
+        // still pending, well before 2×base + jitter.
+        assert!(c.collect_timed_out(later + Duration::from_millis(10)).is_empty());
+        // Far enough out, they time out again.
+        assert_eq!(c.collect_timed_out(later + Duration::from_millis(40)).len(), 2);
+
+        // An answered pull stops retrying.
+        c.insert_response(VertexId(5), adj(&[]));
+        let all_later = later + Duration::from_secs(3600);
+        assert_eq!(c.collect_timed_out(all_later), vec![VertexId(9)]);
+    }
+
+    #[test]
+    fn collect_timed_out_is_free_when_idle() {
+        let c = small_cache(100);
+        assert_eq!(c.pulls_in_flight(), 0);
+        assert!(c.collect_timed_out(Instant::now() + Duration::from_secs(60)).is_empty());
+    }
+
+    #[test]
+    fn retry_backoff_grows_and_caps() {
+        let base = Duration::from_millis(10);
+        let v = VertexId(3);
+        let mut prev = Duration::ZERO;
+        for attempts in 1..=6 {
+            let b = retry_backoff(base, attempts, v);
+            assert!(b > prev, "backoff grows");
+            assert!(b >= base * 2u32.pow(attempts), "at least exponential");
+            prev = b;
+        }
+        // Capped: attempt 20 is no more than the 2^6 step plus jitter.
+        assert!(retry_backoff(base, 20, v) <= base * 64 + base / 2);
+        // Deterministic.
+        assert_eq!(retry_backoff(base, 3, v), retry_backoff(base, 3, v));
     }
 
     #[test]

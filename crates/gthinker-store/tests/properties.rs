@@ -37,6 +37,7 @@ proptest! {
             capacity: 4, // small: GC constantly active
             alpha: 0.2,
             counter_delta: 1,
+            ..CacheConfig::default()
         });
         let mut handle = cache.counter_handle();
         // Model: per vertex (requested, cached, locks).
@@ -70,12 +71,13 @@ proptest! {
                     let v = VertexId(i as u32);
                     let waiters = cache.insert_response(v, AdjList::new());
                     if model[i as usize].requested {
+                        let waiters = waiters.expect("open request must consume the response");
                         prop_assert_eq!(waiters.len() as u32, model[i as usize].locks,
                             "lock count transfers from R-table");
                         model[i as usize].requested = false;
                         model[i as usize].cached = true;
                     } else {
-                        prop_assert!(waiters.is_empty(), "stale responses are dropped");
+                        prop_assert!(waiters.is_none(), "stale responses are dropped");
                     }
                 }
                 Op::Release(i) => {

@@ -33,6 +33,9 @@ fn main() {
     loop {
         match result.outcome {
             JobOutcome::Completed => break,
+            JobOutcome::Failed { worker } => {
+                panic!("no faults are injected here, yet worker {worker:?} was declared dead")
+            }
             JobOutcome::Suspended { checkpoint } => {
                 println!(
                     "attempt {attempt}: suspended after {:.2?} — checkpoint at {}",

@@ -1,0 +1,202 @@
+//! Chaos equivalence: every miner, run over a seeded fault-injected
+//! interconnect (dropped, duplicated and reordered data-plane messages
+//! plus one scheduled worker crash) with automatic recovery, must
+//! produce exactly the result of a fault-free run. A hang — lost
+//! wakeup, un-retried pull, un-detected crash — fails the watchdog
+//! instead of wedging CI.
+
+use gthinker_apps::{
+    KPlexApp, MatchingApp, MaxCliqueApp, MaximalCliqueApp, Pattern, QuasiCliqueApp, TriangleApp,
+};
+use gthinker_core::prelude::*;
+use gthinker_core::RecoveryReport;
+use gthinker_graph::gen;
+use gthinker_graph::ids::WorkerId;
+use gthinker_net::fault::{CrashSchedule, FaultConfig};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+const WATCHDOG: Duration = Duration::from_secs(180);
+const MAX_RECOVERIES: u32 = 8;
+
+/// Lossy-wire-plus-crash configuration: every fault class the injector
+/// knows, all seeded, with worker 1 killed after `crash_after` router
+/// messages. Pull deadlines are short so retries actually fire inside
+/// the test's runtime.
+fn chaos_config(seed: u64, crash_after: u64) -> JobConfig {
+    let mut cfg = JobConfig::cluster(3, 2);
+    cfg.cache.pull_timeout = Duration::from_millis(50);
+    cfg.checkpoint_interval = Some(Duration::from_millis(150));
+    cfg.heartbeat_timeout = Some(Duration::from_secs(1));
+    cfg.fault = FaultConfig {
+        seed,
+        drop_prob: 0.05,
+        dup_prob: 0.05,
+        reorder_prob: 0.25,
+        reorder_jitter: Duration::from_micros(500),
+        spike_prob: 0.01,
+        spike: Duration::from_millis(2),
+        crash: Some(CrashSchedule {
+            worker: WorkerId(1),
+            after_messages: Some(crash_after),
+            after: None,
+        }),
+    };
+    cfg
+}
+
+/// Runs `f` on its own thread and panics if it outlives the watchdog.
+fn with_watchdog<T: Send + 'static>(label: &str, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(WATCHDOG) {
+        Ok(v) => {
+            handle.join().unwrap();
+            v
+        }
+        Err(_) => panic!("chaos job hung past {WATCHDOG:?} ({label})"),
+    }
+}
+
+/// Fault-free reference vs. recovery-managed chaos run of the same
+/// counting app; returns (expected, actual, report).
+fn chaos_vs_clean<A: App>(
+    app: impl Fn() -> A,
+    g: &gthinker_graph::graph::Graph,
+    seed: u64,
+    crash_after: u64,
+) -> (
+    <A::Agg as gthinker_core::Aggregator>::Global,
+    <A::Agg as gthinker_core::Aggregator>::Global,
+    RecoveryReport,
+) {
+    let expected = run_job(Arc::new(app()), g, &JobConfig::single_machine(2)).unwrap().global;
+    let (result, report) =
+        run_job_with_recovery(Arc::new(app()), g, &chaos_config(seed, crash_after), MAX_RECOVERIES)
+            .unwrap();
+    assert_eq!(result.outcome, JobOutcome::Completed);
+    (expected, result.global, report)
+}
+
+#[test]
+fn triangles_survive_chaos_and_recovery() {
+    let (expected, actual, report) = with_watchdog("tc", || {
+        let g = gen::barabasi_albert(900, 5, 11);
+        chaos_vs_clean(|| TriangleApp, &g, 0xC0FFEE, 60)
+    });
+    assert_eq!(actual, expected, "chaos run must match the fault-free count");
+    // The crash fires well inside this workload, so the run must have
+    // actually exercised the recovery path, not just survived drops.
+    assert!(report.recoveries >= 1, "expected at least one recovery: {report:?}");
+    assert_eq!(report.failed_workers[0], WorkerId(1), "the scheduled victim is detected");
+}
+
+#[test]
+fn max_clique_survives_chaos_and_recovery() {
+    let (g, expected, actual) = with_watchdog("mcf", || {
+        let base = gen::barabasi_albert(600, 5, 23);
+        let (g, planted) = gen::plant_clique(&base, 11, 29);
+        let expected =
+            run_job(Arc::new(MaxCliqueApp::default()), &g, &JobConfig::single_machine(2))
+                .unwrap()
+                .global;
+        assert!(expected.len() >= planted.len());
+        let (result, _report) = run_job_with_recovery(
+            Arc::new(MaxCliqueApp::default()),
+            &g,
+            &chaos_config(0xBADC0DE, 60),
+            MAX_RECOVERIES,
+        )
+        .unwrap();
+        assert_eq!(result.outcome, JobOutcome::Completed);
+        (g, expected, result.global)
+    });
+    // The maximum clique is unique only in size; check size and
+    // validity rather than the vertex set.
+    assert_eq!(actual.len(), expected.len(), "chaos run must find a maximum clique");
+    for i in 0..actual.len() {
+        for j in (i + 1)..actual.len() {
+            assert!(g.has_edge(actual[i], actual[j]), "reported clique must be a clique");
+        }
+    }
+}
+
+#[test]
+fn maximal_cliques_survive_chaos_and_recovery() {
+    let (expected, actual, _report) = with_watchdog("mc", || {
+        let g = gen::gnp(160, 0.08, 37);
+        chaos_vs_clean(|| MaximalCliqueApp, &g, 0xFEED, 60)
+    });
+    assert_eq!(actual, expected, "chaos run must match the fault-free count");
+}
+
+#[test]
+fn quasi_cliques_survive_chaos_and_recovery() {
+    let (expected, actual, _report) = with_watchdog("qc", || {
+        let g = gen::gnp(70, 0.12, 41);
+        chaos_vs_clean(|| QuasiCliqueApp::new(0.6, 3, 5), &g, 0xD1CE, 40)
+    });
+    assert_eq!(actual, expected, "chaos run must match the fault-free count");
+}
+
+#[test]
+fn kplexes_survive_chaos_and_recovery() {
+    let (expected, actual, _report) = with_watchdog("kp", || {
+        let g = gen::barabasi_albert(250, 5, 43);
+        chaos_vs_clean(|| KPlexApp::new(2, 5, 8), &g, 0x5EED, 60)
+    });
+    assert_eq!(actual, expected, "chaos run must match the fault-free count");
+}
+
+#[test]
+fn subgraph_matching_survives_chaos_and_recovery() {
+    let (expected, actual, _report) = with_watchdog("gm", || {
+        let g = gen::random_labels(gen::gnp(130, 0.10, 47), 2, 53);
+        let labels = g.labels().unwrap().to_vec();
+        let app = move || {
+            MatchingApp::new(Pattern::triangle(Label(0), Label(0), Label(1)), labels.clone())
+        };
+        chaos_vs_clean(app, &g, 0xACE, 60)
+    });
+    assert_eq!(actual, expected, "chaos run must match the fault-free count");
+}
+
+#[test]
+fn lossy_wire_without_crash_completes_via_retries() {
+    // Drops/dups/reorder only — no crash, no recovery runner. The job
+    // must complete through the pull-retry path alone, and the fault
+    // and retry counters must show the wire was actually hostile.
+    let (expected, result) = with_watchdog("lossy", || {
+        let g = gen::barabasi_albert(700, 5, 59);
+        let expected =
+            run_job(Arc::new(TriangleApp), &g, &JobConfig::single_machine(2)).unwrap().global;
+        let mut cfg = chaos_config(0xDEAF, 0);
+        cfg.fault.crash = None;
+        cfg.fault.drop_prob = 0.10;
+        cfg.checkpoint_interval = None;
+        let result = run_job(Arc::new(TriangleApp), &g, &cfg).unwrap();
+        (expected, result)
+    });
+    assert_eq!(result.outcome, JobOutcome::Completed);
+    assert_eq!(result.global, expected);
+    let dropped: u64 = result.workers.iter().map(|w| w.net_msgs_dropped).sum();
+    let retries: u64 = result.workers.iter().map(|w| w.pull_retries).sum();
+    assert!(dropped > 0, "a 10% drop rate must actually drop something");
+    assert!(retries > 0, "dropped pulls must be re-requested");
+}
+
+#[test]
+fn fault_counters_are_zero_on_a_clean_wire() {
+    let result = with_watchdog("clean", || {
+        let g = gen::gnp(300, 0.05, 61);
+        run_job(Arc::new(TriangleApp), &g, &JobConfig::cluster(3, 2)).unwrap()
+    });
+    for (w, stats) in result.workers.iter().enumerate() {
+        assert_eq!(stats.net_msgs_dropped, 0, "worker {w}");
+        assert_eq!(stats.net_msgs_duplicated, 0, "worker {w}");
+        assert_eq!(stats.net_msgs_delayed, 0, "worker {w}");
+        assert_eq!(stats.pull_retries, 0, "worker {w}");
+    }
+}

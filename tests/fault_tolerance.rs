@@ -36,6 +36,9 @@ fn run_with_interruptions<A: gthinker_core::App>(
                 next.suspend_after = cfg.suspend_after.map(|d| d * 2u32.pow(suspensions as u32));
                 result = resume_job(Arc::new(app()), graph, &next, &checkpoint).unwrap();
             }
+            JobOutcome::Failed { worker } => {
+                panic!("no faults are injected here, yet worker {worker:?} was declared dead")
+            }
         }
     }
 }
@@ -101,8 +104,9 @@ fn resume_with_wrong_topology_is_rejected() {
         return;
     };
     let bad = JobConfig::cluster(3, 1);
-    let err = std::panic::catch_unwind(|| {
-        let _ = resume_job(Arc::new(TriangleApp), &g, &bad, &checkpoint);
-    });
-    assert!(err.is_err(), "mismatched worker count must be rejected");
+    let err = resume_job(Arc::new(TriangleApp), &g, &bad, &checkpoint)
+        .expect_err("mismatched worker count must be rejected");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    let msg = err.to_string();
+    assert!(msg.contains("2 workers") && msg.contains("3"), "error should name both counts: {msg}");
 }

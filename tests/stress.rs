@@ -70,6 +70,9 @@ fn bundled_triangles_survive_torture_plus_suspension() {
     loop {
         match result.outcome {
             JobOutcome::Completed => break,
+            JobOutcome::Failed { worker } => {
+                panic!("no faults are injected here, yet worker {worker:?} was declared dead")
+            }
             JobOutcome::Suspended { checkpoint } => {
                 attempts += 1;
                 assert!(attempts < 30, "never converges");
