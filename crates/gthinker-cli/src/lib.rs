@@ -22,15 +22,18 @@ use gthinker_apps::{
     QuasiCliqueApp, TriangleApp, TriangleListApp,
 };
 use gthinker_core::prelude::*;
+use gthinker_core::{run_worker_process, ClusterRole};
 use gthinker_graph::datasets::{self, DatasetKind};
 use gthinker_graph::gen;
 use gthinker_graph::graph::Graph;
-use gthinker_graph::ids::Label;
+use gthinker_graph::ids::{Label, WorkerId};
 use gthinker_graph::load;
 use gthinker_graph::order::degeneracy_relabel;
 use gthinker_graph::stats::GraphStats;
+use gthinker_net::ClusterManifest;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A CLI failure with a user-facing message.
 #[derive(Debug)]
@@ -239,6 +242,8 @@ pub fn run(mut args: Vec<String>) -> Result<String, CliError> {
         "qc" => cmd_qc(args),
         "kp" => cmd_kp(args),
         "gm" => cmd_gm(args),
+        "master" => cmd_cluster(true, args),
+        "worker" => cmd_cluster(false, args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => err(format!("unknown command {other}\n{USAGE}")),
     }
@@ -256,6 +261,14 @@ pub const USAGE: &str = "usage: gthinker <command> [options]
   qc  <FILE> --gamma G [--min N] [--max N] [--workers N] [--compers N]
   kp  <FILE> --k K [--min N] [--max N] [--workers N] [--compers N]
   gm  <FILE> --pattern triangle:0,1,2|path:..|star:..|clique4:.. [--workers N] [--compers N]
+  master --hosts H0,H1,.. <mcf|tc|mc|qc|kp|gm> <FILE> [miner opts]
+  worker --hosts H0,H1,.. --me I <mcf|tc|mc|qc|kp|gm> <FILE> [miner opts]
+
+a multi-process cluster job runs one OS process per host:port in
+--hosts; every process gets the same graph file and miner options, the
+master is worker 0 and prints the result, each worker prints its own
+byte counters. --connect-timeout SECS (default 30) bounds the
+rendezvous.
 
 mining commands also accept observability flags:
   --metrics-json PATH   write counters + latency quantiles as JSON
@@ -440,6 +453,172 @@ fn cmd_gm(mut args: Vec<String>) -> Result<String, CliError> {
         .map_err(|e| CliError(format!("job failed: {e}")))?;
     let extra = export_metrics(&opts.metrics, &r.metrics)?;
     Ok(format!("embeddings of {spec}: {} in {:.2?}{extra}", r.global, r.elapsed))
+}
+
+/// The global result type `App` `A` produces.
+type GlobalOf<A> = <<A as App>::Agg as Aggregator>::Global;
+
+/// Where this process sits in the multi-process cluster.
+struct ClusterSeat {
+    manifest: ClusterManifest,
+    me: WorkerId,
+    timeout: Duration,
+}
+
+/// Runs this process's share of a cluster job and renders the outcome:
+/// the master (worker 0) prints the job result via `render` plus its
+/// own byte counters, every other worker prints just its counters.
+fn run_cluster<A: App>(
+    app: A,
+    graph: &Graph,
+    cfg: &JobConfig,
+    seat: &ClusterSeat,
+    render: impl FnOnce(&JobResult<GlobalOf<A>>) -> String,
+) -> Result<String, CliError> {
+    let role = run_worker_process(Arc::new(app), graph, cfg, &seat.manifest, seat.me, seat.timeout)
+        .map_err(|e| CliError(format!("cluster job failed: {e}")))?;
+    Ok(match role {
+        ClusterRole::Master(r) => {
+            let w = &r.workers[0];
+            format!(
+                "{}\nworker 0 (master): sent {} bytes, received {} bytes",
+                render(&r),
+                w.net_bytes_sent,
+                w.net_bytes_received
+            )
+        }
+        ClusterRole::Worker(w) => format!(
+            "worker {} done: sent {} bytes, received {} bytes",
+            seat.me.index(),
+            w.net_bytes_sent,
+            w.net_bytes_received
+        ),
+    })
+}
+
+/// `gthinker master …` / `gthinker worker …`: one OS process of a
+/// multi-process TCP cluster job. Every process must be launched with
+/// the same `--hosts` list, graph file and miner options.
+fn cmd_cluster(is_master: bool, mut args: Vec<String>) -> Result<String, CliError> {
+    let role = if is_master { "master" } else { "worker" };
+    let hosts = take_flag(&mut args, "--hosts")?
+        .ok_or_else(|| CliError(format!("{role}: --hosts HOST:PORT,HOST:PORT,.. required")))?;
+    let manifest = ClusterManifest::parse(&hosts)
+        .map_err(|e| CliError(format!("{role}: bad --hosts: {e}")))?;
+    let me = if is_master {
+        if let Some(i) = take_parsed::<usize>(&mut args, "--me")? {
+            if i != 0 {
+                return err("master: the master is always worker 0; drop --me");
+            }
+        }
+        0
+    } else {
+        let i: usize = take_parsed(&mut args, "--me")?
+            .ok_or_else(|| CliError("worker: --me INDEX required".into()))?;
+        if i == 0 {
+            return err("worker: index 0 is the master; run `gthinker master` there");
+        }
+        i
+    };
+    if me >= manifest.num_workers() {
+        return err(format!("{role}: --me {me} out of range for {} hosts", manifest.num_workers()));
+    }
+    let timeout =
+        Duration::from_secs(take_parsed(&mut args, "--connect-timeout")?.unwrap_or(30u64));
+    let seat = ClusterSeat { manifest, me: WorkerId(me as u16), timeout };
+
+    let mut opts = mine_opts(&mut args)?;
+    if opts.metrics.wanted() {
+        return err(format!("{role}: metrics exports are not supported on cluster jobs yet"));
+    }
+    // The cluster size comes from --hosts; --workers is meaningless here.
+    opts.workers = seat.manifest.num_workers();
+    let cfg = job_config(&opts);
+
+    if args.is_empty() {
+        return err(format!("{role}: missing miner subcommand (mcf|tc|mc|qc|kp|gm)"));
+    }
+    let miner = args.remove(0);
+    match miner.as_str() {
+        "mcf" => {
+            let tau: usize = take_parsed(&mut args, "--tau")?.unwrap_or(40_000);
+            let path = args.first().ok_or_else(|| CliError(format!("{role} mcf: missing FILE")))?;
+            let g = load_graph(path)?;
+            run_cluster(MaxCliqueApp::with_tau(tau), &g, &cfg, &seat, |r| {
+                format!(
+                    "maximum clique: {} vertices in {:.2?}\nmembers: {:?}",
+                    r.global.len(),
+                    r.elapsed,
+                    r.global
+                )
+            })
+        }
+        "tc" => {
+            let bundle: usize = take_parsed(&mut args, "--bundle")?.unwrap_or(0);
+            let path = args.first().ok_or_else(|| CliError(format!("{role} tc: missing FILE")))?;
+            let g = load_graph(path)?;
+            let render =
+                |r: &JobResult<u64>| format!("triangles: {} in {:.2?}", r.global, r.elapsed);
+            if bundle > 0 {
+                run_cluster(BundledTriangleApp::new(bundle), &g, &cfg, &seat, render)
+            } else {
+                run_cluster(TriangleApp, &g, &cfg, &seat, render)
+            }
+        }
+        "mc" => {
+            let path = args.first().ok_or_else(|| CliError(format!("{role} mc: missing FILE")))?;
+            let g = load_graph(path)?;
+            run_cluster(MaximalCliqueApp, &g, &cfg, &seat, |r| {
+                format!("maximal cliques: {} in {:.2?}", r.global, r.elapsed)
+            })
+        }
+        "qc" => {
+            let gamma: f64 = take_parsed(&mut args, "--gamma")?
+                .ok_or_else(|| CliError(format!("{role} qc: --gamma required")))?;
+            let min: usize = take_parsed(&mut args, "--min")?.unwrap_or(3);
+            let max: usize = take_parsed(&mut args, "--max")?.unwrap_or(5);
+            let path = args.first().ok_or_else(|| CliError(format!("{role} qc: missing FILE")))?;
+            let g = load_graph(path)?;
+            run_cluster(QuasiCliqueApp::new(gamma, min, max), &g, &cfg, &seat, move |r| {
+                format!(
+                    "γ={gamma} quasi-cliques of size {min}..{max}: {} in {:.2?}",
+                    r.global, r.elapsed
+                )
+            })
+        }
+        "kp" => {
+            let k: usize = take_parsed(&mut args, "--k")?
+                .ok_or_else(|| CliError(format!("{role} kp: --k required")))?;
+            let min: usize =
+                take_parsed(&mut args, "--min")?.unwrap_or((2 * k).saturating_sub(1).max(2));
+            let max: usize = take_parsed(&mut args, "--max")?.unwrap_or(min + 2);
+            let path = args.first().ok_or_else(|| CliError(format!("{role} kp: missing FILE")))?;
+            let g = load_graph(path)?;
+            run_cluster(KPlexApp::new(k, min, max), &g, &cfg, &seat, move |r| {
+                format!(
+                    "connected {k}-plexes of size {min}..{max}: {} in {:.2?}",
+                    r.global, r.elapsed
+                )
+            })
+        }
+        "gm" => {
+            let spec = take_flag(&mut args, "--pattern")?
+                .ok_or_else(|| CliError(format!("{role} gm: --pattern required")))?;
+            let pattern = parse_pattern(&spec)?;
+            let path = args.first().ok_or_else(|| CliError(format!("{role} gm: missing FILE")))?;
+            let g = load_graph(path)?;
+            let labels = g
+                .labels()
+                .ok_or_else(|| {
+                    CliError(format!("{role} gm: the data graph must be labeled (gen --labels K)"))
+                })?
+                .to_vec();
+            run_cluster(MatchingApp::new(pattern, labels), &g, &cfg, &seat, move |r| {
+                format!("embeddings of {spec}: {} in {:.2?}", r.global, r.elapsed)
+            })
+        }
+        other => err(format!("{role}: unknown miner {other} (want mcf|tc|mc|qc|kp|gm)")),
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,138 @@
+//! End-to-end multi-process cluster test: three real `gthinker` OS
+//! processes on 127.0.0.1, speaking the framed TCP protocol, must
+//! report exactly the result of the in-process run — and must have
+//! actually moved bytes across the sockets.
+
+use std::net::TcpListener;
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_gthinker");
+
+/// Reserves `n` free loopback ports. The listeners are dropped before
+/// the cluster starts, so a tiny race with other port users exists —
+/// acceptable for CI, where nothing else binds ephemeral ports.
+fn free_hosts(n: usize) -> String {
+    let listeners: Vec<TcpListener> =
+        (0..n).map(|_| TcpListener::bind("127.0.0.1:0").expect("bind")).collect();
+    let hosts: Vec<String> =
+        listeners.iter().map(|l| format!("127.0.0.1:{}", l.local_addr().unwrap().port())).collect();
+    hosts.join(",")
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = Command::new(BIN).args(args).output().expect("spawn gthinker");
+    assert!(
+        out.status.success(),
+        "gthinker {:?} failed:\nstdout: {}\nstderr: {}",
+        args,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+/// Launches a 3-process cluster for `miner_args` and returns the
+/// master's stdout plus both workers' stdout.
+fn run_cluster(hosts: &str, miner_args: &[&str]) -> (String, Vec<String>) {
+    let workers: Vec<_> = ["1", "2"]
+        .iter()
+        .map(|me| {
+            let mut args = vec!["worker", "--hosts", hosts, "--me", me];
+            args.extend_from_slice(miner_args);
+            Command::new(BIN)
+                .args(&args)
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn()
+                .expect("spawn worker")
+        })
+        .collect();
+    let mut master_args = vec!["master", "--hosts", hosts];
+    master_args.extend_from_slice(miner_args);
+    let master_out = run_ok(&master_args);
+    let worker_outs: Vec<String> = workers
+        .into_iter()
+        .map(|w| {
+            let out = w.wait_with_output().expect("worker exit");
+            assert!(
+                out.status.success(),
+                "worker failed:\nstdout: {}\nstderr: {}",
+                String::from_utf8_lossy(&out.stdout),
+                String::from_utf8_lossy(&out.stderr)
+            );
+            String::from_utf8(out.stdout).expect("utf8")
+        })
+        .collect();
+    (master_out, worker_outs)
+}
+
+/// The first line of a mining report: the result, stripped of timing.
+fn result_prefix(out: &str) -> String {
+    let line = out.lines().next().expect("nonempty output");
+    line.split(" in ").next().expect("result line").to_string()
+}
+
+/// Extracts "sent N bytes" from a worker/master byte-counter line.
+fn sent_bytes(out: &str) -> u64 {
+    let line = out.lines().find(|l| l.contains("sent ")).expect("byte counter line");
+    let after = line.split("sent ").nth(1).expect("sent field");
+    after.split(' ').next().unwrap().parse().expect("byte count")
+}
+
+#[test]
+fn three_process_cluster_matches_in_process_run() {
+    let graph = std::env::temp_dir().join(format!("gthinker-e2e-{}.el", std::process::id()));
+    let graph = graph.to_str().unwrap().to_string();
+    run_ok(&["gen", "gnp", "-n", "300", "-p", "0.06", "--seed", "13", "-o", &graph]);
+
+    // Triangle counting.
+    let local = run_ok(&["tc", &graph, "--workers", "3", "--compers", "2"]);
+    let hosts = free_hosts(3);
+    let (master, workers) = run_cluster(&hosts, &["tc", &graph, "--compers", "2"]);
+    assert_eq!(
+        result_prefix(&master),
+        result_prefix(&local),
+        "TCP cluster and in-process run disagree on the triangle count"
+    );
+    assert!(sent_bytes(&master) > 0, "master sent no bytes: {master}");
+    for w in &workers {
+        assert!(sent_bytes(w) > 0, "a worker sent no bytes: {w}");
+    }
+
+    // Maximum clique finding (different message mix: aggregator syncs
+    // carry the growing best clique, tau splits large tasks).
+    let local = run_ok(&["mcf", &graph, "--workers", "3", "--compers", "2"]);
+    let hosts = free_hosts(3);
+    let (master, _workers) = run_cluster(&hosts, &["mcf", &graph, "--compers", "2"]);
+    assert_eq!(
+        result_prefix(&master),
+        result_prefix(&local),
+        "TCP cluster and in-process run disagree on the maximum clique"
+    );
+
+    let _ = std::fs::remove_file(&graph);
+}
+
+#[test]
+fn cluster_flag_validation() {
+    let out = Command::new(BIN).args(["worker", "--hosts", "127.0.0.1:1"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--me"), "worker without --me should name the flag: {err}");
+
+    let out = Command::new(BIN)
+        .args(["master", "--hosts", "not a host list", "tc", "x.el"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--hosts"), "bad hosts should be named: {err}");
+
+    let out = Command::new(BIN)
+        .args(["worker", "--hosts", "127.0.0.1:9000,127.0.0.1:9001", "--me", "5", "tc", "x.el"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("out of range"), "out-of-range --me should say so: {err}");
+}

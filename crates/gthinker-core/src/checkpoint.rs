@@ -85,32 +85,10 @@ fn manifest_path(dir: &Path) -> PathBuf {
     dir.join("manifest.ckpt")
 }
 
-/// CRC32 (IEEE 802.3, the zlib polynomial) lookup table, built at
-/// compile time — no external crate.
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-};
-
-/// CRC32 of `data` (IEEE, matches zlib's `crc32`).
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
-    }
-    !crc
-}
+// The CRC32 helper lives in the codec layer so the wire-frame format
+// in `gthinker-net` shares the exact same integrity check; re-exported
+// here because the checkpoint trailer is its original home.
+pub use gthinker_task::codec::crc32;
 
 /// Trailer: `crc32(payload)` (4 bytes LE) + payload length (8 bytes LE).
 const TRAILER_LEN: usize = 12;

@@ -1,0 +1,154 @@
+//! Multi-process job execution over the TCP backend.
+//!
+//! [`run_worker_process`] is the per-process counterpart of
+//! [`crate::job::run_job`]: every OS process in the cluster calls it
+//! with the **same** graph, config and [`ClusterManifest`], plus its own
+//! worker ID. Each process loads and trims the graph, hash-partitions
+//! it identically (the partitioner is deterministic), keeps only its
+//! own partition, joins the TCP rendezvous, and then runs the exact
+//! same worker main loop the sim backend runs — master logic included
+//! on worker 0. When the master's termination protocol fires, its
+//! Terminate broadcast shuts every process down gracefully.
+//!
+//! Differences from the in-process runner, by design:
+//!
+//! * The master's [`JobResult::workers`] holds only **its own**
+//!   [`WorkerStats`] — remote stats live in the remote processes, which
+//!   each get theirs back as [`ClusterRole::Worker`].
+//! * `config.link` is ignored: the real network provides the latency.
+//! * Crash schedules and checkpoint resume are unsupported (the sim
+//!   backend covers those paths); fault drops/dups/delays work, seeded
+//!   identically on every process by [`gthinker_net::FaultConfig`].
+
+use crate::api::App;
+use crate::config::{JobConfig, JobOutcome, JobResult, WorkerStats};
+use crate::job::{build_worker, new_job_dir, worker_main, Global, WorkerOutcome};
+use crate::metrics::MetricsRegistry;
+use gthinker_graph::graph::Graph;
+use gthinker_graph::ids::{Label, WorkerId};
+use gthinker_graph::partition::HashPartitioner;
+use gthinker_graph::trim::trim_graph;
+use gthinker_net::tcp::{ClusterManifest, TcpTransport};
+use gthinker_net::transport::Transport;
+use std::io;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What this process was in the cluster, with the payload it gets back.
+#[derive(Debug)]
+pub enum ClusterRole<G> {
+    /// Worker 0: the full job result (with only this worker's stats).
+    Master(JobResult<G>),
+    /// Any other worker: its own statistics.
+    Worker(WorkerStats),
+}
+
+/// Runs this process's worker of a multi-process job, blocking until
+/// the master's termination (or failure) protocol shuts it down.
+/// `connect_timeout` bounds the cluster rendezvous, not the job.
+pub fn run_worker_process<A: App>(
+    app: Arc<A>,
+    graph: &Graph,
+    config: &JobConfig,
+    manifest: &ClusterManifest,
+    me: WorkerId,
+    connect_timeout: Duration,
+) -> io::Result<ClusterRole<Global<A>>> {
+    let listener = TcpListener::bind(manifest.addr(me))?;
+    run_worker_process_on(app, graph, config, manifest, me, connect_timeout, listener)
+}
+
+/// [`run_worker_process`] with a pre-bound listener (see
+/// [`ClusterManifest::loopback`]); tests use this to avoid port races.
+pub fn run_worker_process_on<A: App>(
+    app: Arc<A>,
+    graph: &Graph,
+    config: &JobConfig,
+    manifest: &ClusterManifest,
+    me: WorkerId,
+    connect_timeout: Duration,
+    listener: TcpListener,
+) -> io::Result<ClusterRole<Global<A>>> {
+    assert!(config.num_workers >= 1);
+    assert!(config.compers_per_worker >= 1);
+    if config.num_workers != manifest.num_workers() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "config says {} workers but the manifest lists {}",
+                config.num_workers,
+                manifest.num_workers()
+            ),
+        ));
+    }
+    let start = Instant::now();
+
+    // Same pipeline as the in-process runner: trim, then partition
+    // deterministically — every process computes identical ownership,
+    // and this one keeps only its own part.
+    let trimmed;
+    let graph = match app.trimmer() {
+        Some(t) => {
+            trimmed = trim_graph(graph, t.as_ref());
+            &trimmed
+        }
+        None => graph,
+    };
+    let partitioner = HashPartitioner::new(config.num_workers as u16);
+    let mut parts = partitioner.split(graph);
+    let part = std::mem::take(&mut parts[me.index()]);
+    drop(parts);
+    let label_table: Option<Arc<Vec<Label>>> = graph.labels().map(|l| Arc::new(l.to_vec()));
+
+    // Rendezvous before building worker state, so a peer that never
+    // shows up fails fast instead of after graph setup work.
+    let mut transport =
+        TcpTransport::connect_on(manifest, me, config.fault.clone(), connect_timeout, listener)?;
+    let net = transport.take_endpoint(me);
+
+    let job_dir = new_job_dir(config);
+    let shared = build_worker(
+        &app,
+        config,
+        graph,
+        &label_table,
+        partitioner,
+        me.index(),
+        part,
+        net,
+        &job_dir,
+    )?;
+
+    // The worker main loop is byte-for-byte the sim backend's: compers,
+    // receiver, responders, GC, periodic ticks, master logic on 0.
+    let registry = MetricsRegistry::new(vec![Arc::clone(&shared)], start);
+    let (stats, outcome, io_error) = worker_main(Arc::clone(&shared), None);
+
+    let _ = std::fs::remove_dir_all(&job_dir);
+    if let Some(msg) = shared.failure.lock().take() {
+        panic!("{msg}");
+    }
+    if let Some(e) = io_error {
+        return Err(e);
+    }
+
+    if me == WorkerId(0) {
+        let outcome = outcome.expect("master worker returns the job outcome");
+        let (global, job_outcome) = match outcome {
+            WorkerOutcome::Completed(g) => (g, JobOutcome::Completed),
+            WorkerOutcome::Suspended(g, dir) => (g, JobOutcome::Suspended { checkpoint: dir }),
+            WorkerOutcome::Failed(g, w) => (g, JobOutcome::Failed { worker: w }),
+        };
+        let metrics = registry.final_snapshot();
+        Ok(ClusterRole::Master(JobResult {
+            global,
+            elapsed: start.elapsed(),
+            outcome: job_outcome,
+            workers: vec![stats],
+            metrics,
+        }))
+    } else {
+        Ok(ClusterRole::Worker(stats))
+    }
+}

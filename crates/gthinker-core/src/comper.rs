@@ -75,7 +75,7 @@ pub(crate) fn comper_loop<A: App>(shared: Arc<WorkerShared<A>>, idx: usize) {
             || stealable_sibling(&shared, idx);
         if !may_have_work {
             me().busy.store(false, Ordering::SeqCst);
-            shared.batcher.flush_all(&shared.net);
+            shared.batcher.flush_all(&*shared.net);
             park(&shared, idx, key);
             continue;
         }
@@ -118,7 +118,7 @@ pub(crate) fn comper_loop<A: App>(shared: Arc<WorkerShared<A>>, idx: usize) {
             me().busy.store(false, Ordering::SeqCst);
             // Push out partial request batches so remote pulls that
             // tasks are parked on actually leave the machine.
-            shared.batcher.flush_all(&shared.net);
+            shared.batcher.flush_all(&*shared.net);
             // The round's sources were non-empty but unusable (e.g. the
             // pop gate is closed, or a steal raced): park on the same
             // key — GC evictions, response arrivals and sibling
@@ -246,7 +246,7 @@ fn drive_task<A: App>(
                         // (see `WorkerShared::quiescent`).
                         shared.outstanding_pulls.fetch_add(1, Ordering::SeqCst);
                         let owner = shared.partitioner.owner(v);
-                        shared.batcher.add(&shared.net, owner, v);
+                        shared.batcher.add(&*shared.net, owner, v);
                     }
                     RequestOutcome::AlreadyRequested => missing += 1,
                 }

@@ -17,17 +17,18 @@ use gthinker_graph::partition::HashPartitioner;
 use gthinker_graph::trim::trim_graph;
 use gthinker_net::message::Message;
 use gthinker_net::router::Router;
+use gthinker_net::transport::{NetEndpoint, Transport};
 use gthinker_store::cache::VertexCache;
 use gthinker_store::local::LocalTable;
 use gthinker_task::codec::to_bytes;
 use gthinker_task::spill::SpillManager;
 use std::io;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-type Global<A> = <<A as App>::Agg as Aggregator>::Global;
+pub(crate) type Global<A> = <<A as App>::Agg as Aggregator>::Global;
 type Partial<A> = <<A as App>::Agg as Aggregator>::Partial;
 
 /// Runs an application over `graph` with the given configuration,
@@ -258,11 +259,14 @@ fn run_inner<A: App>(
     let partitioner = HashPartitioner::new(config.num_workers as u16);
     let parts = partitioner.split(graph);
 
+    // The in-process job always runs on the sim backend; worker code
+    // only ever sees the Transport/NetEndpoint traits, which is what
+    // makes `cluster::run_worker_process` the same job over TCP.
     let mut router = Router::with_faults(config.num_workers, config.link, config.fault.clone());
-    let handles = router.take_handles();
+    let handles: Vec<Box<dyn NetEndpoint>> =
+        Transport::hosted(&router).into_iter().map(|w| router.take_endpoint(w)).collect();
 
-    let job_id = JOB_SEQ.fetch_add(1, Ordering::Relaxed);
-    let job_dir = config.spill_dir.join(format!("job-{}-{}", std::process::id(), job_id));
+    let job_dir = new_job_dir(config);
 
     let (resume_manifest, resume_shards) = match resume {
         Some((m, s)) => (Some(m), Some(s)),
@@ -275,30 +279,8 @@ fn run_inner<A: App>(
     // Build per-worker shared state.
     let mut workers: Vec<Arc<WorkerShared<A>>> = Vec::with_capacity(config.num_workers);
     for (w, (part, net)) in parts.into_iter().zip(handles).enumerate() {
-        let labels: Vec<(VertexId, Label)> = if graph.is_labeled() {
-            part.iter().map(|(v, _)| (*v, graph.label(*v).expect("labeled"))).collect()
-        } else {
-            Vec::new()
-        };
-        let local = LocalTable::with_labels(part, labels);
-        let cache = VertexCache::new(config.cache.clone());
-        let spill = SpillManager::new(job_dir.join(format!("worker-{w}")))?;
-        let output = match config.output_dir.as_ref() {
-            Some(dir) => Some(Arc::new(crate::output::OutputSink::create(dir, w)?)),
-            None => None,
-        };
-        let shared = WorkerShared::new(
-            WorkerId(w as u16),
-            Arc::clone(&app),
-            config.clone(),
-            local,
-            cache,
-            spill,
-            net,
-            partitioner,
-            label_table.clone(),
-            output,
-        );
+        let shared =
+            build_worker(&app, config, graph, &label_table, partitioner, w, part, net, &job_dir)?;
         if let Some(shards) = &resume_shards {
             let shard = &shards[w];
             shared.local.reset_spawn_pointer(shard.spawn_position as usize);
@@ -412,7 +394,55 @@ fn run_inner<A: App>(
 
 static JOB_SEQ: AtomicU64 = AtomicU64::new(0);
 
-enum WorkerOutcome<A: App> {
+/// A fresh spill directory for one job of this process.
+pub(crate) fn new_job_dir(config: &JobConfig) -> PathBuf {
+    let job_id = JOB_SEQ.fetch_add(1, Ordering::Relaxed);
+    config.spill_dir.join(format!("job-{}-{}", std::process::id(), job_id))
+}
+
+/// Builds one worker's shared state from its graph partition and its
+/// interconnect endpoint. Used by [`run_inner`] (all workers, sim
+/// backend) and by [`crate::cluster::run_worker_process`] (one worker,
+/// TCP backend).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_worker<A: App>(
+    app: &Arc<A>,
+    config: &JobConfig,
+    graph: &Graph,
+    label_table: &Option<Arc<Vec<Label>>>,
+    partitioner: HashPartitioner,
+    w: usize,
+    part: Vec<(VertexId, gthinker_graph::adj::AdjList)>,
+    net: Box<dyn NetEndpoint>,
+    job_dir: &Path,
+) -> io::Result<Arc<WorkerShared<A>>> {
+    let labels: Vec<(VertexId, Label)> = if graph.is_labeled() {
+        part.iter().map(|(v, _)| (*v, graph.label(*v).expect("labeled"))).collect()
+    } else {
+        Vec::new()
+    };
+    let local = LocalTable::with_labels(part, labels);
+    let cache = VertexCache::new(config.cache.clone());
+    let spill = SpillManager::new(job_dir.join(format!("worker-{w}")))?;
+    let output = match config.output_dir.as_ref() {
+        Some(dir) => Some(Arc::new(crate::output::OutputSink::create(dir, w)?)),
+        None => None,
+    };
+    Ok(WorkerShared::new(
+        WorkerId(w as u16),
+        Arc::clone(app),
+        config.clone(),
+        local,
+        cache,
+        spill,
+        net,
+        partitioner,
+        label_table.clone(),
+        output,
+    ))
+}
+
+pub(crate) enum WorkerOutcome<A: App> {
     Completed(Global<A>),
     Suspended(Global<A>, PathBuf),
     /// The master's heartbeat declared a worker dead; the global is
@@ -424,7 +454,7 @@ enum WorkerOutcome<A: App> {
 /// the job outcome (master only), and the first checkpoint/output I/O
 /// error hit during shutdown (reported instead of panicking, after all
 /// threads have joined).
-type WorkerExit<A> = (WorkerStats, Option<WorkerOutcome<A>>, Option<io::Error>);
+pub(crate) type WorkerExit<A> = (WorkerStats, Option<WorkerOutcome<A>>, Option<io::Error>);
 
 /// Failure-detection window used when the caller enabled recovery (or
 /// armed a crash schedule) without picking an explicit
@@ -434,7 +464,7 @@ pub(crate) const DEFAULT_HEARTBEAT: std::time::Duration = std::time::Duration::f
 /// One worker's main thread: spawns the receiver/GC/comper threads,
 /// runs the periodic tick (plus master logic on worker 0), coordinates
 /// shutdown or suspension, and returns its statistics.
-fn worker_main<A: App>(
+pub(crate) fn worker_main<A: App>(
     shared: Arc<WorkerShared<A>>,
     resume_global: Option<Global<A>>,
 ) -> WorkerExit<A> {

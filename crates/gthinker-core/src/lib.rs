@@ -52,6 +52,7 @@
 pub mod agg;
 pub mod api;
 pub mod checkpoint;
+pub mod cluster;
 mod comper;
 pub mod config;
 pub mod job;
@@ -62,6 +63,7 @@ mod worker;
 
 pub use agg::{Aggregator, LocalAgg, NoAgg};
 pub use api::{App, ComputeEnv, SpawnEnv};
+pub use cluster::{run_worker_process, run_worker_process_on, ClusterRole};
 pub use config::{JobConfig, JobOutcome, JobResult, WorkerStats};
 pub use job::{
     resume_job, run_job, run_job_metrics_observed, run_job_observed, run_job_with_recovery,

@@ -18,8 +18,9 @@ use gthinker_graph::ids::{VertexId, WorkerId};
 use gthinker_graph::partition::HashPartitioner;
 use gthinker_metrics::{now_nanos, ComperHists, Event, EventKind, WorkerMetrics, TID_GC};
 use gthinker_net::batch::RequestBatcher;
+use gthinker_net::frame;
 use gthinker_net::message::Message;
-use gthinker_net::router::NetHandle;
+use gthinker_net::transport::NetEndpoint;
 use gthinker_store::cache::VertexCache;
 use gthinker_store::local::LocalTable;
 use gthinker_task::buffer::TaskBuffer;
@@ -128,7 +129,9 @@ pub(crate) struct WorkerShared<A: App> {
     pub spill: SpillManager,
     pub compers: Vec<ComperShared<A::Context>>,
     pub batcher: RequestBatcher,
-    pub net: NetHandle,
+    /// This worker's interconnect endpoint — a sim-router handle or a
+    /// TCP mesh endpoint; worker threads cannot tell the difference.
+    pub net: Box<dyn NetEndpoint>,
     pub agg: LocalAgg<A::Agg>,
     pub partitioner: HashPartitioner,
     /// Pull requests sent whose responses have not arrived (counted at
@@ -190,7 +193,7 @@ impl<A: App> WorkerShared<A> {
         local: LocalTable,
         cache: VertexCache,
         spill: SpillManager,
-        net: NetHandle,
+        net: Box<dyn NetEndpoint>,
         partitioner: HashPartitioner,
         labels: Option<Arc<Vec<gthinker_graph::ids::Label>>>,
         output: Option<Arc<crate::output::OutputSink>>,
@@ -501,7 +504,14 @@ fn handle_message<A: App>(
             execute_steal_plan(shared, thief, batches);
         }
         Message::StealBatch { bytes } => {
-            shared.spill.push_file_bytes(bytes).expect("spill dir writable");
+            // Steal batches cross a trust boundary (another process on
+            // the tcp backend), so they travel sealed; a version or CRC
+            // mismatch must fail loudly, not deserialize garbage tasks.
+            let batch = match frame::open(&bytes) {
+                Ok(payload) => payload.to_vec(),
+                Err(e) => panic!("rejecting steal batch from a mismatched peer: {e}"),
+            };
+            shared.spill.push_file_bytes(batch).expect("spill dir writable");
             // A new spill file is a refill source every comper checks.
             shared.sched_events.notify_all();
             shared.net.send(WorkerId(0), Message::StealDone);
@@ -537,7 +547,7 @@ fn execute_steal_plan<A: App>(shared: &Arc<WorkerShared<A>>, thief: WorkerId, ba
     let mut sent = 0u32;
     for _ in 0..batches {
         if let Some(bytes) = shared.spill.pop_file_bytes().expect("spill dir readable") {
-            shared.net.send(thief, Message::StealBatch { bytes });
+            shared.net.send(thief, Message::StealBatch { bytes: frame::seal(&bytes) });
             sent += 1;
             continue;
         }
@@ -567,7 +577,7 @@ fn execute_steal_plan<A: App>(shared: &Arc<WorkerShared<A>>, thief: WorkerId, ba
         if tasks.is_empty() {
             continue; // all pruned at spawn; try again next round
         }
-        shared.net.send(thief, Message::StealBatch { bytes: to_bytes(&tasks) });
+        shared.net.send(thief, Message::StealBatch { bytes: frame::seal(&to_bytes(&tasks)) });
         sent += 1;
     }
     shared.net.send(WorkerId(0), Message::StealExecuted { sent });
@@ -614,7 +624,7 @@ pub(crate) fn gc_loop<A: App>(shared: &Arc<WorkerShared<A>>) {
 /// and sample memory. Returns the quiescence verdict this tick
 /// reported, so the caller can trace quiescence edges.
 pub(crate) fn worker_tick<A: App>(shared: &Arc<WorkerShared<A>>, master: WorkerId) -> bool {
-    shared.batcher.flush_all(&shared.net);
+    shared.batcher.flush_all(&*shared.net);
     // Loss tolerance: re-request pulls whose R-table deadline expired
     // (the wire may have dropped the request or the response). The scan
     // is a single atomic load when nothing is in flight, and each lost
@@ -625,9 +635,9 @@ pub(crate) fn worker_tick<A: App>(shared: &Arc<WorkerShared<A>>, master: WorkerI
         shared.counters.pull_retries.fetch_add(timed_out.len() as u64, Ordering::Relaxed);
         for v in timed_out {
             let owner = shared.partitioner.owner(v);
-            shared.batcher.add(&shared.net, owner, v);
+            shared.batcher.add(&*shared.net, owner, v);
         }
-        shared.batcher.flush_all(&shared.net);
+        shared.batcher.flush_all(&*shared.net);
     }
     shared.sample_memory();
     let partial = shared.agg.take_partial();

@@ -10,7 +10,7 @@
 //! batch with a single response batch.
 
 use crate::message::Message;
-use crate::router::NetHandle;
+use crate::transport::NetEndpoint;
 use gthinker_graph::ids::{VertexId, WorkerId};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -50,7 +50,7 @@ impl RequestBatcher {
 
     /// Queues a pull request for vertex `v` owned by worker `to`;
     /// transmits the accumulated batch if it reached the batch size.
-    pub fn add(&self, net: &NetHandle, to: WorkerId, v: VertexId) {
+    pub fn add(&self, net: &dyn NetEndpoint, to: WorkerId, v: VertexId) {
         let full = {
             let mut acc = self.per_dest[to.index()].lock();
             acc.push(v);
@@ -77,7 +77,7 @@ impl RequestBatcher {
     }
 
     /// Flushes every non-empty accumulator immediately.
-    pub fn flush_all(&self, net: &NetHandle) {
+    pub fn flush_all(&self, net: &dyn NetEndpoint) {
         for (w, acc) in self.per_dest.iter().enumerate() {
             let pending = {
                 let mut acc = acc.lock();
@@ -109,7 +109,7 @@ impl RequestBatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::router::{LinkConfig, Router};
+    use crate::router::{LinkConfig, NetHandle, Router};
     use std::time::Duration;
 
     fn pair() -> (NetHandle, NetHandle) {
@@ -182,9 +182,9 @@ mod tests {
                 let h0 = std::sync::Arc::clone(&h0);
                 std::thread::spawn(move || {
                     for i in 0..500u32 {
-                        b.add(&h0, WorkerId(1), VertexId(t * 1000 + i));
+                        b.add(&*h0, WorkerId(1), VertexId(t * 1000 + i));
                         if i % 31 == 0 {
-                            b.flush_all(&h0);
+                            b.flush_all(&*h0);
                         }
                     }
                 })
@@ -193,7 +193,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        b.flush_all(&h0);
+        b.flush_all(&*h0);
         assert_eq!(b.pending(), 0, "counter must return to zero once drained");
     }
 }

@@ -1,13 +1,22 @@
-//! Seeded, deterministic fault injection for the simulated interconnect.
+//! Seeded, deterministic fault injection, transport-agnostic.
 //!
-//! A [`FaultConfig`] sits alongside [`LinkConfig`](crate::router::LinkConfig)
-//! and perturbs the wire: data-plane messages (vertex pull requests and
+//! A [`FaultConfig`] sits alongside the transport configuration and
+//! perturbs the wire: data-plane messages (vertex pull requests and
 //! responses) can be dropped, duplicated, or delayed (reorder jitter and
 //! latency spikes), and a [`CrashSchedule`] can kill one worker at a
 //! message-count or wall-time mark. Every per-message decision is a
 //! **pure function** of `(seed, from, to, per-link sequence)` — two runs
 //! with the same seed and the same traffic order on a link make
 //! identical decisions, which is what makes chaos tests reproducible.
+//!
+//! [`FaultRuntime`] is the send-side bookkeeping both backends share:
+//! the simulated [`Router`](crate::router::Router) and the real
+//! [`TcpEndpoint`](crate::tcp::TcpEndpoint) call
+//! [`FaultRuntime::next_decision`] on every cross-worker data-plane
+//! message, so a chaos scenario replays identically whichever
+//! interconnect carries it. Crash schedules are the one exception: a
+//! simulated crash needs the router's god's-eye view of every inbox,
+//! so the TCP backend rejects them.
 //!
 //! Only the data plane is faulted. Control messages (progress reports,
 //! steal plans, aggregator syncs, terminate/suspend) and steal batches
@@ -16,8 +25,8 @@
 //! retry protocol below the task layer can recover.
 
 use gthinker_graph::ids::WorkerId;
-use std::sync::atomic::AtomicU64;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Kills one worker's threads mid-job. The crash fires once, at the
 /// first of the configured marks to be reached. Worker 0 hosts the
@@ -154,6 +163,98 @@ pub struct FaultStats {
     pub delayed: AtomicU64,
     /// Crash signals delivered to this worker (0 or 1).
     pub crashes: AtomicU64,
+}
+
+/// Runtime state for an enabled [`FaultConfig`]: per-link decision
+/// sequence numbers, per-worker counters, crash bookkeeping. Lives in
+/// the transport-agnostic layer so the sim router and the TCP backend
+/// make byte-identical fault decisions for the same seed and traffic.
+pub struct FaultRuntime {
+    config: FaultConfig,
+    /// `link_seq[from * n + to]`: data-plane messages seen on the link,
+    /// the sequence input to [`FaultConfig::decide`].
+    link_seq: Vec<AtomicU64>,
+    stats: Vec<FaultStats>,
+    crashed: Vec<AtomicBool>,
+    crash_fired: AtomicBool,
+    msg_count: AtomicU64,
+    started: Instant,
+    num_workers: usize,
+}
+
+impl FaultRuntime {
+    /// Builds the runtime for an `n`-worker interconnect; `None` when
+    /// the config injects nothing, so the fault-free send path pays a
+    /// single `Option` check.
+    pub fn new(n: usize, config: FaultConfig) -> Option<FaultRuntime> {
+        config.enabled().then(|| FaultRuntime {
+            config,
+            link_seq: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+            stats: (0..n).map(|_| FaultStats::default()).collect(),
+            crashed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            crash_fired: AtomicBool::new(false),
+            msg_count: AtomicU64::new(0),
+            started: Instant::now(),
+            num_workers: n,
+        })
+    }
+
+    /// The configuration driving the decisions.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// True once the crash schedule has killed worker `w`.
+    pub fn is_crashed(&self, w: usize) -> bool {
+        self.crashed[w].load(Ordering::Relaxed)
+    }
+
+    /// Advances the crash schedule by one interconnect message; fires
+    /// at most once, returning the victim the transport must now kill
+    /// (deliver [`crate::message::Message::Crash`] to it, go dark on
+    /// its links).
+    pub fn crash_due(&self) -> Option<usize> {
+        let cs = self.config.crash.as_ref()?;
+        let n = self.msg_count.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.crash_fired.load(Ordering::Relaxed) {
+            return None;
+        }
+        let due = cs.after_messages.is_some_and(|m| n >= m)
+            || cs.after.is_some_and(|d| self.started.elapsed() >= d);
+        if due && !self.crash_fired.swap(true, Ordering::SeqCst) {
+            let w = cs.worker.index();
+            self.crashed[w].store(true, Ordering::SeqCst);
+            self.stats[w].crashes.fetch_add(1, Ordering::Relaxed);
+            return Some(w);
+        }
+        None
+    }
+
+    /// Rolls the fate of the next data-plane message on `from → to`,
+    /// bumping the link's sequence number and attributing the
+    /// drop/dup/delay counters to the sender. Both backends call this
+    /// at the same point (send side, cross-worker data plane only), so
+    /// counters and decisions agree across transports.
+    pub fn next_decision(&self, from: usize, to: usize) -> FaultDecision {
+        let seq = self.link_seq[from * self.num_workers + to].fetch_add(1, Ordering::Relaxed);
+        let d = self.config.decide(from, to, seq);
+        if d.drop {
+            self.stats[from].dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            if d.duplicate {
+                self.stats[from].duplicated.fetch_add(1, Ordering::Relaxed);
+            }
+            if !d.delay.is_zero() {
+                self.stats[from].delayed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        d
+    }
+
+    /// Per-worker fault counters (attributed to the sending side).
+    pub fn stats(&self, w: usize) -> &FaultStats {
+        &self.stats[w]
+    }
 }
 
 #[cfg(test)]

@@ -1,30 +1,40 @@
-//! Simulated cluster networking for the G-thinker reproduction.
+//! Cluster networking for the G-thinker reproduction.
 //!
 //! The paper runs one worker process per machine over GigE. This crate
-//! replaces the physical cluster with an in-process interconnect whose
-//! behaviour preserves what the evaluation measures:
+//! abstracts the interconnect behind a [`Transport`] / [`NetEndpoint`]
+//! trait pair with two interchangeable backends:
 //!
-//! * [`Router`] / [`NetHandle`] — per-worker endpoints with unbounded
-//!   inboxes, plus an optional latency + bandwidth model
+//! * [`Router`] / [`NetHandle`] — the **sim** backend: every worker in
+//!   one process, with an optional latency + bandwidth model
 //!   ([`LinkConfig`]) under which messages on a directed link serialize
 //!   and arrive late, reproducing the communication costs of Table IV.
-//! * [`Message`] — batched vertex pull requests/responses, work-stealing
-//!   transfers, progress reports and aggregator synchronization.
-//! * [`RequestBatcher`] — sender-side batching of pull requests
-//!   (desirability 5 in §III).
-//! * [`FaultConfig`] — seeded, deterministic fault injection (drops,
-//!   duplicates, reorder jitter, latency spikes, scheduled crashes)
-//!   used by the chaos tests to exercise the recovery path.
+//! * [`TcpTransport`] / [`TcpEndpoint`] — the **tcp** backend: one
+//!   worker per OS process, messages carried as versioned, CRC-trailed
+//!   [`frame`]s over a full mesh of sockets built from a
+//!   [`ClusterManifest`].
+//!
+//! Shared across both: [`Message`] (batched vertex pulls, work-stealing
+//! transfers, progress and aggregator traffic) with an exact binary
+//! codec and [`Message::encoded_len`]; [`RequestBatcher`] (sender-side
+//! batching, desirability 5 in §III); and [`FaultConfig`] /
+//! [`FaultRuntime`](fault::FaultRuntime) — seeded, deterministic fault
+//! injection (drops, duplicates, reorder jitter, latency spikes, and on
+//! the sim backend scheduled crashes) used by the chaos tests.
 //!
 //! Byte and message counters make the communication volume observable,
 //! which the benches report alongside wall-clock time.
 
 pub mod batch;
 pub mod fault;
+pub mod frame;
 pub mod message;
 pub mod router;
+pub mod tcp;
+pub mod transport;
 
 pub use batch::{RequestBatcher, DEFAULT_REQUEST_BATCH};
 pub use fault::{CrashSchedule, FaultConfig, FaultStats};
 pub use message::Message;
-pub use router::{LinkConfig, NetHandle, NetStats, Router};
+pub use router::{LinkConfig, NetHandle, Router};
+pub use tcp::{ClusterManifest, TcpEndpoint, TcpTransport};
+pub use transport::{NetEndpoint, NetStats, Transport};

@@ -1,15 +1,22 @@
-//! Messages exchanged between simulated workers.
+//! Messages exchanged between workers, with their wire encoding.
 //!
 //! G-thinker's communication module carries two data-plane message
 //! kinds — batched vertex pull **requests** and batched **responses** —
 //! plus a small control plane used by the master's main thread for
 //! progress synchronization, work-stealing plans and aggregator sync.
+//!
+//! Every variant has a real [`Encode`]/[`Decode`] impl (tag byte +
+//! little-endian fields, the `gthinker-task` codec): the TCP backend
+//! puts these bytes on actual sockets, and the simulated router's byte
+//! accounting uses [`Message::encoded_len`], which is derived from the
+//! same layout — the counters can never drift from the wire format.
 
 use gthinker_graph::adj::AdjList;
 use gthinker_graph::ids::{VertexId, WorkerId};
+use gthinker_task::codec::{CodecError, Decode, Encode};
 
-/// A message on the simulated wire.
-#[derive(Clone, Debug)]
+/// A message on the wire (simulated or TCP).
+#[derive(Clone, Debug, PartialEq)]
 pub enum Message {
     /// A batch of vertex pull requests from `from`; the receiver serves
     /// each from its `T_local` and responds with one `VertexResponse`.
@@ -19,8 +26,9 @@ pub enum Message {
         /// Requested vertex IDs (batched for round-trip amortization).
         vertices: Vec<VertexId>,
         /// Metrics-clock send timestamp, echoed by the responder so the
-        /// requester can histogram pull round-trip time. Out-of-band
-        /// for byte accounting (0 when metrics are disabled).
+        /// requester can histogram pull round-trip time. Only ever
+        /// compared against the requester's own clock, so it works
+        /// across processes (0 when metrics are disabled).
         sent_nanos: u64,
     },
     /// A batch of `(v, Γ(v))` responses.
@@ -31,10 +39,11 @@ pub enum Message {
         /// (0 when metrics are disabled or for multi-request merges).
         req_nanos: u64,
     },
-    /// A batch of serialized tasks moved by the work stealer (raw spill
-    /// file bytes; the thief appends them to its `L_file`).
+    /// A batch of serialized tasks moved by the work stealer (a sealed
+    /// frame around raw spill-file bytes; the thief validates the frame
+    /// and appends the payload to its `L_file`).
     StealBatch {
-        /// Encoded task batch.
+        /// Framed task batch (`frame::seal` around the spill bytes).
         bytes: Vec<u8>,
     },
     /// A worker's progress report to the master.
@@ -92,33 +101,161 @@ pub enum Message {
     },
     /// Fault injection killed the receiving worker: its threads stop
     /// immediately without final syncs or checkpoint shards. Only the
-    /// router's crash schedule emits this.
+    /// sim router's crash schedule emits this; it never crosses a
+    /// socket.
     Crash,
 }
 
-impl Message {
-    /// Approximate serialized size in bytes, used for network byte
-    /// accounting and the bandwidth model. Constants approximate a
-    /// compact wire format (u32 vertex IDs, small headers).
-    pub fn wire_bytes(&self) -> usize {
-        const HEADER: usize = 16;
+/// Variant tags. One byte on the wire; `Decode` rejects anything else.
+mod tag {
+    pub const VERTEX_REQUEST: u8 = 0;
+    pub const VERTEX_RESPONSE: u8 = 1;
+    pub const STEAL_BATCH: u8 = 2;
+    pub const PROGRESS: u8 = 3;
+    pub const STEAL_PLAN: u8 = 4;
+    pub const STEAL_EXECUTED: u8 = 5;
+    pub const STEAL_DONE: u8 = 6;
+    pub const AGGREGATOR_SYNC: u8 = 7;
+    pub const AGGREGATOR_GLOBAL: u8 = 8;
+    pub const TERMINATE: u8 = 9;
+    pub const SUSPEND: u8 = 10;
+    pub const SUSPEND_DONE: u8 = 11;
+    pub const CRASH: u8 = 12;
+}
+
+/// Byte-payload fields use the same layout as the codec's `Vec<u8>`
+/// (u64 length prefix) but copy in bulk instead of per element.
+fn encode_bytes(bytes: &[u8], buf: &mut Vec<u8>) {
+    (bytes.len() as u64).encode(buf);
+    buf.extend_from_slice(bytes);
+}
+
+fn decode_bytes(buf: &mut &[u8]) -> Result<Vec<u8>, CodecError> {
+    let len = u64::decode(buf)? as usize;
+    if len > buf.len() {
+        return Err(CodecError::Invalid("vec length exceeds buffer"));
+    }
+    let out = buf[..len].to_vec();
+    *buf = &buf[len..];
+    Ok(out)
+}
+
+impl Encode for Message {
+    fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            Message::VertexRequest { vertices, .. } => HEADER + 4 * vertices.len(),
+            Message::VertexRequest { from, vertices, sent_nanos } => {
+                buf.push(tag::VERTEX_REQUEST);
+                from.encode(buf);
+                vertices.encode(buf);
+                sent_nanos.encode(buf);
+            }
+            Message::VertexResponse { entries, req_nanos } => {
+                buf.push(tag::VERTEX_RESPONSE);
+                entries.encode(buf);
+                req_nanos.encode(buf);
+            }
+            Message::StealBatch { bytes } => {
+                buf.push(tag::STEAL_BATCH);
+                encode_bytes(bytes, buf);
+            }
+            Message::Progress { worker, remaining, idle } => {
+                buf.push(tag::PROGRESS);
+                worker.encode(buf);
+                remaining.encode(buf);
+                idle.encode(buf);
+            }
+            Message::StealPlan { victim, thief, batches } => {
+                buf.push(tag::STEAL_PLAN);
+                victim.encode(buf);
+                thief.encode(buf);
+                batches.encode(buf);
+            }
+            Message::StealExecuted { sent } => {
+                buf.push(tag::STEAL_EXECUTED);
+                sent.encode(buf);
+            }
+            Message::StealDone => buf.push(tag::STEAL_DONE),
+            Message::AggregatorSync { worker, payload, is_final } => {
+                buf.push(tag::AGGREGATOR_SYNC);
+                worker.encode(buf);
+                encode_bytes(payload, buf);
+                is_final.encode(buf);
+            }
+            Message::AggregatorGlobal { payload } => {
+                buf.push(tag::AGGREGATOR_GLOBAL);
+                encode_bytes(payload, buf);
+            }
+            Message::Terminate => buf.push(tag::TERMINATE),
+            Message::Suspend => buf.push(tag::SUSPEND),
+            Message::SuspendDone { worker } => {
+                buf.push(tag::SUSPEND_DONE);
+                worker.encode(buf);
+            }
+            Message::Crash => buf.push(tag::CRASH),
+        }
+    }
+}
+
+impl Decode for Message {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(match u8::decode(buf)? {
+            tag::VERTEX_REQUEST => Message::VertexRequest {
+                from: WorkerId::decode(buf)?,
+                vertices: Vec::decode(buf)?,
+                sent_nanos: u64::decode(buf)?,
+            },
+            tag::VERTEX_RESPONSE => {
+                Message::VertexResponse { entries: Vec::decode(buf)?, req_nanos: u64::decode(buf)? }
+            }
+            tag::STEAL_BATCH => Message::StealBatch { bytes: decode_bytes(buf)? },
+            tag::PROGRESS => Message::Progress {
+                worker: WorkerId::decode(buf)?,
+                remaining: u64::decode(buf)?,
+                idle: bool::decode(buf)?,
+            },
+            tag::STEAL_PLAN => Message::StealPlan {
+                victim: WorkerId::decode(buf)?,
+                thief: WorkerId::decode(buf)?,
+                batches: u32::decode(buf)?,
+            },
+            tag::STEAL_EXECUTED => Message::StealExecuted { sent: u32::decode(buf)? },
+            tag::STEAL_DONE => Message::StealDone,
+            tag::AGGREGATOR_SYNC => Message::AggregatorSync {
+                worker: WorkerId::decode(buf)?,
+                payload: decode_bytes(buf)?,
+                is_final: bool::decode(buf)?,
+            },
+            tag::AGGREGATOR_GLOBAL => Message::AggregatorGlobal { payload: decode_bytes(buf)? },
+            tag::TERMINATE => Message::Terminate,
+            tag::SUSPEND => Message::Suspend,
+            tag::SUSPEND_DONE => Message::SuspendDone { worker: WorkerId::decode(buf)? },
+            tag::CRASH => Message::Crash,
+            _ => return Err(CodecError::Invalid("message tag")),
+        })
+    }
+}
+
+impl Message {
+    /// Exact serialized size in bytes, derived from the codec layout
+    /// (property-tested to equal `to_bytes(self).len()`). Used for the
+    /// sim router's byte accounting and bandwidth model; the TCP
+    /// backend counts actual socket bytes (this plus frame overhead).
+    pub fn encoded_len(&self) -> usize {
+        // tag byte + per-variant fields; Vec<T> costs 8 (u64 length
+        // prefix) + items.
+        1 + match self {
+            Message::VertexRequest { vertices, .. } => 2 + 8 + 4 * vertices.len() + 8,
             Message::VertexResponse { entries, .. } => {
-                HEADER + entries.iter().map(|(_, adj)| 8 + 4 * adj.degree()).sum::<usize>()
+                8 + entries.iter().map(|(_, adj)| 4 + 8 + 4 * adj.degree()).sum::<usize>() + 8
             }
-            Message::StealBatch { bytes } => HEADER + bytes.len(),
-            Message::Progress { .. } => HEADER + 16,
-            Message::StealPlan { .. } => HEADER + 8,
-            Message::StealExecuted { .. } => HEADER + 4,
-            Message::AggregatorSync { payload, .. } | Message::AggregatorGlobal { payload } => {
-                HEADER + payload.len()
-            }
-            Message::StealDone
-            | Message::Terminate
-            | Message::Suspend
-            | Message::SuspendDone { .. }
-            | Message::Crash => HEADER,
+            Message::StealBatch { bytes } => 8 + bytes.len(),
+            Message::Progress { .. } => 2 + 8 + 1,
+            Message::StealPlan { .. } => 2 + 2 + 4,
+            Message::StealExecuted { .. } => 4,
+            Message::AggregatorSync { payload, .. } => 2 + 8 + payload.len() + 1,
+            Message::AggregatorGlobal { payload } => 8 + payload.len(),
+            Message::SuspendDone { .. } => 2,
+            Message::StealDone | Message::Terminate | Message::Suspend | Message::Crash => 0,
         }
     }
 
@@ -135,9 +272,10 @@ impl Message {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gthinker_task::codec::to_bytes;
 
     #[test]
-    fn wire_bytes_scale_with_content() {
+    fn encoded_len_scales_with_content() {
         let small = Message::VertexRequest {
             from: WorkerId(0),
             vertices: vec![VertexId(1)],
@@ -148,14 +286,66 @@ mod tests {
             vertices: (0..100).map(VertexId).collect(),
             sent_nanos: 0,
         };
-        assert!(big.wire_bytes() > small.wire_bytes());
-        assert_eq!(big.wire_bytes() - small.wire_bytes(), 99 * 4);
+        assert!(big.encoded_len() > small.encoded_len());
+        assert_eq!(big.encoded_len() - small.encoded_len(), 99 * 4);
+    }
 
+    /// Regression pin: known sizes of the wire layout. If these change,
+    /// the wire format changed — bump `frame::WIRE_VERSION`.
+    #[test]
+    fn encoded_len_pins_known_sizes() {
+        // tag 1 + from 2 + vec(8 + 4·3) + nanos 8 = 31.
+        let req = Message::VertexRequest {
+            from: WorkerId(2),
+            vertices: vec![VertexId(1), VertexId(2), VertexId(3)],
+            sent_nanos: 7,
+        };
+        assert_eq!(req.encoded_len(), 31);
+        // tag 1 + vec(8 + (4 + 8 + 4·10)) + nanos 8 = 69.
         let resp = Message::VertexResponse {
             entries: vec![(VertexId(1), AdjList::from_unsorted((0..10).map(VertexId).collect()))],
             req_nanos: 0,
         };
-        assert_eq!(resp.wire_bytes(), 16 + 8 + 40);
-        assert_eq!(Message::Terminate.wire_bytes(), 16);
+        assert_eq!(resp.encoded_len(), 69);
+        assert_eq!(Message::Terminate.encoded_len(), 1);
+        assert_eq!(Message::StealDone.encoded_len(), 1);
+        assert_eq!(
+            Message::Progress { worker: WorkerId(1), remaining: 0, idle: true }.encoded_len(),
+            12
+        );
+        assert_eq!(
+            Message::StealPlan { victim: WorkerId(1), thief: WorkerId(2), batches: 3 }
+                .encoded_len(),
+            9
+        );
+        assert_eq!(Message::SuspendDone { worker: WorkerId(4) }.encoded_len(), 3);
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_encoding() {
+        let msgs = vec![
+            Message::VertexRequest { from: WorkerId(3), vertices: vec![], sent_nanos: u64::MAX },
+            Message::VertexResponse {
+                entries: vec![
+                    (VertexId(0), AdjList::new()),
+                    (VertexId(u32::MAX), AdjList::from_unsorted(vec![VertexId(1), VertexId(5)])),
+                ],
+                req_nanos: 1,
+            },
+            Message::StealBatch { bytes: vec![9; 137] },
+            Message::Progress { worker: WorkerId(1), remaining: 42, idle: false },
+            Message::StealPlan { victim: WorkerId(0), thief: WorkerId(1), batches: 2 },
+            Message::StealExecuted { sent: 1 },
+            Message::StealDone,
+            Message::AggregatorSync { worker: WorkerId(2), payload: vec![1, 2, 3], is_final: true },
+            Message::AggregatorGlobal { payload: vec![] },
+            Message::Terminate,
+            Message::Suspend,
+            Message::SuspendDone { worker: WorkerId(9) },
+            Message::Crash,
+        ];
+        for m in msgs {
+            assert_eq!(m.encoded_len(), to_bytes(&m).len(), "{m:?}");
+        }
     }
 }

@@ -12,14 +12,15 @@
 //! immediately — that models the single-machine case where "tasks never
 //! need to wait for remote vertices" (Table IV(c)).
 
-use crate::fault::{FaultConfig, FaultStats};
+use crate::fault::{FaultConfig, FaultRuntime, FaultStats};
 use crate::message::Message;
+use crate::transport::{NetEndpoint, NetStats, Transport};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use gthinker_graph::ids::WorkerId;
 use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -57,19 +58,6 @@ impl LinkConfig {
     }
 }
 
-/// Per-worker traffic counters.
-#[derive(Debug, Default)]
-pub struct NetStats {
-    /// Bytes sent by this worker.
-    pub bytes_sent: AtomicU64,
-    /// Bytes received by this worker.
-    pub bytes_received: AtomicU64,
-    /// Messages sent.
-    pub msgs_sent: AtomicU64,
-    /// Messages received.
-    pub msgs_received: AtomicU64,
-}
-
 struct Envelope {
     deliver_at: Instant,
     seq: u64,
@@ -94,46 +82,6 @@ impl Ord for Envelope {
     }
 }
 
-/// Runtime state for an enabled [`FaultConfig`]: per-link decision
-/// sequence numbers, per-worker counters, crash bookkeeping.
-struct FaultRuntime {
-    config: FaultConfig,
-    /// `link_seq[from * n + to]`: data-plane messages seen on the link,
-    /// the sequence input to [`FaultConfig::decide`].
-    link_seq: Vec<AtomicU64>,
-    stats: Vec<FaultStats>,
-    crashed: Vec<AtomicBool>,
-    crash_fired: AtomicBool,
-    msg_count: AtomicU64,
-    started: Instant,
-}
-
-impl FaultRuntime {
-    fn crashed(&self, w: usize) -> bool {
-        self.crashed[w].load(Ordering::Relaxed)
-    }
-
-    /// Advances the crash schedule by one interconnect message; fires
-    /// at most once, marking the victim dead and delivering a
-    /// [`Message::Crash`] straight to its inbox (a dying machine does
-    /// not go through the wire model).
-    fn maybe_crash(&self, inbox_txs: &[Sender<Message>]) {
-        let Some(cs) = &self.config.crash else { return };
-        let n = self.msg_count.fetch_add(1, Ordering::Relaxed) + 1;
-        if self.crash_fired.load(Ordering::Relaxed) {
-            return;
-        }
-        let due = cs.after_messages.is_some_and(|m| n >= m)
-            || cs.after.is_some_and(|d| self.started.elapsed() >= d);
-        if due && !self.crash_fired.swap(true, Ordering::SeqCst) {
-            let w = cs.worker.index();
-            self.crashed[w].store(true, Ordering::SeqCst);
-            self.stats[w].crashes.fetch_add(1, Ordering::Relaxed);
-            let _ = inbox_txs[w].send(Message::Crash);
-        }
-    }
-}
-
 struct Shared {
     inbox_txs: Vec<Sender<Message>>,
     stats: Vec<NetStats>,
@@ -154,7 +102,7 @@ pub struct Router {
     shared: Arc<Shared>,
     delivery_thread: Option<std::thread::JoinHandle<()>>,
     handles_taken: bool,
-    inbox_rxs: Vec<Receiver<Message>>,
+    inbox_rxs: Vec<Option<Receiver<Message>>>,
 }
 
 impl Router {
@@ -171,19 +119,12 @@ impl Router {
             assert!(cs.worker.index() < n, "crash target out of range");
             assert!(cs.worker.index() != 0, "worker 0 hosts the master loop and cannot crash");
         }
-        let (inbox_txs, inbox_rxs): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded()).unzip();
+        let (inbox_txs, inbox_rxs): (Vec<_>, Vec<_>) =
+            (0..n).map(|_| unbounded()).map(|(tx, rx)| (tx, Some(rx))).unzip();
         let now = Instant::now();
         let link_busy = (0..n * n).map(|_| Mutex::new(now)).collect();
         let stats = (0..n).map(|_| NetStats::default()).collect();
-        let fault = fault.enabled().then(|| FaultRuntime {
-            config: fault,
-            link_seq: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
-            stats: (0..n).map(|_| FaultStats::default()).collect(),
-            crashed: (0..n).map(|_| AtomicBool::new(false)).collect(),
-            crash_fired: AtomicBool::new(false),
-            msg_count: AtomicU64::new(0),
-            started: now,
-        });
+        let fault = FaultRuntime::new(n, fault);
 
         // Fault-injected delays need the delivery heap even on an
         // otherwise instant link.
@@ -225,11 +166,13 @@ impl Router {
     pub fn take_handles(&mut self) -> Vec<NetHandle> {
         assert!(!self.handles_taken, "handles already taken");
         self.handles_taken = true;
-        self.inbox_rxs
-            .drain(..)
-            .enumerate()
-            .map(|(i, rx)| NetHandle { shared: Arc::clone(&self.shared), inbox: rx, me: i })
-            .collect()
+        (0..self.inbox_rxs.len()).map(|i| self.take_handle(WorkerId(i as u16))).collect()
+    }
+
+    /// Takes one worker's handle; callable once per worker.
+    pub fn take_handle(&mut self, w: WorkerId) -> NetHandle {
+        let rx = self.inbox_rxs[w.index()].take().expect("handle already taken");
+        NetHandle { shared: Arc::clone(&self.shared), inbox: rx, me: w.index() }
     }
 
     /// Total bytes sent across all workers.
@@ -244,7 +187,22 @@ impl Router {
 
     /// Per-worker fault counters; `None` when fault injection is off.
     pub fn fault_stats(&self, w: WorkerId) -> Option<&FaultStats> {
-        self.shared.fault.as_ref().map(|f| &f.stats[w.index()])
+        self.shared.fault.as_ref().map(|f| f.stats(w.index()))
+    }
+}
+
+impl Transport for Router {
+    fn num_workers(&self) -> usize {
+        self.shared.num_workers
+    }
+
+    /// The simulated router hosts the whole cluster in one process.
+    fn hosted(&self) -> Vec<WorkerId> {
+        (0..self.shared.num_workers).map(|w| WorkerId(w as u16)).collect()
+    }
+
+    fn take_endpoint(&mut self, w: WorkerId) -> Box<dyn NetEndpoint> {
+        Box::new(self.take_handle(w))
     }
 }
 
@@ -308,35 +266,32 @@ impl NetHandle {
     pub fn send(&self, to: WorkerId, msg: Message) {
         let s = &self.shared;
         if let Some(f) = &s.fault {
-            f.maybe_crash(&s.inbox_txs);
+            // A dying machine does not go through the wire model: the
+            // Crash signal jumps straight to the victim's inbox.
+            if let Some(victim) = f.crash_due() {
+                let _ = s.inbox_txs[victim].send(Message::Crash);
+            }
             // A dead machine neither sends nor receives; in-flight
             // traffic to it still reaches the inbox and is discarded by
             // the receiver's crashed guard.
-            if f.crashed(self.me) || f.crashed(to.index()) {
+            if f.is_crashed(self.me) || f.is_crashed(to.index()) {
                 return;
             }
         }
-        let bytes = msg.wire_bytes();
+        let bytes = msg.encoded_len();
         s.stats[self.me].bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
         s.stats[self.me].msgs_sent.fetch_add(1, Ordering::Relaxed);
 
         let mut extra = Duration::ZERO;
         if let Some(f) = &s.fault {
             if to.index() != self.me && msg.is_data_plane() {
-                let link = self.me * s.num_workers + to.index();
-                let seq = f.link_seq[link].fetch_add(1, Ordering::Relaxed);
-                let d = f.config.decide(self.me, to.index(), seq);
+                let d = f.next_decision(self.me, to.index());
                 if d.drop {
-                    f.stats[self.me].dropped.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
-                if !d.delay.is_zero() {
-                    f.stats[self.me].delayed.fetch_add(1, Ordering::Relaxed);
-                }
                 if d.duplicate {
-                    f.stats[self.me].duplicated.fetch_add(1, Ordering::Relaxed);
                     // The copy trails the original by one jitter window.
-                    let lag = d.delay + f.config.reorder_jitter;
+                    let lag = d.delay + f.config().reorder_jitter;
                     self.deliver(to.index(), msg.clone(), bytes, lag);
                 }
                 extra = d.delay;
@@ -401,7 +356,41 @@ impl NetHandle {
 
     /// This worker's fault counters; `None` when fault injection is off.
     pub fn fault_stats(&self) -> Option<&FaultStats> {
-        self.shared.fault.as_ref().map(|f| &f.stats[self.me])
+        self.shared.fault.as_ref().map(|f| f.stats(self.me))
+    }
+}
+
+impl NetEndpoint for NetHandle {
+    fn id(&self) -> WorkerId {
+        NetHandle::id(self)
+    }
+
+    fn num_workers(&self) -> usize {
+        NetHandle::num_workers(self)
+    }
+
+    fn send(&self, to: WorkerId, msg: Message) {
+        NetHandle::send(self, to, msg)
+    }
+
+    fn broadcast(&self, msg: &Message) {
+        NetHandle::broadcast(self, msg)
+    }
+
+    fn try_recv(&self) -> Option<Message> {
+        NetHandle::try_recv(self)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
+        NetHandle::recv_timeout(self, timeout)
+    }
+
+    fn stats(&self) -> &NetStats {
+        NetHandle::stats(self)
+    }
+
+    fn fault_stats(&self) -> Option<&FaultStats> {
+        NetHandle::fault_stats(self)
     }
 }
 
@@ -451,7 +440,7 @@ mod tests {
 
     #[test]
     fn bandwidth_serializes_link() {
-        // 1 KB/s bandwidth: a ~116-byte message takes >100 ms; two of
+        // 1 KB/s bandwidth: a 109-byte message takes >100 ms; two of
         // them queue behind each other.
         let cfg = LinkConfig { latency: Duration::ZERO, bytes_per_sec: Some(1_000) };
         let mut r = Router::new(2, cfg);
@@ -499,7 +488,7 @@ mod tests {
         let mut r = Router::new(2, LinkConfig::INSTANT);
         let handles = r.take_handles();
         let msg = Message::StealBatch { bytes: vec![0u8; 84] };
-        let expect = msg.wire_bytes() as u64;
+        let expect = msg.encoded_len() as u64;
         handles[0].send(WorkerId(1), msg);
         assert_eq!(handles[0].stats().bytes_sent.load(Ordering::Relaxed), expect);
         assert_eq!(handles[1].stats().bytes_received.load(Ordering::Relaxed), expect);

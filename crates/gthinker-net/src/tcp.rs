@@ -1,0 +1,494 @@
+//! The real TCP interconnect: one worker per OS process, length-prefixed
+//! [`frame`](crate::frame)s over sockets.
+//!
+//! A [`ClusterManifest`] lists every worker's listen address. At startup
+//! each process calls [`TcpTransport::connect`], which binds its own
+//! listener and builds a full mesh of **unidirectional** links: worker
+//! `a` dials worker `b` and writes on that socket; `b` accepts and
+//! reads. Each accepted link starts with a hello frame naming the
+//! dialing worker and the cluster size, so a peer from a different
+//! build (wire version) or a different manifest fails the rendezvous
+//! with a descriptive error instead of corrupting traffic later.
+//!
+//! Fault injection reuses the transport-agnostic
+//! [`FaultRuntime`](crate::fault::FaultRuntime): the same seed produces
+//! the same drop/duplicate/delay decisions as the simulated router.
+//! Crash schedules are rejected — killing a worker for real is what
+//! `kill(1)` is for, and the recovery path is exercised on the sim
+//! backend where the router has the whole-cluster view.
+
+use crate::fault::{FaultConfig, FaultRuntime, FaultStats};
+use crate::frame::{self, FRAME_OVERHEAD};
+use crate::message::Message;
+use crate::transport::{NetEndpoint, NetStats, Transport};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use gthinker_graph::ids::WorkerId;
+use gthinker_task::codec::{self, Decode, Encode};
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io::{self, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Every worker's listen address, in worker-ID order; identical on all
+/// processes of a job (worker `w` is `addrs[w]`).
+#[derive(Clone, Debug)]
+pub struct ClusterManifest {
+    addrs: Vec<SocketAddr>,
+}
+
+impl ClusterManifest {
+    /// Builds a manifest from resolved addresses.
+    pub fn new(addrs: Vec<SocketAddr>) -> ClusterManifest {
+        assert!(!addrs.is_empty(), "manifest needs at least one worker");
+        ClusterManifest { addrs }
+    }
+
+    /// Parses a comma-separated `host:port` list (the `--hosts` flag),
+    /// resolving names; entry `i` is worker `i`'s listen address.
+    pub fn parse(hosts: &str) -> io::Result<ClusterManifest> {
+        let mut addrs = Vec::new();
+        for entry in hosts.split(',') {
+            let entry = entry.trim();
+            let addr = entry.to_socket_addrs()?.next().ok_or_else(|| {
+                io::Error::new(ErrorKind::InvalidInput, format!("`{entry}` resolves to nothing"))
+            })?;
+            addrs.push(addr);
+        }
+        if addrs.is_empty() {
+            return Err(io::Error::new(ErrorKind::InvalidInput, "empty host list"));
+        }
+        Ok(ClusterManifest { addrs })
+    }
+
+    /// Number of workers in the cluster.
+    pub fn num_workers(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Worker `w`'s listen address.
+    pub fn addr(&self, w: WorkerId) -> SocketAddr {
+        self.addrs[w.index()]
+    }
+
+    /// Binds `n` OS-assigned loopback ports and returns the manifest
+    /// plus the pre-bound listeners (pass each to
+    /// [`TcpTransport::connect_on`]). Tests use this to run a real TCP
+    /// cluster without racing for fixed port numbers.
+    pub fn loopback(n: usize) -> io::Result<(ClusterManifest, Vec<TcpListener>)> {
+        let mut addrs = Vec::with_capacity(n);
+        let mut listeners = Vec::with_capacity(n);
+        for _ in 0..n {
+            let l = TcpListener::bind(("127.0.0.1", 0))?;
+            addrs.push(l.local_addr()?);
+            listeners.push(l);
+        }
+        Ok((ClusterManifest::new(addrs), listeners))
+    }
+}
+
+/// The hello frame opening every link: `(dialing worker, cluster size)`.
+fn hello_payload(me: usize, n: usize) -> Vec<u8> {
+    let mut p = Vec::with_capacity(4);
+    (me as u16).encode(&mut p);
+    (n as u16).encode(&mut p);
+    p
+}
+
+/// Reads and validates a peer's hello; returns the peer's worker index.
+fn read_hello(stream: &mut TcpStream, n: usize) -> io::Result<usize> {
+    let payload = frame::read_frame(stream)?.ok_or_else(|| {
+        io::Error::new(ErrorKind::UnexpectedEof, "peer closed the link before its hello")
+    })?;
+    let bad = |msg| io::Error::new(ErrorKind::InvalidData, msg);
+    let mut buf = payload.as_slice();
+    let peer = u16::decode(&mut buf).map_err(|_| bad("malformed hello".into()))? as usize;
+    let peer_n = u16::decode(&mut buf).map_err(|_| bad("malformed hello".into()))? as usize;
+    if !buf.is_empty() {
+        return Err(bad("malformed hello: trailing bytes".into()));
+    }
+    if peer_n != n {
+        return Err(bad(format!(
+            "peer expects a {peer_n}-worker cluster but this manifest lists {n} workers; \
+             every process must get the same --hosts list"
+        )));
+    }
+    if peer >= n {
+        return Err(bad(format!("hello from out-of-range worker {peer}")));
+    }
+    Ok(peer)
+}
+
+type Writers = Arc<Vec<Mutex<Option<TcpStream>>>>;
+
+/// One worker per OS process, talking real TCP to its peers.
+pub struct TcpTransport {
+    n: usize,
+    me: WorkerId,
+    endpoint: Option<TcpEndpoint>,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("me", &self.me)
+            .field("n", &self.n)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TcpTransport {
+    /// Binds this worker's manifest address and joins the cluster
+    /// rendezvous: dial every peer, accept every peer, all within
+    /// `timeout`. Returns once the full mesh is up.
+    pub fn connect(
+        manifest: &ClusterManifest,
+        me: WorkerId,
+        fault: FaultConfig,
+        timeout: Duration,
+    ) -> io::Result<TcpTransport> {
+        let listener = TcpListener::bind(manifest.addr(me))?;
+        TcpTransport::connect_on(manifest, me, fault, timeout, listener)
+    }
+
+    /// [`connect`](TcpTransport::connect) with a pre-bound listener
+    /// (see [`ClusterManifest::loopback`]).
+    pub fn connect_on(
+        manifest: &ClusterManifest,
+        me: WorkerId,
+        fault: FaultConfig,
+        timeout: Duration,
+        listener: TcpListener,
+    ) -> io::Result<TcpTransport> {
+        let n = manifest.num_workers();
+        assert!(me.index() < n, "worker {} not in a {n}-worker manifest", me.index());
+        if fault.crash.is_some() {
+            return Err(io::Error::new(
+                ErrorKind::Unsupported,
+                "crash schedules need the simulated router's whole-cluster view; \
+                 run crash-recovery scenarios on the sim backend (or kill the process)",
+            ));
+        }
+        let fault = FaultRuntime::new(n, fault).map(Arc::new);
+        let stats = Arc::new(NetStats::default());
+        let (inbox_tx, inbox) = unbounded();
+        let deadline = Instant::now() + timeout;
+
+        // Accept first, dial second: every process starts accepting
+        // before any dial can succeed, so the mesh cannot deadlock on
+        // rendezvous order.
+        let expected = n - 1;
+        let (acc_tx, acc_rx) = unbounded::<io::Result<(usize, TcpStream)>>();
+        if expected > 0 {
+            let lst = listener.try_clone()?;
+            std::thread::Builder::new()
+                .name(format!("tcp-accept-{}", me.index()))
+                .spawn(move || {
+                    for _ in 0..expected {
+                        let hello = lst.accept().and_then(|(mut s, _)| {
+                            // A stalled peer must not hang the hello read
+                            // past the rendezvous window.
+                            s.set_read_timeout(Some(Duration::from_secs(30))).ok();
+                            let peer = read_hello(&mut s, n)?;
+                            s.set_read_timeout(None).ok();
+                            Ok((peer, s))
+                        });
+                        let failed = hello.is_err();
+                        if acc_tx.send(hello).is_err() || failed {
+                            return;
+                        }
+                    }
+                })
+                .expect("spawn accept thread");
+        }
+
+        // Dial every peer, retrying while it is still starting up.
+        let writers: Writers = Arc::new((0..n).map(|_| Mutex::new(None)).collect::<Vec<_>>());
+        for w in 0..n {
+            if w == me.index() {
+                continue;
+            }
+            let mut stream = dial_with_retry(manifest.addr(WorkerId(w as u16)), deadline)?;
+            stream.set_nodelay(true).ok();
+            frame::write_frame(&mut stream, &hello_payload(me.index(), n))?;
+            *writers[w].lock() = Some(stream);
+        }
+
+        // Collect the n-1 inbound links and start a reader per peer.
+        let mut seen = vec![false; n];
+        for _ in 0..expected {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let (peer, stream) = match acc_rx.recv_timeout(remaining) {
+                Ok(res) => res?,
+                Err(_) => {
+                    let have = seen.iter().filter(|s| **s).count();
+                    return Err(io::Error::new(
+                        ErrorKind::TimedOut,
+                        format!(
+                            "cluster rendezvous timed out: worker {} heard from {have} of \
+                             {expected} peers within {timeout:?}",
+                            me.index()
+                        ),
+                    ));
+                }
+            };
+            if std::mem::replace(&mut seen[peer], true) {
+                return Err(io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("two peers claimed worker id {peer}; check the --me flags"),
+                ));
+            }
+            let inbox_tx = inbox_tx.clone();
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name(format!("tcp-read-{}-from-{peer}", me.index()))
+                .spawn(move || reader_loop(peer, stream, inbox_tx, stats))
+                .expect("spawn reader thread");
+        }
+
+        // Injected delays re-transmit from a heap thread; created only
+        // when faults are on, so the clean path has no extra thread.
+        let delay_tx = fault.is_some().then(|| {
+            let (tx, rx) = unbounded::<DelayedFrame>();
+            let writers = Arc::clone(&writers);
+            std::thread::Builder::new()
+                .name(format!("tcp-delay-{}", me.index()))
+                .spawn(move || delay_loop(rx, writers))
+                .expect("spawn delay thread");
+            tx
+        });
+
+        Ok(TcpTransport {
+            n,
+            me,
+            endpoint: Some(TcpEndpoint {
+                me: me.index(),
+                n,
+                writers,
+                inbox,
+                inbox_tx,
+                stats,
+                fault,
+                delay_tx,
+                delay_seq: AtomicU64::new(0),
+            }),
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn num_workers(&self) -> usize {
+        self.n
+    }
+
+    /// A TCP process hosts exactly one worker.
+    fn hosted(&self) -> Vec<WorkerId> {
+        vec![self.me]
+    }
+
+    fn take_endpoint(&mut self, w: WorkerId) -> Box<dyn NetEndpoint> {
+        assert_eq!(w, self.me, "worker {} is not hosted by this process", w.index());
+        Box::new(self.endpoint.take().expect("endpoint already taken"))
+    }
+}
+
+fn dial_with_retry(addr: SocketAddr, deadline: Instant) -> io::Result<TcpStream> {
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(io::Error::new(
+                ErrorKind::TimedOut,
+                format!("no worker answered at {addr} before the rendezvous deadline"),
+            ));
+        }
+        match TcpStream::connect_timeout(&addr, remaining.min(Duration::from_millis(250))) {
+            Ok(s) => return Ok(s),
+            // The peer process may simply not have bound yet.
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn reader_loop(peer: usize, mut stream: TcpStream, inbox: Sender<Message>, stats: Arc<NetStats>) {
+    loop {
+        match frame::read_frame(&mut stream) {
+            Ok(Some(payload)) => {
+                let msg = match codec::from_bytes::<Message>(&payload) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        eprintln!(
+                            "gthinker-net: undecodable frame from worker {peer} dropped: {e}"
+                        );
+                        continue;
+                    }
+                };
+                stats
+                    .bytes_received
+                    .fetch_add((payload.len() + FRAME_OVERHEAD) as u64, Ordering::Relaxed);
+                stats.msgs_received.fetch_add(1, Ordering::Relaxed);
+                if inbox.send(msg).is_err() {
+                    return; // endpoint gone: job teardown
+                }
+            }
+            Ok(None) => return, // peer closed its write side cleanly
+            Err(e) => {
+                // Resets during teardown are the normal end of a job;
+                // anything else (version mismatch, corruption) is worth
+                // a line on stderr before the link goes dark.
+                if !matches!(e.kind(), ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted) {
+                    eprintln!("gthinker-net: link from worker {peer} failed: {e}");
+                }
+                return;
+            }
+        }
+    }
+}
+
+struct DelayedFrame {
+    deliver_at: Instant,
+    seq: u64,
+    to: usize,
+    frame: Vec<u8>,
+}
+
+impl PartialEq for DelayedFrame {
+    fn eq(&self, other: &Self) -> bool {
+        (self.deliver_at, self.seq) == (other.deliver_at, other.seq)
+    }
+}
+impl Eq for DelayedFrame {}
+impl PartialOrd for DelayedFrame {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DelayedFrame {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
+/// Writes fault-delayed frames once their delivery time arrives; later
+/// traffic on the link overtakes them, which is the reorder.
+fn delay_loop(rx: Receiver<DelayedFrame>, writers: Writers) {
+    let mut heap: BinaryHeap<Reverse<DelayedFrame>> = BinaryHeap::new();
+    let write = |d: DelayedFrame| {
+        if let Some(stream) = writers[d.to].lock().as_mut() {
+            let _ = stream.write_all(&d.frame);
+        }
+    };
+    loop {
+        let now = Instant::now();
+        while heap.peek().is_some_and(|Reverse(d)| d.deliver_at <= now) {
+            write(heap.pop().expect("peeked").0);
+        }
+        let timeout = heap
+            .peek()
+            .map(|Reverse(d)| d.deliver_at.saturating_duration_since(now))
+            .unwrap_or(Duration::from_millis(50));
+        match rx.recv_timeout(timeout) {
+            Ok(d) => heap.push(Reverse(d)),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                // Endpoint dropped: flush what is pending and exit.
+                while let Some(Reverse(d)) = heap.pop() {
+                    write(d);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// This process's endpoint on the TCP mesh. Byte counters measure real
+/// wire bytes: payload plus [`FRAME_OVERHEAD`] per message (self-sends
+/// are counted at the same rate for comparability).
+pub struct TcpEndpoint {
+    me: usize,
+    n: usize,
+    writers: Writers,
+    inbox: Receiver<Message>,
+    inbox_tx: Sender<Message>,
+    stats: Arc<NetStats>,
+    fault: Option<Arc<FaultRuntime>>,
+    delay_tx: Option<Sender<DelayedFrame>>,
+    delay_seq: AtomicU64,
+}
+
+impl TcpEndpoint {
+    /// Writes one sealed frame to `to`, now or after an injected delay.
+    /// Write errors mean the peer already left (Terminate racing final
+    /// traffic) and are treated as a dropped link, mirroring the sim
+    /// router's sends to a crashed worker.
+    fn dispatch(&self, to: usize, frame: Vec<u8>, extra: Duration) {
+        if extra.is_zero() {
+            if let Some(stream) = self.writers[to].lock().as_mut() {
+                let _ = stream.write_all(&frame);
+            }
+        } else if let Some(tx) = &self.delay_tx {
+            let _ = tx.send(DelayedFrame {
+                deliver_at: Instant::now() + extra,
+                seq: self.delay_seq.fetch_add(1, Ordering::Relaxed),
+                to,
+                frame,
+            });
+        }
+    }
+}
+
+impl NetEndpoint for TcpEndpoint {
+    fn id(&self) -> WorkerId {
+        WorkerId(self.me as u16)
+    }
+
+    fn num_workers(&self) -> usize {
+        self.n
+    }
+
+    fn send(&self, to: WorkerId, msg: Message) {
+        let bytes = (msg.encoded_len() + FRAME_OVERHEAD) as u64;
+        self.stats.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+        self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        if to.index() == self.me {
+            self.stats.bytes_received.fetch_add(bytes, Ordering::Relaxed);
+            self.stats.msgs_received.fetch_add(1, Ordering::Relaxed);
+            let _ = self.inbox_tx.send(msg);
+            return;
+        }
+        let mut extra = Duration::ZERO;
+        if let Some(f) = &self.fault {
+            if msg.is_data_plane() {
+                let d = f.next_decision(self.me, to.index());
+                if d.drop {
+                    return;
+                }
+                if d.duplicate {
+                    // The copy trails the original by one jitter window.
+                    let lag = d.delay + f.config().reorder_jitter;
+                    self.dispatch(to.index(), frame::seal(&codec::to_bytes(&msg)), lag);
+                }
+                extra = d.delay;
+            }
+        }
+        self.dispatch(to.index(), frame::seal(&codec::to_bytes(&msg)), extra);
+    }
+
+    fn try_recv(&self) -> Option<Message> {
+        self.inbox.try_recv().ok()
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
+        self.inbox.recv_timeout(timeout).ok()
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    fn fault_stats(&self) -> Option<&FaultStats> {
+        self.fault.as_deref().map(|f| f.stats(self.me))
+    }
+}

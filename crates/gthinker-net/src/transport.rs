@@ -1,0 +1,89 @@
+//! The transport abstraction: what a worker needs from its interconnect.
+//!
+//! A [`Transport`] owns the interconnect for a job and hands out one
+//! [`NetEndpoint`] per worker it hosts. The simulated
+//! [`Router`](crate::router::Router) hosts **all** workers of a job in
+//! one process; the real [`TcpTransport`](crate::tcp::TcpTransport)
+//! hosts exactly **one** worker per OS process and speaks length-prefixed
+//! [`frame`](crate::frame)s to its peers. Worker, master and job code
+//! run against these traits only, so the two backends are
+//! interchangeable — the chaos suite injects the same seeded faults on
+//! either one through the shared
+//! [`FaultRuntime`](crate::fault::FaultRuntime).
+
+use crate::fault::FaultStats;
+use crate::message::Message;
+use gthinker_graph::ids::WorkerId;
+use std::sync::atomic::AtomicU64;
+use std::time::Duration;
+
+/// Per-worker traffic counters. On the simulated router these count
+/// message encodings; on the TCP backend they count real frame bytes
+/// (payload plus [`FRAME_OVERHEAD`](crate::frame::FRAME_OVERHEAD)).
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Bytes sent by this worker.
+    pub bytes_sent: AtomicU64,
+    /// Bytes received by this worker.
+    pub bytes_received: AtomicU64,
+    /// Messages sent.
+    pub msgs_sent: AtomicU64,
+    /// Messages received.
+    pub msgs_received: AtomicU64,
+}
+
+/// One worker's view of the interconnect: send to any worker, receive
+/// from an inbox that merges every peer. Shared by the worker's comper,
+/// receiver and responder threads, hence `Send + Sync`.
+///
+/// Delivery contract (both backends): per directed link, messages from
+/// one sending thread arrive in send order unless the fault model
+/// reorders them; sends never block on the receiver; sends to a
+/// departed or crashed peer are silently discarded.
+pub trait NetEndpoint: Send + Sync {
+    /// This endpoint's worker ID.
+    fn id(&self) -> WorkerId;
+
+    /// Number of workers on the interconnect.
+    fn num_workers(&self) -> usize;
+
+    /// Sends `msg` to worker `to` (self-sends loop straight back to the
+    /// inbox).
+    fn send(&self, to: WorkerId, msg: Message);
+
+    /// Broadcasts `msg` to every worker except this one.
+    fn broadcast(&self, msg: &Message) {
+        for w in 0..self.num_workers() {
+            if w != self.id().index() {
+                self.send(WorkerId(w as u16), msg.clone());
+            }
+        }
+    }
+
+    /// Non-blocking receive.
+    fn try_recv(&self) -> Option<Message>;
+
+    /// Receive with a timeout; `None` on timeout or disconnect.
+    fn recv_timeout(&self, timeout: Duration) -> Option<Message>;
+
+    /// This worker's traffic counters.
+    fn stats(&self) -> &NetStats;
+
+    /// This worker's fault counters; `None` when fault injection is off.
+    fn fault_stats(&self) -> Option<&FaultStats>;
+}
+
+/// A job's interconnect: knows the cluster size, which workers live in
+/// this process, and hands each of them its endpoint exactly once.
+pub trait Transport {
+    /// Total workers in the cluster (across all processes).
+    fn num_workers(&self) -> usize;
+
+    /// The workers this transport hosts in the current process: all of
+    /// them for the simulated router, exactly one for TCP.
+    fn hosted(&self) -> Vec<WorkerId>;
+
+    /// Takes worker `w`'s endpoint. Panics if `w` is not hosted here or
+    /// its endpoint was already taken.
+    fn take_endpoint(&mut self, w: WorkerId) -> Box<dyn NetEndpoint>;
+}

@@ -76,7 +76,7 @@ fn byte_accounting_is_exact_under_concurrency() {
     let mut r = Router::new(3, LinkConfig::INSTANT);
     let hs = r.take_handles();
     let msg = Message::StealBatch { bytes: vec![7u8; 100] };
-    let per_msg = msg.wire_bytes() as u64;
+    let per_msg = msg.encoded_len() as u64;
     std::thread::scope(|s| {
         for h in &hs[..2] {
             s.spawn(|| {

@@ -10,7 +10,7 @@
 
 use bytes::{Buf, BufMut};
 use gthinker_graph::adj::AdjList;
-use gthinker_graph::ids::{Label, TaskId, VertexId};
+use gthinker_graph::ids::{Label, TaskId, VertexId, WorkerId};
 use gthinker_graph::subgraph::Subgraph;
 
 /// Errors produced while decoding.
@@ -123,6 +123,20 @@ impl Decode for VertexId {
     #[inline]
     fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
         Ok(VertexId(u32::decode(buf)?))
+    }
+}
+
+impl Encode for WorkerId {
+    #[inline]
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+}
+
+impl Decode for WorkerId {
+    #[inline]
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(WorkerId(u16::decode(buf)?))
     }
 }
 
@@ -300,6 +314,35 @@ impl Decode for Subgraph {
     }
 }
 
+/// CRC32 (IEEE 802.3, the zlib polynomial) lookup table, built at
+/// compile time — no external crate.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 of `data` (IEEE, matches zlib's `crc32`). Shared by the
+/// checkpoint trailer and the wire/steal-batch frame format, so both
+/// layers validate integrity the same way.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
 /// Encodes a value into a fresh buffer.
 pub fn to_bytes<T: Encode>(value: &T) -> Vec<u8> {
     let mut buf = Vec::new();
@@ -345,6 +388,7 @@ mod tests {
     #[test]
     fn vocabulary_types_round_trip() {
         round_trip(VertexId(77));
+        round_trip(WorkerId(12));
         round_trip(Label(3));
         round_trip(TaskId::new(5, 999));
         round_trip(AdjList::from_unsorted(vec![VertexId(3), VertexId(1), VertexId(2)]));
@@ -409,6 +453,13 @@ mod tests {
         let mut bytes = to_bytes(&7u32);
         bytes.push(0);
         assert_eq!(from_bytes::<u32>(&bytes), Err(CodecError::Invalid("trailing bytes")));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 
     #[test]

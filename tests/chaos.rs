@@ -188,6 +188,70 @@ fn lossy_wire_without_crash_completes_via_retries() {
 }
 
 #[test]
+fn lossy_tcp_wire_completes_via_retries() {
+    use gthinker_core::{run_worker_process_on, ClusterRole};
+    use gthinker_net::tcp::ClusterManifest;
+
+    // The same seeded drop/dup injection, but on the real TCP loopback
+    // backend: three workers on their own threads, framed sockets in
+    // between, the shared fault runtime discarding and duplicating
+    // data-plane frames. The job must still complete with the exact
+    // fault-free answer through the pull-retry path.
+    let (expected, global, stats) = with_watchdog("lossy-tcp", || {
+        let g = gen::barabasi_albert(700, 5, 67);
+        let expected =
+            run_job(Arc::new(TriangleApp), &g, &JobConfig::single_machine(2)).unwrap().global;
+        let mut cfg = chaos_config(0x7C9, 0);
+        cfg.fault.crash = None;
+        cfg.fault.drop_prob = 0.10;
+        cfg.fault.dup_prob = 0.10;
+        cfg.checkpoint_interval = None;
+        cfg.heartbeat_timeout = None;
+        let (manifest, listeners) = ClusterManifest::loopback(3).unwrap();
+        let g = Arc::new(g);
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(w, listener)| {
+                let (g, cfg, manifest) = (Arc::clone(&g), cfg.clone(), manifest.clone());
+                std::thread::spawn(move || {
+                    run_worker_process_on(
+                        Arc::new(TriangleApp),
+                        &g,
+                        &cfg,
+                        &manifest,
+                        WorkerId(w as u16),
+                        Duration::from_secs(20),
+                        listener,
+                    )
+                    .expect("tcp chaos worker")
+                })
+            })
+            .collect();
+        let mut global = None;
+        let mut stats = Vec::new();
+        for h in handles {
+            match h.join().expect("worker thread") {
+                ClusterRole::Master(r) => {
+                    assert_eq!(r.outcome, JobOutcome::Completed);
+                    stats.push(r.workers[0].clone());
+                    global = Some(r.global);
+                }
+                ClusterRole::Worker(s) => stats.push(s),
+            }
+        }
+        (expected, global.unwrap(), stats)
+    });
+    assert_eq!(global, expected, "TCP chaos run must match the fault-free count");
+    let dropped: u64 = stats.iter().map(|w| w.net_msgs_dropped).sum();
+    let duplicated: u64 = stats.iter().map(|w| w.net_msgs_duplicated).sum();
+    let retries: u64 = stats.iter().map(|w| w.pull_retries).sum();
+    assert!(dropped > 0, "a 10% drop rate must actually drop TCP frames");
+    assert!(duplicated > 0, "a 10% dup rate must actually duplicate TCP frames");
+    assert!(retries > 0, "dropped pulls must be re-requested over TCP");
+}
+
+#[test]
 fn fault_counters_are_zero_on_a_clean_wire() {
     let result = with_watchdog("clean", || {
         let g = gen::gnp(300, 0.05, 61);

@@ -1,0 +1,172 @@
+//! Backend equivalence: every miner must produce the same answer on
+//! the real TCP backend (one worker per "process", here one per
+//! thread on a loopback mesh) as on the simulated router. This is the
+//! contract that lets the sim backend stand in for a cluster in every
+//! other test.
+
+use gthinker_apps::{
+    KPlexApp, MatchingApp, MaxCliqueApp, MaximalCliqueApp, Pattern, QuasiCliqueApp, TriangleApp,
+};
+use gthinker_core::prelude::*;
+use gthinker_core::{run_worker_process_on, ClusterRole, WorkerStats};
+use gthinker_graph::gen;
+use gthinker_graph::graph::Graph;
+use gthinker_graph::ids::WorkerId;
+use gthinker_net::tcp::ClusterManifest;
+use std::sync::Arc;
+use std::time::Duration;
+
+const WORKERS: usize = 3;
+const RENDEZVOUS: Duration = Duration::from_secs(20);
+
+/// Runs `app` on a 3-worker loopback TCP cluster (each worker on its
+/// own thread, exactly the code path of three OS processes) and
+/// returns the master's result plus every worker's stats.
+fn run_tcp_cluster<A: App + Send + Sync + 'static>(
+    app: Arc<A>,
+    graph: &Graph,
+    compers: usize,
+) -> (JobResult<<<A as App>::Agg as Aggregator>::Global>, Vec<WorkerStats>) {
+    let mut cfg = JobConfig::cluster(WORKERS, compers);
+    cfg.sync_interval = Duration::from_millis(5);
+    let (manifest, listeners) = ClusterManifest::loopback(WORKERS).expect("bind loopback");
+    let graph = Arc::new(graph.clone());
+    let handles: Vec<_> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(w, listener)| {
+            let app = Arc::clone(&app);
+            let graph = Arc::clone(&graph);
+            let cfg = cfg.clone();
+            let manifest = manifest.clone();
+            std::thread::spawn(move || {
+                run_worker_process_on(
+                    app,
+                    &graph,
+                    &cfg,
+                    &manifest,
+                    WorkerId(w as u16),
+                    RENDEZVOUS,
+                    listener,
+                )
+                .expect("cluster worker")
+            })
+        })
+        .collect();
+    let mut master = None;
+    let mut stats = Vec::new();
+    for h in handles {
+        match h.join().expect("worker thread") {
+            ClusterRole::Master(r) => {
+                stats.push(r.workers[0].clone());
+                master = Some(r);
+            }
+            ClusterRole::Worker(s) => stats.push(s),
+        }
+    }
+    (master.expect("worker 0 is the master"), stats)
+}
+
+/// Sim reference for the same topology.
+fn sim_reference<A: App>(
+    app: Arc<A>,
+    graph: &Graph,
+    compers: usize,
+) -> JobResult<<<A as App>::Agg as Aggregator>::Global> {
+    run_job(app, graph, &JobConfig::cluster(WORKERS, compers)).expect("sim job")
+}
+
+/// All workers together must have moved real traffic: the job cannot
+/// have quietly degenerated into a single-process run.
+fn assert_traffic(stats: &[WorkerStats]) {
+    let sent: u64 = stats.iter().map(|w| w.net_bytes_sent).sum();
+    let received: u64 = stats.iter().map(|w| w.net_bytes_received).sum();
+    assert!(sent > 0, "no bytes crossed the TCP mesh");
+    assert!(received > 0, "no bytes were received off the TCP mesh");
+}
+
+#[test]
+fn triangle_count_matches_sim() {
+    let g = gen::barabasi_albert(600, 5, 17);
+    let reference = sim_reference(Arc::new(TriangleApp), &g, 2).global;
+    let (r, stats) = run_tcp_cluster(Arc::new(TriangleApp), &g, 2);
+    assert_eq!(r.global, reference);
+    assert!(matches!(r.outcome, JobOutcome::Completed));
+    assert_traffic(&stats);
+}
+
+#[test]
+fn max_clique_matches_sim() {
+    let base = gen::barabasi_albert(400, 4, 23);
+    let (g, planted) = gen::plant_clique(&base, 9, 27);
+    let reference = sim_reference(Arc::new(MaxCliqueApp::default()), &g, 2).global;
+    assert!(reference.len() >= planted.len());
+    let (r, stats) = run_tcp_cluster(Arc::new(MaxCliqueApp::default()), &g, 2);
+    assert_eq!(r.global.len(), reference.len());
+    assert_traffic(&stats);
+}
+
+#[test]
+fn maximal_cliques_match_sim() {
+    let g = gen::gnp(150, 0.08, 41);
+    let reference = sim_reference(Arc::new(MaximalCliqueApp), &g, 2).global;
+    let (r, stats) = run_tcp_cluster(Arc::new(MaximalCliqueApp), &g, 2);
+    assert_eq!(r.global, reference);
+    assert_traffic(&stats);
+}
+
+#[test]
+fn quasi_cliques_match_sim() {
+    let g = gen::gnp(70, 0.1, 53);
+    let app = || Arc::new(QuasiCliqueApp::new(0.6, 3, 4));
+    let reference = sim_reference(app(), &g, 2).global;
+    let (r, stats) = run_tcp_cluster(app(), &g, 2);
+    assert_eq!(r.global, reference);
+    assert_traffic(&stats);
+}
+
+#[test]
+fn k_plexes_match_sim() {
+    let g = gen::gnp(60, 0.12, 61);
+    let app = || Arc::new(KPlexApp::new(2, 4, 5));
+    let reference = sim_reference(app(), &g, 2).global;
+    let (r, stats) = run_tcp_cluster(app(), &g, 2);
+    assert_eq!(r.global, reference);
+    assert_traffic(&stats);
+}
+
+#[test]
+fn graph_matching_matches_sim() {
+    let g = gen::random_labels(gen::gnp(120, 0.06, 71), 3, 0x1abe1);
+    let labels = g.labels().expect("labeled").to_vec();
+    let pattern = Pattern::triangle(
+        gthinker_graph::ids::Label(0),
+        gthinker_graph::ids::Label(1),
+        gthinker_graph::ids::Label(2),
+    );
+    let app = || Arc::new(MatchingApp::new(pattern.clone(), labels.clone()));
+    let reference = sim_reference(app(), &g, 2).global;
+    let (r, stats) = run_tcp_cluster(app(), &g, 2);
+    assert_eq!(r.global, reference);
+    assert_traffic(&stats);
+}
+
+/// The manifest size must agree with the config; a mismatch is an
+/// input error, not a hang.
+#[test]
+fn manifest_size_mismatch_is_rejected() {
+    let g = gen::gnp(20, 0.2, 3);
+    let (manifest, mut listeners) = ClusterManifest::loopback(2).expect("bind");
+    let cfg = JobConfig::cluster(3, 1); // says 3, manifest says 2
+    let err = run_worker_process_on(
+        Arc::new(TriangleApp),
+        &g,
+        &cfg,
+        &manifest,
+        WorkerId(0),
+        Duration::from_secs(1),
+        listeners.remove(0),
+    )
+    .expect_err("mismatch must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+}
