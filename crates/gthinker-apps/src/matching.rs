@@ -11,7 +11,7 @@
 //! query (the [`LabelSetTrimmer`] already removed the rest from every
 //! adjacency list) — and then runs the serial backtracking matcher.
 
-use crate::serial::matching::{count_embeddings_from, Pattern};
+use crate::serial::matching::{count_embeddings_from, count_embeddings_from_pair, Pattern};
 use crate::triangle::SumAgg;
 use gthinker_core::prelude::*;
 use gthinker_graph::adj::AdjList;
@@ -38,11 +38,14 @@ impl MatchingApp {
     }
 }
 
-/// Task context: how many hops of the ego network have been pulled.
-type Hops = u64;
+/// Task context: how many hops of the ego network have been pulled,
+/// plus — for a subtask split off a straggler — the data vertex
+/// pre-assigned to the second matching-order query vertex (empty for a
+/// root task).
+type MatchCtx = (u64, Vec<VertexId>);
 
 impl App for MatchingApp {
-    type Context = Hops;
+    type Context = MatchCtx;
     type Agg = SumAgg;
 
     fn make_aggregator(&self) -> SumAgg {
@@ -62,7 +65,7 @@ impl App for MatchingApp {
             env.aggregate(1); // the pattern is a single labeled vertex
             return;
         }
-        let mut t = Task::new(0u64);
+        let mut t = Task::new((0u64, Vec::new()));
         t.subgraph.add_labeled_vertex(v, self.pattern.label(0), adj.clone());
         for u in adj.iter() {
             t.pull(u);
@@ -75,12 +78,27 @@ impl App for MatchingApp {
 
     fn compute(
         &self,
-        task: &mut Task<Hops>,
+        task: &mut Task<MatchCtx>,
         frontier: &Frontier,
         env: &mut ComputeEnv<'_, Self>,
     ) -> bool {
-        task.context += 1;
-        let hop = task.context;
+        if let Some(&second) = task.context.1.first() {
+            // A split-off subtask: the ego net is already materialized,
+            // the second matching-order vertex is pre-assigned.
+            let local = task.subgraph.to_local();
+            let find =
+                |g: VertexId| (0..local.num_vertices() as u32).find(|&i| local.global_id(i) == g);
+            let anchor = find(*task.subgraph.vertex_ids().first().expect("anchor"))
+                .expect("anchor is in its own subgraph");
+            let second = find(second).expect("pre-assigned vertex is in the subgraph");
+            let count = count_embeddings_from_pair(&local, &self.pattern, anchor, second);
+            if count > 0 {
+                env.aggregate(count);
+            }
+            return false;
+        }
+        task.context.0 += 1;
+        let hop = task.context.0;
         let radius = self.pattern.anchor_radius() as u64;
         // Incorporate this hop's vertices (labels from the replicated
         // table; lists arrive already trimmed to query labels).
@@ -106,6 +124,29 @@ impl App for MatchingApp {
         let anchor = (0..local.num_vertices() as u32)
             .find(|&i| local.global_id(i) == *task.subgraph.vertex_ids().first().expect("anchor"))
             .expect("anchor is in its own subgraph");
+        // Straggler splitting: when the anchor has more data-neighbors
+        // than the compute budget, ship one subtask per candidate for
+        // the second matching-order vertex (its candidates at depth 1
+        // are exactly Γ(anchor)); the per-pair counts partition the
+        // anchored count.
+        if self.pattern.num_vertices() >= 2 {
+            let order = self.pattern.matching_order();
+            let seconds: Vec<u32> = local
+                .neighbors(anchor)
+                .iter()
+                .copied()
+                .filter(|&c| local.label(c) == Some(self.pattern.label(order[1])))
+                .collect();
+            if env.compute_budget().is_some_and(|b| seconds.len() as u64 > b) {
+                for &c in &seconds {
+                    let mut sub = Task::new((hop, vec![local.global_id(c)]));
+                    sub.subgraph = task.subgraph.clone();
+                    env.add_task(sub);
+                }
+                env.note_split(seconds.len() as u64);
+                return false;
+            }
+        }
         let count = count_embeddings_from(&local, &self.pattern, anchor);
         if count > 0 {
             env.aggregate(count);
@@ -163,6 +204,22 @@ mod tests {
         let single = run(&g, p.clone(), &JobConfig::single_machine(2));
         let multi = run(&g, p, &JobConfig::cluster(3, 2));
         assert_eq!(single, multi);
+    }
+
+    #[test]
+    fn compute_budget_split_matches_unbudgeted_run() {
+        for seed in 0..3 {
+            let g = gen::random_labels(gen::gnp(30, 0.2, seed + 50), 2, seed + 61);
+            let p = Pattern::triangle(Label(0), Label(1), Label(1));
+            let expected = run(&g, p.clone(), &JobConfig::single_machine(2));
+            let mut cfg = JobConfig::single_machine(2);
+            cfg.compute_budget = Some(2);
+            let app = MatchingApp::new(p, g.labels().unwrap().to_vec());
+            let r = run_job(Arc::new(app), &g, &cfg).unwrap();
+            assert_eq!(r.global, expected, "seed {seed}");
+            let splits: u64 = r.workers.iter().map(|w| w.split_tasks).sum();
+            assert!(splits > 0, "seed {seed}: budget should have split some anchor");
+        }
     }
 
     #[test]

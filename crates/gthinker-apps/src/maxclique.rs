@@ -150,7 +150,14 @@ impl App for MaxCliqueApp {
         let g = &task.subgraph;
         let best = Self::best_size(env);
 
-        if g.num_vertices() > self.tau {
+        // Straggler splitting: a compute budget tightens the
+        // decomposition threshold, so candidate sets that would run
+        // serially for a long time decompose into stealable subtasks
+        // instead.
+        let tau_eff = env.compute_budget().map_or(self.tau, |b| self.tau.min(b as usize));
+        if g.num_vertices() > tau_eff {
+            let budget_split = g.num_vertices() <= self.tau;
+            let mut spawned = 0u64;
             // Decompose (lines 3–9): one subtask per candidate u, with
             // subgraph induced by u's candidates (its oriented
             // adjacency within g).
@@ -172,6 +179,10 @@ impl App for MaxCliqueApp {
                 }
                 // A candidate with an empty ext still extends S by one.
                 env.add_task(sub);
+                spawned += 1;
+            }
+            if budget_split && spawned > 0 {
+                env.note_split(spawned);
             }
             return false;
         }
@@ -243,6 +254,19 @@ mod tests {
         let decomposed = run(&g, &JobConfig::single_machine(2), 2);
         assert_eq!(decomposed.len(), expected.len());
         assert_is_clique(&g, &decomposed);
+    }
+
+    #[test]
+    fn compute_budget_split_gives_same_answer() {
+        let g = gen::gnp(40, 0.4, 9);
+        let expected = run(&g, &JobConfig::single_machine(2), 40_000);
+        let mut cfg = JobConfig::single_machine(2);
+        cfg.compute_budget = Some(3);
+        let r = run_job(Arc::new(MaxCliqueApp::with_tau(40_000)), &g, &cfg).unwrap();
+        assert_eq!(r.global.len(), expected.len());
+        assert_is_clique(&g, &r.global);
+        let splits: u64 = r.workers.iter().map(|w| w.split_tasks).sum();
+        assert!(splits > 0, "budget τ should have forced decomposition");
     }
 
     #[test]

@@ -13,13 +13,28 @@ use crate::serial::maximal::bron_kerbosch;
 use crate::triangle::SumAgg;
 use gthinker_core::prelude::*;
 use gthinker_graph::adj::AdjList;
+use gthinker_graph::subgraph::LocalGraph;
 
 /// Counts maximal cliques, partitioned by minimum vertex.
 #[derive(Default)]
 pub struct MaximalCliqueApp;
 
+/// Maps global IDs to local indices (local index order equals global ID
+/// order, so the sorted global-ID table supports binary search).
+fn to_locals(local: &LocalGraph, ids: &[VertexId]) -> Vec<u32> {
+    let globals: Vec<VertexId> =
+        (0..local.num_vertices() as u32).map(|i| local.global_id(i)).collect();
+    debug_assert!(globals.windows(2).all(|w| w[0] < w[1]));
+    ids.iter()
+        .map(|v| globals.binary_search(v).expect("vertex is in the subgraph") as u32)
+        .collect()
+}
+
 impl App for MaximalCliqueApp {
-    type Context = ();
+    /// `(R, P, X)` as global IDs for a Bron–Kerbosch node carved out of
+    /// a straggler task; all-empty for a root task (seeded from the
+    /// anchor's ego net).
+    type Context = (Vec<VertexId>, Vec<VertexId>, Vec<VertexId>);
     type Agg = SumAgg;
 
     fn make_aggregator(&self) -> SumAgg {
@@ -32,7 +47,7 @@ impl App for MaximalCliqueApp {
             env.aggregate(1);
             return;
         }
-        let mut t = Task::new(());
+        let mut t = Task::new((Vec::new(), Vec::new(), Vec::new()));
         t.subgraph.add_vertex(v, adj.clone());
         for u in adj.iter() {
             t.pull(u);
@@ -42,10 +57,25 @@ impl App for MaximalCliqueApp {
 
     fn compute(
         &self,
-        task: &mut Task<()>,
+        task: &mut Task<(Vec<VertexId>, Vec<VertexId>, Vec<VertexId>)>,
         frontier: &Frontier,
         env: &mut ComputeEnv<'_, Self>,
     ) -> bool {
+        if !task.context.0.is_empty() {
+            // A split-off BK node: the ego net is already materialized
+            // in the subgraph, the context pins the node's R/P/X.
+            let local = task.subgraph.to_local();
+            let (r, p, x) = &task.context;
+            let mut r = to_locals(&local, r);
+            let p = to_locals(&local, p);
+            let x = to_locals(&local, x);
+            let mut count = 0u64;
+            bron_kerbosch(&local, &mut r, p, x, &mut |_| count += 1);
+            if count > 0 {
+                env.aggregate(count);
+            }
+            return false;
+        }
         // Build the closed neighborhood ego net: keep each neighbor's
         // adjacency filtered to the ego-net members (edges to vertices
         // outside N[v] are irrelevant to cliques containing v).
@@ -70,6 +100,34 @@ impl App for MaximalCliqueApp {
             } else {
                 x.push(u);
             }
+        }
+        // Straggler splitting: when the top-level branch set exceeds
+        // the compute budget, expand the root BK node once *without*
+        // pivoting (every P vertex branches) and ship each child node
+        // as its own task. P/X evolve across children exactly as in the
+        // serial recursion, so each maximal clique is still reported by
+        // exactly one child; the root itself reports nothing because P
+        // is non-empty.
+        if env.compute_budget().is_some_and(|b| p.len() as u64 > b) {
+            let mut p_work = p.clone();
+            let mut x_work = x;
+            for &v in &p {
+                let np: Vec<u32> =
+                    p_work.iter().copied().filter(|&u| local.has_edge(v, u)).collect();
+                let nx: Vec<u32> =
+                    x_work.iter().copied().filter(|&u| local.has_edge(v, u)).collect();
+                let mut sub = Task::new((
+                    local.to_global(&[anchor_local, v]),
+                    local.to_global(&np),
+                    local.to_global(&nx),
+                ));
+                sub.subgraph = task.subgraph.clone();
+                env.add_task(sub);
+                p_work.retain(|&u| u != v);
+                x_work.push(v);
+            }
+            env.note_split(p.len() as u64);
+            return false;
         }
         let mut count = 0u64;
         let mut r = vec![anchor_local];
@@ -114,6 +172,20 @@ mod tests {
     fn distributed_matches_serial() {
         let g = gen::barabasi_albert(300, 4, 6);
         assert_eq!(run(&g, &JobConfig::cluster(3, 2)), serial_count(&g));
+    }
+
+    #[test]
+    fn compute_budget_split_matches_serial() {
+        for seed in 0..3 {
+            let g = gen::gnp(40, 0.25, seed);
+            let expected = serial_count(&g);
+            let mut cfg = JobConfig::single_machine(2);
+            cfg.compute_budget = Some(2);
+            let r = run_job(Arc::new(MaximalCliqueApp), &g, &cfg).unwrap();
+            assert_eq!(r.global, expected, "seed {seed}");
+            let splits: u64 = r.workers.iter().map(|w| w.split_tasks).sum();
+            assert!(splits > 0, "seed {seed}: budget should have split some BK root");
+        }
     }
 
     #[test]

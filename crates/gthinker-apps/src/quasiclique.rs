@@ -11,10 +11,11 @@
 //! adjacent to the anchor, and 2-hop paths may pass through vertices
 //! with *smaller* IDs, so full adjacency lists are required.
 
-use crate::serial::quasi::count_quasi_cliques_from;
+use crate::serial::quasi::{count_quasi_cliques_state, quasi_candidates};
 use crate::triangle::SumAgg;
 use gthinker_core::prelude::*;
 use gthinker_graph::adj::AdjList;
+use gthinker_graph::subgraph::LocalGraph;
 
 /// The quasi-clique counting application.
 pub struct QuasiCliqueApp {
@@ -36,9 +37,23 @@ impl QuasiCliqueApp {
     }
 }
 
+/// Maps global IDs to local indices (local index order equals global ID
+/// order, so the sorted global-ID table supports binary search).
+fn to_locals(local: &LocalGraph, ids: &[VertexId]) -> Vec<u32> {
+    let globals: Vec<VertexId> =
+        (0..local.num_vertices() as u32).map(|i| local.global_id(i)).collect();
+    debug_assert!(globals.windows(2).all(|w| w[0] < w[1]));
+    ids.iter()
+        .map(|v| globals.binary_search(v).expect("vertex is in the subgraph") as u32)
+        .collect()
+}
+
 impl App for QuasiCliqueApp {
-    /// Hop counter (1 after the first pull round, 2 after the second).
-    type Context = u64;
+    /// `(hop, s, cand)`: the hop counter (1 after the first pull round,
+    /// 2 after the second), plus — for a subtask split off a straggler —
+    /// the set-enumeration node `(S, cand)` as global IDs (`s` empty
+    /// for a root task).
+    type Context = (u64, Vec<VertexId>, Vec<VertexId>);
     type Agg = SumAgg;
 
     fn make_aggregator(&self) -> SumAgg {
@@ -49,7 +64,7 @@ impl App for QuasiCliqueApp {
         if adj.is_empty() {
             return; // min_size ≥ 2 needs at least one neighbor
         }
-        let mut t = Task::new(0u64);
+        let mut t = Task::new((0u64, Vec::new(), Vec::new()));
         t.subgraph.add_vertex(v, adj.clone());
         for u in adj.iter() {
             t.pull(u);
@@ -59,12 +74,31 @@ impl App for QuasiCliqueApp {
 
     fn compute(
         &self,
-        task: &mut Task<u64>,
+        task: &mut Task<(u64, Vec<VertexId>, Vec<VertexId>)>,
         frontier: &Frontier,
         env: &mut ComputeEnv<'_, Self>,
     ) -> bool {
-        task.context += 1;
-        let hop = task.context;
+        if !task.context.1.is_empty() {
+            // A split-off enumeration node: the 2-hop ego net is
+            // already materialized, the context pins (S, cand).
+            let local = task.subgraph.to_local();
+            let s = to_locals(&local, &task.context.1);
+            let cand = to_locals(&local, &task.context.2);
+            let count = count_quasi_cliques_state(
+                &local,
+                &s,
+                &cand,
+                self.gamma,
+                self.min_size,
+                self.max_size,
+            );
+            if count > 0 {
+                env.aggregate(count);
+            }
+            return false;
+        }
+        task.context.0 += 1;
+        let hop = task.context.0;
         let mut second_hop: Vec<VertexId> = Vec::new();
         for (u, adj) in frontier.iter() {
             if task.subgraph.add_vertex(u, (**adj).clone()) && hop == 1 {
@@ -87,8 +121,33 @@ impl App for QuasiCliqueApp {
         let anchor = (0..local.num_vertices() as u32)
             .find(|&i| local.global_id(i) == anchor_global)
             .expect("anchor is in its own ego net");
-        let count =
-            count_quasi_cliques_from(&local, anchor, self.gamma, self.min_size, self.max_size);
+        let cand = quasi_candidates(&local, anchor);
+        // Straggler splitting: when the anchor's first-level branching
+        // exceeds the compute budget, ship each branch — enumeration
+        // node `(S = {anchor, cand[i]}, cand[i+1..])` — as its own
+        // task. The root node itself contributes nothing (|S| = 1 <
+        // min_size), so the branches partition the anchored count.
+        if env.compute_budget().is_some_and(|b| cand.len() as u64 > b) {
+            for i in 0..cand.len() {
+                let mut sub = Task::new((
+                    2u64,
+                    local.to_global(&[anchor, cand[i]]),
+                    local.to_global(&cand[i + 1..]),
+                ));
+                sub.subgraph = task.subgraph.clone();
+                env.add_task(sub);
+            }
+            env.note_split(cand.len() as u64);
+            return false;
+        }
+        let count = count_quasi_cliques_state(
+            &local,
+            &[anchor],
+            &cand,
+            self.gamma,
+            self.min_size,
+            self.max_size,
+        );
         if count > 0 {
             env.aggregate(count);
         }
@@ -133,6 +192,20 @@ mod tests {
         let single = run(&g, 0.5, 3, 4, &JobConfig::single_machine(2));
         let multi = run(&g, 0.5, 3, 4, &JobConfig::cluster(3, 2));
         assert_eq!(single, multi);
+    }
+
+    #[test]
+    fn compute_budget_split_matches_unbudgeted_run() {
+        for seed in 0..3 {
+            let g = gen::gnp(30, 0.2, seed + 100);
+            let expected = run(&g, 0.6, 3, 5, &JobConfig::single_machine(2));
+            let mut cfg = JobConfig::single_machine(2);
+            cfg.compute_budget = Some(2);
+            let r = run_job(Arc::new(QuasiCliqueApp::new(0.6, 3, 5)), &g, &cfg).unwrap();
+            assert_eq!(r.global, expected, "seed {seed}");
+            let splits: u64 = r.workers.iter().map(|w| w.split_tasks).sum();
+            assert!(splits > 0, "seed {seed}: budget should have split some node");
+        }
     }
 
     #[test]

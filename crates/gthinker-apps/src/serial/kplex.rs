@@ -70,7 +70,13 @@ pub fn count_kplexes_from(
         "connected k-plexes need |S| ≥ 2k−1 for the diameter-2 bound"
     );
     assert!(max_size >= min_size);
-    // Candidates: 2-hop neighborhood, IDs greater than the anchor.
+    let cand = kplex_candidates(g, anchor);
+    count_kplexes_state(g, &[anchor], &cand, k, min_size, max_size)
+}
+
+/// The anchor's candidate set: its 2-hop neighborhood restricted to IDs
+/// greater than the anchor, sorted.
+pub fn kplex_candidates(g: &LocalGraph, anchor: u32) -> Vec<u32> {
     let mut cand: Vec<u32> = Vec::new();
     for &u in g.neighbors(anchor) {
         if u > anchor && !cand.contains(&u) {
@@ -83,8 +89,30 @@ pub fn count_kplexes_from(
         }
     }
     cand.sort_unstable();
+    cand
+}
+
+/// Resumes the hereditary enumeration from an interior node: counts the
+/// connected k-plexes among `s ∪ (subsets of cand)` that contain all of
+/// `s`. Returns 0 when `s` itself is not a k-plex (heredity: no
+/// superset can be one either). With `s = [anchor]` and
+/// `cand = kplex_candidates(..)` this equals [`count_kplexes_from`];
+/// the distributed app uses it to split a straggler task's first-level
+/// branches into independent subtasks.
+pub fn count_kplexes_state(
+    g: &LocalGraph,
+    s: &[u32],
+    cand: &[u32],
+    k: usize,
+    min_size: usize,
+    max_size: usize,
+) -> u64 {
+    assert!(k >= 1 && max_size >= min_size && min_size >= 2);
+    if !is_kplex(g, s, k) {
+        return 0;
+    }
     let mut count = 0u64;
-    let mut s = vec![anchor];
+    let mut sv = s.to_vec();
     if g.is_dense() {
         let n = g.num_vertices();
         let mut scratch = KplexScratch {
@@ -93,10 +121,12 @@ pub fn count_kplexes_from(
             reach: BitSet::new(n),
             stack: Vec::new(),
         };
-        scratch.sbits.insert(anchor);
-        extend_bitset(g, &mut s, &cand, k, min_size, max_size, &mut count, &mut scratch);
+        for &v in s {
+            scratch.sbits.insert(v);
+        }
+        extend_bitset(g, &mut sv, cand, k, min_size, max_size, &mut count, &mut scratch);
     } else {
-        extend(g, &mut s, &cand, k, min_size, max_size, &mut count);
+        extend(g, &mut sv, cand, k, min_size, max_size, &mut count);
     }
     count
 }
@@ -320,6 +350,37 @@ mod tests {
                         count_kplexes_from(&sparse, a, k, min, max),
                         "seed {seed} anchor {a} k {k}"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_level_split_partitions_each_anchor_count() {
+        // Splitting a node into its viable first-level branches — the
+        // distributed app's budget split — must partition the count.
+        for seed in 0..5 {
+            let g = to_local(&gen::gnp(11, 0.4, seed + 90));
+            for (k, min, max) in [(1usize, 3usize, 5usize), (2, 3, 5)] {
+                for a in 0..11u32 {
+                    let whole = count_kplexes_from(&g, a, k, min, max);
+                    let branches: Vec<u32> = kplex_candidates(&g, a)
+                        .into_iter()
+                        .filter(|&u| is_kplex(&g, &[a, u], k))
+                        .collect();
+                    let split: u64 = (0..branches.len())
+                        .map(|i| {
+                            count_kplexes_state(
+                                &g,
+                                &[a, branches[i]],
+                                &branches[i + 1..],
+                                k,
+                                min,
+                                max,
+                            )
+                        })
+                        .sum();
+                    assert_eq!(split, whole, "seed {seed} anchor {a} k {k}");
                 }
             }
         }

@@ -152,6 +152,42 @@ pub fn count_embeddings_from(g: &LocalGraph, pattern: &Pattern, anchor: u32) -> 
     count
 }
 
+/// Counts embeddings that map query vertex 0 to `anchor` AND the
+/// second vertex of the matching order to `second`. Summed over the
+/// anchor's data-neighbors, this equals [`count_embeddings_from`] (the
+/// depth-1 candidates are exactly `Γ(anchor)`); the distributed app
+/// uses it to split one anchor task into per-second-vertex subtasks.
+pub fn count_embeddings_from_pair(
+    g: &LocalGraph,
+    pattern: &Pattern,
+    anchor: u32,
+    second: u32,
+) -> u64 {
+    let order = pattern.matching_order();
+    if order.len() < 2
+        || g.label(anchor) != Some(pattern.label(0))
+        || second == anchor
+        || g.label(second) != Some(pattern.label(order[1]))
+    {
+        return 0;
+    }
+    let mut map: Vec<Option<u32>> = vec![None; pattern.num_vertices()];
+    map[0] = Some(anchor);
+    // Every query edge from order[1] to an already-mapped vertex (only
+    // vertex 0 at this depth) must exist in the data graph.
+    let consistent = pattern.neighbors(order[1]).iter().all(|&u| match map[u as usize] {
+        Some(d) => g.has_edge(d, second),
+        None => true,
+    });
+    if !consistent {
+        return 0;
+    }
+    map[order[1] as usize] = Some(second);
+    let mut count = 0u64;
+    backtrack(g, pattern, &order, 2, &mut map, &mut count);
+    count
+}
+
 fn backtrack(
     g: &LocalGraph,
     pattern: &Pattern,
@@ -293,6 +329,31 @@ mod tests {
                 let brute = count_embeddings_brute(&g, &pattern);
                 let sum: u64 = (0..11u32).map(|a| count_embeddings_from(&g, &pattern, a)).sum();
                 assert_eq!(sum, brute, "seed {seed}, pattern {pattern:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_counts_partition_the_anchor_count() {
+        // Pre-assigning the second matching-order vertex — the
+        // distributed app's budget split — must partition each anchor's
+        // count over the anchor's data-neighbors.
+        for seed in 0..4 {
+            let g = to_local(&gen::random_labels(gen::gnp(12, 0.35, seed + 10), 2, seed + 70));
+            for pattern in [
+                Pattern::triangle(Label(0), Label(1), Label(1)),
+                Pattern::path3(Label(0), Label(1), Label(0)),
+                Pattern::star(Label(0), &[Label(1), Label(1)]),
+            ] {
+                for a in 0..12u32 {
+                    let whole = count_embeddings_from(&g, &pattern, a);
+                    let split: u64 = g
+                        .neighbors(a)
+                        .iter()
+                        .map(|&c| count_embeddings_from_pair(&g, &pattern, a, c))
+                        .sum();
+                    assert_eq!(split, whole, "seed {seed} anchor {a} pattern {pattern:?}");
+                }
             }
         }
     }

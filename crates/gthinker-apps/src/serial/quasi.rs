@@ -46,9 +46,13 @@ pub fn count_quasi_cliques_from(
     min_size: usize,
     max_size: usize,
 ) -> u64 {
-    assert!((0.5..=1.0).contains(&gamma), "2-hop candidate rule requires γ ≥ 0.5");
-    assert!(min_size >= 2 && max_size >= min_size);
-    // Candidates: 2-hop neighborhood of the anchor, IDs greater than it.
+    let cand = quasi_candidates(g, anchor);
+    count_quasi_cliques_state(g, &[anchor], &cand, gamma, min_size, max_size)
+}
+
+/// The anchor's candidate set: its 2-hop neighborhood restricted to IDs
+/// greater than the anchor, sorted (the set-enumeration-tree order).
+pub fn quasi_candidates(g: &LocalGraph, anchor: u32) -> Vec<u32> {
     let mut cand: Vec<u32> = Vec::new();
     for &u in g.neighbors(anchor) {
         if u > anchor && !cand.contains(&u) {
@@ -61,15 +65,36 @@ pub fn count_quasi_cliques_from(
         }
     }
     cand.sort_unstable();
+    cand
+}
+
+/// Resumes the set-enumeration search from an interior node: counts the
+/// γ-quasi-cliques among `s ∪ (subsets of cand)` that contain all of
+/// `s`, with sizes in `[min_size, max_size]`. With `s = [anchor]` and
+/// `cand = quasi_candidates(..)` this is exactly
+/// [`count_quasi_cliques_from`]; the distributed app uses it to split a
+/// straggler task's first-level branches into independent subtasks.
+pub fn count_quasi_cliques_state(
+    g: &LocalGraph,
+    s: &[u32],
+    cand: &[u32],
+    gamma: f64,
+    min_size: usize,
+    max_size: usize,
+) -> u64 {
+    assert!((0.5..=1.0).contains(&gamma), "2-hop candidate rule requires γ ≥ 0.5");
+    assert!(min_size >= 2 && max_size >= min_size);
     let mut count = 0u64;
-    let mut s = vec![anchor];
+    let mut sv = s.to_vec();
     if g.is_dense() {
         let n = g.num_vertices();
         let mut scratch = QuasiScratch { sbits: BitSet::new(n), cand_bits: BitSet::new(n) };
-        scratch.sbits.insert(anchor);
-        enumerate_bitset(g, &mut s, &cand, gamma, min_size, max_size, &mut count, &mut scratch);
+        for &v in s {
+            scratch.sbits.insert(v);
+        }
+        enumerate_bitset(g, &mut sv, cand, gamma, min_size, max_size, &mut count, &mut scratch);
     } else {
-        enumerate(g, &mut s, &cand, gamma, min_size, max_size, &mut count);
+        enumerate(g, &mut sv, cand, gamma, min_size, max_size, &mut count);
     }
     count
 }
@@ -290,6 +315,26 @@ mod tests {
                         "seed {seed} anchor {a} γ {gamma}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn first_level_split_partitions_each_anchor_count() {
+        // Splitting a node into its first-level branches — what the
+        // distributed app does under a compute budget — must partition
+        // the anchored count exactly.
+        for seed in 0..5 {
+            let g = to_local(&gen::gnp(11, 0.45, seed + 80));
+            for a in 0..11u32 {
+                let whole = count_quasi_cliques_from(&g, a, 0.6, 3, 5);
+                let cand = quasi_candidates(&g, a);
+                let split: u64 = (0..cand.len())
+                    .map(|i| {
+                        count_quasi_cliques_state(&g, &[a, cand[i]], &cand[i + 1..], 0.6, 3, 5)
+                    })
+                    .sum();
+                assert_eq!(split, whole, "seed {seed} anchor {a}");
             }
         }
     }

@@ -37,7 +37,10 @@ impl Aggregator for SumAgg {
 pub struct TriangleApp;
 
 impl App for TriangleApp {
-    type Context = ();
+    /// Empty for a root task (its candidate set *is* the pulled set);
+    /// a split chunk instead carries the root's full `Γ_>(v)` here and
+    /// pulls only its own slice of rows.
+    type Context = Vec<VertexId>;
     type Agg = SumAgg;
 
     fn make_aggregator(&self) -> SumAgg {
@@ -52,7 +55,7 @@ impl App for TriangleApp {
         if adj.degree() < 2 {
             return; // a triangle needs two larger neighbors
         }
-        let mut t = Task::new(());
+        let mut t = Task::new(Vec::new());
         for u in adj.iter() {
             t.pull(u);
         }
@@ -61,15 +64,43 @@ impl App for TriangleApp {
 
     fn compute(
         &self,
-        _task: &mut Task<()>,
+        task: &mut Task<Vec<VertexId>>,
         frontier: &Frontier,
         env: &mut ComputeEnv<'_, Self>,
     ) -> bool {
-        // Γ_>(v) is exactly the pulled set, in ascending pull order.
-        let gv: Vec<VertexId> = frontier.vertex_ids().collect();
-        debug_assert!(gv.windows(2).all(|w| w[0] < w[1]));
+        let root = task.context.is_empty();
+        // Γ_>(v): for a root task it is exactly the pulled set, in
+        // ascending pull order; a chunk re-reads it from its context.
+        let gv: Vec<VertexId> =
+            if root { frontier.vertex_ids().collect() } else { task.context.clone() };
+        debug_assert!(!root || gv.windows(2).all(|w| w[0] < w[1]));
+        // Straggler splitting: under a compute budget a high-degree
+        // root keeps only its first `budget` adjacency rows and spins
+        // the rest off as fresh subtasks of `budget` rows each — every
+        // chunk re-pulls its own rows, so a stolen chunk resolves them
+        // wherever it lands.
+        let mut take = gv.len();
+        if root {
+            if let Some(budget) = env.compute_budget() {
+                let budget = (budget as usize).max(1);
+                if gv.len() > budget {
+                    let chunks = gv[budget..].chunks(budget);
+                    let mut spawned = 0u64;
+                    for chunk in chunks {
+                        let mut sub = Task::new(gv.clone());
+                        for &u in chunk {
+                            sub.pull(u);
+                        }
+                        env.add_task(sub);
+                        spawned += 1;
+                    }
+                    env.note_split(spawned);
+                    take = budget;
+                }
+            }
+        }
         let mut count = 0u64;
-        for (_, adj) in frontier.iter() {
+        for (_, adj) in frontier.iter().take(take) {
             count += adj.intersection_count(&gv) as u64;
         }
         if count > 0 {
@@ -103,6 +134,20 @@ mod tests {
         let g = gen::barabasi_albert(600, 5, 3);
         let expected = count_triangles(&g);
         assert_eq!(run(&g, &JobConfig::cluster(4, 2)), expected);
+    }
+
+    #[test]
+    fn compute_budget_chunking_gives_same_count() {
+        let g = gen::barabasi_albert(300, 5, 7);
+        let expected = count_triangles(&g);
+        for budget in [1u64, 2, 7] {
+            let mut cfg = JobConfig::single_machine(2);
+            cfg.compute_budget = Some(budget);
+            let r = run_job(Arc::new(TriangleApp), &g, &cfg).unwrap();
+            assert_eq!(r.global, expected, "budget {budget}");
+            let splits: u64 = r.workers.iter().map(|w| w.split_tasks).sum();
+            assert!(splits > 0, "budget {budget} should have chunked some task");
+        }
     }
 
     #[test]

@@ -58,13 +58,23 @@ pub struct MineOpts {
     pub workers: usize,
     /// Compers per machine.
     pub compers: usize,
+    /// `--steal {on,off}`: cluster-wide work stealing (default on).
+    pub steal: bool,
+    /// `--compute-budget N`: yield long tasks after N extension steps.
+    pub compute_budget: Option<u64>,
     /// Observability exports requested via flags.
     pub metrics: MetricsOpts,
 }
 
 impl Default for MineOpts {
     fn default() -> Self {
-        MineOpts { workers: 1, compers: 4, metrics: MetricsOpts::default() }
+        MineOpts {
+            workers: 1,
+            compers: 4,
+            steal: true,
+            compute_budget: None,
+            metrics: MetricsOpts::default(),
+        }
     }
 }
 
@@ -132,6 +142,19 @@ fn mine_opts(args: &mut Vec<String>) -> Result<MineOpts, CliError> {
     if let Some(c) = take_parsed(args, "--compers")? {
         o.compers = c;
     }
+    if let Some(s) = take_flag(args, "--steal")? {
+        o.steal = match s.as_str() {
+            "on" => true,
+            "off" => false,
+            other => return err(format!("bad value for --steal: {other} (want on or off)")),
+        };
+    }
+    if let Some(b) = take_parsed::<u64>(args, "--compute-budget")? {
+        if b == 0 {
+            return err("--compute-budget must be at least 1");
+        }
+        o.compute_budget = Some(b);
+    }
     o.metrics.metrics_json = take_flag(args, "--metrics-json")?;
     o.metrics.trace_out = take_flag(args, "--trace-out")?;
     o.metrics.tail = take_switch(args, "--tail");
@@ -144,6 +167,8 @@ fn job_config(o: &MineOpts) -> JobConfig {
     } else {
         JobConfig::cluster(o.workers, o.compers)
     };
+    cfg.work_stealing = o.steal;
+    cfg.compute_budget = o.compute_budget;
     if o.metrics.trace_out.is_some() {
         cfg.trace_capacity = TRACE_CAPACITY;
     }
@@ -270,7 +295,14 @@ master is worker 0 and prints the result, each worker prints its own
 byte counters. --connect-timeout SECS (default 30) bounds the
 rendezvous.
 
-mining commands also accept observability flags:
+mining commands (standalone and under master/worker) also accept
+scheduling knobs:
+  --steal {on,off}      cluster-wide work stealing (default on)
+  --compute-budget N    yield a long-running task back to the scheduler
+                        after N extension steps so its remainder can be
+                        split and stolen (default: run to completion)
+
+and observability flags:
   --metrics-json PATH   write counters + latency quantiles as JSON
   --trace-out PATH      write the scheduler/cache event timeline as
                         Chrome trace_event JSON (chrome://tracing, Perfetto)
@@ -753,6 +785,46 @@ mod tests {
         assert!(parse_pattern("star:1").is_err(), "star needs a leaf");
         assert!(parse_pattern("triangle:a,b,c").is_err());
         assert!(parse_pattern("triangle:1,2").is_err());
+    }
+
+    #[test]
+    fn steal_and_budget_flags_validate() {
+        let e = run(args(&["tc", "g.el", "--steal", "sideways"])).unwrap_err();
+        assert!(e.0.contains("--steal"), "{e}");
+        assert!(e.0.contains("on or off"), "{e}");
+        let e = run(args(&["mcf", "g.el", "--steal"])).unwrap_err();
+        assert!(e.0.contains("requires a value"), "{e}");
+        let e = run(args(&["mc", "g.el", "--compute-budget", "0"])).unwrap_err();
+        assert!(e.0.contains("at least 1"), "{e}");
+        let e = run(args(&["tc", "g.el", "--compute-budget", "many"])).unwrap_err();
+        assert!(e.0.contains("bad value for --compute-budget"), "{e}");
+
+        let mut a = args(&["--steal", "off", "--compute-budget", "3", "--workers", "2"]);
+        let o = mine_opts(&mut a).unwrap();
+        assert!(a.is_empty(), "all flags consumed: {a:?}");
+        assert!(!o.steal);
+        assert_eq!(o.compute_budget, Some(3));
+        let cfg = job_config(&o);
+        assert!(!cfg.work_stealing);
+        assert_eq!(cfg.compute_budget, Some(3));
+        // Defaults: stealing on, no budget.
+        let cfg = job_config(&MineOpts::default());
+        assert!(cfg.work_stealing);
+        assert_eq!(cfg.compute_budget, None);
+    }
+
+    #[test]
+    fn steal_and_budget_flags_do_not_change_results() {
+        let el = tmp("g8.el");
+        run(args(&["gen", "gnp", "-n", "60", "-p", "0.2", "--seed", "9", "-o", &el])).unwrap();
+        let g = load_graph(&el).unwrap();
+        let expected = gthinker_apps::serial::triangle::count_triangles(&g);
+        for extra in [&["--steal", "off"][..], &["--compute-budget", "2"][..]] {
+            let mut a = args(&["tc", &el, "--workers", "2", "--compers", "2"]);
+            a.extend(extra.iter().map(|s| s.to_string()));
+            let out = run(a).unwrap();
+            assert!(out.contains(&format!("triangles: {expected}")), "{extra:?}: {out}");
+        }
     }
 
     #[test]

@@ -128,6 +128,8 @@ pub struct ComputeEnv<'a, A: App + ?Sized> {
     pub(crate) agg: &'a LocalAgg<A::Agg>,
     pub(crate) labels: Option<&'a std::sync::Arc<Vec<Label>>>,
     pub(crate) output: Option<&'a crate::output::OutputSink>,
+    pub(crate) budget: Option<u64>,
+    pub(crate) splits: u64,
 }
 
 impl<'a, A: App + ?Sized> ComputeEnv<'a, A> {
@@ -135,8 +137,30 @@ impl<'a, A: App + ?Sized> ComputeEnv<'a, A> {
         agg: &'a LocalAgg<A::Agg>,
         labels: Option<&'a std::sync::Arc<Vec<Label>>>,
         output: Option<&'a crate::output::OutputSink>,
+        budget: Option<u64>,
     ) -> Self {
-        ComputeEnv { new_tasks: Vec::new(), agg, labels, output }
+        ComputeEnv { new_tasks: Vec::new(), agg, labels, output, budget, splits: 0 }
+    }
+
+    /// The job's straggler-splitting budget
+    /// ([`crate::config::JobConfig::compute_budget`]), if any. A UDF
+    /// whose single `compute` call can run long (a deep serial
+    /// search-tree expansion) should treat this as a hint to split its
+    /// remaining work into fresh tasks via [`Self::add_task`] and
+    /// report the fan-out with [`Self::note_split`].
+    pub fn compute_budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Records that this `compute` call split a straggler into `n`
+    /// fresh tasks instead of finishing it serially (feeds the
+    /// `yields`/`split_tasks` counters).
+    pub fn note_split(&mut self, n: u64) {
+        self.splits += n;
+    }
+
+    pub(crate) fn take_splits(&mut self) -> u64 {
+        std::mem::take(&mut self.splits)
     }
 
     /// Streams one output record to this worker's output file

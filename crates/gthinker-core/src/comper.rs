@@ -214,6 +214,7 @@ fn drive_task<A: App>(
     ready: bool,
 ) {
     let mut first_ready = ready;
+    let mut steps: u64 = 0;
     loop {
         let pulls = task.take_pulls();
         let frontier = if pulls.is_empty() {
@@ -287,6 +288,20 @@ fn drive_task<A: App>(
             shared.compers[ctx.idx].hists.e2e.record(now_nanos().saturating_sub(task.born_nanos));
             return;
         }
+        // Straggler splitting: a task that keeps asking to proceed past
+        // the compute budget yields its on-CPU streak — the remaining
+        // subtree goes back through `Q_task` (where siblings or a
+        // remote thief can take it) instead of monopolizing this
+        // comper. Pulls the UDF just issued stay attached to the task
+        // and resolve through the normal non-ready path when it is next
+        // popped, so the yield is invisible to the UDF.
+        steps += 1;
+        if shared.config.compute_budget.is_some_and(|b| steps >= b) {
+            shared.counters.yields.fetch_add(1, Ordering::Relaxed);
+            shared.counters.split_tasks.fetch_add(1, Ordering::Relaxed);
+            enqueue(shared, ctx, task);
+            return;
+        }
     }
 }
 
@@ -307,8 +322,12 @@ fn compute_once<A: App>(
     task: &mut Task<A::Context>,
     frontier: &Frontier,
 ) -> bool {
-    let mut env =
-        ComputeEnv::<A>::new(&shared.agg, shared.labels.as_ref(), shared.output.as_deref());
+    let mut env = ComputeEnv::<A>::new(
+        &shared.agg,
+        shared.labels.as_ref(),
+        shared.output.as_deref(),
+        shared.config.compute_budget,
+    );
     let start = crate::worker::thread_cpu_nanos();
     // A panicking UDF must not strand the job (the worker would never
     // reach quiescence): record it, abort the job, finish the task.
@@ -327,6 +346,11 @@ fn compute_once<A: App>(
     shared.counters.compute_nanos.fetch_add(spent, Ordering::Relaxed);
     shared.counters.compute_calls.fetch_add(1, Ordering::Relaxed);
     shared.compers[ctx.idx].hists.compute.record(spent);
+    let splits = env.take_splits();
+    if splits > 0 {
+        shared.counters.yields.fetch_add(1, Ordering::Relaxed);
+        shared.counters.split_tasks.fetch_add(splits, Ordering::Relaxed);
+    }
     for t in env.take_tasks() {
         enqueue(shared, ctx, t);
     }

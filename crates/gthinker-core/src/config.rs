@@ -70,6 +70,14 @@ pub struct JobConfig {
     /// (as does an armed crash schedule, so a killed worker cannot hang
     /// the job).
     pub heartbeat_timeout: Option<Duration>,
+    /// Straggler splitting: when set, a task's `compute()` loop yields
+    /// after this many extension steps (iterations that asked to
+    /// proceed), re-enqueueing the task's remaining subtree so other
+    /// compers — or remote thieves — can pick it up. UDFs can also read
+    /// the budget via `ComputeEnv::compute_budget` to split their own
+    /// search-tree state into fresh tasks. `None` (the default) never
+    /// preempts a task.
+    pub compute_budget: Option<u64>,
 }
 
 impl Default for JobConfig {
@@ -94,6 +102,7 @@ impl Default for JobConfig {
             fault: FaultConfig::default(),
             checkpoint_interval: None,
             heartbeat_timeout: None,
+            compute_budget: None,
         }
     }
 }
@@ -167,6 +176,20 @@ pub struct WorkerStats {
     /// Vertex pulls re-requested after their R-table deadline expired
     /// (loss tolerance; equals the cache's `retries` counter).
     pub pull_retries: u64,
+    /// Cluster-wide steal batches this worker shipped to a remote thief
+    /// (master-brokered; counted once per sealed batch at the victim).
+    pub remote_steals: u64,
+    /// Tasks moved off this worker by cluster-wide steals.
+    pub remote_stolen_tasks: u64,
+    /// Framed bytes of steal batches sent (resends counted again, since
+    /// they really cross the wire again).
+    pub steal_batch_bytes: u64,
+    /// Times a task voluntarily yielded mid-compute: framework budget
+    /// preemptions plus UDF `note_split` events.
+    pub yields: u64,
+    /// Tasks created by splitting: 1 per framework re-enqueue, `n` per
+    /// UDF split that fanned a straggler into `n` fresh tasks.
+    pub split_tasks: u64,
     /// Data-plane messages the fault-injected wire dropped on this
     /// worker's sends (0 with fault injection off).
     pub net_msgs_dropped: u64,

@@ -574,7 +574,10 @@ pub(crate) fn worker_main<A: App>(
             if !decided {
                 if let Some(dl) = deadline {
                     if Instant::now() >= dl {
-                        m.broadcast_suspend();
+                        // Idempotent: the actual broadcast is deferred
+                        // inside the master until no steal batch is in
+                        // flight anywhere (exactly-once across epochs).
+                        m.request_suspend();
                     }
                 }
             }
@@ -608,6 +611,18 @@ pub(crate) fn worker_main<A: App>(
             tasks.extend(c.pending.drain());
         }
         while let Ok(Some(batch)) = shared.spill.refill::<A::Context>() {
+            tasks.extend(batch);
+        }
+        // Unacked outgoing steal batches still belong to this worker
+        // (the thief has provably not applied them: the master defers
+        // the suspend broadcast until every worker reports zero
+        // in-flight batches, so this ledger is empty on the normal
+        // path — draining it is the ownership invariant's backstop).
+        for (_, o) in shared.steal_outgoing.lock().drain() {
+            let payload = gthinker_net::frame::open(&o.framed).expect("own sealed frame");
+            let batch: Vec<gthinker_task::task::Task<A::Context>> =
+                gthinker_task::codec::from_bytes(payload).expect("own batch encoding");
+            debug_assert_eq!(batch.len() as u64, o.tasks);
             tasks.extend(batch);
         }
         let dir = shared
@@ -704,6 +719,11 @@ pub(crate) fn worker_main<A: App>(
         responder_backlog: shared.counters.responder_backlog.load(Ordering::Relaxed),
         responder_peak_backlog: shared.counters.responder_peak_backlog.load(Ordering::Relaxed),
         pull_retries: shared.counters.pull_retries.load(Ordering::Relaxed),
+        remote_steals: shared.counters.remote_steals.load(Ordering::Relaxed),
+        remote_stolen_tasks: shared.counters.remote_stolen_tasks.load(Ordering::Relaxed),
+        steal_batch_bytes: shared.counters.steal_batch_bytes.load(Ordering::Relaxed),
+        yields: shared.counters.yields.load(Ordering::Relaxed),
+        split_tasks: shared.counters.split_tasks.load(Ordering::Relaxed),
         net_msgs_dropped: shared.net.fault_stats().map_or(0, |f| f.dropped.load(Ordering::Relaxed)),
         net_msgs_duplicated: shared
             .net

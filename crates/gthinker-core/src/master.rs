@@ -23,20 +23,46 @@ const QUIESCENT_ROUNDS: u32 = 3;
 /// bothers stealing from it.
 const STEAL_MIN_REMAINING: u64 = 2;
 
+/// Imbalance hysteresis: the master brokers a steal only when the
+/// victim's remaining estimate is at least this many times the thief's
+/// (floored at one task batch). Prevents batches ping-ponging between
+/// near-balanced workers.
+const STEAL_IMBALANCE: u64 = 2;
+
+/// Upper bound on tasks per brokered batch, in task-batch (`C`) units.
+const STEAL_MAX_BATCHES: u64 = 4;
+
+/// Master-side retry: ticks before an unfinished brokering is
+/// abandoned and re-planned. Safe to drop early — any batch already in
+/// flight is still owned (and resent) by its victim, whose quiescence
+/// predicate accounts for it, so abandoning the bookkeeping can
+/// neither lose work nor unblock termination.
+const STEAL_RETRY_TICKS: u32 = 150;
+
 #[derive(Clone, Copy, Default)]
 struct Report {
     remaining: u64,
     quiescent: bool,
     seen: bool,
+    /// Compers the worker reported parked with nothing reachable.
+    idle_compers: u16,
+    /// Steal batches the worker has sealed but not yet seen acked.
+    steal_inflight: u32,
+    /// Report arrived after `request_suspend` (the suspend broadcast
+    /// gates on a post-request report from every worker showing
+    /// `steal_inflight == 0`).
+    fresh: bool,
 }
 
-/// Outstanding steal-plan bookkeeping. At most one plan is in flight at
-/// a time; termination is blocked while one is.
+/// Outstanding steal-brokering bookkeeping. At most one is in flight
+/// at a time; termination is blocked while one is.
 struct StealPlanState {
     /// `Some(sent)` once the victim reported execution.
     executed: Option<u32>,
     /// Receipt acks from the thief so far.
     acked: u32,
+    /// Master ticks since the request went out (retry timeout).
+    ticks: u32,
 }
 
 impl StealPlanState {
@@ -57,6 +83,12 @@ pub(crate) struct MasterState<A: App> {
     finals_seen: Vec<bool>,
     suspend_done: usize,
     suspend_seen: Vec<bool>,
+    /// Set by [`MasterState::request_suspend`]; the actual broadcast is
+    /// deferred until no brokering is in flight and every worker's
+    /// post-request progress report shows zero unacked steal batches —
+    /// otherwise a batch could land in both the victim's checkpoint and
+    /// the thief's, double-running its tasks after resume.
+    suspend_pending: bool,
     terminated: bool,
     /// Failure-detection window; `None` disables detection (a job with
     /// no fault injection never pays for it).
@@ -86,6 +118,7 @@ impl<A: App> MasterState<A> {
             finals_seen: vec![false; n],
             suspend_done: 0,
             suspend_seen: vec![false; n],
+            suspend_pending: false,
             terminated: false,
             heartbeat,
             last_seen: vec![Instant::now(); n],
@@ -109,6 +142,10 @@ impl<A: App> MasterState<A> {
         self.broadcast_global();
         if self.terminated {
             return true;
+        }
+        if self.suspend_pending {
+            self.try_broadcast_suspend();
+            return self.terminated;
         }
         self.plan_stealing();
         self.check_termination()
@@ -143,8 +180,15 @@ impl<A: App> MasterState<A> {
 
     fn absorb(&mut self, msg: Message) {
         match msg {
-            Message::Progress { worker, remaining, idle } => {
-                self.reports[worker.index()] = Report { remaining, quiescent: idle, seen: true };
+            Message::Progress { worker, remaining, idle, idle_compers, steal_inflight } => {
+                self.reports[worker.index()] = Report {
+                    remaining,
+                    quiescent: idle,
+                    seen: true,
+                    idle_compers,
+                    steal_inflight,
+                    fresh: true,
+                };
                 self.last_seen[worker.index()] = Instant::now();
             }
             Message::AggregatorSync { worker, payload, is_final } => {
@@ -191,41 +235,65 @@ impl<A: App> MasterState<A> {
         }
     }
 
-    /// Picks one (victim, thief) pair when a worker is starving and
-    /// another still has work. One plan in flight at a time.
+    /// Picks one (victim, thief) pair when the ready-queue depth and
+    /// idle-comper reports show a clear imbalance, and brokers a steal
+    /// by sending the victim a [`Message::StealRequest`]. One brokering
+    /// in flight at a time; a stuck one is abandoned (and later
+    /// re-planned) after [`STEAL_RETRY_TICKS`].
     fn plan_stealing(&mut self) {
-        if !self.shared.config.work_stealing || self.plan.is_some() {
+        if !self.shared.config.work_stealing {
             return;
         }
-        let thief =
-            self.reports.iter().enumerate().find(|(_, r)| r.seen && r.quiescent).map(|(w, _)| w);
+        if let Some(plan) = &mut self.plan {
+            plan.ticks += 1;
+            if plan.ticks < STEAL_RETRY_TICKS {
+                return;
+            }
+            self.plan = None; // timed out — re-broker below
+        }
+        // Thief: the most starved worker — fully quiescent beats
+        // partially idle, more parked compers beats fewer.
+        let thief = self
+            .reports
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.seen && (r.quiescent || r.idle_compers > 0))
+            .max_by_key(|(_, r)| (r.quiescent, r.idle_compers))
+            .map(|(w, _)| w);
+        let batch = self.shared.config.task_batch as u64;
         let victim = self
             .reports
             .iter()
             .enumerate()
             .filter(|(_, r)| r.seen)
             .max_by_key(|(_, r)| r.remaining)
-            .filter(|(_, r)| {
-                r.remaining >= STEAL_MIN_REMAINING * self.shared.config.task_batch as u64
-            })
-            .map(|(w, _)| w);
-        if let (Some(thief), Some(victim)) = (thief, victim) {
-            if thief != victim {
-                let batches = 1u32;
-                self.plan = Some(StealPlanState { executed: None, acked: 0 });
-                self.shared.net.send(
-                    WorkerId(victim as u16),
-                    Message::StealPlan {
-                        victim: WorkerId(victim as u16),
-                        thief: WorkerId(thief as u16),
-                        batches,
-                    },
-                );
-                // A stolen batch makes the thief non-quiescent; clear the
-                // stale flags until fresh reports arrive.
-                self.reports[thief].quiescent = false;
-                self.quiescent_rounds = 0;
+            .filter(|(_, r)| r.remaining >= STEAL_MIN_REMAINING * batch)
+            .map(|(w, r)| (w, r.remaining));
+        if let (Some(thief), Some((victim, remaining))) = (thief, victim) {
+            if thief == victim {
+                return;
             }
+            // Hysteresis: act only when the victim holds a multiple of
+            // the thief's load. A fully-quiescent thief reduces this to
+            // the old `STEAL_MIN_REMAINING` threshold.
+            if remaining < STEAL_IMBALANCE * self.reports[thief].remaining.max(batch) {
+                return;
+            }
+            let max_tasks = (remaining / 2).clamp(1, STEAL_MAX_BATCHES * batch) as u32;
+            self.plan = Some(StealPlanState { executed: None, acked: 0, ticks: 0 });
+            self.shared.net.send(
+                WorkerId(victim as u16),
+                Message::StealRequest {
+                    victim: WorkerId(victim as u16),
+                    thief: WorkerId(thief as u16),
+                    max_tasks,
+                },
+            );
+            // A stolen batch makes the thief non-quiescent; clear the
+            // stale flags until fresh reports arrive.
+            self.reports[thief].quiescent = false;
+            self.reports[thief].idle_compers = 0;
+            self.quiescent_rounds = 0;
         }
     }
 
@@ -249,8 +317,33 @@ impl<A: App> MasterState<A> {
         false
     }
 
-    /// Broadcasts the suspend signal (fault-tolerance path).
-    pub fn broadcast_suspend(&mut self) {
+    /// Requests a suspend (fault-tolerance path). Idempotent; the
+    /// broadcast itself is deferred by [`MasterState::tick`] until the
+    /// steal protocol holds no task in flight, so a checkpoint can
+    /// never capture a batch on both its victim and its thief.
+    pub fn request_suspend(&mut self) {
+        if self.suspend_pending || self.terminated {
+            return;
+        }
+        self.suspend_pending = true;
+        // Only reports that arrive from here on prove the in-flight
+        // count drained *after* brokering stopped.
+        for r in &mut self.reports {
+            r.fresh = false;
+        }
+    }
+
+    /// Broadcasts the deferred suspend once it is provably safe: no
+    /// brokering outstanding, and every worker's post-request progress
+    /// report shows zero sealed-but-unacked steal batches. In-flight
+    /// counts only drain while the request is pending (no new plans are
+    /// issued), so this fires within a few sync rounds.
+    fn try_broadcast_suspend(&mut self) {
+        let ready =
+            self.plan.is_none() && self.reports.iter().all(|r| r.fresh && r.steal_inflight == 0);
+        if !ready {
+            return;
+        }
         self.terminated = true;
         self.shared.net.broadcast(&Message::Suspend);
         self.shared.suspend.store(true, std::sync::atomic::Ordering::SeqCst);

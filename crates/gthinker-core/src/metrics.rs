@@ -60,6 +60,11 @@ fn snapshot_worker<A: App>(w: &WorkerShared<A>, with_events: bool) -> WorkerMetr
         idle_nanos: c.idle_nanos.load(Ordering::Relaxed),
         steals: c.steals.load(Ordering::Relaxed),
         stolen_tasks: c.stolen_tasks.load(Ordering::Relaxed),
+        remote_steals: c.remote_steals.load(Ordering::Relaxed),
+        remote_stolen_tasks: c.remote_stolen_tasks.load(Ordering::Relaxed),
+        steal_batch_bytes: c.steal_batch_bytes.load(Ordering::Relaxed),
+        yields: c.yields.load(Ordering::Relaxed),
+        split_tasks: c.split_tasks.load(Ordering::Relaxed),
         parks: c.parks.load(Ordering::Relaxed),
         wakeups: c.wakeups.load(Ordering::Relaxed),
         responses_served: c.responses_served.load(Ordering::Relaxed),
@@ -102,6 +107,19 @@ pub struct WorkerMetricsSnapshot {
     pub steals: u64,
     /// Tasks moved by those steals.
     pub stolen_tasks: u64,
+    /// Cluster-wide steal batches this worker shipped to remote
+    /// thieves (master-brokered).
+    pub remote_steals: u64,
+    /// Tasks moved off this worker by those batches.
+    pub remote_stolen_tasks: u64,
+    /// Framed bytes of steal batches sent, resends included.
+    pub steal_batch_bytes: u64,
+    /// Mid-compute yields: framework budget preemptions plus UDF
+    /// `note_split` events.
+    pub yields: u64,
+    /// Tasks created by straggler splitting (framework re-enqueues +
+    /// UDF-reported fan-outs).
+    pub split_tasks: u64,
     /// Times a comper parked on the scheduler event count.
     pub parks: u64,
     /// Parks that ended in an event wakeup (not the fallback timeout).
@@ -219,6 +237,9 @@ impl MetricsSnapshot {
                  \"tasks_finished\": {},\n      \"compute_calls\": {},\n      \
                  \"compute_ms\": {:.3},\n      \"idle_ms\": {:.3},\n      \
                  \"steals\": {},\n      \"stolen_tasks\": {},\n      \
+                 \"remote_steals\": {},\n      \"remote_stolen_tasks\": {},\n      \
+                 \"steal_batch_bytes\": {},\n      \"yields\": {},\n      \
+                 \"split_tasks\": {},\n      \
                  \"parks\": {},\n      \"wakeups\": {},\n      \
                  \"responses_served\": {},\n      \"responder_backlog\": {},\n      \
                  \"responder_peak_backlog\": {},\n      \"pull_retries\": {},\n      \
@@ -237,6 +258,11 @@ impl MetricsSnapshot {
                 w.idle_nanos as f64 / 1e6,
                 w.steals,
                 w.stolen_tasks,
+                w.remote_steals,
+                w.remote_stolen_tasks,
+                w.steal_batch_bytes,
+                w.yields,
+                w.split_tasks,
                 w.parks,
                 w.wakeups,
                 w.responses_served,
@@ -381,6 +407,20 @@ impl MetricsSnapshot {
                 );
             }
         }
+        let (rs, rt, rb, yl, sp) = self.workers.iter().fold((0, 0, 0, 0, 0), |a, w| {
+            (
+                a.0 + w.remote_steals,
+                a.1 + w.remote_stolen_tasks,
+                a.2 + w.steal_batch_bytes,
+                a.3 + w.yields,
+                a.4 + w.split_tasks,
+            )
+        });
+        let _ = writeln!(
+            s,
+            "cluster stealing: {rs} batches / {rt} tasks / {rb} bytes shipped; \
+             {yl} yields split {sp} straggler tasks",
+        );
         s
     }
 }

@@ -31,9 +31,10 @@ use gthinker_task::queue::SharedTaskQueue;
 use gthinker_task::spill::SpillManager;
 use gthinker_task::task::Task;
 use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Rough fixed overhead per in-memory task, on top of its subgraph.
 const TASK_OVERHEAD_BYTES: usize = 128;
@@ -117,6 +118,41 @@ pub(crate) struct WorkerCounters {
     /// Vertex pulls re-sent after their R-table deadline expired (the
     /// loss-tolerance retry path in `worker_tick`).
     pub pull_retries: AtomicU64,
+    /// Steal batches this worker shipped to other workers (victim
+    /// side of the master-brokered cluster stealing protocol).
+    pub remote_steals: AtomicU64,
+    /// Tasks inside those shipped batches.
+    pub remote_stolen_tasks: AtomicU64,
+    /// Framed steal-batch bytes put on the wire, including resends of
+    /// unacked batches.
+    pub steal_batch_bytes: AtomicU64,
+    /// Times a task gave up its comper before finishing because it
+    /// exhausted the compute budget — framework-level re-enqueues in
+    /// `drive_task` plus UDF-reported splits (`ComputeEnv::note_split`).
+    pub yields: AtomicU64,
+    /// Continuation tasks those yields produced (1 for a framework
+    /// re-enqueue, `n` for a UDF split into `n` subtasks).
+    pub split_tasks: AtomicU64,
+}
+
+/// One sealed, unacknowledged steal batch retained by the victim.
+///
+/// Ownership of the tasks inside stays with this worker until the
+/// thief's [`Message::StealAck`] arrives: the resend path in
+/// [`worker_tick`] re-sends the identical frame after `deadline`, and
+/// the thief's per-`(victim, seq)` dedup makes redelivery idempotent.
+/// Ownership therefore *overlaps* (thief spilled, victim not yet
+/// acked) but never gaps — the invariant the extended quiescence
+/// argument in DESIGN.md §12 rests on.
+pub(crate) struct OutgoingSteal {
+    /// Destination worker.
+    pub thief: WorkerId,
+    /// The exact framed payload; resends are byte-identical.
+    pub framed: Vec<u8>,
+    /// Tasks inside (checkpoint bookkeeping).
+    pub tasks: u64,
+    /// Next resend time.
+    pub deadline: Instant,
 }
 
 /// Everything one worker's threads share.
@@ -174,6 +210,21 @@ pub(crate) struct WorkerShared<A: App> {
     pub failure: Mutex<Option<String>>,
     /// Where compers park their residual `Q_task` contents at suspend.
     pub drained_queues: Mutex<Vec<Task<A::Context>>>,
+    /// Victim-side ledger of sealed-but-unacked steal batches, keyed
+    /// by sequence number. Entries are retained (and periodically
+    /// resent by `worker_tick`) until the thief's `StealAck`.
+    pub steal_outgoing: Mutex<HashMap<u64, OutgoingSteal>>,
+    /// Mirror of `steal_outgoing`'s size, incremented *before* tasks
+    /// leave a local source for a batch under assembly — part of the
+    /// quiescence predicate, so in-flight steal batches count as
+    /// outstanding work.
+    pub steal_inflight: AtomicU64,
+    /// Next outgoing steal-batch sequence number.
+    pub steal_seq: AtomicU64,
+    /// Thief-side dedup ledger: per victim, every sequence number
+    /// already applied to the local `L_file`. A duplicated or resent
+    /// batch is re-acked but never re-applied.
+    pub steal_applied: Mutex<HashMap<WorkerId, HashSet<u64>>>,
     /// Replicated label table for labeled graphs (see
     /// [`crate::api::ComputeEnv::label_of`]); `None` when unlabeled.
     pub labels: Option<Arc<Vec<gthinker_graph::ids::Label>>>,
@@ -228,6 +279,10 @@ impl<A: App> WorkerShared<A> {
             counters: WorkerCounters::default(),
             failure: Mutex::new(None),
             drained_queues: Mutex::new(Vec::new()),
+            steal_outgoing: Mutex::new(HashMap::new()),
+            steal_inflight: AtomicU64::new(0),
+            steal_seq: AtomicU64::new(0),
+            steal_applied: Mutex::new(HashMap::new()),
             labels,
             output,
             metrics,
@@ -291,8 +346,17 @@ impl<A: App> WorkerShared<A> {
     ///   busy, and observing `busy == false` (a `SeqCst` store by the
     ///   comper after its last queue update) makes all prior relaxed
     ///   stores — including the length mirror — visible.
+    /// * `steal_inflight` is read `Acquire` and incremented `SeqCst`
+    ///   *before* a steal batch's tasks leave any local source
+    ///   (`execute_steal_request`), so tasks under assembly or awaiting
+    ///   the thief's ack always count as outstanding work somewhere:
+    ///   the victim stays non-quiescent until the ack, and by then the
+    ///   thief has durably spilled the batch (it acks only after
+    ///   `push_file_bytes`), making its own `spill.is_empty()` false.
+    ///   Ownership overlaps; it never gaps.
     pub fn quiescent(&self) -> bool {
         self.outstanding_pulls.load(Ordering::Acquire) == 0
+            && self.steal_inflight.load(Ordering::Acquire) == 0
             && self.local.unspawned() == 0
             && self.spill.is_empty()
             && self.batcher.pending() == 0
@@ -499,22 +563,45 @@ fn handle_message<A: App>(
                 shared.gc_events.notify_all();
             }
         }
-        Message::StealPlan { victim, thief, batches } => {
-            debug_assert_eq!(victim, shared.me, "plan routed to the wrong worker");
-            execute_steal_plan(shared, thief, batches);
+        Message::StealRequest { victim, thief, max_tasks } => {
+            debug_assert_eq!(victim, shared.me, "steal request routed to the wrong worker");
+            execute_steal_request(shared, thief, max_tasks);
         }
-        Message::StealBatch { bytes } => {
-            // Steal batches cross a trust boundary (another process on
-            // the tcp backend), so they travel sealed; a version or CRC
-            // mismatch must fail loudly, not deserialize garbage tasks.
-            let batch = match frame::open(&bytes) {
-                Ok(payload) => payload.to_vec(),
-                Err(e) => panic!("rejecting steal batch from a mismatched peer: {e}"),
-            };
-            shared.spill.push_file_bytes(batch).expect("spill dir writable");
-            // A new spill file is a refill source every comper checks.
-            shared.sched_events.notify_all();
-            shared.net.send(WorkerId(0), Message::StealDone);
+        Message::StealBatch { victim, seq, bytes } => {
+            // Dedup before anything else: the data plane may duplicate
+            // the frame, or deliver the victim's resend after the
+            // original. Applying a sequence number twice would
+            // double-run every task inside.
+            let fresh = shared.steal_applied.lock().entry(victim).or_default().insert(seq);
+            if fresh {
+                // Steal batches cross a trust boundary (another process
+                // on the tcp backend), so they travel sealed; a version
+                // or CRC mismatch must fail loudly, not deserialize
+                // garbage tasks.
+                let batch = match frame::open(&bytes) {
+                    Ok(payload) => payload.to_vec(),
+                    Err(e) => panic!("rejecting steal batch from a mismatched peer: {e}"),
+                };
+                // Durably append to `L_file` BEFORE acking: from the
+                // victim's drain to this ack, some worker always owns
+                // the tasks (overlap, never a gap).
+                shared.spill.push_file_bytes(batch).expect("spill dir writable");
+                // A new spill file is a refill source every comper
+                // checks.
+                shared.sched_events.notify_all();
+                shared.net.send(WorkerId(0), Message::StealDone);
+            }
+            // (Re-)ack even for duplicates: the earlier ack may have
+            // crossed a resend on the wire, and the victim keeps
+            // resending until one lands.
+            shared.net.send(victim, Message::StealAck { seq });
+        }
+        Message::StealAck { seq } => {
+            // The thief holds the batch durably; drop the retained
+            // copy. A second ack for the same seq finds nothing.
+            if shared.steal_outgoing.lock().remove(&seq).is_some() {
+                shared.steal_inflight.fetch_sub(1, Ordering::Release);
+            }
         }
         Message::AggregatorGlobal { payload } => match gthinker_task::codec::from_bytes(&payload) {
             Ok(global) => shared.agg.set_global(global),
@@ -539,48 +626,119 @@ fn handle_message<A: App>(
     }
 }
 
-/// Victim-side execution of a steal plan: ship up to `batches` task
-/// batches to `thief`. Prefers already-spilled batches; otherwise
-/// spawns fresh tasks from unspawned local vertices (the paper: stolen
-/// tasks "could be spawned from their local vertex table").
-fn execute_steal_plan<A: App>(shared: &Arc<WorkerShared<A>>, thief: WorkerId, batches: u32) {
-    let mut sent = 0u32;
-    for _ in 0..batches {
-        if let Some(bytes) = shared.spill.pop_file_bytes().expect("spill dir readable") {
-            shared.net.send(thief, Message::StealBatch { bytes: frame::seal(&bytes) });
-            sent += 1;
-            continue;
-        }
-        // Spawn a batch directly for the thief.
-        let verts: Vec<VertexId> =
-            shared.local.claim_spawn_batch(shared.config.task_batch).to_vec();
-        if verts.is_empty() {
-            break;
-        }
-        let batch: Vec<_> = verts
-            .into_iter()
-            .map(|v| {
-                let adj = shared.local.get(v).expect("claimed vertex is local");
-                (v, adj, shared.local.label(v))
-            })
-            .collect();
-        let mut env = SpawnEnv::<A>::new(&shared.agg, None);
-        if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            shared.app.task_spawn_batch(&batch, &mut env)
-        })) {
-            shared.record_failure(payload);
-            shared.done.store(true, std::sync::atomic::Ordering::SeqCst);
-            shared.wake_all();
-            break;
-        }
-        let tasks: Vec<Task<A::Context>> = env.take_tasks();
-        if tasks.is_empty() {
-            continue; // all pruned at spawn; try again next round
-        }
-        shared.net.send(thief, Message::StealBatch { bytes: frame::seal(&to_bytes(&tasks)) });
-        sent += 1;
+/// How long a victim waits for a [`Message::StealAck`] before
+/// resending the retained frame. Reuses the pull-retry deadline: both
+/// recover the same class of data-plane loss on the same wire.
+fn steal_resend_after(config: &JobConfig) -> Duration {
+    config.cache.pull_timeout
+}
+
+/// Task count of an encoded `Vec<Task<C>>` payload (u64 LE prefix).
+fn batch_task_count(bytes: &[u8]) -> u64 {
+    bytes.get(..8).map_or(0, |b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+}
+
+/// Victim-side execution of a master-brokered steal: seal up to
+/// `max_tasks` tasks into one `StealBatch` addressed to `thief`,
+/// retaining the framed bytes in the outgoing ledger until the thief
+/// acknowledges (see [`OutgoingSteal`]). Sources in priority order:
+/// an already-spilled batch file (zero serialization), then the newest
+/// half of the largest live comper `Q_task` (the straggler drain the
+/// cluster stealing exists for), then fresh tasks spawned from
+/// unspawned local vertices (the paper: stolen tasks "could be spawned
+/// from their local vertex table").
+fn execute_steal_request<A: App>(shared: &Arc<WorkerShared<A>>, thief: WorkerId, max_tasks: u32) {
+    // Cover the assembly window: from the moment tasks leave a local
+    // source until the sealed batch sits in the ledger, this counter
+    // keeps the worker non-quiescent (`WorkerShared::quiescent`).
+    shared.steal_inflight.fetch_add(1, Ordering::SeqCst);
+    let Some((bytes, count)) = steal_payload(shared, (max_tasks as usize).max(1)) else {
+        shared.steal_inflight.fetch_sub(1, Ordering::Release);
+        shared.net.send(WorkerId(0), Message::StealExecuted { sent: 0 });
+        return;
+    };
+    let seq = shared.steal_seq.fetch_add(1, Ordering::Relaxed);
+    let framed = frame::seal(&bytes);
+    shared.counters.remote_steals.fetch_add(1, Ordering::Relaxed);
+    shared.counters.remote_stolen_tasks.fetch_add(count, Ordering::Relaxed);
+    shared.counters.steal_batch_bytes.fetch_add(framed.len() as u64, Ordering::Relaxed);
+    shared.steal_outgoing.lock().insert(
+        seq,
+        OutgoingSteal {
+            thief,
+            framed: framed.clone(),
+            tasks: count,
+            deadline: Instant::now() + steal_resend_after(&shared.config),
+        },
+    );
+    shared.net.send(thief, Message::StealBatch { victim: shared.me, seq, bytes: framed });
+    shared.net.send(WorkerId(0), Message::StealExecuted { sent: 1 });
+}
+
+/// Picks the payload for one steal batch: raw spill-format bytes
+/// (`Vec<Task>` encoding) plus the task count inside. `None` when the
+/// victim has nothing transferable.
+fn steal_payload<A: App>(
+    shared: &Arc<WorkerShared<A>>,
+    max_tasks: usize,
+) -> Option<(Vec<u8>, u64)> {
+    // (1) An already-spilled batch ships as-is.
+    if let Some(bytes) = shared.spill.pop_file_bytes().expect("spill dir readable") {
+        let count = batch_task_count(&bytes);
+        return Some((bytes, count));
     }
-    shared.net.send(WorkerId(0), Message::StealExecuted { sent });
+    // (2) Drain the newest half of the largest live Q_task. The tasks
+    // were counted into `task_mem` when enqueued; shipping them off
+    // the machine releases that estimate.
+    let largest = shared
+        .compers
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, c)| c.queue.len())
+        .filter(|(_, c)| c.queue.len() >= 2)
+        .map(|(j, _)| j);
+    if let Some(j) = largest {
+        if let Some(mut tasks) = shared.compers[j].queue.steal_half(2) {
+            if tasks.len() > max_tasks {
+                // Keep the newest `max_tasks`; return the rest.
+                let keep = tasks.split_off(tasks.len() - max_tasks);
+                shared.compers[j].queue.push_batch(tasks);
+                tasks = keep;
+            }
+            for t in &tasks {
+                shared.task_mem.fetch_sub(task_cost(t), Ordering::Relaxed);
+            }
+            let count = tasks.len() as u64;
+            return Some((to_bytes(&tasks), count));
+        }
+    }
+    // (3) Spawn a batch directly for the thief.
+    let verts: Vec<VertexId> = shared.local.claim_spawn_batch(shared.config.task_batch).to_vec();
+    if verts.is_empty() {
+        return None;
+    }
+    let batch: Vec<_> = verts
+        .into_iter()
+        .map(|v| {
+            let adj = shared.local.get(v).expect("claimed vertex is local");
+            (v, adj, shared.local.label(v))
+        })
+        .collect();
+    let mut env = SpawnEnv::<A>::new(&shared.agg, None);
+    if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        shared.app.task_spawn_batch(&batch, &mut env)
+    })) {
+        shared.record_failure(payload);
+        shared.done.store(true, std::sync::atomic::Ordering::SeqCst);
+        shared.wake_all();
+        return None;
+    }
+    let tasks: Vec<Task<A::Context>> = env.take_tasks();
+    if tasks.is_empty() {
+        return None; // all pruned at spawn
+    }
+    let count = tasks.len() as u64;
+    Some((to_bytes(&tasks), count))
 }
 
 /// The GC thread: runs lazy eviction passes until the worker stops.
@@ -639,6 +797,31 @@ pub(crate) fn worker_tick<A: App>(shared: &Arc<WorkerShared<A>>, master: WorkerI
         }
         shared.batcher.flush_all(&*shared.net);
     }
+    // Steal-batch loss tolerance: resend retained frames whose ack
+    // deadline passed. Resends are byte-identical and the thief dedups
+    // by sequence number, so redelivery is idempotent; collect under
+    // the lock, send outside it (a TCP send may block).
+    let resends: Vec<(WorkerId, u64, Vec<u8>)> = {
+        let mut outgoing = shared.steal_outgoing.lock();
+        if outgoing.is_empty() {
+            Vec::new()
+        } else {
+            let now = Instant::now();
+            let backoff = steal_resend_after(&shared.config);
+            outgoing
+                .iter_mut()
+                .filter(|(_, o)| now >= o.deadline)
+                .map(|(seq, o)| {
+                    o.deadline = now + backoff;
+                    (o.thief, *seq, o.framed.clone())
+                })
+                .collect()
+        }
+    };
+    for (thief, seq, framed) in resends {
+        shared.counters.steal_batch_bytes.fetch_add(framed.len() as u64, Ordering::Relaxed);
+        shared.net.send(thief, Message::StealBatch { victim: shared.me, seq, bytes: framed });
+    }
     shared.sample_memory();
     let partial = shared.agg.take_partial();
     shared.net.send(
@@ -646,9 +829,23 @@ pub(crate) fn worker_tick<A: App>(shared: &Arc<WorkerShared<A>>, master: WorkerI
         Message::AggregatorSync { worker: shared.me, payload: to_bytes(&partial), is_final: false },
     );
     let idle = shared.quiescent();
+    // Idle compers (parked with nothing reachable) feed the master's
+    // thief selection; the in-flight count gates its suspend broadcast.
+    let idle_compers = shared
+        .compers
+        .iter()
+        .filter(|c| !c.busy.load(Ordering::Relaxed) && c.queue.is_empty() && c.buffer.is_empty())
+        .count() as u16;
     shared.net.send(
         master,
-        Message::Progress { worker: shared.me, remaining: shared.remaining_estimate(), idle },
+        Message::Progress {
+            worker: shared.me,
+            remaining: shared.remaining_estimate(),
+            idle,
+            idle_compers,
+            steal_inflight: shared.steal_inflight.load(Ordering::Relaxed).min(u32::MAX as u64)
+                as u32,
+        },
     );
     idle
 }

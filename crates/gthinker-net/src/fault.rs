@@ -18,11 +18,12 @@
 //! simulated crash needs the router's god's-eye view of every inbox,
 //! so the TCP backend rejects them.
 //!
-//! Only the data plane is faulted. Control messages (progress reports,
-//! steal plans, aggregator syncs, terminate/suspend) and steal batches
-//! model TCP-backed channels that either deliver or fail the whole
-//! worker: dropping a `StealBatch` would silently lose tasks, which no
-//! retry protocol below the task layer can recover.
+//! Only the data plane is faulted: vertex pulls (recovered by the
+//! R-table deadline retries) and steal batches (recovered by the
+//! victim's retained-copy resend plus the thief's sequence-number
+//! dedup). Control messages (progress reports, steal requests/acks,
+//! aggregator syncs, terminate/suspend) model TCP-backed channels that
+//! either deliver or fail the whole worker.
 
 use gthinker_graph::ids::WorkerId;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

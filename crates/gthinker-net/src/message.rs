@@ -41,8 +41,16 @@ pub enum Message {
     },
     /// A batch of serialized tasks moved by the work stealer (a sealed
     /// frame around raw spill-file bytes; the thief validates the frame
-    /// and appends the payload to its `L_file`).
+    /// and appends the payload to its `L_file`). Travels on the data
+    /// plane: the fault model may drop, duplicate or reorder it, so the
+    /// `(victim, seq)` pair makes delivery idempotent — the victim
+    /// resends until the thief's [`Message::StealAck`], and the thief
+    /// applies each sequence number at most once.
     StealBatch {
+        /// Worker that gave up the tasks (dedup namespace for `seq`).
+        victim: WorkerId,
+        /// Victim-local monotone sequence number of this batch.
+        seq: u64,
         /// Framed task batch (`frame::seal` around the spill bytes).
         bytes: Vec<u8>,
     },
@@ -55,25 +63,38 @@ pub enum Message {
         remaining: u64,
         /// True when the worker's compers are starving.
         idle: bool,
+        /// Number of compers currently parked with empty queues.
+        idle_compers: u16,
+        /// Steal batches this worker has sealed but not yet seen acked
+        /// (outstanding ownership transfers; nonzero blocks suspend).
+        steal_inflight: u32,
     },
-    /// The master instructs `victim` to send `batches` task batches to
+    /// The master instructs `victim` to send up to `max_tasks` tasks to
     /// `thief`.
-    StealPlan {
+    StealRequest {
         /// Worker that must give up tasks.
         victim: WorkerId,
         /// Worker that receives them.
         thief: WorkerId,
-        /// Number of batch files to transfer.
-        batches: u32,
+        /// Upper bound on the number of tasks to transfer.
+        max_tasks: u32,
     },
     /// The victim's report of how many batches it actually shipped for
-    /// the current steal plan (may be less than planned if it ran dry).
+    /// the current steal request (may be zero if it ran dry).
     StealExecuted {
         /// Batches actually sent to the thief.
         sent: u32,
     },
     /// The thief's per-batch receipt acknowledgement to the master.
     StealDone,
+    /// The thief's receipt acknowledgement to the **victim** for one
+    /// steal batch: the thief has durably appended the batch to its
+    /// `L_file`, so the victim may drop its retained copy. Control
+    /// plane (reliable) — only the batch itself needs the resend path.
+    StealAck {
+        /// The acknowledged batch's sequence number.
+        seq: u64,
+    },
     /// Opaque aggregator payload (application-encoded partial value).
     AggregatorSync {
         /// Reporting worker.
@@ -112,7 +133,7 @@ mod tag {
     pub const VERTEX_RESPONSE: u8 = 1;
     pub const STEAL_BATCH: u8 = 2;
     pub const PROGRESS: u8 = 3;
-    pub const STEAL_PLAN: u8 = 4;
+    pub const STEAL_REQUEST: u8 = 4;
     pub const STEAL_EXECUTED: u8 = 5;
     pub const STEAL_DONE: u8 = 6;
     pub const AGGREGATOR_SYNC: u8 = 7;
@@ -121,6 +142,7 @@ mod tag {
     pub const SUSPEND: u8 = 10;
     pub const SUSPEND_DONE: u8 = 11;
     pub const CRASH: u8 = 12;
+    pub const STEAL_ACK: u8 = 13;
 }
 
 /// Byte-payload fields use the same layout as the codec's `Vec<u8>`
@@ -154,21 +176,25 @@ impl Encode for Message {
                 entries.encode(buf);
                 req_nanos.encode(buf);
             }
-            Message::StealBatch { bytes } => {
+            Message::StealBatch { victim, seq, bytes } => {
                 buf.push(tag::STEAL_BATCH);
+                victim.encode(buf);
+                seq.encode(buf);
                 encode_bytes(bytes, buf);
             }
-            Message::Progress { worker, remaining, idle } => {
+            Message::Progress { worker, remaining, idle, idle_compers, steal_inflight } => {
                 buf.push(tag::PROGRESS);
                 worker.encode(buf);
                 remaining.encode(buf);
                 idle.encode(buf);
+                idle_compers.encode(buf);
+                steal_inflight.encode(buf);
             }
-            Message::StealPlan { victim, thief, batches } => {
-                buf.push(tag::STEAL_PLAN);
+            Message::StealRequest { victim, thief, max_tasks } => {
+                buf.push(tag::STEAL_REQUEST);
                 victim.encode(buf);
                 thief.encode(buf);
-                batches.encode(buf);
+                max_tasks.encode(buf);
             }
             Message::StealExecuted { sent } => {
                 buf.push(tag::STEAL_EXECUTED);
@@ -192,6 +218,10 @@ impl Encode for Message {
                 worker.encode(buf);
             }
             Message::Crash => buf.push(tag::CRASH),
+            Message::StealAck { seq } => {
+                buf.push(tag::STEAL_ACK);
+                seq.encode(buf);
+            }
         }
     }
 }
@@ -207,16 +237,22 @@ impl Decode for Message {
             tag::VERTEX_RESPONSE => {
                 Message::VertexResponse { entries: Vec::decode(buf)?, req_nanos: u64::decode(buf)? }
             }
-            tag::STEAL_BATCH => Message::StealBatch { bytes: decode_bytes(buf)? },
+            tag::STEAL_BATCH => Message::StealBatch {
+                victim: WorkerId::decode(buf)?,
+                seq: u64::decode(buf)?,
+                bytes: decode_bytes(buf)?,
+            },
             tag::PROGRESS => Message::Progress {
                 worker: WorkerId::decode(buf)?,
                 remaining: u64::decode(buf)?,
                 idle: bool::decode(buf)?,
+                idle_compers: u16::decode(buf)?,
+                steal_inflight: u32::decode(buf)?,
             },
-            tag::STEAL_PLAN => Message::StealPlan {
+            tag::STEAL_REQUEST => Message::StealRequest {
                 victim: WorkerId::decode(buf)?,
                 thief: WorkerId::decode(buf)?,
-                batches: u32::decode(buf)?,
+                max_tasks: u32::decode(buf)?,
             },
             tag::STEAL_EXECUTED => Message::StealExecuted { sent: u32::decode(buf)? },
             tag::STEAL_DONE => Message::StealDone,
@@ -230,6 +266,7 @@ impl Decode for Message {
             tag::SUSPEND => Message::Suspend,
             tag::SUSPEND_DONE => Message::SuspendDone { worker: WorkerId::decode(buf)? },
             tag::CRASH => Message::Crash,
+            tag::STEAL_ACK => Message::StealAck { seq: u64::decode(buf)? },
             _ => return Err(CodecError::Invalid("message tag")),
         })
     }
@@ -248,10 +285,11 @@ impl Message {
             Message::VertexResponse { entries, .. } => {
                 8 + entries.iter().map(|(_, adj)| 4 + 8 + 4 * adj.degree()).sum::<usize>() + 8
             }
-            Message::StealBatch { bytes } => 8 + bytes.len(),
-            Message::Progress { .. } => 2 + 8 + 1,
-            Message::StealPlan { .. } => 2 + 2 + 4,
+            Message::StealBatch { bytes, .. } => 2 + 8 + 8 + bytes.len(),
+            Message::Progress { .. } => 2 + 8 + 1 + 2 + 4,
+            Message::StealRequest { .. } => 2 + 2 + 4,
             Message::StealExecuted { .. } => 4,
+            Message::StealAck { .. } => 8,
             Message::AggregatorSync { payload, .. } => 2 + 8 + payload.len() + 1,
             Message::AggregatorGlobal { payload } => 8 + payload.len(),
             Message::SuspendDone { .. } => 2,
@@ -259,13 +297,19 @@ impl Message {
         }
     }
 
-    /// True for the data-plane messages (vertex pulls) that the fault
-    /// model may drop, duplicate, or delay. The control plane and steal
-    /// batches model reliable TCP-backed channels: losing a
-    /// `StealBatch` would silently lose tasks, which nothing below the
-    /// task layer could recover.
+    /// True for the data-plane messages (vertex pulls and steal
+    /// batches) that the fault model may drop, duplicate, or delay.
+    /// Pulls survive loss via the R-table deadline retries; steal
+    /// batches survive it via the victim's retained-copy resend plus
+    /// the thief's per-`(victim, seq)` dedup. The remaining control
+    /// plane models reliable TCP-backed channels.
     pub fn is_data_plane(&self) -> bool {
-        matches!(self, Message::VertexRequest { .. } | Message::VertexResponse { .. })
+        matches!(
+            self,
+            Message::VertexRequest { .. }
+                | Message::VertexResponse { .. }
+                | Message::StealBatch { .. }
+        )
     }
 }
 
@@ -309,15 +353,30 @@ mod tests {
         assert_eq!(resp.encoded_len(), 69);
         assert_eq!(Message::Terminate.encoded_len(), 1);
         assert_eq!(Message::StealDone.encoded_len(), 1);
+        // tag 1 + worker 2 + remaining 8 + idle 1 + idle_compers 2 +
+        // steal_inflight 4 = 18.
         assert_eq!(
-            Message::Progress { worker: WorkerId(1), remaining: 0, idle: true }.encoded_len(),
-            12
+            Message::Progress {
+                worker: WorkerId(1),
+                remaining: 0,
+                idle: true,
+                idle_compers: 2,
+                steal_inflight: 0
+            }
+            .encoded_len(),
+            18
         );
         assert_eq!(
-            Message::StealPlan { victim: WorkerId(1), thief: WorkerId(2), batches: 3 }
+            Message::StealRequest { victim: WorkerId(1), thief: WorkerId(2), max_tasks: 3 }
                 .encoded_len(),
             9
         );
+        // tag 1 + victim 2 + seq 8 + vec(8 + 5) = 24.
+        assert_eq!(
+            Message::StealBatch { victim: WorkerId(1), seq: 9, bytes: vec![0; 5] }.encoded_len(),
+            24
+        );
+        assert_eq!(Message::StealAck { seq: 3 }.encoded_len(), 9);
         assert_eq!(Message::SuspendDone { worker: WorkerId(4) }.encoded_len(), 3);
     }
 
@@ -332,11 +391,18 @@ mod tests {
                 ],
                 req_nanos: 1,
             },
-            Message::StealBatch { bytes: vec![9; 137] },
-            Message::Progress { worker: WorkerId(1), remaining: 42, idle: false },
-            Message::StealPlan { victim: WorkerId(0), thief: WorkerId(1), batches: 2 },
+            Message::StealBatch { victim: WorkerId(2), seq: 11, bytes: vec![9; 137] },
+            Message::Progress {
+                worker: WorkerId(1),
+                remaining: 42,
+                idle: false,
+                idle_compers: 3,
+                steal_inflight: 1,
+            },
+            Message::StealRequest { victim: WorkerId(0), thief: WorkerId(1), max_tasks: 2 },
             Message::StealExecuted { sent: 1 },
             Message::StealDone,
+            Message::StealAck { seq: u64::MAX },
             Message::AggregatorSync { worker: WorkerId(2), payload: vec![1, 2, 3], is_final: true },
             Message::AggregatorGlobal { payload: vec![] },
             Message::Terminate,

@@ -447,7 +447,7 @@ mod tests {
         let mut handles = r.take_handles();
         let h1 = handles.remove(1);
         let h0 = handles.remove(0);
-        let msg = Message::StealBatch { bytes: vec![0u8; 100] };
+        let msg = Message::StealBatch { victim: WorkerId(0), seq: 0, bytes: vec![0u8; 100] };
         let start = Instant::now();
         h0.send(WorkerId(1), msg.clone());
         h0.send(WorkerId(1), msg);
@@ -487,7 +487,7 @@ mod tests {
     fn byte_accounting_tracks_traffic() {
         let mut r = Router::new(2, LinkConfig::INSTANT);
         let handles = r.take_handles();
-        let msg = Message::StealBatch { bytes: vec![0u8; 84] };
+        let msg = Message::StealBatch { victim: WorkerId(0), seq: 0, bytes: vec![0u8; 84] };
         let expect = msg.encoded_len() as u64;
         handles[0].send(WorkerId(1), msg);
         assert_eq!(handles[0].stats().bytes_sent.load(Ordering::Relaxed), expect);

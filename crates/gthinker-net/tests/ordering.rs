@@ -75,13 +75,16 @@ fn concurrent_senders_lose_nothing() {
 fn byte_accounting_is_exact_under_concurrency() {
     let mut r = Router::new(3, LinkConfig::INSTANT);
     let hs = r.take_handles();
-    let msg = Message::StealBatch { bytes: vec![7u8; 100] };
+    let msg = Message::StealBatch { victim: WorkerId(0), seq: 0, bytes: vec![7u8; 100] };
     let per_msg = msg.encoded_len() as u64;
     std::thread::scope(|s| {
         for h in &hs[..2] {
             s.spawn(|| {
                 for _ in 0..1_000 {
-                    h.send(WorkerId(2), Message::StealBatch { bytes: vec![7u8; 100] });
+                    h.send(
+                        WorkerId(2),
+                        Message::StealBatch { victim: WorkerId(0), seq: 0, bytes: vec![7u8; 100] },
+                    );
                 }
             });
         }

@@ -23,7 +23,7 @@ fn any_adj() -> impl Strategy<Value = AdjList> {
     proptest::collection::vec(any_vertex(), 0..12).prop_map(AdjList::from_unsorted)
 }
 
-/// A strategy producing every one of the 13 `Message` variants,
+/// A strategy producing every one of the 14 `Message` variants,
 /// including empty batches and extreme field values.
 fn any_message() -> impl Strategy<Value = Message> {
     prop_oneof![
@@ -32,14 +32,23 @@ fn any_message() -> impl Strategy<Value = Message> {
         ),
         (proptest::collection::vec((any_vertex(), any_adj()), 0..8), any::<u64>())
             .prop_map(|(entries, req_nanos)| Message::VertexResponse { entries, req_nanos }),
-        proptest::collection::vec(any::<u8>(), 0..64)
-            .prop_map(|bytes| Message::StealBatch { bytes }),
-        (any_worker(), any::<u64>(), any::<bool>())
-            .prop_map(|(worker, remaining, idle)| Message::Progress { worker, remaining, idle }),
-        (any_worker(), any_worker(), any::<u32>())
-            .prop_map(|(victim, thief, batches)| Message::StealPlan { victim, thief, batches }),
+        (any_worker(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(victim, seq, bytes)| Message::StealBatch { victim, seq, bytes }),
+        (any_worker(), any::<u64>(), any::<bool>(), any::<u16>(), any::<u32>()).prop_map(
+            |(worker, remaining, idle, idle_compers, steal_inflight)| Message::Progress {
+                worker,
+                remaining,
+                idle,
+                idle_compers,
+                steal_inflight
+            }
+        ),
+        (any_worker(), any_worker(), any::<u32>()).prop_map(|(victim, thief, max_tasks)| {
+            Message::StealRequest { victim, thief, max_tasks }
+        }),
         any::<u32>().prop_map(|sent| Message::StealExecuted { sent }),
         Just(Message::StealDone),
+        any::<u64>().prop_map(|seq| Message::StealAck { seq }),
         (any_worker(), proptest::collection::vec(any::<u8>(), 0..64), any::<bool>()).prop_map(
             |(worker, payload, is_final)| Message::AggregatorSync { worker, payload, is_final }
         ),

@@ -228,6 +228,20 @@ impl<A: Decode, B: Decode> Decode for (A, B) {
     }
 }
 
+impl<A: Encode, B: Encode, C: Encode> Encode for (A, B, C) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+}
+
+impl<A: Decode, B: Decode, C: Decode> Decode for (A, B, C) {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?))
+    }
+}
+
 impl Encode for String {
     fn encode(&self, buf: &mut Vec<u8>) {
         (self.len() as u64).encode(buf);
@@ -396,6 +410,7 @@ mod tests {
         round_trip(Some(VertexId(4)));
         round_trip(Option::<VertexId>::None);
         round_trip((VertexId(1), 7u64));
+        round_trip((3u64, vec![VertexId(1)], vec![VertexId(2), VertexId(5)]));
     }
 
     #[test]

@@ -64,7 +64,7 @@ proptest! {
                 prop_assert_eq!(b.len(), batch, "spills are exactly one batch");
                 spilled.extend(b.into_iter().map(|t| t.context));
             }
-            if i as usize % pop_every == 0 {
+            if (i as usize).is_multiple_of(pop_every) {
                 if let Some(t) = q.pop() {
                     popped.push(t.context);
                 }

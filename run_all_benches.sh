@@ -2,8 +2,21 @@
 # Regenerates every table and figure of the paper's evaluation.
 # Build first: cargo build --release --workspace
 # Usage: ./run_all_benches.sh [| tee bench_output.txt]
-set -uo pipefail
+set -euo pipefail
 BIN=target/release
+
+# Fail loudly if the release binaries are missing rather than letting a
+# half-built tree silently skip harnesses.
+for b in table1_features table2_datasets table3_systems table_single_machine \
+         table4a_horizontal table4b_vertical table4c_single table5a_cache \
+         table5b_alpha fig2_crossover kernel_crossover ordering_effect \
+         bundling_effect nscale_phases ablations sched_tail sched_cluster \
+         metrics_overhead; do
+  if [ ! -x "$BIN/$b" ]; then
+    echo "error: $BIN/$b not found or not executable — run: cargo build --release --workspace" >&2
+    exit 1
+  fi
+done
 
 banner() { echo; echo "################################################################"; echo "## $1"; echo "################################################################"; }
 
@@ -39,6 +52,8 @@ banner "Design ablations"
 "$BIN/ablations" --scale 0.35
 banner "Tail-latency scheduler — intra-worker stealing + parking"
 "$BIN/sched_tail" --scale 1
+banner "Cluster-wide stealing — straggler splitting ablations"
+"$BIN/sched_cluster" --scale 1
 banner "Observability — metrics & tracing overhead"
 "$BIN/metrics_overhead" --scale 1
 echo

@@ -6,12 +6,14 @@
 //! instead of wedging CI.
 
 use gthinker_apps::{
-    KPlexApp, MatchingApp, MaxCliqueApp, MaximalCliqueApp, Pattern, QuasiCliqueApp, TriangleApp,
+    KPlexApp, MatchingApp, MaxCliqueApp, MaximalCliqueApp, Pattern, QuasiCliqueApp, SumAgg,
+    TriangleApp,
 };
 use gthinker_core::prelude::*;
 use gthinker_core::RecoveryReport;
 use gthinker_graph::gen;
 use gthinker_graph::ids::WorkerId;
+use gthinker_graph::partition::HashPartitioner;
 use gthinker_net::fault::{CrashSchedule, FaultConfig};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
@@ -249,6 +251,175 @@ fn lossy_tcp_wire_completes_via_retries() {
     assert!(dropped > 0, "a 10% drop rate must actually drop TCP frames");
     assert!(duplicated > 0, "a 10% dup rate must actually duplicate TCP frames");
     assert!(retries > 0, "dropped pulls must be re-requested over TCP");
+}
+
+/// Deterministic cluster skew: only vertices that hash to worker 0
+/// spawn tasks (`STEAL_FAN` timed tasks each), so on a 3-worker run
+/// workers 1 and 2 start idle and the master must broker cluster-wide
+/// steals to balance. The aggregate is a pure function of the task
+/// seeds — any schedule, steal interleaving, duplicate delivery or
+/// resend must produce the identical sum.
+struct StealSkewApp;
+
+const STEAL_FAN: u64 = 24;
+
+impl App for StealSkewApp {
+    type Context = u64;
+    type Agg = SumAgg;
+
+    fn make_aggregator(&self) -> SumAgg {
+        SumAgg
+    }
+
+    fn task_spawn(&self, v: VertexId, _adj: &AdjList, env: &mut SpawnEnv<'_, Self>) {
+        // Hash with the *test's* worker count so the task set is the
+        // same whether the reference run uses 1 worker or 3.
+        if HashPartitioner::new(3).owner(v).index() != 0 {
+            return;
+        }
+        for i in 0..STEAL_FAN {
+            env.add_task(Task::new(u64::from(v.0) * 1000 + i));
+        }
+    }
+
+    fn compute(
+        &self,
+        task: &mut Task<u64>,
+        _frontier: &Frontier,
+        env: &mut ComputeEnv<'_, Self>,
+    ) -> bool {
+        // A small think time keeps worker 0 loaded long enough for the
+        // master to observe the imbalance and broker steals.
+        std::thread::sleep(Duration::from_millis(1));
+        env.aggregate(task.context.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40);
+        false
+    }
+}
+
+/// Skewed steal-forcing config on top of the chaotic wire: small task
+/// batches so queue depth crosses the steal threshold, fast sync so
+/// brokering keeps up with the short job.
+fn steal_chaos_config(seed: u64, crash_after: Option<u64>) -> JobConfig {
+    let mut cfg = match crash_after {
+        Some(after) => chaos_config(seed, after),
+        None => {
+            let mut c = chaos_config(seed, 0);
+            c.fault.crash = None;
+            c.checkpoint_interval = None;
+            c.heartbeat_timeout = None;
+            c
+        }
+    };
+    cfg.task_batch = 16;
+    cfg.sync_interval = Duration::from_millis(5);
+    cfg
+}
+
+#[test]
+fn cluster_steals_survive_lossy_wire() {
+    let (expected, result) = with_watchdog("steal-lossy", || {
+        let g = gen::complete(30);
+        let expected =
+            run_job(Arc::new(StealSkewApp), &g, &JobConfig::single_machine(2)).unwrap().global;
+        let mut cfg = steal_chaos_config(0x57EA1, None);
+        cfg.fault.drop_prob = 0.20;
+        cfg.fault.dup_prob = 0.20;
+        let result = run_job(Arc::new(StealSkewApp), &g, &cfg).unwrap();
+        (expected, result)
+    });
+    assert_eq!(result.outcome, JobOutcome::Completed);
+    assert_eq!(result.global, expected, "steal chaos run must match the fault-free sum");
+    let steals: u64 = result.workers.iter().map(|w| w.remote_steals).sum();
+    let batch_bytes: u64 = result.workers.iter().map(|w| w.steal_batch_bytes).sum();
+    // Steal frames are the only data-plane traffic here (the app pulls
+    // nothing), so assert on the union of injected faults — each class
+    // individually could legitimately draw zero on a short run.
+    let faults: u64 = result
+        .workers
+        .iter()
+        .map(|w| w.net_msgs_dropped + w.net_msgs_duplicated + w.net_msgs_delayed)
+        .sum();
+    assert!(steals > 0, "the skew must actually force cluster steals");
+    assert!(batch_bytes > 0, "sealed batches must be accounted");
+    assert!(faults > 0, "the hostile wire must actually touch steal frames");
+}
+
+#[test]
+fn cluster_steals_survive_crash_and_recovery() {
+    // Kill the thief mid-job: in-flight steal batches, the victim's
+    // unacked ledger and the checkpointed queues must all reconcile so
+    // the recovered run still produces the fault-free sum.
+    let (expected, global, report) = with_watchdog("steal-crash", || {
+        let g = gen::complete(30);
+        let expected =
+            run_job(Arc::new(StealSkewApp), &g, &JobConfig::single_machine(2)).unwrap().global;
+        let cfg = steal_chaos_config(0x57EA2, Some(40));
+        let (result, report) =
+            run_job_with_recovery(Arc::new(StealSkewApp), &g, &cfg, MAX_RECOVERIES).unwrap();
+        assert_eq!(result.outcome, JobOutcome::Completed);
+        (expected, result.global, report)
+    });
+    assert_eq!(global, expected, "post-recovery sum must match the fault-free sum");
+    assert!(report.recoveries >= 1, "the scheduled crash must fire: {report:?}");
+}
+
+#[test]
+fn cluster_steals_survive_lossy_tcp_wire() {
+    use gthinker_core::{run_worker_process_on, ClusterRole};
+    use gthinker_net::tcp::ClusterManifest;
+
+    // The same skewed steal-forcing workload on the real TCP loopback
+    // backend: steal requests, batches and acks cross framed sockets
+    // through the fault runtime, and the answer must still be exactly
+    // the fault-free sum.
+    let (expected, global, stats) = with_watchdog("steal-lossy-tcp", || {
+        let g = gen::complete(30);
+        let expected =
+            run_job(Arc::new(StealSkewApp), &g, &JobConfig::single_machine(2)).unwrap().global;
+        let mut cfg = steal_chaos_config(0x57EA3, None);
+        cfg.fault.drop_prob = 0.20;
+        cfg.fault.dup_prob = 0.20;
+        let (manifest, listeners) = ClusterManifest::loopback(3).unwrap();
+        let g = Arc::new(g);
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(w, listener)| {
+                let (g, cfg, manifest) = (Arc::clone(&g), cfg.clone(), manifest.clone());
+                std::thread::spawn(move || {
+                    run_worker_process_on(
+                        Arc::new(StealSkewApp),
+                        &g,
+                        &cfg,
+                        &manifest,
+                        WorkerId(w as u16),
+                        Duration::from_secs(20),
+                        listener,
+                    )
+                    .expect("tcp steal chaos worker")
+                })
+            })
+            .collect();
+        let mut global = None;
+        let mut stats = Vec::new();
+        for h in handles {
+            match h.join().expect("worker thread") {
+                ClusterRole::Master(r) => {
+                    assert_eq!(r.outcome, JobOutcome::Completed);
+                    stats.push(r.workers[0].clone());
+                    global = Some(r.global);
+                }
+                ClusterRole::Worker(s) => stats.push(s),
+            }
+        }
+        (expected, global.unwrap(), stats)
+    });
+    assert_eq!(global, expected, "TCP steal chaos run must match the fault-free sum");
+    let steals: u64 = stats.iter().map(|w| w.remote_steals).sum();
+    let faults: u64 =
+        stats.iter().map(|w| w.net_msgs_dropped + w.net_msgs_duplicated + w.net_msgs_delayed).sum();
+    assert!(steals > 0, "the skew must force cluster steals over TCP");
+    assert!(faults > 0, "the hostile wire must actually touch TCP steal frames");
 }
 
 #[test]

@@ -55,6 +55,48 @@ fn run_with_watchdog(seed: u64, n: usize, cfg: JobConfig, label: &str) -> (u64, 
     }
 }
 
+/// Randomized cluster-steal + straggler-split stress: multi-worker
+/// jobs with cluster stealing racing tiny task batches, randomized
+/// compute budgets and the usual comper oversubscription. Each
+/// iteration must terminate (steal batches count as outstanding work
+/// in the quiescence predicate — a leak hangs here) and produce the
+/// serial triangle count with stealing on and off; same-budget runs
+/// must also agree on the total task count, since splitting is
+/// deterministic and steals only move tasks, never create them.
+#[test]
+fn randomized_cluster_steal_jobs_terminate_and_agree() {
+    const STEAL_ITERATIONS: u64 = 12;
+    for iter in 0..STEAL_ITERATIONS {
+        let mut rng = StdRng::seed_from_u64(0x57EA1 ^ iter);
+        let n = rng.gen_range(40..91);
+        let graph_seed = rng.gen();
+        let expected = count_triangles(&gen::gnp(n, 0.12, graph_seed));
+        let budget = if rng.gen_bool(0.7) { Some(rng.gen_range(1u64..4)) } else { None };
+
+        let intra = rng.gen_bool(0.5);
+        let mut steal_cfg = random_config(&mut rng, intra);
+        steal_cfg.num_workers = rng.gen_range(2..4);
+        steal_cfg.work_stealing = true;
+        steal_cfg.compute_budget = budget;
+        steal_cfg.sync_interval = Duration::from_millis(rng.gen_range(2u64..10));
+
+        let mut plain_cfg = steal_cfg.clone();
+        plain_cfg.work_stealing = false;
+
+        let (agg_steal, tasks_steal) =
+            run_with_watchdog(graph_seed, n, steal_cfg, "cluster-steal on");
+        let (agg_plain, tasks_plain) =
+            run_with_watchdog(graph_seed, n, plain_cfg, "cluster-steal off");
+
+        assert_eq!(agg_steal, expected, "steal run wrong (iter {iter}, seed {graph_seed})");
+        assert_eq!(agg_plain, expected, "no-steal run wrong (iter {iter}, seed {graph_seed})");
+        assert_eq!(
+            tasks_steal, tasks_plain,
+            "task counts diverged (iter {iter}, seed {graph_seed}, budget {budget:?})"
+        );
+    }
+}
+
 #[test]
 fn randomized_short_jobs_terminate_and_agree() {
     for iter in 0..ITERATIONS {

@@ -1,0 +1,138 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the minimal `Buf`/`BufMut` surface `gthinker-task`'s codec
+//! actually uses: little-endian fixed-width reads that advance a
+//! `&[u8]` cursor, and the matching appends onto a `Vec<u8>`. The
+//! method names and semantics match the real crate exactly, so swapping
+//! the genuine dependency back in is a one-line `Cargo.toml` change.
+
+macro_rules! get_le {
+    ($name:ident, $ty:ty) => {
+        /// Reads a little-endian value from the front of the buffer,
+        /// advancing past it. Panics when the buffer is too short
+        /// (callers bounds-check via [`Buf::remaining`] first).
+        fn $name(&mut self) -> $ty;
+    };
+}
+
+/// Read side: a cursor over immutable bytes.
+pub trait Buf {
+    /// Bytes left between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+    /// Advances the cursor by `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+    get_le!(get_u16_le, u16);
+    get_le!(get_u32_le, u32);
+    get_le!(get_u64_le, u64);
+    get_le!(get_i64_le, i64);
+    get_le!(get_f64_le, f64);
+}
+
+macro_rules! impl_get_le {
+    ($name:ident, $ty:ty) => {
+        fn $name(&mut self) -> $ty {
+            const N: usize = std::mem::size_of::<$ty>();
+            let mut arr = [0u8; N];
+            arr.copy_from_slice(&self[..N]);
+            *self = &self[N..];
+            <$ty>::from_le_bytes(arr)
+        }
+    };
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        *self = &self[1..];
+        v
+    }
+
+    impl_get_le!(get_u16_le, u16);
+    impl_get_le!(get_u32_le, u32);
+    impl_get_le!(get_u64_le, u64);
+    impl_get_le!(get_i64_le, i64);
+    impl_get_le!(get_f64_le, f64);
+}
+
+macro_rules! put_le {
+    ($name:ident, $ty:ty) => {
+        /// Appends the little-endian encoding of `v`.
+        fn $name(&mut self, v: $ty);
+    };
+}
+
+/// Write side: an append-only byte sink.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a raw byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+    put_le!(put_u16_le, u16);
+    put_le!(put_u32_le, u32);
+    put_le!(put_u64_le, u64);
+    put_le!(put_i64_le, i64);
+    put_le!(put_f64_le, f64);
+}
+
+macro_rules! impl_put_le {
+    ($name:ident, $ty:ty) => {
+        fn $name(&mut self, v: $ty) {
+            self.extend_from_slice(&v.to_le_bytes());
+        }
+    };
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+
+    impl_put_le!(put_u16_le, u16);
+    impl_put_le!(put_u32_le, u32);
+    impl_put_le!(put_u64_le, u64);
+    impl_put_le!(put_i64_le, i64);
+    impl_put_le!(put_f64_le, f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_match_le_layout() {
+        let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_u16_le(0xBEEF);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(u64::MAX - 1);
+        buf.put_i64_le(-42);
+        buf.put_f64_le(1.5);
+        buf.put_slice(b"xyz");
+
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 0xBEEF);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert_eq!(r.get_i64_le(), -42);
+        assert_eq!(r.get_f64_le(), 1.5);
+        assert_eq!(r.remaining(), 3);
+        r.advance(1);
+        assert_eq!(r, b"yz");
+    }
+}

@@ -1,0 +1,51 @@
+//! Offline stand-in for the `libc` crate (Linux-only).
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the two-symbol surface it needs: `clock_gettime` with the
+//! per-thread and per-process CPU clocks, used by the metrics layer to
+//! separate on-CPU compute time from wall-clock waits. Constants match
+//! `<time.h>` on Linux.
+
+#![allow(non_camel_case_types)]
+
+pub type c_int = i32;
+pub type c_long = i64;
+pub type time_t = i64;
+pub type clockid_t = c_int;
+
+/// `struct timespec` from `<time.h>`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct timespec {
+    pub tv_sec: time_t,
+    pub tv_nsec: c_long,
+}
+
+/// CPU time consumed by the whole process.
+pub const CLOCK_PROCESS_CPUTIME_ID: clockid_t = 2;
+/// CPU time consumed by the calling thread.
+pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 3;
+
+extern "C" {
+    pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_cpu_clock_ticks() {
+        let mut a = timespec::default();
+        assert_eq!(unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut a) }, 0);
+        // Burn a little CPU so the clock must advance.
+        let mut x = 0u64;
+        for i in 0..2_000_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(x);
+        let mut b = timespec::default();
+        assert_eq!(unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut b) }, 0);
+        assert!((b.tv_sec, b.tv_nsec) > (a.tv_sec, a.tv_nsec));
+    }
+}
