@@ -1,0 +1,347 @@
+//! Compressed-storage benchmark (DESIGN.md §13).
+//!
+//! Measures what the `.gtc` memory-mapped format buys and costs:
+//!
+//! 1. **Compression ratio** — the compressed file vs the plain `.bin`
+//!    binary for the same power-law graph, in degeneracy order (the
+//!    order `graph build --order` produces).
+//! 2. **Per-vertex decode cost** — nanoseconds to hand out `Γ(v)` from
+//!    the mapped file vs a materialized CSR, full sweeps over the
+//!    vertex set.
+//! 3. **Miner overhead** — end-to-end triangle counting and maximum
+//!    clique finding on the mapped backend vs the in-RAM graph, same
+//!    seeds and topology, results asserted equal.
+//! 4. **Peak RSS** — `VmHWM` of subprocess phases that mine the same
+//!    file loaded into RAM vs memory-mapped, the number that decides
+//!    whether a graph fits a machine at all.
+//! 5. **Streamed build at scale** — a `--scale`-times-10⁸-edge
+//!    `G(n, p)` generated straight into the two-pass streaming builder,
+//!    no edge list ever materialized; its peak RSS is reported from a
+//!    subprocess too.
+//!
+//! Emits `BENCH_storage.json`.
+//!
+//! `cargo run -p gthinker-bench --release --bin graph_storage [--scale f]`
+
+use gthinker_apps::{MaxCliqueApp, TriangleApp};
+use gthinker_bench::{fmt_bytes, fmt_duration, scale_from_args};
+use gthinker_core::prelude::*;
+use gthinker_graph::compressed::{build_from_edge_stream, write_compressed, CompressedGraph};
+use gthinker_graph::csr::Csr;
+use gthinker_graph::gen;
+use gthinker_graph::order::degeneracy_relabel;
+use gthinker_graph::store::AdjacencyStore;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Peak resident set of this process so far, in kilobytes.
+fn vm_hwm_kb() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").expect("read /proc/self/status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().strip_suffix("kB"))
+        .and_then(|kb| kb.trim().parse().ok())
+        .expect("VmHWM line in /proc/self/status")
+}
+
+/// Size of the plain `.bin` encoding: magic + vertex count + label flag
+/// + per-vertex `u32` degrees + both directions of every edge.
+fn plain_binary_bytes(n: u64, m: u64) -> u64 {
+    8 + 8 + 1 + n * 4 + 2 * m * 4
+}
+
+fn job_config() -> JobConfig {
+    JobConfig::cluster(2, 2)
+}
+
+/// One re-exec'd measurement phase. Each phase runs in a fresh process
+/// because `VmHWM` is a high-water mark: only a process that did
+/// nothing else can attribute its peak to one storage strategy.
+fn run_phase(phase: &str, args: &[String]) {
+    match phase {
+        // Load the compressed file fully into RAM, then mine.
+        "ram" => {
+            let g = CompressedGraph::open(Path::new(&args[0])).expect("open").to_graph();
+            let r = run_job(Arc::new(TriangleApp), &g, &job_config()).expect("job");
+            println!("triangles={} vmhwm_kb={}", r.global, vm_hwm_kb());
+        }
+        // Mine straight off the mapping with lazy per-vertex decode.
+        "mapped" => {
+            let c = Arc::new(CompressedGraph::open(Path::new(&args[0])).expect("open"));
+            let r = run_job_on(Arc::new(TriangleApp), GraphSource::Mapped(c), &job_config())
+                .expect("job");
+            println!("triangles={} vmhwm_kb={}", r.global, vm_hwm_kb());
+        }
+        // Generate `edges` G(n, p) edges straight into the two-pass
+        // streaming builder — the edge list is never materialized.
+        "bigbuild" => {
+            let n: usize = args[0].parse().expect("n");
+            let edges: u64 = args[1].parse().expect("edges");
+            let out = PathBuf::from(&args[2]);
+            let slots = (n as f64) * (n as f64 - 1.0) / 2.0;
+            let p = (edges as f64 / slots).min(1.0);
+            let start = Instant::now();
+            let stats = build_from_edge_stream(&out, n as u64, None, |sink| {
+                gen::stream_gnp(n, p, 7, sink).map(|_| ())
+            })
+            .expect("streamed build");
+            println!(
+                "edges={} file_bytes={} payload_bytes={} secs={:.1} vmhwm_kb={}",
+                stats.num_edges,
+                stats.file_bytes,
+                stats.payload_bytes,
+                start.elapsed().as_secs_f64(),
+                vm_hwm_kb()
+            );
+        }
+        other => panic!("unknown phase {other}"),
+    }
+}
+
+/// Re-runs this binary as `--phase NAME args..` and returns the child's
+/// stdout parsed as `key=value` pairs.
+fn spawn_phase(phase: &str, args: &[&str]) -> std::collections::HashMap<String, String> {
+    let exe = std::env::current_exe().expect("current exe");
+    let out = std::process::Command::new(exe)
+        .arg("--phase")
+        .arg(phase)
+        .args(args)
+        .output()
+        .expect("spawn phase");
+    assert!(out.status.success(), "phase {phase} failed: {}", String::from_utf8_lossy(&out.stderr));
+    String::from_utf8(out.stdout)
+        .expect("utf8")
+        .split_whitespace()
+        .filter_map(|kv| kv.split_once('='))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+/// Minimum time of `reps` timed sweeps of `f` (noise only adds time).
+fn min_time(reps: usize, mut f: impl FnMut() -> u64) -> (Duration, u64) {
+    let mut best = Duration::MAX;
+    let mut check = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        check = f();
+        best = best.min(start.elapsed());
+    }
+    (best, check)
+}
+
+/// Sweeps every vertex once through `AdjacencyStore::adjacency`,
+/// returning a checksum so the decode cannot be optimized away.
+fn sweep(store: &dyn AdjacencyStore) -> u64 {
+    let mut acc = 0u64;
+    for v in 0..store.num_vertices() as u32 {
+        let adj = store.adjacency(gthinker_graph::ids::VertexId(v));
+        acc = acc.wrapping_add(adj.degree() as u64);
+        if let Some(last) = adj.iter().last() {
+            acc = acc.wrapping_add(u64::from(last.0));
+        }
+    }
+    std::hint::black_box(acc)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("--phase") {
+        run_phase(&argv[1], &argv[2..]);
+        return;
+    }
+
+    let scale = scale_from_args(1.0);
+    let tmp = std::env::temp_dir().join(format!("gthinker-storage-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("mkdir");
+
+    // ---- 1. Compression ratio on a degeneracy-ordered power-law graph.
+    let n = ((120_000.0 * scale) as usize).max(2_000);
+    let g = gen::barabasi_albert(n, 24, 42);
+    let (g, degeneracy) = degeneracy_relabel(&g);
+    let gtc = tmp.join("powerlaw.gtc");
+    let stats = write_compressed(&g, &gtc).expect("write compressed");
+    let plain = plain_binary_bytes(stats.num_vertices, stats.num_edges);
+    let ratio = plain as f64 / stats.file_bytes as f64;
+    println!("power-law graph: ba({n}, 24), degeneracy {degeneracy}, degeneracy order");
+    println!(
+        "  plain binary {}  compressed {}  ({:.2} B per directed edge)",
+        fmt_bytes(plain),
+        fmt_bytes(stats.file_bytes),
+        stats.bytes_per_edge()
+    );
+    println!("  compression ratio {ratio:.2}x");
+    assert!(ratio >= 2.0, "compression ratio regressed below 2x: {ratio:.2}");
+
+    // ---- 2. Per-vertex decode cost: mapped decode vs materialized CSR.
+    let mapped = CompressedGraph::open(&gtc).expect("open");
+    let csr = Csr::from_graph(&g);
+    let reps = 5;
+    let (t_csr, sum_csr) = min_time(reps, || sweep(&csr));
+    let (t_gtc, sum_gtc) = min_time(reps, || sweep(&mapped));
+    assert_eq!(sum_csr, sum_gtc, "backends decoded different lists");
+    let nv = g.num_vertices() as f64;
+    let ne = 2.0 * g.num_edges() as f64;
+    let csr_ns_v = t_csr.as_nanos() as f64 / nv;
+    let gtc_ns_v = t_gtc.as_nanos() as f64 / nv;
+    println!("\nfull-sweep decode cost ({} vertices, min of {reps}):", g.num_vertices());
+    println!(
+        "  csr    {} — {csr_ns_v:.0} ns/vertex, {:.2} ns/edge",
+        fmt_duration(t_csr),
+        t_csr.as_nanos() as f64 / ne
+    );
+    println!(
+        "  mapped {} — {gtc_ns_v:.0} ns/vertex, {:.2} ns/edge",
+        fmt_duration(t_gtc),
+        t_gtc.as_nanos() as f64 / ne
+    );
+
+    // ---- 3. End-to-end miner overhead, mapped vs in-RAM.
+    let shared = Arc::new(CompressedGraph::open(&gtc).expect("open"));
+    let mine_pair = |name: &str,
+                     ram_run: &dyn Fn() -> (u64, Duration),
+                     map_run: &dyn Fn() -> (u64, Duration)| {
+        let (ram_val, ram_t) = ram_run();
+        let (map_val, map_t) = map_run();
+        assert_eq!(ram_val, map_val, "{name}: backends disagree");
+        let pct = (map_t.as_secs_f64() / ram_t.as_secs_f64() - 1.0) * 100.0;
+        println!(
+            "  {name:<4} ram {}  mapped {}  ({pct:+.1}% wall)",
+            fmt_duration(ram_t),
+            fmt_duration(map_t)
+        );
+        (ram_t, map_t, pct)
+    };
+    println!("\nminer overhead (2 workers x 2 compers):");
+    let g_ref = &g;
+    let shared_tc = Arc::clone(&shared);
+    let (tc_ram, tc_map, tc_pct) = mine_pair(
+        "tc",
+        &|| {
+            let r = run_job(Arc::new(TriangleApp), g_ref, &job_config()).expect("job");
+            (r.global, r.elapsed)
+        },
+        &|| {
+            let r = run_job_on(
+                Arc::new(TriangleApp),
+                GraphSource::Mapped(Arc::clone(&shared_tc)),
+                &job_config(),
+            )
+            .expect("job");
+            (r.global, r.elapsed)
+        },
+    );
+    let shared_mcf = Arc::clone(&shared);
+    let (mcf_ram, mcf_map, mcf_pct) = mine_pair(
+        "mcf",
+        &|| {
+            let r = run_job(Arc::new(MaxCliqueApp::default()), g_ref, &job_config()).expect("job");
+            (r.global.len() as u64, r.elapsed)
+        },
+        &|| {
+            let r = run_job_on(
+                Arc::new(MaxCliqueApp::default()),
+                GraphSource::Mapped(Arc::clone(&shared_mcf)),
+                &job_config(),
+            )
+            .expect("job");
+            (r.global.len() as u64, r.elapsed)
+        },
+    );
+
+    // ---- 4. Peak RSS: fresh subprocess per storage strategy.
+    let gtc_str = gtc.to_string_lossy().into_owned();
+    let ram_phase = spawn_phase("ram", &[&gtc_str]);
+    let map_phase = spawn_phase("mapped", &[&gtc_str]);
+    assert_eq!(ram_phase["triangles"], map_phase["triangles"]);
+    let ram_kb: u64 = ram_phase["vmhwm_kb"].parse().unwrap();
+    let map_kb: u64 = map_phase["vmhwm_kb"].parse().unwrap();
+    println!("\npeak RSS mining the same file (subprocess VmHWM):");
+    println!("  ram    {}", fmt_bytes(ram_kb * 1024));
+    println!("  mapped {}", fmt_bytes(map_kb * 1024));
+
+    // ---- 5. Streamed build at 10^8-edge scale (scaled by --scale).
+    let big_edges = ((1e8 * scale) as u64).max(1_000_000);
+    let big_n = 100_000.max((big_edges / 1_000) as usize);
+    let big_out = tmp.join("big.gtc");
+    println!("\nstreamed build: gnp targeting {big_edges} edges over {big_n} vertices ...");
+    let big = spawn_phase(
+        "bigbuild",
+        &[&big_n.to_string(), &big_edges.to_string(), &big_out.to_string_lossy()],
+    );
+    let big_edges_got: u64 = big["edges"].parse().unwrap();
+    let big_bytes: u64 = big["file_bytes"].parse().unwrap();
+    let big_kb: u64 = big["vmhwm_kb"].parse().unwrap();
+    let big_secs: f64 = big["secs"].parse().unwrap();
+    let big_plain = plain_binary_bytes(big_n as u64, big_edges_got);
+    println!(
+        "  {} edges -> {} in {:.1} s, peak RSS {} (plain binary would be {}, text edge list more)",
+        big_edges_got,
+        fmt_bytes(big_bytes),
+        big_secs,
+        fmt_bytes(big_kb * 1024),
+        fmt_bytes(big_plain),
+    );
+    // The builder's working state is bounded by the directed-edge fill
+    // array, so RSS must stay well under the text edge list it replaces
+    // (~12 B per edge per direction as text).
+    let edge_list_text_estimate = big_edges_got * 12;
+    assert!(
+        big_kb * 1024 < edge_list_text_estimate.max(2_000_000_000),
+        "streamed build RSS {} suggests the edge list was materialized",
+        fmt_bytes(big_kb * 1024)
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"graph_storage\",\n",
+            "  \"scale\": {},\n",
+            "  \"ratio_graph\": \"ba({}, 24) in degeneracy order (degeneracy {})\",\n",
+            "  \"plain_binary_bytes\": {},\n",
+            "  \"compressed_bytes\": {},\n",
+            "  \"compression_ratio\": {:.2},\n",
+            "  \"payload_bytes_per_directed_edge\": {:.2},\n",
+            "  \"decode_sweep\": {{\"csr_ns_per_vertex\": {:.0}, \"mapped_ns_per_vertex\": {:.0}, ",
+            "\"csr_ns_per_edge\": {:.2}, \"mapped_ns_per_edge\": {:.2}}},\n",
+            "  \"miner_overhead\": {{\n",
+            "    \"tc\":  {{\"ram_ms\": {:.1}, \"mapped_ms\": {:.1}, \"wall_pct\": {:.1}}},\n",
+            "    \"mcf\": {{\"ram_ms\": {:.1}, \"mapped_ms\": {:.1}, \"wall_pct\": {:.1}}}\n",
+            "  }},\n",
+            "  \"peak_rss\": {{\"ram_kb\": {}, \"mapped_kb\": {}, ",
+            "\"workload\": \"tc on the ratio graph, subprocess VmHWM\"}},\n",
+            "  \"streamed_build\": {{\"edges\": {}, \"vertices\": {}, \"file_bytes\": {}, ",
+            "\"secs\": {:.1}, \"peak_rss_kb\": {}, ",
+            "\"note\": \"gnp generated straight into the two-pass builder, no edge list in RAM\"}}\n",
+            "}}\n"
+        ),
+        scale,
+        n,
+        degeneracy,
+        plain,
+        stats.file_bytes,
+        ratio,
+        stats.bytes_per_edge(),
+        csr_ns_v,
+        gtc_ns_v,
+        t_csr.as_nanos() as f64 / ne,
+        t_gtc.as_nanos() as f64 / ne,
+        tc_ram.as_secs_f64() * 1e3,
+        tc_map.as_secs_f64() * 1e3,
+        tc_pct,
+        mcf_ram.as_secs_f64() * 1e3,
+        mcf_map.as_secs_f64() * 1e3,
+        mcf_pct,
+        ram_kb,
+        map_kb,
+        big_edges_got,
+        big_n,
+        big_bytes,
+        big_secs,
+        big_kb,
+    );
+    std::fs::write("BENCH_storage.json", &json).expect("write BENCH_storage.json");
+    println!("\nwrote BENCH_storage.json");
+    let _ = std::fs::remove_dir_all(&tmp);
+}

@@ -22,12 +22,12 @@
 
 use crate::api::App;
 use crate::config::{JobConfig, JobOutcome, JobResult, WorkerStats};
-use crate::job::{build_worker, new_job_dir, worker_main, Global, WorkerOutcome};
+use crate::job::GraphSource;
+use crate::job::{build_locals, build_worker, new_job_dir, worker_main, Global, WorkerOutcome};
 use crate::metrics::MetricsRegistry;
 use gthinker_graph::graph::Graph;
-use gthinker_graph::ids::{Label, WorkerId};
+use gthinker_graph::ids::WorkerId;
 use gthinker_graph::partition::HashPartitioner;
-use gthinker_graph::trim::trim_graph;
 use gthinker_net::tcp::{ClusterManifest, TcpTransport};
 use gthinker_net::transport::Transport;
 use std::io;
@@ -70,6 +70,42 @@ pub fn run_worker_process_on<A: App>(
     connect_timeout: Duration,
     listener: TcpListener,
 ) -> io::Result<ClusterRole<Global<A>>> {
+    run_worker_process_source_on(
+        app,
+        GraphSource::InMemory(graph),
+        config,
+        manifest,
+        me,
+        connect_timeout,
+        listener,
+    )
+}
+
+/// [`run_worker_process`] over an explicit [`GraphSource`]: a process
+/// handed a memory-mapped compressed graph opens its own mapping (maps
+/// are per-process) and serves its partition lazily from it.
+pub fn run_worker_process_source<A: App>(
+    app: Arc<A>,
+    source: GraphSource<'_>,
+    config: &JobConfig,
+    manifest: &ClusterManifest,
+    me: WorkerId,
+    connect_timeout: Duration,
+) -> io::Result<ClusterRole<Global<A>>> {
+    let listener = TcpListener::bind(manifest.addr(me))?;
+    run_worker_process_source_on(app, source, config, manifest, me, connect_timeout, listener)
+}
+
+/// [`run_worker_process_source`] with a pre-bound listener.
+pub fn run_worker_process_source_on<A: App>(
+    app: Arc<A>,
+    source: GraphSource<'_>,
+    config: &JobConfig,
+    manifest: &ClusterManifest,
+    me: WorkerId,
+    connect_timeout: Duration,
+    listener: TcpListener,
+) -> io::Result<ClusterRole<Global<A>>> {
     assert!(config.num_workers >= 1);
     assert!(config.compers_per_worker >= 1);
     if config.num_workers != manifest.num_workers() {
@@ -86,20 +122,11 @@ pub fn run_worker_process_on<A: App>(
 
     // Same pipeline as the in-process runner: trim, then partition
     // deterministically — every process computes identical ownership,
-    // and this one keeps only its own part.
-    let trimmed;
-    let graph = match app.trimmer() {
-        Some(t) => {
-            trimmed = trim_graph(graph, t.as_ref());
-            &trimmed
-        }
-        None => graph,
-    };
+    // and this one keeps only its own part (or, on a mapped source,
+    // its own member list over the shared file).
     let partitioner = HashPartitioner::new(config.num_workers as u16);
-    let mut parts = partitioner.split(graph);
-    let part = std::mem::take(&mut parts[me.index()]);
-    drop(parts);
-    let label_table: Option<Arc<Vec<Label>>> = graph.labels().map(|l| Arc::new(l.to_vec()));
+    let (mut locals, label_table) = build_locals(&app, &source, partitioner, &[me.index()]);
+    let local = locals.pop().expect("one local table requested");
 
     // Rendezvous before building worker state, so a peer that never
     // shows up fails fast instead of after graph setup work.
@@ -108,17 +135,8 @@ pub fn run_worker_process_on<A: App>(
     let net = transport.take_endpoint(me);
 
     let job_dir = new_job_dir(config);
-    let shared = build_worker(
-        &app,
-        config,
-        graph,
-        &label_table,
-        partitioner,
-        me.index(),
-        part,
-        net,
-        &job_dir,
-    )?;
+    let shared =
+        build_worker(&app, config, &label_table, partitioner, me.index(), local, net, &job_dir)?;
 
     // The worker main loop is byte-for-byte the sim backend's: compers,
     // receiver, responders, GC, periodic ticks, master logic on 0.

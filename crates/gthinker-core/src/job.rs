@@ -11,10 +11,12 @@ use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::worker::{
     gc_loop, receiver_loop, responder_loop, worker_tick, ResponderRing, WorkerShared,
 };
+use gthinker_graph::compressed::CompressedGraph;
 use gthinker_graph::graph::Graph;
 use gthinker_graph::ids::{Label, VertexId, WorkerId};
 use gthinker_graph::partition::HashPartitioner;
-use gthinker_graph::trim::trim_graph;
+use gthinker_graph::store::AdjacencyStore;
+use gthinker_graph::trim::{trim_graph, Trimmer};
 use gthinker_net::message::Message;
 use gthinker_net::router::Router;
 use gthinker_net::transport::{NetEndpoint, Transport};
@@ -31,6 +33,37 @@ use std::time::Instant;
 pub(crate) type Global<A> = <<A as App>::Agg as Aggregator>::Global;
 type Partial<A> = <<A as App>::Agg as Aggregator>::Partial;
 
+/// Where a job reads its graph from.
+///
+/// The storage backend is invisible above the worker's `T_local`: the
+/// six miners, the cache, trimming and partitioning all behave
+/// identically over either variant (the differential suite in
+/// `tests/storage_equivalence.rs` pins this down result-for-result).
+#[derive(Clone)]
+pub enum GraphSource<'a> {
+    /// An in-RAM graph: trimmed up front, each worker's partition
+    /// materialized into an eager local table (the classic path).
+    InMemory(&'a Graph),
+    /// A memory-mapped compressed graph (`.gtc`, built by
+    /// `gthinker-cli graph build`): every worker shares the mapping,
+    /// decodes `Γ(v)` lazily per lookup, and applies the job's trimmer
+    /// at decode time — resident memory stays near the bitset + page
+    /// cache instead of a full adjacency copy.
+    Mapped(Arc<CompressedGraph>),
+}
+
+impl<'a> From<&'a Graph> for GraphSource<'a> {
+    fn from(g: &'a Graph) -> Self {
+        GraphSource::InMemory(g)
+    }
+}
+
+impl From<Arc<CompressedGraph>> for GraphSource<'static> {
+    fn from(c: Arc<CompressedGraph>) -> Self {
+        GraphSource::Mapped(c)
+    }
+}
+
 /// Runs an application over `graph` with the given configuration,
 /// blocking until completion (or suspension if
 /// `config.suspend_after` fires first).
@@ -39,7 +72,18 @@ pub fn run_job<A: App>(
     graph: &Graph,
     config: &JobConfig,
 ) -> io::Result<JobResult<Global<A>>> {
-    run_inner(app, graph, config, None, None)
+    run_inner(app, GraphSource::InMemory(graph), config, None, None)
+}
+
+/// [`run_job`] over an explicit [`GraphSource`] — use this to run the
+/// job directly off a memory-mapped compressed graph without ever
+/// materializing adjacency in RAM.
+pub fn run_job_on<A: App>(
+    app: Arc<A>,
+    source: GraphSource<'_>,
+    config: &JobConfig,
+) -> io::Result<JobResult<Global<A>>> {
+    run_inner(app, source, config, None, None)
 }
 
 /// A point-in-time view of a running job, delivered to the observer of
@@ -76,7 +120,7 @@ pub fn run_job_observed<A: App>(
 ) -> io::Result<JobResult<Global<A>>> {
     run_inner(
         app,
-        graph,
+        GraphSource::InMemory(graph),
         config,
         None,
         Some(Box::new(move |m: &MetricsSnapshot| observer(m.progress()))),
@@ -92,7 +136,7 @@ pub fn run_job_metrics_observed<A: App>(
     config: &JobConfig,
     observer: impl FnMut(&MetricsSnapshot) + Send + 'static,
 ) -> io::Result<JobResult<Global<A>>> {
-    run_inner(app, graph, config, None, Some(Box::new(observer)))
+    run_inner(app, GraphSource::InMemory(graph), config, None, Some(Box::new(observer)))
 }
 
 type Observer = Box<dyn FnMut(&MetricsSnapshot) + Send>;
@@ -121,7 +165,7 @@ pub fn resume_job<A: App>(
     for w in 0..config.num_workers {
         shards.push(checkpoint::read_shard::<A::Context, Partial<A>>(checkpoint, w)?);
     }
-    run_inner(app, graph, config, Some((manifest, shards)), None)
+    run_inner(app, GraphSource::InMemory(graph), config, Some((manifest, shards)), None)
 }
 
 type Resume<A> = (Manifest<Global<A>>, Vec<WorkerShard<<A as App>::Context, Partial<A>>>);
@@ -237,7 +281,7 @@ pub fn run_job_with_recovery<A: App>(
 
 fn run_inner<A: App>(
     app: Arc<A>,
-    graph: &Graph,
+    source: GraphSource<'_>,
     config: &JobConfig,
     resume: Option<Resume<A>>,
     observer: Option<Observer>,
@@ -246,18 +290,9 @@ fn run_inner<A: App>(
     assert!(config.compers_per_worker >= 1);
     let start = Instant::now();
 
-    // Trim once after loading (§IV item 7).
-    let trimmed;
-    let graph = match app.trimmer() {
-        Some(t) => {
-            trimmed = trim_graph(graph, t.as_ref());
-            &trimmed
-        }
-        None => graph,
-    };
-
     let partitioner = HashPartitioner::new(config.num_workers as u16);
-    let parts = partitioner.split(graph);
+    let every_worker: Vec<usize> = (0..config.num_workers).collect();
+    let (locals, label_table) = build_locals(&app, &source, partitioner, &every_worker);
 
     // The in-process job always runs on the sim backend; worker code
     // only ever sees the Transport/NetEndpoint traits, which is what
@@ -273,14 +308,11 @@ fn run_inner<A: App>(
         None => (None, None),
     };
 
-    // Labels are replicated to every worker (2 bytes per vertex).
-    let label_table: Option<Arc<Vec<Label>>> = graph.labels().map(|l| Arc::new(l.to_vec()));
-
     // Build per-worker shared state.
     let mut workers: Vec<Arc<WorkerShared<A>>> = Vec::with_capacity(config.num_workers);
-    for (w, (part, net)) in parts.into_iter().zip(handles).enumerate() {
+    for (w, (local, net)) in locals.into_iter().zip(handles).enumerate() {
         let shared =
-            build_worker(&app, config, graph, &label_table, partitioner, w, part, net, &job_dir)?;
+            build_worker(&app, config, &label_table, partitioner, w, local, net, &job_dir)?;
         if let Some(shards) = &resume_shards {
             let shard = &shards[w];
             shared.local.reset_spawn_pointer(shard.spawn_position as usize);
@@ -400,7 +432,70 @@ pub(crate) fn new_job_dir(config: &JobConfig) -> PathBuf {
     config.spill_dir.join(format!("job-{}-{}", std::process::id(), job_id))
 }
 
-/// Builds one worker's shared state from its graph partition and its
+/// Builds the local tables for the requested `workers` (all of them in
+/// the sim runner, just one in a cluster process) plus the replicated
+/// label table, from either graph source.
+///
+/// Both sources produce identical partitions: ownership is hash-by-ID
+/// only, members are listed in ascending ID order (the order
+/// [`gthinker_graph::partition::HashPartitioner::split`] emits), and
+/// trimming — applied up front on the in-RAM path, at decode time on
+/// the mapped path — is a per-vertex rewrite that cannot observe the
+/// difference.
+pub(crate) fn build_locals<A: App>(
+    app: &Arc<A>,
+    source: &GraphSource<'_>,
+    partitioner: HashPartitioner,
+    workers: &[usize],
+) -> (Vec<LocalTable>, Option<Arc<Vec<Label>>>) {
+    match source {
+        GraphSource::InMemory(graph) => {
+            // Trim once after loading (§IV item 7).
+            let trimmed;
+            let graph: &Graph = match app.trimmer() {
+                Some(t) => {
+                    trimmed = trim_graph(graph, t.as_ref());
+                    &trimmed
+                }
+                None => graph,
+            };
+            // Labels are replicated to every worker (2 bytes/vertex).
+            let label_table = graph.labels().map(|l| Arc::new(l.to_vec()));
+            let mut parts = partitioner.split(graph);
+            let locals = workers
+                .iter()
+                .map(|&w| {
+                    let part = std::mem::take(&mut parts[w]);
+                    let labels: Vec<(VertexId, Label)> = if graph.is_labeled() {
+                        part.iter().map(|(v, _)| (*v, graph.label(*v).expect("labeled"))).collect()
+                    } else {
+                        Vec::new()
+                    };
+                    LocalTable::with_labels(part, labels)
+                })
+                .collect();
+            (locals, label_table)
+        }
+        GraphSource::Mapped(store) => {
+            let trimmer: Option<Arc<dyn Trimmer>> = app.trimmer().map(Arc::from);
+            let label_table = store.labels().map(Arc::new);
+            let locals = workers
+                .iter()
+                .map(|&w| {
+                    let members: Vec<VertexId> = (0..store.num_vertices() as u32)
+                        .map(VertexId)
+                        .filter(|&v| partitioner.owner(v).index() == w)
+                        .collect();
+                    let shared: Arc<dyn AdjacencyStore> = Arc::<CompressedGraph>::clone(store);
+                    LocalTable::lazy(shared, trimmer.clone(), members)
+                })
+                .collect();
+            (locals, label_table)
+        }
+    }
+}
+
+/// Builds one worker's shared state from its local table and its
 /// interconnect endpoint. Used by [`run_inner`] (all workers, sim
 /// backend) and by [`crate::cluster::run_worker_process`] (one worker,
 /// TCP backend).
@@ -408,20 +503,13 @@ pub(crate) fn new_job_dir(config: &JobConfig) -> PathBuf {
 pub(crate) fn build_worker<A: App>(
     app: &Arc<A>,
     config: &JobConfig,
-    graph: &Graph,
     label_table: &Option<Arc<Vec<Label>>>,
     partitioner: HashPartitioner,
     w: usize,
-    part: Vec<(VertexId, gthinker_graph::adj::AdjList)>,
+    local: LocalTable,
     net: Box<dyn NetEndpoint>,
     job_dir: &Path,
 ) -> io::Result<Arc<WorkerShared<A>>> {
-    let labels: Vec<(VertexId, Label)> = if graph.is_labeled() {
-        part.iter().map(|(v, _)| (*v, graph.label(*v).expect("labeled"))).collect()
-    } else {
-        Vec::new()
-    };
-    let local = LocalTable::with_labels(part, labels);
     let cache = VertexCache::new(config.cache.clone());
     let spill = SpillManager::new(job_dir.join(format!("worker-{w}")))?;
     let output = match config.output_dir.as_ref() {

@@ -13,29 +13,37 @@ use crate::ids::{Label, VertexId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::io;
 
-/// Erdős–Rényi `G(n, p)`: each of the `n·(n−1)/2` possible edges is
-/// present independently with probability `p`.
-///
-/// Uses geometric skipping, so the cost is proportional to the number of
-/// edges generated, not to `n²`.
-pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+/// The consumer side of a streaming generator: called once per edge as
+/// it is produced. Sinks typically append to a file
+/// ([`crate::load::EdgeFileWriter`]) or feed a compressed-graph build
+/// directly — the generator itself holds no edge list.
+pub type EdgeSink<'a> = &'a mut dyn FnMut(VertexId, VertexId) -> io::Result<()>;
+
+/// Streaming Erdős–Rényi `G(n, p)` via geometric skipping: walks the
+/// `n·(n−1)/2` edge slots in lexicographic order, jumping ahead by
+/// geometrically distributed gaps. Working state is O(1) — two cursors
+/// and the RNG — regardless of how many edges are emitted, so it scales
+/// to 10⁸–10⁹ edges. Emits each edge exactly once as `(u, v)` with
+/// `u < v`; identical edge sequence to [`gnp`] for the same seed.
+/// Returns the number of edges emitted.
+pub fn stream_gnp(n: usize, p: f64, seed: u64, sink: EdgeSink) -> io::Result<u64> {
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut edges = Vec::new();
+    let mut count = 0u64;
     if p <= 0.0 || n < 2 {
-        return Graph::with_vertices(n);
+        return Ok(0);
     }
     if p >= 1.0 {
         for u in 0..n {
             for v in (u + 1)..n {
-                edges.push((VertexId(u as u32), VertexId(v as u32)));
+                sink(VertexId(u as u32), VertexId(v as u32))?;
+                count += 1;
             }
         }
-        return Graph::from_edges(n, &edges);
+        return Ok(count);
     }
-    // Walk edge slots in lexicographic order, skipping ahead by
-    // geometrically distributed gaps.
     let log1mp = (1.0 - p).ln();
     let (mut u, mut v) = (0usize, 0usize);
     loop {
@@ -45,12 +53,26 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
         while v >= n {
             u += 1;
             if u >= n - 1 {
-                return Graph::from_edges(n, &edges);
+                return Ok(count);
             }
             v = u + 1 + (v - n);
         }
-        edges.push((VertexId(u as u32), VertexId(v as u32)));
+        sink(VertexId(u as u32), VertexId(v as u32))?;
+        count += 1;
     }
+}
+
+/// Erdős–Rényi `G(n, p)`: each of the `n·(n−1)/2` possible edges is
+/// present independently with probability `p`. In-memory wrapper over
+/// [`stream_gnp`].
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    let mut edges = Vec::new();
+    stream_gnp(n, p, seed, &mut |u, v| {
+        edges.push((u, v));
+        Ok(())
+    })
+    .expect("in-memory sink cannot fail");
+    Graph::from_edges(n, &edges)
 }
 
 /// `G(n, m)`: exactly `m` distinct random edges (or fewer when `m`
@@ -75,22 +97,26 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
     Graph::from_edges(n, &edges)
 }
 
-/// Barabási–Albert preferential attachment: starts from a clique of
-/// `m + 1` vertices and attaches each new vertex to `m` existing
-/// vertices chosen proportionally to degree. Produces the heavy-tailed
-/// degree distribution typical of the social networks in Table II.
-pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+/// Streaming Barabási–Albert preferential attachment. Edges are
+/// emitted as they are created rather than collected; the required
+/// working state is the endpoint multiset the model itself samples
+/// from (two `u32`s per generated edge — inherent to BA, documented
+/// here: at 10⁸ edges that is ~800 MB of *sampling state*, but still no
+/// materialized edge list or graph). Identical edge sequence to
+/// [`barabasi_albert`] for the same seed. Returns the edge count.
+pub fn stream_barabasi_albert(n: usize, m: usize, seed: u64, sink: EdgeSink) -> io::Result<u64> {
     assert!(m >= 1, "each new vertex must attach at least one edge");
     assert!(n > m, "need more vertices than the attachment count");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * m);
-    // `targets` holds one entry per edge endpoint: sampling uniformly
+    let mut count = 0u64;
+    // `endpoints` holds one entry per edge endpoint: sampling uniformly
     // from it is sampling proportionally to degree.
     let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
     // Seed clique.
     for u in 0..=(m as u32) {
         for v in (u + 1)..=(m as u32) {
-            edges.push((VertexId(u), VertexId(v)));
+            sink(VertexId(u), VertexId(v))?;
+            count += 1;
             endpoints.push(u);
             endpoints.push(v);
         }
@@ -107,11 +133,27 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
         let mut targets: Vec<u32> = picked.iter().copied().collect();
         targets.sort_unstable();
         for t in targets {
-            edges.push((VertexId(new), VertexId(t)));
+            sink(VertexId(new), VertexId(t))?;
+            count += 1;
             endpoints.push(new);
             endpoints.push(t);
         }
     }
+    Ok(count)
+}
+
+/// Barabási–Albert preferential attachment: starts from a clique of
+/// `m + 1` vertices and attaches each new vertex to `m` existing
+/// vertices chosen proportionally to degree. Produces the heavy-tailed
+/// degree distribution typical of the social networks in Table II.
+/// In-memory wrapper over [`stream_barabasi_albert`].
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * m);
+    stream_barabasi_albert(n, m, seed, &mut |u, v| {
+        edges.push((u, v));
+        Ok(())
+    })
+    .expect("in-memory sink cannot fail");
     Graph::from_edges(n, &edges)
 }
 
@@ -135,6 +177,38 @@ pub fn plant_clique(g: &Graph, k: usize, seed: u64) -> (Graph, Vec<VertexId>) {
     (Graph::from_edges(n, &edges), members)
 }
 
+/// Streaming planted clique: samples `k` distinct members of `0..n`
+/// (Floyd's algorithm, O(k) state — no n-length shuffle) and emits the
+/// `k·(k−1)/2` clique edges. Combine with another streaming generator
+/// writing to the same sink to plant a dense region in a huge graph;
+/// downstream deduplication collapses any overlap with existing edges.
+/// Returns the sorted members.
+pub fn stream_planted_clique(
+    n: usize,
+    k: usize,
+    seed: u64,
+    sink: EdgeSink,
+) -> io::Result<Vec<VertexId>> {
+    assert!(k <= n, "cannot plant a clique larger than the graph");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    // Floyd: for j in n-k..n, pick t in [0, j]; if taken, use j itself.
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j as u64) as usize;
+        if !chosen.insert(t as u32) {
+            chosen.insert(j as u32);
+        }
+    }
+    let mut members: Vec<VertexId> = chosen.into_iter().map(VertexId).collect();
+    members.sort_unstable();
+    for i in 0..k {
+        for j in (i + 1)..k {
+            sink(members[i], members[j])?;
+        }
+    }
+    Ok(members)
+}
+
 /// Assigns each vertex a uniform random label from `0..num_labels`.
 pub fn random_labels(g: Graph, num_labels: u16, seed: u64) -> Graph {
     assert!(num_labels >= 1);
@@ -143,17 +217,25 @@ pub fn random_labels(g: Graph, num_labels: u16, seed: u64) -> Graph {
     g.with_labels(labels)
 }
 
-/// R-MAT (recursive matrix / Kronecker-style) generator — the standard
-/// synthetic model for skewed web/social graphs (used by Graph500).
-/// Generates `m` edge samples over `2^scale` vertices by recursively
-/// choosing quadrants with probabilities `(a, b, c, 1−a−b−c)`;
-/// duplicates and self-loops collapse, so the edge count is ≤ `m`.
-pub fn rmat(scale: u32, m: usize, a: f64, b: f64, c: f64, seed: u64) -> Graph {
+/// Streaming R-MAT: emits up to `m` edge samples with O(1) working
+/// state (just the RNG). Self-loops are skipped; **duplicate edges are
+/// emitted as sampled** — downstream consumers (loaders, the
+/// compressed-graph builder) deduplicate, matching how [`rmat`] relies
+/// on [`Graph::from_edges`] to collapse them. Identical sample
+/// sequence to [`rmat`] for the same seed. Returns the emitted count.
+pub fn stream_rmat(
+    scale: u32,
+    m: usize,
+    a: f64,
+    b: f64,
+    c: f64,
+    seed: u64,
+    sink: EdgeSink,
+) -> io::Result<u64> {
     assert!((1..=28).contains(&scale), "2^scale vertices must be sane");
     assert!(a > 0.0 && b >= 0.0 && c >= 0.0 && a + b + c < 1.0, "bad quadrant probabilities");
-    let n = 1usize << scale;
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut edges = Vec::with_capacity(m);
+    let mut count = 0u64;
     for _ in 0..m {
         let (mut u, mut v) = (0usize, 0usize);
         for _ in 0..scale {
@@ -171,9 +253,27 @@ pub fn rmat(scale: u32, m: usize, a: f64, b: f64, c: f64, seed: u64) -> Graph {
             v = (v << 1) | dv;
         }
         if u != v {
-            edges.push((VertexId(u as u32), VertexId(v as u32)));
+            sink(VertexId(u as u32), VertexId(v as u32))?;
+            count += 1;
         }
     }
+    Ok(count)
+}
+
+/// R-MAT (recursive matrix / Kronecker-style) generator — the standard
+/// synthetic model for skewed web/social graphs (used by Graph500).
+/// Generates `m` edge samples over `2^scale` vertices by recursively
+/// choosing quadrants with probabilities `(a, b, c, 1−a−b−c)`;
+/// duplicates and self-loops collapse, so the edge count is ≤ `m`.
+/// In-memory wrapper over [`stream_rmat`].
+pub fn rmat(scale: u32, m: usize, a: f64, b: f64, c: f64, seed: u64) -> Graph {
+    let n = 1usize << scale;
+    let mut edges = Vec::with_capacity(m);
+    stream_rmat(scale, m, a, b, c, seed, &mut |u, v| {
+        edges.push((u, v));
+        Ok(())
+    })
+    .expect("in-memory sink cannot fail");
     Graph::from_edges(n, &edges)
 }
 
@@ -301,6 +401,91 @@ mod tests {
         for v in g.vertices() {
             assert!(g.label(v).unwrap().value() < 4);
         }
+    }
+
+    #[test]
+    fn streaming_generators_match_in_memory_twins() {
+        // Same seed ⇒ byte-identical edge sequences.
+        let collect = |f: &dyn Fn(EdgeSink) -> io::Result<u64>| {
+            let mut edges = Vec::new();
+            let n = f(&mut |u, v| {
+                edges.push((u, v));
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(n as usize, edges.len());
+            edges
+        };
+        let streamed = collect(&|s| stream_gnp(120, 0.07, 3, s));
+        assert_eq!(
+            Graph::from_edges(120, &streamed).edges().collect::<Vec<_>>(),
+            gnp(120, 0.07, 3).edges().collect::<Vec<_>>()
+        );
+
+        let streamed = collect(&|s| stream_barabasi_albert(200, 3, 9, s));
+        assert_eq!(
+            Graph::from_edges(200, &streamed).edges().collect::<Vec<_>>(),
+            barabasi_albert(200, 3, 9).edges().collect::<Vec<_>>()
+        );
+
+        let streamed = collect(&|s| stream_rmat(10, 5000, 0.57, 0.19, 0.19, 4, s));
+        assert_eq!(
+            Graph::from_edges(1 << 10, &streamed).edges().collect::<Vec<_>>(),
+            rmat(10, 5000, 0.57, 0.19, 0.19, 4).edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn streaming_generators_replay_exactly() {
+        // The compressed builder relies on two passes over the same
+        // seed producing identical streams.
+        for _ in 0..2 {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            stream_gnp(300, 0.02, 77, &mut |u, v| {
+                a.push((u, v));
+                Ok(())
+            })
+            .unwrap();
+            stream_gnp(300, 0.02, 77, &mut |u, v| {
+                b.push((u, v));
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn stream_planted_clique_members_are_distinct_and_connected() {
+        let mut edges = Vec::new();
+        let members = stream_planted_clique(1000, 20, 5, &mut |u, v| {
+            edges.push((u, v));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(members.len(), 20);
+        assert!(members.windows(2).all(|w| w[0] < w[1]), "members sorted + distinct");
+        assert!(members.iter().all(|m| m.index() < 1000));
+        assert_eq!(edges.len(), 20 * 19 / 2);
+        // Determinism.
+        let members2 = stream_planted_clique(1000, 20, 5, &mut |_, _| Ok(())).unwrap();
+        assert_eq!(members, members2);
+    }
+
+    #[test]
+    fn sink_errors_propagate() {
+        let mut left = 3;
+        let err = stream_gnp(100, 0.5, 1, &mut |_, _| {
+            left -= 1;
+            if left == 0 {
+                Err(io::Error::other("disk full"))
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.to_string(), "disk full");
     }
 
     #[test]

@@ -26,6 +26,8 @@
 
 pub mod adj;
 pub mod bitset;
+pub mod compressed;
+pub mod crc;
 pub mod csr;
 pub mod datasets;
 pub mod gen;
@@ -33,15 +35,20 @@ pub mod graph;
 pub mod hash;
 pub mod ids;
 pub mod load;
+pub mod mmap;
 pub mod order;
 pub mod partition;
 pub mod stats;
+pub mod store;
 pub mod subgraph;
 pub mod trim;
+pub mod vbyte;
 
 pub use adj::AdjList;
+pub use compressed::CompressedGraph;
 pub use graph::Graph;
 pub use ids::{Label, VertexId};
 pub use partition::HashPartitioner;
+pub use store::AdjacencyStore;
 pub use subgraph::Subgraph;
 pub use trim::Trimmer;

@@ -1,10 +1,25 @@
-//! Text loaders and writers for graph files.
+//! Text and binary loaders/writers for graph files.
 //!
 //! G-thinker loads its input from HDFS as one `(v, Γ(v))` record per
 //! line. We reproduce that format ([`read_adjacency`] /
 //! [`write_adjacency`]) plus the ubiquitous SNAP-style edge-list format
-//! ([`read_edge_list`] / [`write_edge_list`]). Lines starting with `#`
-//! are comments in both formats.
+//! ([`read_edge_list`] / [`write_edge_list`]), a compact binary
+//! adjacency format ([`read_binary`] / [`write_binary`]) and a binary
+//! *edge stream* format ([`EdgeFileWriter`] / [`for_each_edge_file`])
+//! that the streaming generators write without ever holding the edge
+//! list in memory. Lines starting with `#` are comments in both text
+//! formats.
+//!
+//! ## Malformed input policy
+//!
+//! * Parse failures report the **file name** (when known) and 1-based
+//!   line number — never a panic.
+//! * **Self-loops** (`u u`) are *dropped* by the lenient text loaders
+//!   (real-world SNAP dumps contain them) — consistently in both the
+//!   edge-list and adjacency formats. The strict binary formats, which
+//!   only our own writers produce, *reject* them as corruption.
+//! * **Duplicate edges** collapse in the text loaders; the binary
+//!   adjacency format rejects them (its writer never emits any).
 
 use crate::adj::AdjList;
 use crate::graph::Graph;
@@ -17,16 +32,39 @@ use std::path::Path;
 pub enum LoadError {
     /// Underlying IO failure.
     Io(io::Error),
-    /// A malformed line, with its 1-based line number and content.
-    Parse { line: usize, content: String },
+    /// A malformed line, with the source file (when known), its 1-based
+    /// line number (0 for binary formats) and the offending content.
+    Parse { file: Option<String>, line: usize, content: String },
+}
+
+impl LoadError {
+    fn parse(line: usize, content: impl Into<String>) -> Self {
+        LoadError::Parse { file: None, line, content: content.into() }
+    }
+
+    /// Attaches the source file name to a parse error (IO errors keep
+    /// their own context).
+    pub fn in_file(mut self, path: &Path) -> Self {
+        if let LoadError::Parse { file, .. } = &mut self {
+            *file = Some(path.display().to_string());
+        }
+        self
+    }
 }
 
 impl std::fmt::Display for LoadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LoadError::Io(e) => write!(f, "io error: {e}"),
-            LoadError::Parse { line, content } => {
-                write!(f, "parse error at line {line}: {content:?}")
+            LoadError::Parse { file, line, content } => {
+                match file {
+                    Some(name) => write!(f, "{name}:")?,
+                    None => write!(f, "parse error at ")?,
+                }
+                if *line > 0 {
+                    write!(f, "line {line}: ")?;
+                }
+                write!(f, "{content:?}")
             }
         }
     }
@@ -47,13 +85,24 @@ impl From<io::Error> for LoadError {
     }
 }
 
-/// Reads a whitespace-separated edge list (`u v` per line). Vertex count
-/// is `max id + 1`.
-pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, LoadError> {
+impl From<LoadError> for io::Error {
+    fn from(e: LoadError) -> Self {
+        match e {
+            LoadError::Io(e) => e,
+            parse => io::Error::new(io::ErrorKind::InvalidData, parse.to_string()),
+        }
+    }
+}
+
+/// Streams the edges of a whitespace-separated text edge list (`u v`
+/// per line) into `sink`. Self-loops are dropped; duplicates pass
+/// through. Returns the number of edges delivered.
+pub fn for_each_edge_text<R: Read>(
+    reader: R,
+    sink: &mut dyn FnMut(VertexId, VertexId) -> io::Result<()>,
+) -> Result<u64, LoadError> {
     let buf = BufReader::new(reader);
-    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
-    let mut max_id: u32 = 0;
-    let mut any = false;
+    let mut count = 0u64;
     for (lineno, line) in buf.lines().enumerate() {
         let line = line?;
         let t = line.trim();
@@ -64,19 +113,32 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, LoadError> {
         let (u, v) = match (it.next(), it.next()) {
             (Some(a), Some(b)) => {
                 let parse = |s: &str| {
-                    s.parse::<u32>()
-                        .map_err(|_| LoadError::Parse { line: lineno + 1, content: line.clone() })
+                    s.parse::<u32>().map_err(|_| LoadError::parse(lineno + 1, line.clone()))
                 };
                 (parse(a)?, parse(b)?)
             }
-            _ => {
-                return Err(LoadError::Parse { line: lineno + 1, content: line });
-            }
+            _ => return Err(LoadError::parse(lineno + 1, line)),
         };
-        any = true;
-        max_id = max_id.max(u).max(v);
-        edges.push((VertexId(u), VertexId(v)));
+        if u == v {
+            continue; // lenient: drop self-loops (see module docs)
+        }
+        sink(VertexId(u), VertexId(v))?;
+        count += 1;
     }
+    Ok(count)
+}
+
+/// Reads a whitespace-separated edge list. Vertex count is `max id + 1`.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, LoadError> {
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut max_id: u32 = 0;
+    let mut any = false;
+    for_each_edge_text(reader, &mut |u, v| {
+        any = true;
+        max_id = max_id.max(u.0).max(v.0);
+        edges.push((u, v));
+        Ok(())
+    })?;
     let n = if any { max_id as usize + 1 } else { 0 };
     Ok(Graph::from_edges(n, &edges))
 }
@@ -93,7 +155,8 @@ pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
 
 /// Reads the G-thinker adjacency format: `v<TAB>n u1 u2 ... un` per line
 /// (the layout the paper's HDFS loader parses). Labeled variant:
-/// `v:label<TAB>n u1 ...`.
+/// `v:label<TAB>n u1 ...`. Self-loops (`v` listing itself) are dropped;
+/// a vertex appearing on two lines is a parse error.
 pub fn read_adjacency<R: Read>(reader: R) -> Result<Graph, LoadError> {
     let buf = BufReader::new(reader);
     let mut rows: Vec<(u32, Option<Label>, Vec<VertexId>)> = Vec::new();
@@ -105,7 +168,7 @@ pub fn read_adjacency<R: Read>(reader: R) -> Result<Graph, LoadError> {
         if t.is_empty() || t.starts_with('#') {
             continue;
         }
-        let err = || LoadError::Parse { line: lineno + 1, content: line.clone() };
+        let err = || LoadError::parse(lineno + 1, line.clone());
         let (head, rest) = t.split_once(char::is_whitespace).ok_or_else(err)?;
         let (v, label) = if let Some((vs, ls)) = head.split_once(':') {
             labeled = true;
@@ -119,12 +182,19 @@ pub fn read_adjacency<R: Read>(reader: R) -> Result<Graph, LoadError> {
         let mut it = rest.split_whitespace();
         let count: usize = it.next().ok_or_else(err)?.parse().map_err(|_| err())?;
         let mut nbrs = Vec::with_capacity(count);
+        let mut dropped_loops = 0usize;
         for tok in it {
             let u = tok.parse::<u32>().map_err(|_| err())?;
             max_id = max_id.max(u);
+            if u == v {
+                dropped_loops += 1; // lenient: drop self-loops (see module docs)
+                continue;
+            }
             nbrs.push(VertexId(u));
         }
-        if nbrs.len() != count {
+        // The declared count covers the list as written, including any
+        // self-loops we just dropped.
+        if nbrs.len() + dropped_loops != count {
             return Err(err());
         }
         max_id = max_id.max(v);
@@ -135,8 +205,13 @@ pub fn read_adjacency<R: Read>(reader: R) -> Result<Graph, LoadError> {
     }
     let n = max_id as usize + 1;
     let mut adj = vec![AdjList::new(); n];
+    let mut seen = vec![false; n];
     let mut labels = vec![Label::default(); n];
     for (v, label, nbrs) in rows {
+        if seen[v as usize] {
+            return Err(LoadError::parse(0, format!("vertex {v} defined on more than one line")));
+        }
+        seen[v as usize] = true;
         adj[v as usize] = AdjList::from_unsorted(nbrs);
         if let Some(l) = label {
             labels[v as usize] = l;
@@ -163,17 +238,25 @@ pub fn write_adjacency<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
     w.flush()
 }
 
-/// Convenience: loads an edge-list file from disk.
+/// Convenience: loads an edge-list file from disk, naming the file in
+/// any parse error.
 pub fn load_edge_list_file(path: &Path) -> Result<Graph, LoadError> {
-    read_edge_list(std::fs::File::open(path)?)
+    read_edge_list(std::fs::File::open(path)?).map_err(|e| e.in_file(path))
 }
 
-/// Convenience: loads an adjacency file from disk.
+/// Convenience: loads an adjacency file from disk, naming the file in
+/// any parse error.
 pub fn load_adjacency_file(path: &Path) -> Result<Graph, LoadError> {
-    read_adjacency(std::fs::File::open(path)?)
+    read_adjacency(std::fs::File::open(path)?).map_err(|e| e.in_file(path))
 }
 
-/// Magic header of the binary graph format.
+/// Convenience: loads a binary adjacency file from disk, naming the
+/// file in any parse error.
+pub fn load_binary_file(path: &Path) -> Result<Graph, LoadError> {
+    read_binary(std::fs::File::open(path)?).map_err(|e| e.in_file(path))
+}
+
+/// Magic header of the binary adjacency format.
 const BINARY_MAGIC: &[u8; 8] = b"GTHINK01";
 
 /// Writes `g` in a compact binary format (little-endian; much faster
@@ -200,10 +283,12 @@ pub fn write_binary<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
     w.flush()
 }
 
-/// Reads the binary format written by [`write_binary`].
+/// Reads the binary format written by [`write_binary`]. Strict: rejects
+/// unsorted/duplicate adjacency and self-loops (our writer emits
+/// neither, so their presence means corruption).
 pub fn read_binary<R: Read>(reader: R) -> Result<Graph, LoadError> {
     let mut r = BufReader::new(reader);
-    let bad = |what: &str| LoadError::Parse { line: 0, content: what.to_string() };
+    let bad = |what: &str| LoadError::parse(0, what);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != BINARY_MAGIC {
@@ -221,7 +306,7 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Graph, LoadError> {
     };
     let mut u32buf = [0u8; 4];
     let mut adj = Vec::with_capacity(n);
-    for _ in 0..n {
+    for v in 0..n {
         r.read_exact(&mut u32buf)?;
         let deg = u32::from_le_bytes(u32buf) as usize;
         let mut nbrs = Vec::with_capacity(deg.min(1 << 20));
@@ -230,7 +315,10 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Graph, LoadError> {
             nbrs.push(VertexId(u32::from_le_bytes(u32buf)));
         }
         if nbrs.windows(2).any(|w| w[0] >= w[1]) {
-            return Err(bad("unsorted adjacency"));
+            return Err(bad("unsorted or duplicate adjacency"));
+        }
+        if nbrs.binary_search(&VertexId(v as u32)).is_ok() {
+            return Err(bad("self-loop in adjacency"));
         }
         adj.push(AdjList::from_sorted(nbrs));
     }
@@ -246,6 +334,100 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Graph, LoadError> {
     } else {
         Ok(g)
     }
+}
+
+/// Magic header of the binary edge-stream format (`.bel`).
+const EDGE_BINARY_MAGIC: &[u8; 8] = b"GTEDGE01";
+
+/// Appends edges to a binary edge-stream file: magic, then `(u, v)`
+/// pairs of `u32` little-endian until EOF. The format is what the
+/// streaming generators write — sequential, append-only, 8 bytes per
+/// edge, no in-memory edge list anywhere.
+pub struct EdgeFileWriter {
+    w: BufWriter<std::fs::File>,
+    count: u64,
+}
+
+impl EdgeFileWriter {
+    /// Creates (truncates) the file at `path` and writes the magic.
+    pub fn create(path: &Path) -> io::Result<EdgeFileWriter> {
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        w.write_all(EDGE_BINARY_MAGIC)?;
+        Ok(EdgeFileWriter { w, count: 0 })
+    }
+
+    /// Appends one edge.
+    pub fn edge(&mut self, u: VertexId, v: VertexId) -> io::Result<()> {
+        self.w.write_all(&u.0.to_le_bytes())?;
+        self.w.write_all(&v.0.to_le_bytes())?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Flushes and returns the number of edges written.
+    pub fn finish(mut self) -> io::Result<u64> {
+        self.w.flush()?;
+        Ok(self.count)
+    }
+}
+
+/// Streams the edges of a binary edge-stream file into `sink`.
+/// Self-loops are dropped (same lenient policy as the text loader); a
+/// trailing partial pair is a clean parse error.
+pub fn for_each_edge_binary<R: Read>(
+    reader: R,
+    sink: &mut dyn FnMut(VertexId, VertexId) -> io::Result<()>,
+) -> Result<u64, LoadError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != EDGE_BINARY_MAGIC {
+        return Err(LoadError::parse(0, "bad magic: not a GTEDGE01 edge stream"));
+    }
+    let mut pair = [0u8; 8];
+    let mut count = 0u64;
+    loop {
+        // Byte-exact fill so clean EOF (0 bytes) and a torn trailing
+        // pair (1..7 bytes) are distinguishable.
+        let mut got = 0usize;
+        while got < 8 {
+            match r.read(&mut pair[got..]) {
+                Ok(0) => break,
+                Ok(k) => got += k,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if got == 0 {
+            return Ok(count);
+        }
+        if got < 8 {
+            return Err(LoadError::parse(0, "truncated edge pair at end of file"));
+        }
+        let u = u32::from_le_bytes(pair[..4].try_into().unwrap());
+        let v = u32::from_le_bytes(pair[4..].try_into().unwrap());
+        if u == v {
+            continue;
+        }
+        sink(VertexId(u), VertexId(v))?;
+        count += 1;
+    }
+}
+
+/// Streams every edge of the file at `path` into `sink`, dispatching on
+/// extension: `.bel` is the binary edge stream, anything else is the
+/// text edge list. Parse errors name the file.
+pub fn for_each_edge_file(
+    path: &Path,
+    sink: &mut dyn FnMut(VertexId, VertexId) -> io::Result<()>,
+) -> Result<u64, LoadError> {
+    let f = std::fs::File::open(path)?;
+    let result = if path.extension().is_some_and(|e| e == "bel") {
+        for_each_edge_binary(f, sink)
+    } else {
+        for_each_edge_text(f, sink)
+    };
+    result.map_err(|e| e.in_file(path))
 }
 
 #[cfg(test)]
@@ -300,8 +482,42 @@ mod tests {
             Err(LoadError::Parse { line, .. }) => assert_eq!(line, 2),
             other => panic!("expected parse error, got {other:?}"),
         }
-        let text2 = "0\t3 1 2\n"; // claims 3 neighbors, lists 2
+        let text2 = "0\tx 1 2\n"; // degree field is not a number
         assert!(matches!(read_adjacency(text2.as_bytes()), Err(LoadError::Parse { line: 1, .. })));
+    }
+
+    #[test]
+    fn parse_errors_name_the_file() {
+        let dir = std::env::temp_dir().join(format!("gthinker-load-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.el");
+        std::fs::write(&path, "0 1\n7 banana\n").unwrap();
+        let err = load_edge_list_file(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("broken.el"), "missing file name: {msg}");
+        assert!(msg.contains("line 2"), "missing line number: {msg}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn self_loops_dropped_consistently_in_text_formats() {
+        // Edge list: 1-1 dropped, 0-1 kept.
+        let g = read_edge_list("0 1\n1 1\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.has_edge(VertexId(1), VertexId(1)));
+        // Adjacency: vertex 1 lists itself; the loop is dropped, the
+        // real neighbor survives.
+        let g = read_adjacency("0\t1 1\n1\t2 0 1\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.has_edge(VertexId(1), VertexId(1)));
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+        g.validate_undirected().unwrap();
+    }
+
+    #[test]
+    fn duplicate_adjacency_rows_rejected() {
+        let err = read_adjacency("0\t1 1\n0\t1 1\n1\t1 0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("more than one line"), "{err}");
     }
 
     #[test]
@@ -333,7 +549,7 @@ mod tests {
     }
 
     #[test]
-    fn binary_rejects_corruption() {
+    fn binary_rejects_corruption_and_self_loops() {
         let g = gen::cycle(5);
         let mut buf = Vec::new();
         write_binary(&g, &mut buf).unwrap();
@@ -343,6 +559,58 @@ mod tests {
         assert!(read_binary(bad.as_slice()).is_err());
         // Truncation.
         assert!(read_binary(&buf[..buf.len() - 3]).is_err());
+        // Hand-craft a record with a self-loop: n=1, unlabeled, Γ(0)={0}.
+        let mut evil = Vec::new();
+        evil.extend_from_slice(b"GTHINK01");
+        evil.extend_from_slice(&1u64.to_le_bytes());
+        evil.push(0);
+        evil.extend_from_slice(&1u32.to_le_bytes());
+        evil.extend_from_slice(&0u32.to_le_bytes());
+        let err = read_binary(evil.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("self-loop"), "{err}");
+    }
+
+    #[test]
+    fn binary_edge_stream_round_trips() {
+        let dir = std::env::temp_dir().join(format!("gthinker-bel-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("edges.bel");
+        let mut w = EdgeFileWriter::create(&path).unwrap();
+        let written = vec![(0u32, 1u32), (5, 2), (3, 3), (2, 9)]; // (3,3) is a self-loop
+        for &(u, v) in &written {
+            w.edge(VertexId(u), VertexId(v)).unwrap();
+        }
+        assert_eq!(w.finish().unwrap(), 4);
+        let mut got = Vec::new();
+        let n = for_each_edge_file(&path, &mut |u, v| {
+            got.push((u.0, v.0));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(n, 3, "self-loop must be dropped");
+        assert_eq!(got, vec![(0, 1), (5, 2), (2, 9)]);
+        // Torn trailing pair is a clean error naming the file.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.pop();
+        std::fs::write(&path, &bytes).unwrap();
+        let err = for_each_edge_file(&path, &mut |_, _| Ok(())).unwrap_err();
+        assert!(err.to_string().contains("edges.bel"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn text_edge_streaming_matches_loader() {
+        let g = gen::gnp(40, 0.2, 9);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let mut streamed = Vec::new();
+        let n = for_each_edge_text(buf.as_slice(), &mut |u, v| {
+            streamed.push((u, v));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(n as usize, g.num_edges());
+        assert_eq!(streamed, g.edges().collect::<Vec<_>>());
     }
 
     #[test]

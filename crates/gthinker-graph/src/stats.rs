@@ -16,10 +16,12 @@ pub struct GraphStats {
     pub avg_degree: f64,
     /// Number of isolated (degree-0) vertices.
     pub isolated: usize,
-    /// 50th/90th/99th percentile degrees.
+    /// 50th percentile degree.
     pub degree_p50: usize,
     /// 90th percentile degree.
     pub degree_p90: usize,
+    /// 95th percentile degree.
+    pub degree_p95: usize,
     /// 99th percentile degree.
     pub degree_p99: usize,
 }
@@ -27,7 +29,16 @@ pub struct GraphStats {
 impl GraphStats {
     /// Computes statistics over `g`.
     pub fn of(g: &Graph) -> Self {
-        let n = g.num_vertices();
+        Self::from_degrees(g.vertices().map(|v| g.degree(v)))
+    }
+
+    /// Computes statistics from a degree sequence — the path `graph
+    /// stats` uses for compressed files, where degrees are readable
+    /// without decoding any adjacency
+    /// ([`crate::compressed::CompressedGraph::degrees`]).
+    pub fn from_degrees(iter: impl Iterator<Item = usize>) -> Self {
+        let mut degrees: Vec<usize> = iter.collect();
+        let n = degrees.len();
         if n == 0 {
             return GraphStats {
                 num_vertices: 0,
@@ -37,10 +48,10 @@ impl GraphStats {
                 isolated: 0,
                 degree_p50: 0,
                 degree_p90: 0,
+                degree_p95: 0,
                 degree_p99: 0,
             };
         }
-        let mut degrees: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
         degrees.sort_unstable();
         let num_edges = degrees.iter().sum::<usize>() / 2;
         let pct = |p: f64| -> usize {
@@ -55,6 +66,7 @@ impl GraphStats {
             isolated: degrees.iter().take_while(|&&d| d == 0).count(),
             degree_p50: pct(0.50),
             degree_p90: pct(0.90),
+            degree_p95: pct(0.95),
             degree_p99: pct(0.99),
         }
     }
@@ -101,6 +113,16 @@ mod tests {
         let g = Graph::from_edges(4, &[(VertexId(0), VertexId(1))]);
         let s = GraphStats::of(&g);
         assert_eq!(s.isolated, 2);
+    }
+
+    #[test]
+    fn from_degrees_matches_of_and_includes_p95() {
+        let g = gen::barabasi_albert(300, 3, 2);
+        let a = GraphStats::of(&g);
+        let b = GraphStats::from_degrees(g.vertices().map(|v| g.degree(v)));
+        assert_eq!(a, b);
+        assert!(a.degree_p50 <= a.degree_p95 && a.degree_p95 <= a.degree_p99);
+        assert!(a.degree_p99 <= a.max_degree);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Property-based tests for the graph substrate.
 
 use gthinker_graph::adj::{count_intersect_sorted, intersect_sorted, AdjList};
+use gthinker_graph::compressed::{write_compressed, CompressedGraph};
 use gthinker_graph::gen;
 use gthinker_graph::graph::Graph;
 use gthinker_graph::ids::VertexId;
@@ -8,6 +9,7 @@ use gthinker_graph::load;
 use gthinker_graph::partition::HashPartitioner;
 use gthinker_graph::stats::GraphStats;
 use gthinker_graph::subgraph::Subgraph;
+use gthinker_graph::vbyte;
 use proptest::prelude::*;
 
 fn ids(v: Vec<u32>) -> Vec<VertexId> {
@@ -121,6 +123,128 @@ proptest! {
         // Every edge survives with the same endpoints (via global IDs).
         for (u, v) in g.edges() {
             prop_assert!(sg.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn varint_round_trips_any_u64(value in any::<u64>()) {
+        let mut buf = Vec::new();
+        vbyte::write_varint(value, &mut buf);
+        prop_assert_eq!(buf.len(), vbyte::varint_len(value));
+        let mut pos = 0;
+        prop_assert_eq!(vbyte::read_varint(&buf, &mut pos).unwrap(), value);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn zigzag_round_trips_any_i64(value in any::<i64>()) {
+        prop_assert_eq!(vbyte::unzigzag(vbyte::zigzag(value)), value);
+    }
+
+    #[test]
+    fn adjacency_codec_round_trips(
+        v in 0u32..5000,
+        raw in proptest::collection::vec(0u32..5000, 0..100),
+    ) {
+        // Covers degree-0 (empty list), singleton adjacency, and —
+        // because the values are arbitrary — first-neighbor deltas of
+        // both signs. Sort + dedup yields the strictly ascending input
+        // the codec requires.
+        let mut raw = raw;
+        raw.sort_unstable();
+        raw.dedup();
+        let nbrs: Vec<VertexId> = raw.into_iter().map(VertexId).collect();
+        let mut buf = Vec::new();
+        vbyte::encode_adjacency(VertexId(v), &nbrs, &mut buf);
+        let back = vbyte::decode_adjacency_exact(VertexId(v), &buf, 0, buf.len()).unwrap();
+        prop_assert_eq!(back, nbrs);
+    }
+
+    #[test]
+    fn adjacency_codec_handles_extreme_gaps(
+        v in prop_oneof![Just(0u32), Just(u32::MAX), any::<u32>()],
+        low in 0u32..4,
+        high_off in 0u32..4,
+    ) {
+        // Max-gap edges: a neighbor near 0 and one near u32::MAX in the
+        // same list forces a near-2^32 gap code.
+        let a = low;
+        let b = u32::MAX - high_off;
+        prop_assume!(a < b);
+        let nbrs = vec![VertexId(a), VertexId(b)];
+        let mut buf = Vec::new();
+        vbyte::encode_adjacency(VertexId(v), &nbrs, &mut buf);
+        let back = vbyte::decode_adjacency_exact(VertexId(v), &buf, 0, buf.len()).unwrap();
+        prop_assert_eq!(back, nbrs);
+    }
+
+    #[test]
+    fn truncated_adjacency_records_error_cleanly(
+        v in 0u32..1000,
+        raw in proptest::collection::vec(0u32..100_000, 1..40),
+        frac in 0.0f64..1.0,
+    ) {
+        let mut raw = raw;
+        raw.sort_unstable();
+        raw.dedup();
+        let nbrs: Vec<VertexId> = raw.into_iter().map(VertexId).collect();
+        let mut buf = Vec::new();
+        vbyte::encode_adjacency(VertexId(v), &nbrs, &mut buf);
+        let cut = ((buf.len() as f64) * frac) as usize; // always < len
+        let result = vbyte::decode_adjacency_exact(VertexId(v), &buf, 0, cut);
+        prop_assert!(result.is_err(), "cut to {} of {} bytes must fail", cut, buf.len());
+    }
+
+    #[test]
+    fn corrupt_adjacency_bytes_never_panic(
+        v in 0u32..1000,
+        garbage in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // Arbitrary bytes either decode to something or error — the
+        // contract is simply "no panic, no out-of-bounds".
+        let _ = vbyte::decode_adjacency_exact(VertexId(v), &garbage, 0, garbage.len());
+    }
+
+    #[test]
+    fn compressed_file_round_trips_any_graph(
+        edges in proptest::collection::vec((0u32..60, 0u32..60), 0..200),
+        extra_vertices in 0usize..5,
+    ) {
+        let pairs: Vec<(VertexId, VertexId)> =
+            edges.iter().map(|&(u, v)| (VertexId(u), VertexId(v))).collect();
+        let g = Graph::from_edges(60 + extra_vertices, &pairs);
+        let dir = std::env::temp_dir().join(format!("gthinker-prop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("prop.gtc");
+        write_compressed(&g, &path).unwrap();
+        let c = CompressedGraph::open(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        prop_assert_eq!(c.num_vertices(), g.num_vertices());
+        prop_assert_eq!(c.num_edges() as usize, g.num_edges());
+        for v in g.vertices() {
+            prop_assert_eq!(&c.adjacency(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn corrupt_compressed_files_error_not_panic(
+        edges in proptest::collection::vec((0u32..30, 0u32..30), 1..60),
+        flip_byte in any::<u8>(),
+        flip_frac in 0.0f64..1.0,
+    ) {
+        let pairs: Vec<(VertexId, VertexId)> =
+            edges.iter().map(|&(u, v)| (VertexId(u), VertexId(v))).collect();
+        let g = Graph::from_edges(30, &pairs);
+        let dir = std::env::temp_dir().join(format!("gthinker-prop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("corrupt-{flip_byte}.gtc"));
+        write_compressed(&g, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let at = ((bytes.len() - 1) as f64 * flip_frac) as usize;
+        if flip_byte != 0 {
+            bytes[at] ^= flip_byte;
+            prop_assert!(CompressedGraph::from_bytes(bytes).is_err());
         }
     }
 

@@ -6,17 +6,58 @@
 //! shared **"next" spawn pointer** (Fig. 7): compers lock and forward it
 //! to claim batches of not-yet-spawned vertices when they need to
 //! generate fresh tasks.
+//!
+//! Two backings exist behind the same lookup API:
+//!
+//! * **Eager** — every owned `(v, Γ(v))` record materialized up front,
+//!   the classic path for in-RAM graphs (lists are trimmed before
+//!   partitioning).
+//! * **Lazy** — a shared [`AdjacencyStore`] (typically a memory-mapped
+//!   compressed graph) plus a membership bitset; `Γ(v)` is decoded on
+//!   each lookup and the job's trimmer, if any, is applied at decode
+//!   time. The worker's own resident footprint is then just the bitset
+//!   and spawn order, not the partition's adjacency bytes — those stay
+//!   in the page cache.
 
 use gthinker_graph::adj::{AdjList, SharedAdj};
 use gthinker_graph::hash::{fast_map_with_capacity, FastMap};
 use gthinker_graph::ids::{Label, VertexId};
+use gthinker_graph::store::AdjacencyStore;
+use gthinker_graph::trim::Trimmer;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
+/// A fixed-size bitset over vertex IDs `0..n`.
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn with_capacity(n: usize) -> Self {
+        BitSet { words: vec![0; n.div_ceil(64)] }
+    }
+
+    fn set(&mut self, i: u32) {
+        self.words[i as usize / 64] |= 1 << (i % 64);
+    }
+
+    fn contains(&self, i: u32) -> bool {
+        self.words.get(i as usize / 64).is_some_and(|w| w & (1 << (i % 64)) != 0)
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+}
+
+enum Backing {
+    Eager { map: FastMap<VertexId, SharedAdj>, labels: FastMap<VertexId, Label> },
+    Lazy { store: Arc<dyn AdjacencyStore>, trimmer: Option<Arc<dyn Trimmer>>, members: BitSet },
+}
+
 /// A worker's partition of `(v, Γ(v))` records.
 pub struct LocalTable {
-    map: FastMap<VertexId, SharedAdj>,
-    labels: FastMap<VertexId, Label>,
+    backing: Backing,
     /// Vertex IDs in load order; the spawn pointer indexes into this.
     order: Vec<VertexId>,
     /// Index of the next vertex to spawn a task from.
@@ -43,35 +84,90 @@ impl LocalTable {
         for (v, l) in labels {
             label_map.insert(v, l);
         }
-        LocalTable { map, labels: label_map, order, next: Mutex::new(0) }
+        LocalTable {
+            backing: Backing::Eager { map, labels: label_map },
+            order,
+            next: Mutex::new(0),
+        }
+    }
+
+    /// Builds a lazily-decoding table over a shared store: `members`
+    /// lists this worker's owned vertices in spawn order, and every
+    /// [`LocalTable::get`] decodes `Γ(v)` from `store`, applying
+    /// `trimmer` (the job's post-load trim, §IV item 7) on the decoded
+    /// list. Equivalent to the eager path because trimming is
+    /// per-vertex and ownership depends only on the vertex ID.
+    pub fn lazy(
+        store: Arc<dyn AdjacencyStore>,
+        trimmer: Option<Arc<dyn Trimmer>>,
+        members: Vec<VertexId>,
+    ) -> Self {
+        let mut bits = BitSet::with_capacity(store.num_vertices());
+        for &v in &members {
+            assert!((v.0 as usize) < store.num_vertices(), "member {v} outside the store");
+            assert!(!bits.contains(v.0), "duplicate local vertex {v}");
+            bits.set(v.0);
+        }
+        LocalTable {
+            backing: Backing::Lazy { store, trimmer, members: bits },
+            order: members,
+            next: Mutex::new(0),
+        }
     }
 
     /// Number of local vertices.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.order.len()
     }
 
     /// True if the partition is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.order.is_empty()
     }
 
-    /// Looks up `Γ(v)` if `v` is local; the returned `Arc` is shared,
-    /// never copied.
+    /// Looks up `Γ(v)` if `v` is local. Eager backing shares the one
+    /// `Arc` per vertex; lazy backing decodes a fresh list per call —
+    /// callers that need decode-once semantics hold on to the returned
+    /// `Arc` (pinned frontiers and the remote-side `VertexCache`
+    /// already do).
     #[inline]
     pub fn get(&self, v: VertexId) -> Option<SharedAdj> {
-        self.map.get(&v).cloned()
+        match &self.backing {
+            Backing::Eager { map, .. } => map.get(&v).cloned(),
+            Backing::Lazy { store, trimmer, members } => {
+                if !members.contains(v.0) {
+                    return None;
+                }
+                let mut adj = store.adjacency(v);
+                if let Some(t) = trimmer {
+                    t.trim(v, store.label(v), &mut adj);
+                }
+                Some(Arc::new(adj))
+            }
+        }
     }
 
     /// True if `v` lives in this partition.
     #[inline]
     pub fn contains(&self, v: VertexId) -> bool {
-        self.map.contains_key(&v)
+        match &self.backing {
+            Backing::Eager { map, .. } => map.contains_key(&v),
+            Backing::Lazy { members, .. } => members.contains(v.0),
+        }
     }
 
     /// The label of local vertex `v`, if labeled.
     pub fn label(&self, v: VertexId) -> Option<Label> {
-        self.labels.get(&v).copied()
+        match &self.backing {
+            Backing::Eager { labels, .. } => labels.get(&v).copied(),
+            Backing::Lazy { store, members, .. } => {
+                if members.contains(v.0) {
+                    store.label(v)
+                } else {
+                    None
+                }
+            }
+        }
     }
 
     /// Vertices in load order (spawn order).
@@ -110,16 +206,24 @@ impl LocalTable {
         *self.next.lock()
     }
 
-    /// Approximate heap bytes (memory accounting).
+    /// Approximate heap bytes (memory accounting). Lazy backing counts
+    /// its bitset and the store's own resident footprint — near zero
+    /// for a memory-mapped store, which is the point of mapping it.
     pub fn heap_bytes(&self) -> usize {
-        let lists: usize = self.map.values().map(|a| a.heap_bytes()).sum();
-        lists + self.order.capacity() * std::mem::size_of::<VertexId>()
+        let backing = match &self.backing {
+            Backing::Eager { map, .. } => map.values().map(|a| a.heap_bytes()).sum(),
+            Backing::Lazy { store, members, .. } => members.heap_bytes() + store.heap_bytes(),
+        };
+        backing + self.order.capacity() * std::mem::size_of::<VertexId>()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gthinker_graph::gen;
+    use gthinker_graph::graph::Graph;
+    use gthinker_graph::trim::GreaterIdTrimmer;
 
     fn table(n: u32) -> LocalTable {
         let records = (0..n)
@@ -188,6 +292,62 @@ mod tests {
     #[should_panic(expected = "duplicate local vertex")]
     fn duplicate_vertices_rejected() {
         let _ = LocalTable::new(vec![(VertexId(1), AdjList::new()), (VertexId(1), AdjList::new())]);
+    }
+
+    #[test]
+    fn lazy_table_matches_eager_on_the_same_partition() {
+        let g = gen::random_labels(gen::gnp(120, 0.06, 42), 3, 7);
+        let members: Vec<VertexId> = g.vertices().filter(|v| v.0 % 3 == 1).collect();
+        let eager = LocalTable::with_labels(
+            members.iter().map(|&v| (v, g.neighbors(v).clone())).collect(),
+            members.iter().map(|&v| (v, g.label(v).unwrap())).collect(),
+        );
+        let store: Arc<dyn AdjacencyStore> = Arc::new(g.clone());
+        let lazy = LocalTable::lazy(store, None, members.clone());
+        assert_eq!(eager.len(), lazy.len());
+        assert_eq!(eager.vertices(), lazy.vertices());
+        for v in g.vertices() {
+            assert_eq!(eager.contains(v), lazy.contains(v));
+            assert_eq!(eager.label(v), lazy.label(v));
+            match (eager.get(v), lazy.get(v)) {
+                (Some(a), Some(b)) => assert_eq!(*a, *b, "Γ({v})"),
+                (None, None) => {}
+                _ => panic!("backing disagreement at {v}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_table_applies_trimmer_at_decode() {
+        let g = gen::gnp(80, 0.1, 5);
+        let members: Vec<VertexId> = g.vertices().collect();
+        let store: Arc<dyn AdjacencyStore> = Arc::new(g.clone());
+        let lazy = LocalTable::lazy(store, Some(Arc::new(GreaterIdTrimmer)), members);
+        for v in g.vertices() {
+            let got = lazy.get(v).unwrap();
+            assert_eq!(got.as_slice(), g.neighbors(v).greater_than(v), "Γ_>({v})");
+        }
+    }
+
+    #[test]
+    fn lazy_table_decodes_fresh_lists_per_call() {
+        let g = Graph::from_edges(4, &[(VertexId(0), VertexId(1)), (VertexId(0), VertexId(2))]);
+        let store: Arc<dyn AdjacencyStore> = Arc::new(g);
+        let lazy = LocalTable::lazy(store, None, vec![VertexId(0), VertexId(3)]);
+        let a = lazy.get(VertexId(0)).unwrap();
+        let b = lazy.get(VertexId(0)).unwrap();
+        assert_eq!(*a, *b);
+        assert!(!Arc::ptr_eq(&a, &b), "lazy lookups decode per call");
+        assert!(lazy.get(VertexId(1)).is_none(), "unowned vertex is not local");
+        assert_eq!(lazy.get(VertexId(3)).unwrap().degree(), 0, "isolated member decodes empty");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate local vertex")]
+    fn lazy_duplicate_members_rejected() {
+        let g = Graph::with_vertices(4);
+        let store: Arc<dyn AdjacencyStore> = Arc::new(g);
+        let _ = LocalTable::lazy(store, None, vec![VertexId(1), VertexId(1)]);
     }
 
     #[test]

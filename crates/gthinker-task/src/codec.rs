@@ -328,34 +328,12 @@ impl Decode for Subgraph {
     }
 }
 
-/// CRC32 (IEEE 802.3, the zlib polynomial) lookup table, built at
-/// compile time — no external crate.
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-};
-
-/// CRC32 of `data` (IEEE, matches zlib's `crc32`). Shared by the
-/// checkpoint trailer and the wire/steal-batch frame format, so both
-/// layers validate integrity the same way.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
-    }
-    !crc
-}
+/// CRC32 of data (IEEE, matches zlib's `crc32`). Shared by the
+/// checkpoint trailer, the wire/steal-batch frame format and the
+/// compressed graph trailer, so every layer validates integrity with
+/// the same code — the implementation lives in the graph crate
+/// ([`gthinker_graph::crc`]), the lowest layer of the workspace.
+pub use gthinker_graph::crc::crc32;
 
 /// Encodes a value into a fresh buffer.
 pub fn to_bytes<T: Encode>(value: &T) -> Vec<u8> {

@@ -11,7 +11,7 @@ for b in table1_features table2_datasets table3_systems table_single_machine \
          table4a_horizontal table4b_vertical table4c_single table5a_cache \
          table5b_alpha fig2_crossover kernel_crossover ordering_effect \
          bundling_effect nscale_phases ablations sched_tail sched_cluster \
-         metrics_overhead; do
+         metrics_overhead graph_storage; do
   if [ ! -x "$BIN/$b" ]; then
     echo "error: $BIN/$b not found or not executable — run: cargo build --release --workspace" >&2
     exit 1
@@ -56,5 +56,15 @@ banner "Cluster-wide stealing — straggler splitting ablations"
 "$BIN/sched_cluster" --scale 1
 banner "Observability — metrics & tracing overhead"
 "$BIN/metrics_overhead" --scale 1
+banner "Compressed storage — ratio, decode cost, peak RSS"
+# /usr/bin/time -v reports the harness's own peak RSS next to the
+# per-phase VmHWM figures the binary writes into BENCH_storage.json.
+if command -v /usr/bin/time >/dev/null && /usr/bin/time -v true 2>/dev/null; then
+  /usr/bin/time -v "$BIN/graph_storage" --scale 1 2>&1 | grep -Ev '^\s*(Command being|User time|System time|Percent|Elapsed|Average|Major|Minor|Voluntary|Involuntary|Swaps|File system|Socket|Signals|Page size|Exit status)'
+else
+  # No GNU time: the per-phase VmHWM figures are still recorded in
+  # BENCH_storage.json by the harness itself.
+  "$BIN/graph_storage" --scale 1
+fi
 echo
 echo "all harnesses completed"

@@ -1,0 +1,174 @@
+//! Storage-backend equivalence: every miner must produce the same
+//! answer running off the memory-mapped compressed format (lazy
+//! per-vertex decode, trim-at-decode) as off the in-RAM graph
+//! (trim-then-partition). This is the contract that lets `.gtc` files
+//! stand in for loaded graphs everywhere — sim and TCP backends alike.
+
+use gthinker_apps::{
+    KPlexApp, MatchingApp, MaxCliqueApp, MaximalCliqueApp, Pattern, QuasiCliqueApp, TriangleApp,
+};
+use gthinker_core::prelude::*;
+use gthinker_core::{run_worker_process_source_on, ClusterRole};
+use gthinker_graph::compressed::{write_compressed, CompressedGraph};
+use gthinker_graph::gen;
+use gthinker_graph::graph::Graph;
+use gthinker_graph::ids::WorkerId;
+use gthinker_net::tcp::ClusterManifest;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const WORKERS: usize = 3;
+const COMPERS: usize = 2;
+
+/// Encodes `g` to a scratch `.gtc` file and memory-maps it back.
+/// The file is deleted on drop so failed tests don't litter /tmp.
+struct MappedCopy {
+    path: PathBuf,
+    graph: Arc<CompressedGraph>,
+}
+
+impl MappedCopy {
+    fn of(g: &Graph, name: &str) -> MappedCopy {
+        let path =
+            std::env::temp_dir().join(format!("gthinker-eq-{}-{name}.gtc", std::process::id()));
+        write_compressed(g, &path).expect("encode");
+        let graph = Arc::new(CompressedGraph::open(&path).expect("map"));
+        MappedCopy { path, graph }
+    }
+
+    fn source(&self) -> GraphSource<'static> {
+        GraphSource::Mapped(Arc::clone(&self.graph))
+    }
+}
+
+impl Drop for MappedCopy {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Runs `app` on both backings over the sim router and returns
+/// (in-RAM global, mapped global).
+fn sim_both<A: App>(
+    app: impl Fn() -> Arc<A>,
+    g: &Graph,
+    name: &str,
+) -> (<<A as App>::Agg as Aggregator>::Global, <<A as App>::Agg as Aggregator>::Global) {
+    let cfg = JobConfig::cluster(WORKERS, COMPERS);
+    let ram = run_job(app(), g, &cfg).expect("ram job");
+    assert!(matches!(ram.outcome, JobOutcome::Completed));
+    let mapped_copy = MappedCopy::of(g, name);
+    let mapped = run_job_on(app(), mapped_copy.source(), &cfg).expect("mapped job");
+    assert!(matches!(mapped.outcome, JobOutcome::Completed));
+    (ram.global, mapped.global)
+}
+
+#[test]
+fn triangle_count_equal_across_backends() {
+    let g = gen::barabasi_albert(500, 5, 97);
+    let (ram, mapped) = sim_both(|| Arc::new(TriangleApp), &g, "tc");
+    assert_eq!(ram, mapped);
+}
+
+#[test]
+fn max_clique_equal_across_backends() {
+    // MaxCliqueApp installs a trimmer, so this exercises the
+    // trim-at-decode path against eager trim-then-partition.
+    let base = gen::barabasi_albert(300, 4, 101);
+    let (g, planted) = gen::plant_clique(&base, 8, 103);
+    let (ram, mapped) = sim_both(|| Arc::new(MaxCliqueApp::default()), &g, "mcf");
+    assert!(ram.len() >= planted.len());
+    assert_eq!(ram.len(), mapped.len(), "witness may differ; the optimum size may not");
+}
+
+#[test]
+fn maximal_cliques_equal_across_backends() {
+    let g = gen::gnp(130, 0.08, 107);
+    let (ram, mapped) = sim_both(|| Arc::new(MaximalCliqueApp), &g, "mc");
+    assert_eq!(ram, mapped);
+}
+
+#[test]
+fn quasi_cliques_equal_across_backends() {
+    let g = gen::gnp(60, 0.12, 109);
+    let (ram, mapped) = sim_both(|| Arc::new(QuasiCliqueApp::new(0.6, 3, 4)), &g, "qc");
+    assert_eq!(ram, mapped);
+}
+
+#[test]
+fn k_plexes_equal_across_backends() {
+    let g = gen::gnp(55, 0.12, 113);
+    let (ram, mapped) = sim_both(|| Arc::new(KPlexApp::new(2, 4, 5)), &g, "kp");
+    assert_eq!(ram, mapped);
+}
+
+#[test]
+fn graph_matching_equal_across_backends() {
+    // Labeled graph: the label table must round-trip through the
+    // compressed file and reach the matching filter on every worker.
+    let g = gen::random_labels(gen::gnp(110, 0.06, 127), 3, 0xfeed);
+    let labels = g.labels().expect("labeled").to_vec();
+    let pattern = Pattern::triangle(
+        gthinker_graph::ids::Label(0),
+        gthinker_graph::ids::Label(1),
+        gthinker_graph::ids::Label(2),
+    );
+    let mapped_labels = MappedCopy::of(&g, "gm-labels").graph.labels().expect("mapped labels");
+    assert_eq!(labels, mapped_labels);
+    let (ram, mapped) =
+        sim_both(|| Arc::new(MatchingApp::new(pattern.clone(), labels.clone())), &g, "gm");
+    assert_eq!(ram, mapped);
+}
+
+/// The TCP scenario: three loopback worker threads, each opening the
+/// compressed source, versus the in-RAM sim reference. Exercises the
+/// responder path serving lazily decoded lists over the wire.
+#[test]
+fn tcp_cluster_on_mapped_graph_matches_in_ram_sim() {
+    let g = gen::barabasi_albert(400, 4, 131);
+    let reference = run_job(Arc::new(TriangleApp), &g, &JobConfig::cluster(WORKERS, COMPERS))
+        .expect("sim job")
+        .global;
+
+    let mapped = MappedCopy::of(&g, "tcp");
+    let mut cfg = JobConfig::cluster(WORKERS, COMPERS);
+    cfg.sync_interval = Duration::from_millis(5);
+    let (manifest, listeners) = ClusterManifest::loopback(WORKERS).expect("bind loopback");
+    let handles: Vec<_> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(w, listener)| {
+            let source = mapped.source();
+            let cfg = cfg.clone();
+            let manifest = manifest.clone();
+            std::thread::spawn(move || {
+                run_worker_process_source_on(
+                    Arc::new(TriangleApp),
+                    source,
+                    &cfg,
+                    &manifest,
+                    WorkerId(w as u16),
+                    Duration::from_secs(20),
+                    listener,
+                )
+                .expect("cluster worker")
+            })
+        })
+        .collect();
+    let mut master = None;
+    let mut sent = 0u64;
+    for h in handles {
+        match h.join().expect("worker thread") {
+            ClusterRole::Master(r) => {
+                sent += r.workers[0].net_bytes_sent;
+                master = Some(r);
+            }
+            ClusterRole::Worker(s) => sent += s.net_bytes_sent,
+        }
+    }
+    let master = master.expect("worker 0 is the master");
+    assert_eq!(master.global, reference);
+    assert!(matches!(master.outcome, JobOutcome::Completed));
+    assert!(sent > 0, "no bytes crossed the TCP mesh");
+}

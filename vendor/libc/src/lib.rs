@@ -1,17 +1,21 @@
 //! Offline stand-in for the `libc` crate (Linux-only).
 //!
 //! The build environment has no crates.io access, so the workspace
-//! vendors the two-symbol surface it needs: `clock_gettime` with the
-//! per-thread and per-process CPU clocks, used by the metrics layer to
-//! separate on-CPU compute time from wall-clock waits. Constants match
-//! `<time.h>` on Linux.
+//! vendors exactly the symbol surface it needs: `clock_gettime` with
+//! the per-thread and per-process CPU clocks (metrics layer), and the
+//! `mmap`/`munmap`/`madvise` trio the compressed graph storage uses to
+//! map read-only graph files. Constants match `<time.h>` /
+//! `<sys/mman.h>` on Linux.
 
 #![allow(non_camel_case_types)]
 
 pub type c_int = i32;
 pub type c_long = i64;
+pub type c_void = std::ffi::c_void;
 pub type time_t = i64;
 pub type clockid_t = c_int;
+pub type size_t = usize;
+pub type off_t = i64;
 
 /// `struct timespec` from `<time.h>`.
 #[repr(C)]
@@ -26,8 +30,29 @@ pub const CLOCK_PROCESS_CPUTIME_ID: clockid_t = 2;
 /// CPU time consumed by the calling thread.
 pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 3;
 
+/// Pages may be read.
+pub const PROT_READ: c_int = 1;
+/// Share the mapping with other processes mapping the same file.
+pub const MAP_SHARED: c_int = 0x01;
+/// `mmap` failure sentinel.
+pub const MAP_FAILED: *mut c_void = !0usize as *mut c_void;
+/// Expect sequential access (readahead aggressively).
+pub const MADV_SEQUENTIAL: c_int = 2;
+/// Expect random access (disable readahead).
+pub const MADV_RANDOM: c_int = 1;
+
 extern "C" {
     pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    pub fn madvise(addr: *mut c_void, len: size_t, advice: c_int) -> c_int;
 }
 
 #[cfg(test)]
@@ -47,5 +72,25 @@ mod tests {
         let mut b = timespec::default();
         assert_eq!(unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut b) }, 0);
         assert!((b.tv_sec, b.tv_nsec) > (a.tv_sec, a.tv_nsec));
+    }
+
+    #[test]
+    fn mmap_round_trip_reads_file_contents() {
+        use std::io::Write;
+        use std::os::unix::io::AsRawFd;
+        let path = std::env::temp_dir().join(format!("libc-stub-mmap-{}", std::process::id()));
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(b"hello mmap").unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+        let f = std::fs::File::open(&path).unwrap();
+        let ptr = unsafe {
+            mmap(std::ptr::null_mut(), 10, PROT_READ, MAP_SHARED, f.as_raw_fd(), 0)
+        };
+        assert_ne!(ptr, MAP_FAILED);
+        let bytes = unsafe { std::slice::from_raw_parts(ptr as *const u8, 10) };
+        assert_eq!(bytes, b"hello mmap");
+        assert_eq!(unsafe { munmap(ptr, 10) }, 0);
+        let _ = std::fs::remove_file(&path);
     }
 }
