@@ -27,7 +27,7 @@ use gthinker_apps::{
     QuasiCliqueApp, TriangleApp, TriangleListApp,
 };
 use gthinker_core::prelude::*;
-use gthinker_core::{run_worker_process_source, ClusterRole};
+use gthinker_core::{run_worker_process_source_observed, ClusterRole, ClusterTelemetry};
 use gthinker_graph::compressed::{build_from_edge_stream, write_compressed, CompressedGraph};
 use gthinker_graph::datasets::{self, DatasetKind};
 use gthinker_graph::gen;
@@ -69,6 +69,9 @@ pub struct MineOpts {
     pub steal: bool,
     /// `--compute-budget N`: yield long tasks after N extension steps.
     pub compute_budget: Option<u64>,
+    /// `--report-interval S`: push periodic metrics snapshots to the
+    /// master every S seconds (cluster live views; default final-only).
+    pub report_interval: Option<Duration>,
     /// Observability exports requested via flags.
     pub metrics: MetricsOpts,
 }
@@ -80,6 +83,7 @@ impl Default for MineOpts {
             compers: 4,
             steal: true,
             compute_budget: None,
+            report_interval: None,
             metrics: MetricsOpts::default(),
         }
     }
@@ -162,6 +166,12 @@ fn mine_opts(args: &mut Vec<String>) -> Result<MineOpts, CliError> {
         }
         o.compute_budget = Some(b);
     }
+    if let Some(s) = take_parsed::<f64>(args, "--report-interval")? {
+        if !s.is_finite() || s <= 0.0 {
+            return err("--report-interval must be a positive number of seconds");
+        }
+        o.report_interval = Some(Duration::from_secs_f64(s));
+    }
     o.metrics.metrics_json = take_flag(args, "--metrics-json")?;
     o.metrics.trace_out = take_flag(args, "--trace-out")?;
     o.metrics.tail = take_switch(args, "--tail");
@@ -176,6 +186,7 @@ fn job_config(o: &MineOpts) -> JobConfig {
     };
     cfg.work_stealing = o.steal;
     cfg.compute_budget = o.compute_budget;
+    cfg.report_interval = o.report_interval;
     if o.metrics.trace_out.is_some() {
         cfg.trace_capacity = TRACE_CAPACITY;
     }
@@ -380,7 +391,17 @@ a multi-process cluster job runs one OS process per host:port in
 --hosts; every process gets the same graph file and miner options, the
 master is worker 0 and prints the result, each worker prints its own
 byte counters. --connect-timeout SECS (default 30) bounds the
-rendezvous.
+rendezvous. the master also accepts live-telemetry flags:
+  --status                  print a cluster progress line to stderr
+                            every second (remaining tasks, idle
+                            compers, steals in flight, bytes/sec)
+  --telemetry-addr H:P      serve the live cluster snapshot at
+                            http://H:P/ in Prometheus text exposition
+                            format, scrapeable mid-run
+the observability flags below work on cluster jobs too: on the master
+they export the cluster-wide merged view (every worker's counters,
+quantiles and trace spans on one clock-corrected timeline), on a worker
+that process's own.
 
 gen --stream writes the edges to -o FILE (text, or the .bel binary
 edge stream) as they are generated, without building the graph in RAM —
@@ -400,7 +421,10 @@ and observability flags:
   --metrics-json PATH   write counters + latency quantiles as JSON
   --trace-out PATH      write the scheduler/cache event timeline as
                         Chrome trace_event JSON (chrome://tracing, Perfetto)
-  --tail                print the per-comper tail-latency report";
+  --tail                print the per-comper tail-latency report
+  --report-interval S   (cluster) push a metrics snapshot to the master
+                        every S seconds; defaults to end-of-job only,
+                        or 1s when --status/--telemetry-addr is given";
 
 fn cmd_gen(mut args: Vec<String>) -> Result<String, CliError> {
     if args.is_empty() {
@@ -723,16 +747,112 @@ fn cmd_gm(mut args: Vec<String>) -> Result<String, CliError> {
 /// The global result type `App` `A` produces.
 type GlobalOf<A> = <<A as App>::Agg as Aggregator>::Global;
 
-/// Where this process sits in the multi-process cluster.
+/// Where this process sits in the multi-process cluster, plus the
+/// telemetry it was asked to surface.
 struct ClusterSeat {
     manifest: ClusterManifest,
     me: WorkerId,
     timeout: Duration,
+    /// `--status`: print a cluster progress line to stderr every second
+    /// (master only; workers have no cluster view).
+    status: bool,
+    /// `--telemetry-addr HOST:PORT`: serve the live cluster snapshot in
+    /// Prometheus text exposition format (master only).
+    telemetry_addr: Option<String>,
+    /// Observability exports: cluster-wide on the master, this
+    /// process's own on a worker.
+    metrics: MetricsOpts,
+}
+
+/// `--status`: a detached thread that prints a cluster progress line to
+/// stderr every second, built from whatever reports have arrived.
+fn spawn_status_thread(telemetry: Arc<ClusterTelemetry>) {
+    std::thread::spawn(move || {
+        let mut prev: Option<(std::time::Instant, Vec<u64>)> = None;
+        loop {
+            std::thread::sleep(Duration::from_secs(1));
+            let snap = telemetry.cluster_snapshot();
+            let now = std::time::Instant::now();
+            let bytes: Vec<u64> =
+                snap.workers.iter().map(|w| w.net_bytes_sent + w.net_bytes_received).collect();
+            let rates: Vec<String> = snap
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(i, _)| {
+                    let rate = match &prev {
+                        Some((t, old)) => {
+                            let dt = now.duration_since(*t).as_secs_f64();
+                            let delta = bytes[i].saturating_sub(old.get(i).copied().unwrap_or(0));
+                            if dt > 0.0 {
+                                (delta as f64 / dt) as u64
+                            } else {
+                                0
+                            }
+                        }
+                        None => 0,
+                    };
+                    format!("w{i} {rate} B/s")
+                })
+                .collect();
+            let remaining: u64 = snap.workers.iter().map(|w| w.remaining).sum();
+            let idle: u64 = snap.workers.iter().map(|w| w.idle_compers).sum();
+            let inflight: u64 = snap.workers.iter().map(|w| w.steal_inflight).sum();
+            eprintln!(
+                "[status +{:.1}s] {}/{} reporting | remaining {remaining} | idle compers {idle} | steals in flight {inflight} | {}",
+                snap.elapsed.as_secs_f64(),
+                telemetry.reported(),
+                telemetry.num_workers(),
+                rates.join(", "),
+            );
+            prev = Some((now, bytes));
+        }
+    });
+}
+
+/// Answers one scrape: drains the request (any `GET` gets the metrics)
+/// and writes the current cluster snapshot as Prometheus text.
+fn serve_scrape(
+    stream: &mut std::net::TcpStream,
+    telemetry: &ClusterTelemetry,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = [0u8; 1024];
+    let _ = std::io::Read::read(stream, &mut buf);
+    let body = telemetry.cluster_snapshot().prometheus_text();
+    let header = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())
+}
+
+/// `--telemetry-addr`: binds a tiny hand-rolled HTTP responder (one
+/// short-lived connection per scrape, no keep-alive, no dependencies)
+/// exposing the live cluster snapshot for Prometheus & friends.
+fn spawn_telemetry_endpoint(addr: &str, telemetry: Arc<ClusterTelemetry>) {
+    let listener = match std::net::TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("telemetry endpoint: bind {addr}: {e}");
+            return;
+        }
+    };
+    eprintln!("telemetry endpoint listening on http://{addr}/metrics");
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(mut stream) = conn else { continue };
+            let _ = serve_scrape(&mut stream, &telemetry);
+        }
+    });
 }
 
 /// Runs this process's share of a cluster job and renders the outcome:
 /// the master (worker 0) prints the job result via `render` plus its
 /// own byte counters, every other worker prints just its counters.
+/// Metrics exports work on both: the master exports the cluster-wide
+/// merged snapshot, a worker its own.
 fn run_cluster<A: App>(
     app: A,
     input: &GraphInput,
@@ -740,31 +860,45 @@ fn run_cluster<A: App>(
     seat: &ClusterSeat,
     render: impl FnOnce(&JobResult<GlobalOf<A>>) -> String,
 ) -> Result<String, CliError> {
-    let role = run_worker_process_source(
+    let status = seat.status;
+    let addr = seat.telemetry_addr.clone();
+    let role = run_worker_process_source_observed(
         Arc::new(app),
         input.source(),
         cfg,
         &seat.manifest,
         seat.me,
         seat.timeout,
+        move |telemetry| {
+            if status {
+                spawn_status_thread(Arc::clone(&telemetry));
+            }
+            if let Some(addr) = addr {
+                spawn_telemetry_endpoint(&addr, telemetry);
+            }
+        },
     )
     .map_err(|e| CliError(format!("cluster job failed: {e}")))?;
     Ok(match role {
         ClusterRole::Master(r) => {
+            let extra = export_metrics(&seat.metrics, &r.metrics)?;
             let w = &r.workers[0];
             format!(
-                "{}\nworker 0 (master): sent {} bytes, received {} bytes",
+                "{}\nworker 0 (master): sent {} bytes, received {} bytes{extra}",
                 render(&r),
                 w.net_bytes_sent,
                 w.net_bytes_received
             )
         }
-        ClusterRole::Worker(w) => format!(
-            "worker {} done: sent {} bytes, received {} bytes",
-            seat.me.index(),
-            w.net_bytes_sent,
-            w.net_bytes_received
-        ),
+        ClusterRole::Worker(w, snap) => {
+            let extra = export_metrics(&seat.metrics, &snap)?;
+            format!(
+                "worker {} done: sent {} bytes, received {} bytes{extra}",
+                seat.me.index(),
+                w.net_bytes_sent,
+                w.net_bytes_received
+            )
+        }
     })
 }
 
@@ -797,15 +931,26 @@ fn cmd_cluster(is_master: bool, mut args: Vec<String>) -> Result<String, CliErro
     }
     let timeout =
         Duration::from_secs(take_parsed(&mut args, "--connect-timeout")?.unwrap_or(30u64));
-    let seat = ClusterSeat { manifest, me: WorkerId(me as u16), timeout };
+    let status = take_switch(&mut args, "--status");
+    let telemetry_addr = take_flag(&mut args, "--telemetry-addr")?;
 
     let mut opts = mine_opts(&mut args)?;
-    if opts.metrics.wanted() {
-        return err(format!("{role}: metrics exports are not supported on cluster jobs yet"));
+    // The live views need periodic reports; default them on when a view
+    // was requested without an explicit interval.
+    if (status || telemetry_addr.is_some()) && opts.report_interval.is_none() {
+        opts.report_interval = Some(Duration::from_secs(1));
     }
     // The cluster size comes from --hosts; --workers is meaningless here.
-    opts.workers = seat.manifest.num_workers();
+    opts.workers = manifest.num_workers();
     let cfg = job_config(&opts);
+    let seat = ClusterSeat {
+        manifest,
+        me: WorkerId(me as u16),
+        timeout,
+        status,
+        telemetry_addr,
+        metrics: opts.metrics.clone(),
+    };
 
     if args.is_empty() {
         return err(format!("{role}: missing miner subcommand (mcf|tc|mc|qc|kp|gm)"));
@@ -1062,6 +1207,21 @@ mod tests {
             let out = run(a).unwrap();
             assert!(out.contains(&format!("triangles: {expected}")), "{extra:?}: {out}");
         }
+    }
+
+    #[test]
+    fn report_interval_flag_validates() {
+        for bad in ["0", "-1", "nan", "soon"] {
+            let e = run(args(&["tc", "g.el", "--report-interval", bad])).unwrap_err();
+            assert!(e.0.contains("--report-interval"), "{bad}: {e}");
+        }
+        let mut a = args(&["--report-interval", "0.5"]);
+        let o = mine_opts(&mut a).unwrap();
+        assert!(a.is_empty(), "flag consumed: {a:?}");
+        assert_eq!(o.report_interval, Some(Duration::from_millis(500)));
+        assert_eq!(job_config(&o).report_interval, Some(Duration::from_millis(500)));
+        // Default: final-only reports.
+        assert_eq!(job_config(&MineOpts::default()).report_interval, None);
     }
 
     #[test]

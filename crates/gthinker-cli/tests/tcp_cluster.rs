@@ -113,6 +113,109 @@ fn three_process_cluster_matches_in_process_run() {
     let _ = std::fs::remove_file(&graph);
 }
 
+/// `--metrics-json` / `--trace-out` on cluster processes: the master's
+/// exports cover the whole cluster (every worker's counters and trace
+/// spans), a worker's cover its own process.
+#[test]
+#[cfg(feature = "metrics")]
+fn cluster_metrics_exports_cover_all_workers() {
+    let tmp = |name: &str| {
+        std::env::temp_dir()
+            .join(format!("gthinker-e2e-metrics-{}-{name}", std::process::id()))
+            .to_str()
+            .unwrap()
+            .to_string()
+    };
+    let graph = tmp("g.el");
+    run_ok(&["gen", "gnp", "-n", "300", "-p", "0.06", "--seed", "29", "-o", &graph]);
+    let hosts = free_hosts(3);
+    let master_json = tmp("master.json");
+    let master_trace = tmp("master-trace.json");
+    let worker_jsons = [tmp("w1.json"), tmp("w2.json")];
+    let worker_traces = [tmp("w1-trace.json"), tmp("w2-trace.json")];
+
+    let workers: Vec<_> = ["1", "2"]
+        .iter()
+        .enumerate()
+        .map(|(i, me)| {
+            Command::new(BIN)
+                .args([
+                    "worker",
+                    "--hosts",
+                    &hosts,
+                    "--me",
+                    me,
+                    "tc",
+                    &graph,
+                    "--compers",
+                    "2",
+                    "--metrics-json",
+                    &worker_jsons[i],
+                    "--trace-out",
+                    &worker_traces[i],
+                ])
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn()
+                .expect("spawn worker")
+        })
+        .collect();
+    let master_out = run_ok(&[
+        "master",
+        "--hosts",
+        &hosts,
+        "tc",
+        &graph,
+        "--compers",
+        "2",
+        "--report-interval",
+        "0.05",
+        "--metrics-json",
+        &master_json,
+        "--trace-out",
+        &master_trace,
+        "--tail",
+    ]);
+    for w in workers {
+        let out = w.wait_with_output().expect("worker exit");
+        assert!(out.status.success(), "worker: {}", String::from_utf8_lossy(&out.stderr));
+    }
+
+    assert!(master_out.contains("metrics JSON written"), "{master_out}");
+    assert!(master_out.contains("task latency tail"), "{master_out}");
+
+    // The master's JSON holds one entry per cluster worker; counting a
+    // per-worker key is a dependency-free proxy for array length.
+    let j = std::fs::read_to_string(&master_json).expect("master metrics json");
+    assert_eq!(j.matches("\"compute_calls\"").count(), 3, "want 3 workers in {j}");
+    assert!(j.contains("\"trace_events_dropped\""), "{j}");
+    assert!(j.contains("\"clock_offset_nanos\""), "{j}");
+
+    // The merged trace carries all three processes' rows, with real
+    // spans (not just metadata) shipped over from the remote workers.
+    let t = std::fs::read_to_string(&master_trace).expect("master trace");
+    assert!(t.trim_start().starts_with('['), "not a JSON array: {t}");
+    for pid in 0..3 {
+        assert!(t.contains(&format!("\"name\":\"worker-{pid}\"")), "missing worker {pid}: {t}");
+        let spans =
+            t.lines().any(|l| l.contains("\"ph\":\"X\"") && l.contains(&format!("\"pid\":{pid},")));
+        assert!(spans, "no spans from worker {pid} in the merged trace");
+    }
+
+    // Each worker exported its own single-process view.
+    for path in &worker_jsons {
+        let j = std::fs::read_to_string(path).expect("worker metrics json");
+        assert_eq!(j.matches("\"compute_calls\"").count(), 1, "worker view is its own: {j}");
+    }
+
+    let mut cleanup = vec![graph, master_json, master_trace];
+    cleanup.extend(worker_jsons);
+    cleanup.extend(worker_traces);
+    for f in &cleanup {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
 #[test]
 fn cluster_flag_validation() {
     let out = Command::new(BIN).args(["worker", "--hosts", "127.0.0.1:1"]).output().unwrap();

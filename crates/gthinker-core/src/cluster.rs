@@ -14,7 +14,13 @@
 //!
 //! * The master's [`JobResult::workers`] holds only **its own**
 //!   [`WorkerStats`] — remote stats live in the remote processes, which
-//!   each get theirs back as [`ClusterRole::Worker`].
+//!   each get theirs back as [`ClusterRole::Worker`]. The master's
+//!   [`JobResult::metrics`], however, covers the **whole cluster**:
+//!   every process ships a final `MetricsReport` (sealed snapshot with
+//!   its event ring) over the control plane just before its final
+//!   aggregator sync, and the master splices the reports — remote event
+//!   timelines shifted onto its own clock by each worker's ping/pong
+//!   offset estimate — into one cluster-wide snapshot.
 //! * `config.link` is ignored: the real network provides the latency.
 //! * Crash schedules and checkpoint resume are unsupported (the sim
 //!   backend covers those paths); fault drops/dups/delays work, seeded
@@ -24,7 +30,7 @@ use crate::api::App;
 use crate::config::{JobConfig, JobOutcome, JobResult, WorkerStats};
 use crate::job::GraphSource;
 use crate::job::{build_locals, build_worker, new_job_dir, worker_main, Global, WorkerOutcome};
-use crate::metrics::MetricsRegistry;
+use crate::metrics::{ClusterTelemetry, MetricsRegistry, MetricsSnapshot};
 use gthinker_graph::graph::Graph;
 use gthinker_graph::ids::WorkerId;
 use gthinker_graph::partition::HashPartitioner;
@@ -32,17 +38,28 @@ use gthinker_net::tcp::{ClusterManifest, TcpTransport};
 use gthinker_net::transport::Transport;
 use std::io;
 use std::net::TcpListener;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// What this process was in the cluster, with the payload it gets back.
+// Returned once per process at job end; variant size is irrelevant.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum ClusterRole<G> {
-    /// Worker 0: the full job result (with only this worker's stats).
+    /// Worker 0: the full job result — its own [`WorkerStats`], plus
+    /// cluster-wide [`JobResult::metrics`] merged from every worker's
+    /// final report.
     Master(JobResult<G>),
-    /// Any other worker: its own statistics.
-    Worker(WorkerStats),
+    /// Any other worker: its own statistics and its own final metrics
+    /// snapshot (for worker-local exports; the cluster-wide view lives
+    /// at the master).
+    Worker(WorkerStats, MetricsSnapshot),
 }
+
+/// Observer hook handed the master's live [`ClusterTelemetry`] before
+/// the job starts (status lines, scrape endpoints).
+type TelemetryHook = Box<dyn FnOnce(Arc<ClusterTelemetry>)>;
 
 /// Runs this process's worker of a multi-process job, blocking until
 /// the master's termination (or failure) protocol shuts it down.
@@ -106,6 +123,47 @@ pub fn run_worker_process_source_on<A: App>(
     connect_timeout: Duration,
     listener: TcpListener,
 ) -> io::Result<ClusterRole<Global<A>>> {
+    run_cluster_inner(app, source, config, manifest, me, connect_timeout, listener, None)
+}
+
+/// [`run_worker_process_source`] that additionally hands the master's
+/// live [`ClusterTelemetry`] to `on_telemetry` before the job starts —
+/// the hook for `--status` progress lines and the `--telemetry-addr`
+/// scrape endpoint. The hook only fires on worker 0 (the master is the
+/// only process that aggregates reports).
+pub fn run_worker_process_source_observed<A: App>(
+    app: Arc<A>,
+    source: GraphSource<'_>,
+    config: &JobConfig,
+    manifest: &ClusterManifest,
+    me: WorkerId,
+    connect_timeout: Duration,
+    on_telemetry: impl FnOnce(Arc<ClusterTelemetry>) + 'static,
+) -> io::Result<ClusterRole<Global<A>>> {
+    let listener = TcpListener::bind(manifest.addr(me))?;
+    run_cluster_inner(
+        app,
+        source,
+        config,
+        manifest,
+        me,
+        connect_timeout,
+        listener,
+        Some(Box::new(on_telemetry)),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cluster_inner<A: App>(
+    app: Arc<A>,
+    source: GraphSource<'_>,
+    config: &JobConfig,
+    manifest: &ClusterManifest,
+    me: WorkerId,
+    connect_timeout: Duration,
+    listener: TcpListener,
+    on_telemetry: Option<TelemetryHook>,
+) -> io::Result<ClusterRole<Global<A>>> {
     assert!(config.num_workers >= 1);
     assert!(config.compers_per_worker >= 1);
     if config.num_workers != manifest.num_workers() {
@@ -138,6 +196,18 @@ pub fn run_worker_process_source_on<A: App>(
     let shared =
         build_worker(&app, config, &label_table, partitioner, me.index(), local, net, &job_dir)?;
 
+    // Every cluster process ships a final metrics report to the master
+    // just before its final aggregator sync; the master merges them
+    // into the cluster-wide view below.
+    shared.remote_report.store(true, Ordering::Relaxed);
+    let telemetry = Arc::new(ClusterTelemetry::new(config.num_workers));
+    if me == WorkerId(0) {
+        let _ = shared.telemetry.set(Arc::clone(&telemetry));
+        if let Some(hook) = on_telemetry {
+            hook(Arc::clone(&telemetry));
+        }
+    }
+
     // The worker main loop is byte-for-byte the sim backend's: compers,
     // receiver, responders, GC, periodic ticks, master logic on 0.
     let registry = MetricsRegistry::new(vec![Arc::clone(&shared)], start);
@@ -158,7 +228,27 @@ pub fn run_worker_process_source_on<A: App>(
             WorkerOutcome::Suspended(g, dir) => (g, JobOutcome::Suspended { checkpoint: dir }),
             WorkerOutcome::Failed(g, w) => (g, JobOutcome::Failed { worker: w }),
         };
-        let metrics = registry.final_snapshot();
+        // Cluster-wide metrics: this process's own final snapshot plus
+        // every remote worker's final report, each remote event
+        // timeline shifted onto the master's clock by the worker's
+        // ping/pong offset estimate. A worker whose report never
+        // arrived (it crashed) appears as an all-zero entry so the
+        // indices stay aligned.
+        let own = registry.final_snapshot();
+        let elapsed = own.elapsed;
+        let own_snap = own.workers.into_iter().next().expect("one local worker");
+        telemetry.publish(me.index(), own_snap.clone(), true);
+        let finals = telemetry.final_snapshots();
+        let workers = (0..config.num_workers)
+            .map(|w| match finals[w].clone() {
+                Some(mut f) => {
+                    gthinker_metrics::trace::shift_events(&mut f.events, f.clock_offset_nanos);
+                    f
+                }
+                None => Default::default(),
+            })
+            .collect();
+        let metrics = MetricsSnapshot { elapsed, workers };
         Ok(ClusterRole::Master(JobResult {
             global,
             elapsed: start.elapsed(),
@@ -167,6 +257,6 @@ pub fn run_worker_process_source_on<A: App>(
             metrics,
         }))
     } else {
-        Ok(ClusterRole::Worker(stats))
+        Ok(ClusterRole::Worker(stats, registry.final_snapshot()))
     }
 }

@@ -78,6 +78,13 @@ pub struct JobConfig {
     /// search-tree state into fresh tasks. `None` (the default) never
     /// preempts a task.
     pub compute_budget: Option<u64>,
+    /// Cluster telemetry streaming: when set, every worker pushes a
+    /// compact metrics snapshot (no events) to the master this often,
+    /// feeding the master's live cluster view (`--status`, the
+    /// Prometheus exposition endpoint). `None` — the default — sends
+    /// only the final end-of-job report on multi-worker runs, so the
+    /// hot path is unchanged.
+    pub report_interval: Option<Duration>,
 }
 
 impl Default for JobConfig {
@@ -103,6 +110,7 @@ impl Default for JobConfig {
             checkpoint_interval: None,
             heartbeat_timeout: None,
             compute_budget: None,
+            report_interval: None,
         }
     }
 }
@@ -198,6 +206,10 @@ pub struct WorkerStats {
     /// Data-plane messages the fault-injected wire delayed (reorder
     /// jitter or latency spike).
     pub net_msgs_delayed: u64,
+    /// Trace events lost to the event ring's overwrite-oldest
+    /// recycling. Nonzero means the exported timeline is truncated —
+    /// raise `trace_capacity` to keep more.
+    pub trace_events_dropped: u64,
 }
 
 /// Why a job returned.

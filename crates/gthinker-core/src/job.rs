@@ -751,6 +751,13 @@ pub(crate) fn worker_main<A: App>(
             });
         }
     } else {
+        // Final metrics report (carrying the event ring) goes out
+        // before the final aggregator sync on the same ordered channel:
+        // by the time the master has collected every worker's final
+        // sync, it has provably absorbed every final telemetry report.
+        if shared.remote_report.load(Ordering::Relaxed) {
+            crate::metrics::send_report(&shared, WorkerId(0), true);
+        }
         // Final aggregator sync: one per worker, marked final.
         let partial = shared.agg.take_partial();
         shared.net.send(
@@ -818,6 +825,7 @@ pub(crate) fn worker_main<A: App>(
             .fault_stats()
             .map_or(0, |f| f.duplicated.load(Ordering::Relaxed)),
         net_msgs_delayed: shared.net.fault_stats().map_or(0, |f| f.delayed.load(Ordering::Relaxed)),
+        trace_events_dropped: shared.metrics.ring.dropped(),
     };
     (stats, outcome, io_error)
 }

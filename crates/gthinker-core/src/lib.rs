@@ -65,14 +65,14 @@ pub use agg::{Aggregator, LocalAgg, NoAgg};
 pub use api::{App, ComputeEnv, SpawnEnv};
 pub use cluster::{
     run_worker_process, run_worker_process_on, run_worker_process_source,
-    run_worker_process_source_on, ClusterRole,
+    run_worker_process_source_observed, run_worker_process_source_on, ClusterRole,
 };
 pub use config::{JobConfig, JobOutcome, JobResult, WorkerStats};
 pub use job::{
     resume_job, run_job, run_job_metrics_observed, run_job_observed, run_job_on,
     run_job_with_recovery, GraphSource, ProgressSnapshot, RecoveryReport,
 };
-pub use metrics::{MetricsRegistry, MetricsSnapshot, WorkerMetricsSnapshot};
+pub use metrics::{ClusterTelemetry, MetricsRegistry, MetricsSnapshot, WorkerMetricsSnapshot};
 
 /// Convenient glob-import surface for applications.
 pub mod prelude {

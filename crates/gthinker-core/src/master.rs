@@ -216,6 +216,19 @@ impl<A: App> MasterState<A> {
                 self.suspend_seen[worker.index()] = true;
                 self.last_seen[worker.index()] = Instant::now();
             }
+            Message::MetricsReport { worker, payload, is_final } => {
+                // Telemetry is advisory: a report that fails its frame
+                // check is dropped (the next cumulative report
+                // supersedes it anyway), but any report — even a
+                // corrupt one — proves the worker is alive.
+                self.last_seen[worker.index()] = Instant::now();
+                if let Some(telemetry) = self.shared.telemetry.get() {
+                    match crate::metrics::WorkerMetricsSnapshot::decode_report(&payload) {
+                        Ok(snap) => telemetry.publish(worker.index(), snap, is_final),
+                        Err(e) => eprintln!("dropping corrupt metrics report from {worker}: {e}"),
+                    }
+                }
+            }
             other => panic!("unexpected control message at master: {other:?}"),
         }
         if let Some(plan) = &self.plan {

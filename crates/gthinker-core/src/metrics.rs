@@ -12,11 +12,14 @@
 use crate::api::App;
 use crate::job::ProgressSnapshot;
 use crate::worker::WorkerShared;
-use gthinker_metrics::{ComperHistSnapshot, Event, HistSnapshot};
+use gthinker_graph::ids::WorkerId;
+use gthinker_metrics::{ComperHistSnapshot, Event, EventKind, HistSnapshot, NUM_BUCKETS};
+use gthinker_net::message::Message;
 use gthinker_store::cache::CacheSnapshot;
 use std::fmt::Write as _;
+use std::io;
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Live handle over a running job's workers; the factory for
@@ -51,7 +54,29 @@ impl<A: App> MetricsRegistry<A> {
     }
 }
 
-fn snapshot_worker<A: App>(w: &WorkerShared<A>, with_events: bool) -> WorkerMetricsSnapshot {
+/// Ships one cumulative metrics report to the master, or publishes it
+/// straight into the local [`ClusterTelemetry`] when this worker *is*
+/// the master. Periodic reports are compact — counters and histograms
+/// but no event dump; final reports carry the event ring for cluster
+/// trace stitching.
+pub(crate) fn send_report<A: App>(shared: &Arc<WorkerShared<A>>, master: WorkerId, is_final: bool) {
+    let snap = snapshot_worker(shared, is_final);
+    if shared.me == master {
+        if let Some(t) = shared.telemetry.get() {
+            t.publish(shared.me.0 as usize, snap, is_final);
+        }
+        return;
+    }
+    shared.net.send(
+        master,
+        Message::MetricsReport { worker: shared.me, payload: snap.encode_report(), is_final },
+    );
+}
+
+pub(crate) fn snapshot_worker<A: App>(
+    w: &WorkerShared<A>,
+    with_events: bool,
+) -> WorkerMetricsSnapshot {
     let c = &w.counters;
     WorkerMetricsSnapshot {
         tasks_finished: c.tasks_finished.load(Ordering::Relaxed),
@@ -83,6 +108,16 @@ fn snapshot_worker<A: App>(w: &WorkerShared<A>, with_events: bool) -> WorkerMetr
         spill_bytes: w.spill.bytes_spilled(),
         remaining: w.remaining_estimate(),
         quiescent: w.quiescent(),
+        idle_compers: w
+            .compers
+            .iter()
+            .filter(|c| {
+                !c.busy.load(Ordering::Relaxed) && c.queue.is_empty() && c.buffer.is_empty()
+            })
+            .count() as u64,
+        steal_inflight: w.steal_inflight.load(Ordering::Relaxed),
+        trace_events_dropped: w.metrics.ring.dropped(),
+        clock_offset_nanos: w.clock_offset_nanos(),
         compers: w.compers.iter().map(|c| c.hists.snapshot()).collect(),
         pull_rtt: w.metrics.pull_rtt.snapshot(),
         responder_drain: w.metrics.responder_drain.snapshot(),
@@ -153,6 +188,18 @@ pub struct WorkerMetricsSnapshot {
     pub remaining: u64,
     /// Whether the worker was quiescent at snapshot time.
     pub quiescent: bool,
+    /// Compers parked with nothing reachable at snapshot time (gauge).
+    pub idle_compers: u64,
+    /// Sealed steal batches not yet acked by their thief (gauge).
+    pub steal_inflight: u64,
+    /// Trace events lost to the ring's overwrite-oldest recycling;
+    /// nonzero flags a truncated timeline.
+    pub trace_events_dropped: u64,
+    /// Estimated offset of this worker's metrics clock from the
+    /// master's (`master_now ≈ local_now + offset`), from the minimum-
+    /// RTT ping/pong sample. 0 on the master and on single-process
+    /// runs.
+    pub clock_offset_nanos: i64,
     /// Per-comper latency histograms (compute / e2e / park).
     pub compers: Vec<ComperHistSnapshot>,
     /// Pull round-trip time (request sent → response installed).
@@ -171,6 +218,220 @@ impl WorkerMetricsSnapshot {
             m.merge(c);
         }
         m
+    }
+
+    /// Serializes this snapshot as a `MetricsReport` payload: a compact
+    /// little-endian encoding (histograms as sparse nonzero-bucket
+    /// lists) sealed in a CRC frame, like steal batches. The master
+    /// validates the frame before trusting a byte of it.
+    pub fn encode_report(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(512);
+        b.push(REPORT_VERSION);
+        for v in [
+            self.tasks_finished,
+            self.compute_calls,
+            self.compute_nanos,
+            self.idle_nanos,
+            self.steals,
+            self.stolen_tasks,
+            self.remote_steals,
+            self.remote_stolen_tasks,
+            self.steal_batch_bytes,
+            self.yields,
+            self.split_tasks,
+            self.parks,
+            self.wakeups,
+            self.responses_served,
+            self.responder_backlog,
+            self.responder_peak_backlog,
+            self.pull_retries,
+            self.net_msgs_dropped,
+            self.net_msgs_duplicated,
+            self.net_msgs_delayed,
+            self.net_bytes_sent,
+            self.net_bytes_received,
+            self.spill_bytes,
+            self.remaining,
+            self.idle_compers,
+            self.steal_inflight,
+            self.trace_events_dropped,
+            self.cache.hits,
+            self.cache.shared_waits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.gc_passes,
+            self.cache.retries,
+            self.cache.stale_responses,
+        ] {
+            b.extend_from_slice(&v.to_le_bytes());
+        }
+        b.push(self.quiescent as u8);
+        b.extend_from_slice(&self.clock_offset_nanos.to_le_bytes());
+        put_hist(&mut b, &self.pull_rtt);
+        put_hist(&mut b, &self.responder_drain);
+        b.extend_from_slice(&(self.compers.len() as u16).to_le_bytes());
+        for c in &self.compers {
+            put_hist(&mut b, &c.compute);
+            put_hist(&mut b, &c.e2e);
+            put_hist(&mut b, &c.park);
+        }
+        b.extend_from_slice(&(self.events.len() as u32).to_le_bytes());
+        for e in &self.events {
+            b.extend_from_slice(&e.ts.to_le_bytes());
+            b.extend_from_slice(&e.dur.to_le_bytes());
+            b.extend_from_slice(&e.tid.to_le_bytes());
+            b.extend_from_slice(&e.arg.to_le_bytes());
+            b.push(e.kind.code());
+        }
+        gthinker_net::frame::seal(&b)
+    }
+
+    /// Decodes a sealed `MetricsReport` payload. Any corruption —
+    /// a bad frame, an unknown version, a short buffer — is a clean
+    /// `InvalidData` error, never a panic.
+    pub fn decode_report(payload: &[u8]) -> io::Result<WorkerMetricsSnapshot> {
+        let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+        let raw = gthinker_net::frame::open(payload).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("report frame: {e}"))
+        })?;
+        let mut c = Cursor(raw);
+        if c.u8()? != REPORT_VERSION {
+            return Err(bad("unknown metrics report version"));
+        }
+        let mut counters = [0u64; 34];
+        for v in counters.iter_mut() {
+            *v = c.u64()?;
+        }
+        let quiescent = c.u8()? != 0;
+        let clock_offset_nanos = c.i64()?;
+        let pull_rtt = get_hist(&mut c)?;
+        let responder_drain = get_hist(&mut c)?;
+        let n_compers = c.u16()? as usize;
+        let mut compers = Vec::with_capacity(n_compers.min(1024));
+        for _ in 0..n_compers {
+            compers.push(ComperHistSnapshot {
+                compute: get_hist(&mut c)?,
+                e2e: get_hist(&mut c)?,
+                park: get_hist(&mut c)?,
+            });
+        }
+        let n_events = c.u32()? as usize;
+        let mut events = Vec::with_capacity(n_events.min(65_536));
+        for _ in 0..n_events {
+            let (ts, dur, tid, arg) = (c.u64()?, c.u64()?, c.u32()?, c.u64()?);
+            let kind =
+                EventKind::from_code(c.u8()?).ok_or_else(|| bad("unknown event kind code"))?;
+            events.push(Event { ts, dur, tid, arg, kind });
+        }
+        Ok(WorkerMetricsSnapshot {
+            tasks_finished: counters[0],
+            compute_calls: counters[1],
+            compute_nanos: counters[2],
+            idle_nanos: counters[3],
+            steals: counters[4],
+            stolen_tasks: counters[5],
+            remote_steals: counters[6],
+            remote_stolen_tasks: counters[7],
+            steal_batch_bytes: counters[8],
+            yields: counters[9],
+            split_tasks: counters[10],
+            parks: counters[11],
+            wakeups: counters[12],
+            responses_served: counters[13],
+            responder_backlog: counters[14],
+            responder_peak_backlog: counters[15],
+            pull_retries: counters[16],
+            net_msgs_dropped: counters[17],
+            net_msgs_duplicated: counters[18],
+            net_msgs_delayed: counters[19],
+            net_bytes_sent: counters[20],
+            net_bytes_received: counters[21],
+            spill_bytes: counters[22],
+            remaining: counters[23],
+            idle_compers: counters[24],
+            steal_inflight: counters[25],
+            trace_events_dropped: counters[26],
+            cache: CacheSnapshot {
+                hits: counters[27],
+                shared_waits: counters[28],
+                misses: counters[29],
+                evictions: counters[30],
+                gc_passes: counters[31],
+                retries: counters[32],
+                stale_responses: counters[33],
+            },
+            quiescent,
+            clock_offset_nanos,
+            pull_rtt,
+            responder_drain,
+            compers,
+            events,
+        })
+    }
+}
+
+/// Version byte leading every encoded metrics report.
+const REPORT_VERSION: u8 = 1;
+
+/// Sparse histogram encoding: nonzero-bucket count, then (index, count)
+/// pairs, then the running sum. Most histograms populate a handful of
+/// the 64 buckets, so this beats the dense form by ~8x.
+fn put_hist(b: &mut Vec<u8>, h: &HistSnapshot) {
+    let nonzero: Vec<(u8, u64)> =
+        h.buckets.iter().enumerate().filter(|(_, &n)| n > 0).map(|(i, &n)| (i as u8, n)).collect();
+    b.push(nonzero.len() as u8);
+    for (i, n) in nonzero {
+        b.push(i);
+        b.extend_from_slice(&n.to_le_bytes());
+    }
+    b.extend_from_slice(&h.sum.to_le_bytes());
+}
+
+fn get_hist(c: &mut Cursor<'_>) -> io::Result<HistSnapshot> {
+    let mut h = HistSnapshot::default();
+    let n = c.u8()? as usize;
+    for _ in 0..n {
+        let i = c.u8()? as usize;
+        if i >= NUM_BUCKETS {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "histogram bucket index"));
+        }
+        h.buckets[i] = c.u64()?;
+    }
+    h.sum = c.u64()?;
+    Ok(h)
+}
+
+/// Bounds-checked little-endian reader over a report payload.
+struct Cursor<'a>(&'a [u8]);
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> io::Result<&[u8]> {
+        if self.0.len() < n {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "metrics report truncated"));
+        }
+        let (head, rest) = self.0.split_at(n);
+        self.0 = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> io::Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 }
 
@@ -245,6 +506,10 @@ impl MetricsSnapshot {
                  \"responder_peak_backlog\": {},\n      \"pull_retries\": {},\n      \
                  \"net_msgs_dropped\": {},\n      \"net_msgs_duplicated\": {},\n      \
                  \"net_msgs_delayed\": {},\n      \
+                 \"trace_events_dropped\": {},\n      \
+                 \"clock_offset_nanos\": {},\n      \
+                 \"remaining\": {},\n      \"idle_compers\": {},\n      \
+                 \"steal_inflight\": {},\n      \"quiescent\": {},\n      \
                  \"cache\": {{\"hits\": {}, \"shared_waits\": {}, \"misses\": {}, \
                  \"evictions\": {}, \"gc_passes\": {}, \"retries\": {}, \
                  \"stale_responses\": {}}},\n      \
@@ -272,6 +537,12 @@ impl MetricsSnapshot {
                 w.net_msgs_dropped,
                 w.net_msgs_duplicated,
                 w.net_msgs_delayed,
+                w.trace_events_dropped,
+                w.clock_offset_nanos,
+                w.remaining,
+                w.idle_compers,
+                w.steal_inflight,
+                w.quiescent,
                 w.cache.hits,
                 w.cache.shared_waits,
                 w.cache.misses,
@@ -423,6 +694,155 @@ impl MetricsSnapshot {
         );
         s
     }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): one gauge/counter family per metric with a
+    /// `worker="i"` label per sample, scrapeable from the
+    /// `--telemetry-addr` endpoint mid-run.
+    pub fn prometheus_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "# HELP gthinker_elapsed_seconds Wall time since the job started.");
+        let _ = writeln!(s, "# TYPE gthinker_elapsed_seconds gauge");
+        let _ = writeln!(s, "gthinker_elapsed_seconds {:.3}", self.elapsed.as_secs_f64());
+        let mut family =
+            |name: &str, kind: &str, help: &str, get: &dyn Fn(&WorkerMetricsSnapshot) -> u64| {
+                let _ = writeln!(s, "# HELP {name} {help}");
+                let _ = writeln!(s, "# TYPE {name} {kind}");
+                for (wi, w) in self.workers.iter().enumerate() {
+                    let _ = writeln!(s, "{name}{{worker=\"{wi}\"}} {}", get(w));
+                }
+            };
+        family("gthinker_remaining", "gauge", "Estimated remaining load in tasks.", &|w| {
+            w.remaining
+        });
+        family("gthinker_idle_compers", "gauge", "Compers parked with nothing reachable.", &|w| {
+            w.idle_compers
+        });
+        family(
+            "gthinker_steal_inflight",
+            "gauge",
+            "Sealed steal batches awaiting their thief's ack.",
+            &|w| w.steal_inflight,
+        );
+        family(
+            "gthinker_quiescent",
+            "gauge",
+            "1 when the worker has reported local quiescence.",
+            &|w| w.quiescent as u64,
+        );
+        family(
+            "gthinker_tasks_finished_total",
+            "counter",
+            "Tasks whose compute() returned false.",
+            &|w| w.tasks_finished,
+        );
+        family("gthinker_compute_calls_total", "counter", "Total compute() invocations.", &|w| {
+            w.compute_calls
+        });
+        family(
+            "gthinker_net_bytes_sent_total",
+            "counter",
+            "Bytes this worker put on the wire.",
+            &|w| w.net_bytes_sent,
+        );
+        family(
+            "gthinker_net_bytes_received_total",
+            "counter",
+            "Bytes this worker took off the wire.",
+            &|w| w.net_bytes_received,
+        );
+        family(
+            "gthinker_remote_stolen_tasks_total",
+            "counter",
+            "Tasks shipped off this worker by cluster steals.",
+            &|w| w.remote_stolen_tasks,
+        );
+        family("gthinker_cache_hits_total", "counter", "Vertex cache hits.", &|w| w.cache.hits);
+        family(
+            "gthinker_cache_misses_total",
+            "counter",
+            "Vertex cache misses (remote pulls issued).",
+            &|w| w.cache.misses,
+        );
+        family(
+            "gthinker_pull_retries_total",
+            "counter",
+            "Vertex pulls re-requested after a deadline expiry.",
+            &|w| w.pull_retries,
+        );
+        family(
+            "gthinker_trace_events_dropped_total",
+            "counter",
+            "Trace events lost to ring recycling.",
+            &|w| w.trace_events_dropped,
+        );
+        s
+    }
+}
+
+/// The master's live view of every worker's metrics, fed by
+/// `MetricsReport` control messages. `latest` holds the newest report
+/// per worker (reports are cumulative snapshots, so newer strictly
+/// supersedes older — arrival order between workers never matters);
+/// `finals` holds only end-of-job reports carrying event timelines.
+/// Shared between the master's control loop (writer) and the CLI's
+/// status/exposition threads (readers).
+pub struct ClusterTelemetry {
+    start: Instant,
+    latest: Mutex<Vec<Option<WorkerMetricsSnapshot>>>,
+    finals: Mutex<Vec<Option<WorkerMetricsSnapshot>>>,
+}
+
+impl ClusterTelemetry {
+    /// An empty view over `num_workers` workers.
+    pub fn new(num_workers: usize) -> Self {
+        ClusterTelemetry {
+            start: Instant::now(),
+            latest: Mutex::new(vec![None; num_workers]),
+            finals: Mutex::new(vec![None; num_workers]),
+        }
+    }
+
+    /// Number of worker slots in this view.
+    pub fn num_workers(&self) -> usize {
+        self.latest.lock().unwrap().len()
+    }
+
+    /// Absorbs one worker's report. Out-of-range worker indices are
+    /// ignored (a malformed report must not panic the master).
+    pub fn publish(&self, worker: usize, snap: WorkerMetricsSnapshot, is_final: bool) {
+        if is_final {
+            let mut finals = self.finals.lock().unwrap();
+            if let Some(slot) = finals.get_mut(worker) {
+                *slot = Some(snap.clone());
+            }
+        }
+        let mut latest = self.latest.lock().unwrap();
+        if let Some(slot) = latest.get_mut(worker) {
+            *slot = Some(snap);
+        }
+    }
+
+    /// Workers that have reported at least once.
+    pub fn reported(&self) -> usize {
+        self.latest.lock().unwrap().iter().filter(|s| s.is_some()).count()
+    }
+
+    /// The cluster-wide snapshot assembled from the newest report per
+    /// worker. Workers that have not reported yet appear as default
+    /// (all-zero) entries so the worker indices stay aligned.
+    pub fn cluster_snapshot(&self) -> MetricsSnapshot {
+        let latest = self.latest.lock().unwrap();
+        MetricsSnapshot {
+            elapsed: self.start.elapsed(),
+            workers: latest.iter().map(|s| s.clone().unwrap_or_default()).collect(),
+        }
+    }
+
+    /// Each worker's final report, if it arrived.
+    pub fn final_snapshots(&self) -> Vec<Option<WorkerMetricsSnapshot>> {
+        self.finals.lock().unwrap().clone()
+    }
 }
 
 fn ms(d: Duration) -> f64 {
@@ -515,5 +935,164 @@ mod tests {
         assert_eq!(fmt_nanos(1_500), "1.5us");
         assert_eq!(fmt_nanos(2_500_000), "2.5ms");
         assert_eq!(fmt_nanos(3_000_000_000), "3.00s");
+    }
+
+    fn busy_snapshot() -> WorkerMetricsSnapshot {
+        let h = gthinker_metrics::ComperHists::new();
+        for i in 1..=20u64 {
+            h.compute.record(1_000 * i);
+            h.e2e.record(10_000 * i);
+            h.park.record(100 * i);
+        }
+        WorkerMetricsSnapshot {
+            tasks_finished: 42,
+            compute_calls: 99,
+            compute_nanos: 123_456,
+            idle_nanos: 7,
+            steals: 3,
+            stolen_tasks: 11,
+            remote_steals: 2,
+            remote_stolen_tasks: 9,
+            steal_batch_bytes: 512,
+            yields: 4,
+            split_tasks: 6,
+            parks: 13,
+            wakeups: 12,
+            responses_served: 77,
+            responder_backlog: 1,
+            responder_peak_backlog: 5,
+            pull_retries: 8,
+            net_msgs_dropped: 2,
+            net_msgs_duplicated: 1,
+            net_msgs_delayed: 3,
+            cache: CacheSnapshot {
+                hits: 100,
+                shared_waits: 2,
+                misses: 30,
+                evictions: 5,
+                gc_passes: 4,
+                retries: 1,
+                stale_responses: 2,
+            },
+            net_bytes_sent: 1_000,
+            net_bytes_received: 2_000,
+            spill_bytes: 4_096,
+            remaining: 17,
+            quiescent: true,
+            idle_compers: 2,
+            steal_inflight: 1,
+            trace_events_dropped: 9,
+            clock_offset_nanos: -12_345,
+            compers: vec![h.snapshot(), ComperHistSnapshot::default()],
+            pull_rtt: {
+                let hist = gthinker_metrics::ComperHists::new();
+                hist.compute.record(5_000);
+                hist.compute.snapshot()
+            },
+            responder_drain: HistSnapshot::default(),
+            events: vec![
+                Event { ts: 10, dur: 5, tid: 0, arg: 0, kind: EventKind::Compute },
+                Event { ts: 20, dur: 0, tid: 3, arg: (1 << 32) | 7, kind: EventKind::StealSend },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_codec_round_trips() {
+        let snap = busy_snapshot();
+        let payload = snap.encode_report();
+        let back = WorkerMetricsSnapshot::decode_report(&payload).unwrap();
+        assert_eq!(back.tasks_finished, snap.tasks_finished);
+        assert_eq!(back.compute_calls, snap.compute_calls);
+        assert_eq!(back.cache, snap.cache);
+        assert_eq!(back.quiescent, snap.quiescent);
+        assert_eq!(back.clock_offset_nanos, snap.clock_offset_nanos);
+        assert_eq!(back.trace_events_dropped, snap.trace_events_dropped);
+        assert_eq!(back.idle_compers, snap.idle_compers);
+        assert_eq!(back.steal_inflight, snap.steal_inflight);
+        assert_eq!(back.remaining, snap.remaining);
+        assert_eq!(back.net_bytes_sent, snap.net_bytes_sent);
+        assert_eq!(back.net_bytes_received, snap.net_bytes_received);
+        assert_eq!(back.compers.len(), snap.compers.len());
+        assert_eq!(back.compers[0].compute.count(), snap.compers[0].compute.count());
+        assert_eq!(back.compers[0].e2e.sum, snap.compers[0].e2e.sum);
+        assert_eq!(back.pull_rtt.count(), snap.pull_rtt.count());
+        assert_eq!(back.events, snap.events);
+    }
+
+    #[test]
+    fn report_decode_rejects_corruption() {
+        let snap = busy_snapshot();
+        let payload = snap.encode_report();
+        // Flip a payload byte: the frame CRC catches it.
+        let mut bad = payload.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xFF;
+        assert!(WorkerMetricsSnapshot::decode_report(&bad).is_err());
+        // Truncations fail cleanly too.
+        for cut in [0, 1, payload.len() / 2, payload.len() - 1] {
+            assert!(WorkerMetricsSnapshot::decode_report(&payload[..cut]).is_err());
+        }
+        // An empty (default) snapshot still round-trips.
+        let empty = WorkerMetricsSnapshot::default();
+        let back = WorkerMetricsSnapshot::decode_report(&empty.encode_report()).unwrap();
+        assert_eq!(back.tasks_finished, 0);
+        assert!(back.events.is_empty());
+    }
+
+    #[test]
+    fn cluster_telemetry_tracks_latest_and_finals() {
+        let t = ClusterTelemetry::new(3);
+        assert_eq!(t.num_workers(), 3);
+        assert_eq!(t.reported(), 0);
+        let mut first = busy_snapshot();
+        first.tasks_finished = 1;
+        t.publish(1, first, false);
+        let mut newer = busy_snapshot();
+        newer.tasks_finished = 5;
+        t.publish(1, newer, false);
+        assert_eq!(t.reported(), 1);
+        let snap = t.cluster_snapshot();
+        assert_eq!(snap.workers.len(), 3);
+        assert_eq!(snap.workers[1].tasks_finished, 5, "newest report wins");
+        assert_eq!(snap.workers[0].tasks_finished, 0, "unreported worker is zeroed");
+        assert!(t.final_snapshots().iter().all(|f| f.is_none()));
+        t.publish(2, busy_snapshot(), true);
+        let finals = t.final_snapshots();
+        assert!(finals[2].is_some());
+        assert!(finals[1].is_none());
+        // Out-of-range publishes are ignored, not panics.
+        t.publish(9, busy_snapshot(), true);
+        assert_eq!(t.reported(), 2);
+    }
+
+    #[test]
+    fn prometheus_text_has_per_worker_series() {
+        let mut s = snap_with(&[3, 7]);
+        s.workers[0].remaining = 12;
+        s.workers[0].idle_compers = 2;
+        s.workers[1].net_bytes_sent = 900;
+        let text = s.prometheus_text();
+        for needle in [
+            "# TYPE gthinker_remaining gauge",
+            "gthinker_remaining{worker=\"0\"} 12",
+            "gthinker_idle_compers{worker=\"0\"} 2",
+            "gthinker_idle_compers{worker=\"1\"} 0",
+            "# TYPE gthinker_net_bytes_sent_total counter",
+            "gthinker_net_bytes_sent_total{worker=\"1\"} 900",
+            "gthinker_net_bytes_received_total{worker=\"0\"} 0",
+            "gthinker_tasks_finished_total{worker=\"0\"} 3",
+            "gthinker_tasks_finished_total{worker=\"1\"} 7",
+            "gthinker_elapsed_seconds 0.005",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // Every line is a comment or `name{labels} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split(' ').count() == 2,
+                "malformed exposition line: {line:?}"
+            );
+        }
     }
 }

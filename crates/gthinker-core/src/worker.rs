@@ -16,7 +16,9 @@ use crossbeam::channel::Receiver;
 use crossbeam::channel::Sender;
 use gthinker_graph::ids::{VertexId, WorkerId};
 use gthinker_graph::partition::HashPartitioner;
-use gthinker_metrics::{now_nanos, ComperHists, Event, EventKind, WorkerMetrics, TID_GC};
+use gthinker_metrics::{
+    now_nanos, ComperHists, Event, EventKind, WorkerMetrics, TID_GC, TID_RECEIVER,
+};
 use gthinker_net::batch::RequestBatcher;
 use gthinker_net::frame;
 use gthinker_net::message::Message;
@@ -33,7 +35,7 @@ use gthinker_task::task::Task;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Rough fixed overhead per in-memory task, on top of its subgraph.
@@ -155,6 +157,74 @@ pub(crate) struct OutgoingSteal {
     pub deadline: Instant,
 }
 
+/// Peer clock-offset estimation for cross-process trace stitching.
+///
+/// Non-master cluster workers ping the master (at most
+/// [`ClockSync::MAX_SAMPLES`] times, one per tick) and estimate the
+/// offset of the master's metrics clock from their own by the classic
+/// RTT-midpoint rule: `offset = master_now - (t_send + t_recv) / 2`.
+/// The estimate from the minimum-RTT exchange wins — the shorter the
+/// round trip, the tighter the bound on where inside it the master
+/// stamped its reply.
+pub(crate) struct ClockSync {
+    /// Send timestamps of outstanding pings, keyed by nonce.
+    pending: Mutex<HashMap<u64, u64>>,
+    /// Lowest RTT (nanos) among answered pings; `u64::MAX` until one
+    /// lands.
+    best_rtt: AtomicU64,
+    /// Offset estimate from the minimum-RTT sample.
+    offset: AtomicI64,
+    /// Pings issued so far.
+    sent: AtomicU64,
+}
+
+impl ClockSync {
+    /// Samples after which pinging stops: enough ticks to catch one
+    /// quiet round trip without adding control traffic forever.
+    const MAX_SAMPLES: u64 = 8;
+
+    fn new() -> Self {
+        ClockSync {
+            pending: Mutex::new(HashMap::new()),
+            best_rtt: AtomicU64::new(u64::MAX),
+            offset: AtomicI64::new(0),
+            sent: AtomicU64::new(0),
+        }
+    }
+
+    /// Starts one ping if the sample budget allows; returns its nonce.
+    pub fn begin_ping(&self) -> Option<u64> {
+        let nonce = self.sent.fetch_add(1, Ordering::Relaxed);
+        if nonce >= Self::MAX_SAMPLES {
+            return None;
+        }
+        self.pending.lock().insert(nonce, now_nanos());
+        Some(nonce)
+    }
+
+    /// Absorbs the master's reply to `nonce`, stamped `master_nanos`
+    /// on the master's metrics clock. Unknown or duplicated nonces are
+    /// ignored (the control plane is reliable, but be defensive).
+    pub fn on_pong(&self, nonce: u64, master_nanos: u64) {
+        let Some(t_send) = self.pending.lock().remove(&nonce) else {
+            return;
+        };
+        let t_recv = now_nanos();
+        let rtt = t_recv.saturating_sub(t_send);
+        if rtt < self.best_rtt.load(Ordering::Relaxed) {
+            self.best_rtt.store(rtt, Ordering::Relaxed);
+            let midpoint = (t_send / 2) + (t_recv / 2);
+            self.offset.store(master_nanos as i64 - midpoint as i64, Ordering::Relaxed);
+        }
+    }
+
+    /// Current estimate of `master_now - local_now` (0 until a pong
+    /// lands, and always 0 on the master itself).
+    pub fn offset_nanos(&self) -> i64 {
+        self.offset.load(Ordering::Relaxed)
+    }
+}
+
 /// Everything one worker's threads share.
 pub(crate) struct WorkerShared<A: App> {
     pub me: WorkerId,
@@ -233,6 +303,19 @@ pub(crate) struct WorkerShared<A: App> {
     /// Worker-level instrumentation: pull-RTT / responder-drain
     /// histograms and the scheduler/cache event ring.
     pub metrics: WorkerMetrics,
+    /// Peer clock-offset estimator (cluster trace stitching).
+    pub clock: ClockSync,
+    /// Cluster telemetry sink, installed only on the master process of
+    /// a multi-process run; inbound `MetricsReport`s and the master's
+    /// own periodic snapshots are published into it.
+    pub telemetry: OnceLock<Arc<crate::metrics::ClusterTelemetry>>,
+    /// Set on every process of a multi-process cluster run: ship a
+    /// final metrics report (with the event ring) to the master just
+    /// before the final aggregator sync.
+    pub remote_report: AtomicBool,
+    /// When the last periodic metrics report went out (tick thread
+    /// only; a lock keeps `WorkerShared` construction simple).
+    pub last_report: Mutex<Option<Instant>>,
 }
 
 impl<A: App> WorkerShared<A> {
@@ -286,7 +369,17 @@ impl<A: App> WorkerShared<A> {
             labels,
             output,
             metrics,
+            clock: ClockSync::new(),
+            telemetry: OnceLock::new(),
+            remote_report: AtomicBool::new(false),
+            last_report: Mutex::new(None),
         })
+    }
+
+    /// Estimated offset of this worker's metrics clock from the
+    /// master's (see [`ClockSync`]).
+    pub fn clock_offset_nanos(&self) -> i64 {
+        self.clock.offset_nanos()
     }
 
     /// True when this worker should stop its threads.
@@ -586,6 +679,15 @@ fn handle_message<A: App>(
                 // victim's drain to this ack, some worker always owns
                 // the tasks (overlap, never a gap).
                 shared.spill.push_file_bytes(batch).expect("spill dir writable");
+                if shared.metrics.ring.enabled() {
+                    shared.metrics.ring.push(Event {
+                        ts: now_nanos(),
+                        dur: 0,
+                        tid: TID_RECEIVER,
+                        arg: steal_flow_key(victim, seq),
+                        kind: EventKind::StealRecv,
+                    });
+                }
                 // A new spill file is a refill source every comper
                 // checks.
                 shared.sched_events.notify_all();
@@ -615,8 +717,19 @@ fn handle_message<A: App>(
             shared.suspend.store(true, Ordering::SeqCst);
             shared.wake_all();
         }
+        Message::ClockPing { worker, nonce } => {
+            // Clock-sync request from a peer: stamp it with this
+            // process's metrics clock and bounce it straight back off
+            // the receiver thread — any queueing here would widen the
+            // RTT and loosen the peer's offset estimate.
+            shared.net.send(worker, Message::ClockPong { nonce, nanos: now_nanos() });
+        }
+        Message::ClockPong { nonce, nanos } => {
+            shared.clock.on_pong(nonce, nanos);
+        }
         m @ (Message::Progress { .. }
         | Message::AggregatorSync { .. }
+        | Message::MetricsReport { .. }
         | Message::StealExecuted { .. }
         | Message::StealDone
         | Message::SuspendDone { .. }) => {
@@ -636,6 +749,13 @@ fn steal_resend_after(config: &JobConfig) -> Duration {
 /// Task count of an encoded `Vec<Task<C>>` payload (u64 LE prefix).
 fn batch_task_count(bytes: &[u8]) -> u64 {
     bytes.get(..8).map_or(0, |b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+}
+
+/// Chrome flow-event id correlating a steal batch's send and receive
+/// across processes: victim worker in the high 32 bits, sequence
+/// number (truncated) in the low 32.
+fn steal_flow_key(victim: WorkerId, seq: u64) -> u64 {
+    ((victim.0 as u64) << 32) | (seq & 0xFFFF_FFFF)
 }
 
 /// Victim-side execution of a master-brokered steal: seal up to
@@ -672,6 +792,15 @@ fn execute_steal_request<A: App>(shared: &Arc<WorkerShared<A>>, thief: WorkerId,
         },
     );
     shared.net.send(thief, Message::StealBatch { victim: shared.me, seq, bytes: framed });
+    if shared.metrics.ring.enabled() {
+        shared.metrics.ring.push(Event {
+            ts: now_nanos(),
+            dur: 0,
+            tid: TID_RECEIVER,
+            arg: steal_flow_key(shared.me, seq),
+            kind: EventKind::StealSend,
+        });
+    }
     shared.net.send(WorkerId(0), Message::StealExecuted { sent: 1 });
 }
 
@@ -847,5 +976,30 @@ pub(crate) fn worker_tick<A: App>(shared: &Arc<WorkerShared<A>>, master: WorkerI
                 as u32,
         },
     );
+    // Clock-sync pings: non-master workers take a few RTT samples early
+    // in the run so end-of-job trace stitching can map their event
+    // timestamps onto the master's clock.
+    if shared.config.num_workers > 1 && shared.me != master {
+        if let Some(nonce) = shared.clock.begin_ping() {
+            shared.net.send(master, Message::ClockPing { worker: shared.me, nonce });
+        }
+    }
+    // Live metrics streaming: ship a compact cumulative snapshot every
+    // `report_interval` so the master's cluster view stays fresh.
+    if let Some(interval) = shared.config.report_interval {
+        let due = {
+            let mut last = shared.last_report.lock();
+            match *last {
+                Some(t) if t.elapsed() < interval => false,
+                _ => {
+                    *last = Some(Instant::now());
+                    true
+                }
+            }
+        };
+        if due {
+            crate::metrics::send_report(shared, master, false);
+        }
+    }
     idle
 }

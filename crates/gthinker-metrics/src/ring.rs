@@ -31,6 +31,14 @@ pub enum EventKind {
     QuiesceEnter,
     /// The worker left quiescence (new work arrived).
     QuiesceExit,
+    /// A victim sealed and sent one cluster steal batch; `arg` is the
+    /// `(victim, seq)` flow key (victim in the high 32 bits). Paired
+    /// with the thief's [`EventKind::StealRecv`] as a Chrome flow
+    /// event, so cross-process steals draw as arrows in the viewer.
+    StealSend,
+    /// A thief applied one cluster steal batch; `arg` is the same
+    /// `(victim, seq)` flow key as the matching [`EventKind::StealSend`].
+    StealRecv,
 }
 
 impl EventKind {
@@ -46,7 +54,44 @@ impl EventKind {
             EventKind::Respond => "respond",
             EventKind::QuiesceEnter => "quiesce_enter",
             EventKind::QuiesceExit => "quiesce_exit",
+            EventKind::StealSend => "steal_send",
+            EventKind::StealRecv => "steal_recv",
         }
+    }
+
+    /// Stable one-byte code used by the metrics-report wire encoding.
+    pub fn code(self) -> u8 {
+        match self {
+            EventKind::Compute => 0,
+            EventKind::Park => 1,
+            EventKind::Steal => 2,
+            EventKind::Spill => 3,
+            EventKind::Refill => 4,
+            EventKind::GcPass => 5,
+            EventKind::Respond => 6,
+            EventKind::QuiesceEnter => 7,
+            EventKind::QuiesceExit => 8,
+            EventKind::StealSend => 9,
+            EventKind::StealRecv => 10,
+        }
+    }
+
+    /// Inverse of [`EventKind::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<EventKind> {
+        Some(match code {
+            0 => EventKind::Compute,
+            1 => EventKind::Park,
+            2 => EventKind::Steal,
+            3 => EventKind::Spill,
+            4 => EventKind::Refill,
+            5 => EventKind::GcPass,
+            6 => EventKind::Respond,
+            7 => EventKind::QuiesceEnter,
+            8 => EventKind::QuiesceExit,
+            9 => EventKind::StealSend,
+            10 => EventKind::StealRecv,
+            _ => return None,
+        })
     }
 
     /// Spans render as Chrome `ph:"X"` complete events; the rest as
@@ -64,6 +109,7 @@ impl EventKind {
             EventKind::Steal | EventKind::Spill | EventKind::Refill => Some("tasks"),
             EventKind::GcPass => Some("evicted"),
             EventKind::Respond => Some("vertices"),
+            EventKind::StealSend | EventKind::StealRecv => Some("flow"),
             _ => None,
         }
     }
@@ -131,6 +177,14 @@ mod imp {
             out.sort_by_key(|e| e.ts);
             out
         }
+
+        /// Events lost to overwrite-oldest recycling: total pushes
+        /// beyond capacity. Nonzero means [`EventRing::snapshot`] is a
+        /// truncated timeline.
+        pub fn dropped(&self) -> u64 {
+            let pushes = self.head.load(Ordering::Relaxed);
+            pushes.saturating_sub(self.slots.len()) as u64
+        }
     }
 }
 
@@ -161,6 +215,11 @@ mod imp {
         pub fn snapshot(&self) -> Vec<Event> {
             Vec::new()
         }
+
+        /// Nothing recorded, nothing lost.
+        pub fn dropped(&self) -> u64 {
+            0
+        }
     }
 }
 
@@ -179,14 +238,36 @@ mod tests {
     fn ring_overwrites_oldest_and_sorts() {
         let r = EventRing::new(4);
         assert!(r.enabled());
+        assert_eq!(r.dropped(), 0);
         for ts in [5u64, 1, 9, 3, 7, 2] {
             r.push(ev(ts));
         }
         let snap = r.snapshot();
         // 6 pushes into 4 slots: the first two (ts 5, 1) were recycled.
         assert_eq!(snap.len(), 4);
+        assert_eq!(r.dropped(), 2);
         let ts: Vec<u64> = snap.iter().map(|e| e.ts).collect();
         assert_eq!(ts, vec![2, 3, 7, 9]);
+    }
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for kind in [
+            EventKind::Compute,
+            EventKind::Park,
+            EventKind::Steal,
+            EventKind::Spill,
+            EventKind::Refill,
+            EventKind::GcPass,
+            EventKind::Respond,
+            EventKind::QuiesceEnter,
+            EventKind::QuiesceExit,
+            EventKind::StealSend,
+            EventKind::StealRecv,
+        ] {
+            assert_eq!(EventKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(EventKind::from_code(200), None);
     }
 
     #[test]

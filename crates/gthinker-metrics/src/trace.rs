@@ -7,10 +7,23 @@
 //! each process (worker) and thread (comper / service thread). `pid`
 //! is the worker index, `tid` the comper index or a `TID_*` constant.
 
-use crate::ring::Event;
+use crate::ring::{Event, EventKind};
 use crate::tid_name;
 use std::collections::BTreeSet;
 use std::io::{self, Write};
+
+/// Shifts every event by a per-worker clock offset (nanoseconds,
+/// saturating at zero), moving the events onto another worker's
+/// timeline. Cluster trace stitching applies each remote worker's
+/// estimated offset so all processes share the master's clock.
+pub fn shift_events(events: &mut [Event], offset_nanos: i64) {
+    if offset_nanos == 0 {
+        return;
+    }
+    for e in events.iter_mut() {
+        e.ts = e.ts.saturating_add_signed(offset_nanos);
+    }
+}
 
 /// Writes all workers' event timelines as one Chrome trace JSON array.
 /// `events` is indexed by worker; each worker's events become one
@@ -73,6 +86,22 @@ pub fn write_chrome_trace<W: Write>(mut w: W, events: &[Vec<Event>]) -> io::Resu
                     e.tid
                 )?;
             }
+            // Cluster steal halves additionally emit Chrome flow events
+            // keyed by the (victim, seq) flow id: the viewer draws an
+            // arrow from the victim's send to the thief's receive.
+            if matches!(e.kind, EventKind::StealSend | EventKind::StealRecv) {
+                sep(&mut w, &mut first)?;
+                let (ph, bp) = match e.kind {
+                    EventKind::StealSend => ("s", ""),
+                    _ => ("f", "\"bp\":\"e\","),
+                };
+                write!(
+                    w,
+                    "{{\"ph\":\"{ph}\",{bp}\"cat\":\"steal\",\"name\":\"steal_flow\",\
+                     \"id\":{},\"pid\":{pid},\"tid\":{},\"ts\":{ts:.3}}}",
+                    e.arg, e.tid
+                )?;
+            }
         }
     }
     writeln!(w, "\n]")?;
@@ -124,6 +153,48 @@ mod tests {
         // CI additionally runs a real JSON parser over CLI output).
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn steal_flow_events_pair_up_and_offsets_shift() {
+        let flow = (2u64 << 32) | 7; // victim 2, seq 7
+        let mut events = vec![
+            vec![Event { ts: 1_000, dur: 0, tid: 3, arg: flow, kind: EventKind::StealSend }],
+            vec![Event {
+                ts: 500,
+                dur: 0,
+                tid: crate::TID_RECEIVER,
+                arg: flow,
+                kind: EventKind::StealRecv,
+            }],
+        ];
+        // Worker 1's clock runs 2µs behind the master's.
+        shift_events(&mut events[1], 2_000);
+        assert_eq!(events[1][0].ts, 2_500);
+        // Negative offsets saturate instead of wrapping.
+        let mut early = [Event { ts: 100, dur: 0, tid: 0, arg: 0, kind: EventKind::Steal }];
+        shift_events(&mut early, -500);
+        assert_eq!(early[0].ts, 0);
+
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &events).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("\"name\":\"steal_send\""), "{s}");
+        assert!(s.contains("\"name\":\"steal_recv\""), "{s}");
+        // One flow start and one flow finish, same id.
+        assert!(
+            s.contains(&format!(
+                "\"ph\":\"s\",\"cat\":\"steal\",\"name\":\"steal_flow\",\"id\":{flow}"
+            )),
+            "{s}"
+        );
+        assert!(
+            s.contains(&format!(
+                "\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"steal\",\"name\":\"steal_flow\",\"id\":{flow}"
+            )),
+            "{s}"
+        );
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
     }
 
     #[test]

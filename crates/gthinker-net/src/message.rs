@@ -125,6 +125,39 @@ pub enum Message {
     /// sim router's crash schedule emits this; it never crosses a
     /// socket.
     Crash,
+    /// A worker's metrics report to the master: an opaque encoded
+    /// worker metrics snapshot (sealed in a CRC frame, like steal
+    /// batches). Workers push one at every `report_interval` tick and a
+    /// final one (with the event ring) at job end. Control plane
+    /// (reliable); reports are cumulative, so a newer report simply
+    /// supersedes an older one.
+    MetricsReport {
+        /// Reporting worker.
+        worker: WorkerId,
+        /// Framed, encoded worker metrics snapshot.
+        payload: Vec<u8>,
+        /// True for the final snapshot sent just before the final
+        /// aggregator sync.
+        is_final: bool,
+    },
+    /// Clock-synchronization probe from a worker to the master. The
+    /// master's receiver answers inline with a [`Message::ClockPong`]
+    /// carrying its metrics-clock reading; the worker estimates its
+    /// clock offset as `master_nanos - (t_send + t_recv) / 2` and keeps
+    /// the minimum-RTT sample (trace stitching).
+    ClockPing {
+        /// Probing worker (the pong goes back to it).
+        worker: WorkerId,
+        /// Echo token matching the pong to the ping's send timestamp.
+        nonce: u64,
+    },
+    /// The master's reply to a [`Message::ClockPing`].
+    ClockPong {
+        /// The originating ping's nonce, echoed verbatim.
+        nonce: u64,
+        /// The master's metrics-clock reading when it saw the ping.
+        nanos: u64,
+    },
 }
 
 /// Variant tags. One byte on the wire; `Decode` rejects anything else.
@@ -143,6 +176,9 @@ mod tag {
     pub const SUSPEND_DONE: u8 = 11;
     pub const CRASH: u8 = 12;
     pub const STEAL_ACK: u8 = 13;
+    pub const METRICS_REPORT: u8 = 14;
+    pub const CLOCK_PING: u8 = 15;
+    pub const CLOCK_PONG: u8 = 16;
 }
 
 /// Byte-payload fields use the same layout as the codec's `Vec<u8>`
@@ -222,6 +258,22 @@ impl Encode for Message {
                 buf.push(tag::STEAL_ACK);
                 seq.encode(buf);
             }
+            Message::MetricsReport { worker, payload, is_final } => {
+                buf.push(tag::METRICS_REPORT);
+                worker.encode(buf);
+                encode_bytes(payload, buf);
+                is_final.encode(buf);
+            }
+            Message::ClockPing { worker, nonce } => {
+                buf.push(tag::CLOCK_PING);
+                worker.encode(buf);
+                nonce.encode(buf);
+            }
+            Message::ClockPong { nonce, nanos } => {
+                buf.push(tag::CLOCK_PONG);
+                nonce.encode(buf);
+                nanos.encode(buf);
+            }
         }
     }
 }
@@ -267,6 +319,17 @@ impl Decode for Message {
             tag::SUSPEND_DONE => Message::SuspendDone { worker: WorkerId::decode(buf)? },
             tag::CRASH => Message::Crash,
             tag::STEAL_ACK => Message::StealAck { seq: u64::decode(buf)? },
+            tag::METRICS_REPORT => Message::MetricsReport {
+                worker: WorkerId::decode(buf)?,
+                payload: decode_bytes(buf)?,
+                is_final: bool::decode(buf)?,
+            },
+            tag::CLOCK_PING => {
+                Message::ClockPing { worker: WorkerId::decode(buf)?, nonce: u64::decode(buf)? }
+            }
+            tag::CLOCK_PONG => {
+                Message::ClockPong { nonce: u64::decode(buf)?, nanos: u64::decode(buf)? }
+            }
             _ => return Err(CodecError::Invalid("message tag")),
         })
     }
@@ -292,6 +355,9 @@ impl Message {
             Message::StealAck { .. } => 8,
             Message::AggregatorSync { payload, .. } => 2 + 8 + payload.len() + 1,
             Message::AggregatorGlobal { payload } => 8 + payload.len(),
+            Message::MetricsReport { payload, .. } => 2 + 8 + payload.len() + 1,
+            Message::ClockPing { .. } => 2 + 8,
+            Message::ClockPong { .. } => 8 + 8,
             Message::SuspendDone { .. } => 2,
             Message::StealDone | Message::Terminate | Message::Suspend | Message::Crash => 0,
         }
@@ -378,6 +444,16 @@ mod tests {
         );
         assert_eq!(Message::StealAck { seq: 3 }.encoded_len(), 9);
         assert_eq!(Message::SuspendDone { worker: WorkerId(4) }.encoded_len(), 3);
+        // tag 1 + worker 2 + vec(8 + 5) + is_final 1 = 17.
+        assert_eq!(
+            Message::MetricsReport { worker: WorkerId(1), payload: vec![0; 5], is_final: false }
+                .encoded_len(),
+            17
+        );
+        // tag 1 + worker 2 + nonce 8 = 11.
+        assert_eq!(Message::ClockPing { worker: WorkerId(1), nonce: 3 }.encoded_len(), 11);
+        // tag 1 + nonce 8 + nanos 8 = 17.
+        assert_eq!(Message::ClockPong { nonce: 3, nanos: 99 }.encoded_len(), 17);
     }
 
     #[test]
@@ -409,6 +485,9 @@ mod tests {
             Message::Suspend,
             Message::SuspendDone { worker: WorkerId(9) },
             Message::Crash,
+            Message::MetricsReport { worker: WorkerId(1), payload: vec![7; 42], is_final: true },
+            Message::ClockPing { worker: WorkerId(2), nonce: 5 },
+            Message::ClockPong { nonce: 5, nanos: u64::MAX },
         ];
         for m in msgs {
             assert_eq!(m.encoded_len(), to_bytes(&m).len(), "{m:?}");

@@ -23,7 +23,7 @@ fn any_adj() -> impl Strategy<Value = AdjList> {
     proptest::collection::vec(any_vertex(), 0..12).prop_map(AdjList::from_unsorted)
 }
 
-/// A strategy producing every one of the 14 `Message` variants,
+/// A strategy producing every one of the 17 `Message` variants,
 /// including empty batches and extreme field values.
 fn any_message() -> impl Strategy<Value = Message> {
     prop_oneof![
@@ -58,6 +58,12 @@ fn any_message() -> impl Strategy<Value = Message> {
         Just(Message::Suspend),
         any_worker().prop_map(|worker| Message::SuspendDone { worker }),
         Just(Message::Crash),
+        (any_worker(), proptest::collection::vec(any::<u8>(), 0..64), any::<bool>()).prop_map(
+            |(worker, payload, is_final)| Message::MetricsReport { worker, payload, is_final }
+        ),
+        (any_worker(), any::<u64>())
+            .prop_map(|(worker, nonce)| Message::ClockPing { worker, nonce }),
+        (any::<u64>(), any::<u64>()).prop_map(|(nonce, nanos)| Message::ClockPong { nonce, nanos }),
     ]
 }
 

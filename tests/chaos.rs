@@ -198,8 +198,11 @@ fn lossy_tcp_wire_completes_via_retries() {
     // backend: three workers on their own threads, framed sockets in
     // between, the shared fault runtime discarding and duplicating
     // data-plane frames. The job must still complete with the exact
-    // fault-free answer through the pull-retry path.
-    let (expected, global, stats) = with_watchdog("lossy-tcp", || {
+    // fault-free answer through the pull-retry path — with periodic
+    // telemetry reports streaming the whole time (the control plane is
+    // not fault-injected, so the master's merged view must still cover
+    // every worker).
+    let (expected, global, stats, metrics) = with_watchdog("lossy-tcp", || {
         let g = gen::barabasi_albert(700, 5, 67);
         let expected =
             run_job(Arc::new(TriangleApp), &g, &JobConfig::single_machine(2)).unwrap().global;
@@ -209,6 +212,7 @@ fn lossy_tcp_wire_completes_via_retries() {
         cfg.fault.dup_prob = 0.10;
         cfg.checkpoint_interval = None;
         cfg.heartbeat_timeout = None;
+        cfg.report_interval = Some(Duration::from_millis(10));
         let (manifest, listeners) = ClusterManifest::loopback(3).unwrap();
         let g = Arc::new(g);
         let handles: Vec<_> = listeners
@@ -231,6 +235,7 @@ fn lossy_tcp_wire_completes_via_retries() {
             })
             .collect();
         let mut global = None;
+        let mut metrics = None;
         let mut stats = Vec::new();
         for h in handles {
             match h.join().expect("worker thread") {
@@ -238,11 +243,12 @@ fn lossy_tcp_wire_completes_via_retries() {
                     assert_eq!(r.outcome, JobOutcome::Completed);
                     stats.push(r.workers[0].clone());
                     global = Some(r.global);
+                    metrics = Some(r.metrics);
                 }
-                ClusterRole::Worker(s) => stats.push(s),
+                ClusterRole::Worker(s, _) => stats.push(s),
             }
         }
-        (expected, global.unwrap(), stats)
+        (expected, global.unwrap(), stats, metrics.unwrap())
     });
     assert_eq!(global, expected, "TCP chaos run must match the fault-free count");
     let dropped: u64 = stats.iter().map(|w| w.net_msgs_dropped).sum();
@@ -251,6 +257,12 @@ fn lossy_tcp_wire_completes_via_retries() {
     assert!(dropped > 0, "a 10% drop rate must actually drop TCP frames");
     assert!(duplicated > 0, "a 10% dup rate must actually duplicate TCP frames");
     assert!(retries > 0, "dropped pulls must be re-requested over TCP");
+    // The lossy data plane never touches the metrics stream: the
+    // master's merged view still covers all three workers.
+    assert_eq!(metrics.workers.len(), 3, "merged view has one entry per worker");
+    for (w, m) in metrics.workers.iter().enumerate() {
+        assert!(m.compute_calls > 0, "worker {w}'s final report missing from the merged view");
+    }
 }
 
 /// Deterministic cluster skew: only vertices that hash to worker 0
@@ -409,7 +421,7 @@ fn cluster_steals_survive_lossy_tcp_wire() {
                     stats.push(r.workers[0].clone());
                     global = Some(r.global);
                 }
-                ClusterRole::Worker(s) => stats.push(s),
+                ClusterRole::Worker(s, _) => stats.push(s),
             }
         }
         (expected, global.unwrap(), stats)

@@ -164,7 +164,7 @@ fn tcp_cluster_on_mapped_graph_matches_in_ram_sim() {
                 sent += r.workers[0].net_bytes_sent;
                 master = Some(r);
             }
-            ClusterRole::Worker(s) => sent += s.net_bytes_sent,
+            ClusterRole::Worker(s, _) => sent += s.net_bytes_sent,
         }
     }
     let master = master.expect("worker 0 is the master");

@@ -61,7 +61,7 @@ fn run_tcp_cluster<A: App + Send + Sync + 'static>(
                 stats.push(r.workers[0].clone());
                 master = Some(r);
             }
-            ClusterRole::Worker(s) => stats.push(s),
+            ClusterRole::Worker(s, _) => stats.push(s),
         }
     }
     (master.expect("worker 0 is the master"), stats)
@@ -149,6 +149,73 @@ fn graph_matching_matches_sim() {
     let (r, stats) = run_tcp_cluster(app(), &g, 2);
     assert_eq!(r.global, reference);
     assert_traffic(&stats);
+}
+
+/// Lossless merge: the cluster-wide metrics the master assembles from
+/// `MetricsReport`s must agree, worker by worker, with the snapshot
+/// each worker kept for itself — for every counter that is stable by
+/// the time the final report ships (work totals; byte counters keep
+/// moving during the termination hand-shake and are excluded).
+#[test]
+fn cluster_metrics_reports_merge_losslessly() {
+    let g = gen::barabasi_albert(400, 5, 77);
+    let mut cfg = JobConfig::cluster(WORKERS, 2);
+    cfg.sync_interval = Duration::from_millis(5);
+    cfg.report_interval = Some(Duration::from_millis(20));
+    let (manifest, listeners) = ClusterManifest::loopback(WORKERS).expect("bind loopback");
+    let graph = Arc::new(g);
+    let handles: Vec<_> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(w, listener)| {
+            let graph = Arc::clone(&graph);
+            let cfg = cfg.clone();
+            let manifest = manifest.clone();
+            std::thread::spawn(move || {
+                run_worker_process_on(
+                    Arc::new(TriangleApp),
+                    &graph,
+                    &cfg,
+                    &manifest,
+                    WorkerId(w as u16),
+                    RENDEZVOUS,
+                    listener,
+                )
+                .expect("cluster worker")
+            })
+        })
+        .collect();
+    let mut master = None;
+    let mut own: Vec<Option<MetricsSnapshot>> = vec![None; WORKERS];
+    for (w, h) in handles.into_iter().enumerate() {
+        match h.join().expect("worker thread") {
+            ClusterRole::Master(r) => {
+                assert_eq!(w, 0, "master is worker 0");
+                master = Some(r);
+            }
+            ClusterRole::Worker(_, snap) => own[w] = Some(snap),
+        }
+    }
+    let master = master.expect("worker 0 is the master");
+    let merged = &master.metrics;
+    assert_eq!(merged.workers.len(), WORKERS, "one merged entry per worker");
+
+    let e2e_count =
+        |s: &WorkerMetricsSnapshot| -> u64 { s.compers.iter().map(|c| c.e2e.count()).sum() };
+    for (w, own_entry) in own.iter().enumerate().skip(1) {
+        let own_snap = &own_entry.as_ref().expect("worker snapshot").workers[0];
+        let m = &merged.workers[w];
+        assert_eq!(m.tasks_finished, own_snap.tasks_finished, "worker {w}: tasks_finished");
+        assert_eq!(m.compute_calls, own_snap.compute_calls, "worker {w}: compute_calls");
+        assert_eq!(m.steals, own_snap.steals, "worker {w}: steals");
+        assert_eq!(m.stolen_tasks, own_snap.stolen_tasks, "worker {w}: stolen_tasks");
+        assert_eq!(m.split_tasks, own_snap.split_tasks, "worker {w}: split_tasks");
+        assert_eq!(e2e_count(m), e2e_count(own_snap), "worker {w}: e2e samples");
+    }
+    // Every worker did real work that reached the master's view.
+    for (w, m) in merged.workers.iter().enumerate() {
+        assert!(m.compute_calls > 0, "worker {w} reported no compute");
+    }
 }
 
 /// The manifest size must agree with the config; a mismatch is an
