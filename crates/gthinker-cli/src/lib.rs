@@ -27,7 +27,10 @@ use gthinker_apps::{
     QuasiCliqueApp, TriangleApp, TriangleListApp,
 };
 use gthinker_core::prelude::*;
-use gthinker_core::{run_worker_process_source_observed, ClusterRole, ClusterTelemetry};
+use gthinker_core::{
+    run_worker_process_source_observed, run_worker_process_source_recovering_observed, ClusterRole,
+    ClusterTelemetry, RecoveryOptions,
+};
 use gthinker_graph::compressed::{build_from_edge_stream, write_compressed, CompressedGraph};
 use gthinker_graph::datasets::{self, DatasetKind};
 use gthinker_graph::gen;
@@ -36,6 +39,7 @@ use gthinker_graph::ids::{Label, VertexId, WorkerId};
 use gthinker_graph::load;
 use gthinker_graph::order::degeneracy_relabel;
 use gthinker_graph::stats::GraphStats;
+use gthinker_net::fault::CrashSchedule;
 use gthinker_net::ClusterManifest;
 use std::io::Write;
 use std::path::Path;
@@ -360,6 +364,7 @@ pub fn run(mut args: Vec<String>) -> Result<String, CliError> {
         "gm" => cmd_gm(args),
         "master" => cmd_cluster(true, args),
         "worker" => cmd_cluster(false, args),
+        "supervise" => cmd_supervise(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => err(format!("unknown command {other}\n{USAGE}")),
     }
@@ -386,6 +391,8 @@ pub const USAGE: &str = "usage: gthinker <command> [options]
   gm  <FILE> --pattern triangle:0,1,2|path:..|star:..|clique4:.. [--workers N] [--compers N]
   master --hosts H0,H1,.. <mcf|tc|mc|qc|kp|gm> <FILE> [miner opts]
   worker --hosts H0,H1,.. --me I <mcf|tc|mc|qc|kp|gm> <FILE> [miner opts]
+  supervise [--respawn-limit N] worker ..   respawn a dead worker with a
+                                            bumped --generation
 
 a multi-process cluster job runs one OS process per host:port in
 --hosts; every process gets the same graph file and miner options, the
@@ -402,6 +409,24 @@ the observability flags below work on cluster jobs too: on the master
 they export the cluster-wide merged view (every worker's counters,
 quantiles and trace spans on one clock-corrected timeline), on a worker
 that process's own.
+
+cluster processes also accept crash-recovery flags:
+  --checkpoint-dir DIR      run the crash-surviving path: checkpoint
+                            epochs under DIR (a directory every process
+                            can reach), detect a dead peer via the TCP
+                            mesh or heartbeat, abort survivors to the
+                            last validated epoch and resume once the
+                            replacement rejoins. give every process the
+                            same DIR
+  --checkpoint-interval S   seconds between checkpoint epochs (default 1)
+  --max-recoveries N        recovery rounds tolerated before the job is
+                            abandoned (default 8)
+  --rejoin --generation G   (worker) identify as the respawned
+                            replacement of a dead generation G-1 process;
+                            supervise passes these automatically
+  --die-after-msgs N        (worker, chaos) abort this process once its
+                            own traffic reaches N messages
+  --die-after-ms T          (worker, chaos) abort after T milliseconds
 
 gen --stream writes the edges to -o FILE (text, or the .bel binary
 edge stream) as they are generated, without building the graph in RAM —
@@ -762,6 +787,10 @@ struct ClusterSeat {
     /// Observability exports: cluster-wide on the master, this
     /// process's own on a worker.
     metrics: MetricsOpts,
+    /// `--checkpoint-dir` was given: run the crash-surviving cluster
+    /// path (periodic checkpoints, abort-to-checkpoint on peer death,
+    /// rejoin rendezvous) with these options.
+    recovery: Option<RecoveryOptions>,
 }
 
 /// `--status`: a detached thread that prints a cluster progress line to
@@ -798,8 +827,17 @@ fn spawn_status_thread(telemetry: Arc<ClusterTelemetry>) {
             let remaining: u64 = snap.workers.iter().map(|w| w.remaining).sum();
             let idle: u64 = snap.workers.iter().map(|w| w.idle_compers).sum();
             let inflight: u64 = snap.workers.iter().map(|w| w.steal_inflight).sum();
+            // Recovery counts are per-process views of one shared fact;
+            // the max (the master's, once it reports) is authoritative.
+            let recoveries: u64 = snap.workers.iter().map(|w| w.recoveries).max().unwrap_or(0);
+            let peer_downs: u64 = snap.workers.iter().map(|w| w.peer_down_events).sum();
+            let recovery = if recoveries > 0 || peer_downs > 0 {
+                format!(" | recoveries {recoveries} | peer-downs {peer_downs}")
+            } else {
+                String::new()
+            };
             eprintln!(
-                "[status +{:.1}s] {}/{} reporting | remaining {remaining} | idle compers {idle} | steals in flight {inflight} | {}",
+                "[status +{:.1}s] {}/{} reporting | remaining {remaining} | idle compers {idle} | steals in flight {inflight}{recovery} | {}",
                 snap.elapsed.as_secs_f64(),
                 telemetry.reported(),
                 telemetry.num_workers(),
@@ -862,29 +900,53 @@ fn run_cluster<A: App>(
 ) -> Result<String, CliError> {
     let status = seat.status;
     let addr = seat.telemetry_addr.clone();
-    let role = run_worker_process_source_observed(
-        Arc::new(app),
-        input.source(),
-        cfg,
-        &seat.manifest,
-        seat.me,
-        seat.timeout,
-        move |telemetry| {
-            if status {
-                spawn_status_thread(Arc::clone(&telemetry));
-            }
-            if let Some(addr) = addr {
-                spawn_telemetry_endpoint(&addr, telemetry);
-            }
-        },
-    )
-    .map_err(|e| CliError(format!("cluster job failed: {e}")))?;
+    let on_telemetry = move |telemetry: Arc<ClusterTelemetry>| {
+        if status {
+            spawn_status_thread(Arc::clone(&telemetry));
+        }
+        if let Some(addr) = addr {
+            spawn_telemetry_endpoint(&addr, telemetry);
+        }
+    };
+    let (role, recovery) = match seat.recovery {
+        Some(opts) => run_worker_process_source_recovering_observed(
+            Arc::new(app),
+            input.source(),
+            cfg,
+            &seat.manifest,
+            seat.me,
+            seat.timeout,
+            opts,
+            on_telemetry,
+        )
+        .map(|(role, report)| (role, Some(report)))
+        .map_err(|e| CliError(format!("cluster job failed: {e}")))?,
+        None => run_worker_process_source_observed(
+            Arc::new(app),
+            input.source(),
+            cfg,
+            &seat.manifest,
+            seat.me,
+            seat.timeout,
+            on_telemetry,
+        )
+        .map(|role| (role, None))
+        .map_err(|e| CliError(format!("cluster job failed: {e}")))?,
+    };
+    let recovery_line = recovery.map_or(String::new(), |r| {
+        format!(
+            "\nrecovery: {} recoveries, {} checkpoints, failed workers {:?}",
+            r.recoveries,
+            r.checkpoints,
+            r.failed_workers.iter().map(|w| w.index()).collect::<Vec<_>>()
+        )
+    });
     Ok(match role {
         ClusterRole::Master(r) => {
             let extra = export_metrics(&seat.metrics, &r.metrics)?;
             let w = &r.workers[0];
             format!(
-                "{}\nworker 0 (master): sent {} bytes, received {} bytes{extra}",
+                "{}\nworker 0 (master): sent {} bytes, received {} bytes{recovery_line}{extra}",
                 render(&r),
                 w.net_bytes_sent,
                 w.net_bytes_received
@@ -893,7 +955,7 @@ fn run_cluster<A: App>(
         ClusterRole::Worker(w, snap) => {
             let extra = export_metrics(&seat.metrics, &snap)?;
             format!(
-                "worker {} done: sent {} bytes, received {} bytes{extra}",
+                "worker {} done: sent {} bytes, received {} bytes{recovery_line}{extra}",
                 seat.me.index(),
                 w.net_bytes_sent,
                 w.net_bytes_received
@@ -934,6 +996,34 @@ fn cmd_cluster(is_master: bool, mut args: Vec<String>) -> Result<String, CliErro
     let status = take_switch(&mut args, "--status");
     let telemetry_addr = take_flag(&mut args, "--telemetry-addr")?;
 
+    // Crash recovery: --checkpoint-dir switches the process onto the
+    // recovering cluster path; the rest tune it.
+    let checkpoint_dir = take_flag(&mut args, "--checkpoint-dir")?;
+    let checkpoint_interval: Option<f64> = take_parsed(&mut args, "--checkpoint-interval")?;
+    if let Some(s) = checkpoint_interval {
+        if !s.is_finite() || s <= 0.0 {
+            return err("--checkpoint-interval must be a positive number of seconds");
+        }
+    }
+    let max_recoveries: u32 = take_parsed(&mut args, "--max-recoveries")?.unwrap_or(8);
+    let generation: u32 = take_parsed(&mut args, "--generation")?.unwrap_or(0);
+    let rejoin = take_switch(&mut args, "--rejoin");
+    if rejoin && generation == 0 {
+        return err(format!("{role}: --rejoin requires --generation N with N >= 1"));
+    }
+    if generation > 0 && checkpoint_dir.is_none() {
+        return err(format!("{role}: --generation only makes sense with --checkpoint-dir"));
+    }
+    // Deterministic process chaos: self-abort once this process's own
+    // traffic crosses a mark, standing in for an external kill.
+    let die_after_msgs: Option<u64> = take_parsed(&mut args, "--die-after-msgs")?;
+    let die_after_ms: Option<u64> = take_parsed(&mut args, "--die-after-ms")?;
+    if (die_after_msgs.is_some() || die_after_ms.is_some()) && is_master {
+        return err(
+            "master: --die-after-* targets a worker; the master hosts the failure detector",
+        );
+    }
+
     let mut opts = mine_opts(&mut args)?;
     // The live views need periodic reports; default them on when a view
     // was requested without an explicit interval.
@@ -942,7 +1032,18 @@ fn cmd_cluster(is_master: bool, mut args: Vec<String>) -> Result<String, CliErro
     }
     // The cluster size comes from --hosts; --workers is meaningless here.
     opts.workers = manifest.num_workers();
-    let cfg = job_config(&opts);
+    let mut cfg = job_config(&opts);
+    if let Some(dir) = &checkpoint_dir {
+        cfg.checkpoint_dir = Some(dir.into());
+        cfg.checkpoint_interval = Some(Duration::from_secs_f64(checkpoint_interval.unwrap_or(1.0)));
+    }
+    if die_after_msgs.is_some() || die_after_ms.is_some() {
+        cfg.fault.crash = Some(CrashSchedule {
+            worker: WorkerId(me as u16),
+            after_messages: die_after_msgs,
+            after: die_after_ms.map(Duration::from_millis),
+        });
+    }
     let seat = ClusterSeat {
         manifest,
         me: WorkerId(me as u16),
@@ -950,6 +1051,9 @@ fn cmd_cluster(is_master: bool, mut args: Vec<String>) -> Result<String, CliErro
         status,
         telemetry_addr,
         metrics: opts.metrics.clone(),
+        recovery: checkpoint_dir
+            .is_some()
+            .then_some(RecoveryOptions { max_recoveries, generation }),
     };
 
     if args.is_empty() {
@@ -1032,6 +1136,72 @@ fn cmd_cluster(is_master: bool, mut args: Vec<String>) -> Result<String, CliErro
             })
         }
         other => err(format!("{role}: unknown miner {other} (want mcf|tc|mc|qc|kp|gm)")),
+    }
+}
+
+/// The argument list a supervised worker is respawned with: the crash
+/// flags (`--die-after-*`) are stripped so the scheduled death does not
+/// re-fire, any previous rejoin markers are dropped, and
+/// `--rejoin --generation G` is appended so the replacement's hellos
+/// supersede the dead generation's sockets at every surviving peer.
+fn respawn_args(args: &[String], generation: u32) -> Vec<String> {
+    let mut out = Vec::with_capacity(args.len() + 3);
+    let mut skip_value = false;
+    for a in args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        match a.as_str() {
+            "--die-after-msgs" | "--die-after-ms" | "--generation" => skip_value = true,
+            "--rejoin" => {}
+            _ => out.push(a.clone()),
+        }
+    }
+    out.push("--rejoin".into());
+    out.push("--generation".into());
+    out.push(generation.to_string());
+    out
+}
+
+/// `gthinker supervise [--respawn-limit N] worker …`: runs the wrapped
+/// `worker` invocation as a child process (stdio inherited) and, when
+/// the child dies abnormally, respawns it with a bumped `--generation`
+/// so it rejoins the surviving mesh and the cluster resumes from the
+/// last validated checkpoint. A clean exit (status 0) ends supervision.
+fn cmd_supervise(mut args: Vec<String>) -> Result<String, CliError> {
+    let limit: u32 = take_parsed(&mut args, "--respawn-limit")?.unwrap_or(4);
+    if args.first().map(String::as_str) != Some("worker") {
+        return err("supervise: want `supervise [--respawn-limit N] worker --hosts .. --me I ..`");
+    }
+    let exe = std::env::current_exe()
+        .map_err(|e| CliError(format!("supervise: cannot find own executable: {e}")))?;
+    // Respawn generations continue from wherever the first launch
+    // started (a supervisor can itself be restarted mid-job).
+    let mut generation: u32 = args
+        .iter()
+        .position(|a| a == "--generation")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let mut respawns = 0u32;
+    loop {
+        let status = std::process::Command::new(&exe)
+            .args(&args)
+            .status()
+            .map_err(|e| CliError(format!("supervise: spawn worker: {e}")))?;
+        if status.success() {
+            return Ok(format!("supervise: worker exited cleanly after {respawns} respawn(s)"));
+        }
+        respawns += 1;
+        if respawns > limit {
+            return err(format!(
+                "supervise: worker kept dying ({status}); gave up after {limit} respawn(s)"
+            ));
+        }
+        generation += 1;
+        eprintln!("supervise: worker died ({status}); respawning as generation {generation}");
+        args = respawn_args(&args, generation);
     }
 }
 
@@ -1222,6 +1392,111 @@ mod tests {
         assert_eq!(job_config(&o).report_interval, Some(Duration::from_millis(500)));
         // Default: final-only reports.
         assert_eq!(job_config(&MineOpts::default()).report_interval, None);
+    }
+
+    #[test]
+    fn recovery_flags_validate() {
+        // --rejoin without a generation is meaningless.
+        let e = run(args(&[
+            "worker",
+            "--hosts",
+            "127.0.0.1:19001,127.0.0.1:19002",
+            "--me",
+            "1",
+            "--rejoin",
+            "tc",
+            "g.el",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("--generation"), "{e}");
+        // --generation without the recovery path has nothing to rejoin.
+        let e = run(args(&[
+            "worker",
+            "--hosts",
+            "127.0.0.1:19001,127.0.0.1:19002",
+            "--me",
+            "1",
+            "--generation",
+            "2",
+            "tc",
+            "g.el",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("--checkpoint-dir"), "{e}");
+        // The master hosts the failure detector; it cannot be the chaos victim.
+        let e = run(args(&[
+            "master",
+            "--hosts",
+            "127.0.0.1:19001,127.0.0.1:19002",
+            "--die-after-msgs",
+            "5",
+            "tc",
+            "g.el",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("--die-after"), "{e}");
+        for bad in ["0", "-2", "nan"] {
+            let e = run(args(&[
+                "master",
+                "--hosts",
+                "127.0.0.1:19001,127.0.0.1:19002",
+                "--checkpoint-dir",
+                "/tmp/x",
+                "--checkpoint-interval",
+                bad,
+                "tc",
+                "g.el",
+            ]))
+            .unwrap_err();
+            assert!(e.0.contains("--checkpoint-interval"), "{bad}: {e}");
+        }
+    }
+
+    #[test]
+    fn supervise_respawn_args_strip_crash_flags() {
+        let a = args(&[
+            "worker",
+            "--hosts",
+            "127.0.0.1:19001,127.0.0.1:19002",
+            "--me",
+            "1",
+            "--checkpoint-dir",
+            "/tmp/ck",
+            "--die-after-msgs",
+            "40",
+            "--die-after-ms",
+            "200",
+            "tc",
+            "g.el",
+        ]);
+        let r = respawn_args(&a, 1);
+        assert!(!r.iter().any(|x| x.starts_with("--die-after")), "{r:?}");
+        assert!(!r.contains(&"40".to_string()) && !r.contains(&"200".to_string()), "{r:?}");
+        assert!(r.contains(&"--rejoin".to_string()));
+        let gen_pos = r.iter().position(|x| x == "--generation").unwrap();
+        assert_eq!(r[gen_pos + 1], "1");
+        // A second respawn replaces the old generation instead of stacking.
+        let r2 = respawn_args(&r, 2);
+        assert_eq!(r2.iter().filter(|x| *x == "--generation").count(), 1);
+        assert_eq!(r2.iter().filter(|x| *x == "--rejoin").count(), 1);
+        let gen_pos = r2.iter().position(|x| x == "--generation").unwrap();
+        assert_eq!(r2[gen_pos + 1], "2");
+        // The job-defining args survive untouched.
+        for keep in [
+            "worker",
+            "--hosts",
+            "127.0.0.1:19001,127.0.0.1:19002",
+            "--me",
+            "1",
+            "--checkpoint-dir",
+            "tc",
+            "g.el",
+        ] {
+            assert!(r2.contains(&keep.to_string()), "lost {keep}: {r2:?}");
+        }
+        // supervise rejects anything that is not a worker invocation.
+        assert!(run(args(&["supervise", "master", "--hosts", "a:1"])).is_err());
+        assert!(run(args(&["supervise"])).is_err());
     }
 
     #[test]

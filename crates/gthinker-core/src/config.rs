@@ -210,6 +210,19 @@ pub struct WorkerStats {
     /// recycling. Nonzero means the exported timeline is truncated —
     /// raise `trace_capacity` to keep more.
     pub trace_events_dropped: u64,
+    /// Recovery rounds this worker's process went through (crash of any
+    /// peer → abort-to-checkpoint → resume). 0 on a fault-free run.
+    pub recoveries: u64,
+    /// Transport-level peer-death events this worker's endpoint
+    /// observed (socket EOF/reset surfaced as `PeerDown`). Always 0 on
+    /// the sim backend.
+    pub peer_down_events: u64,
+    /// Times this worker's process re-joined an existing TCP mesh with
+    /// a bumped generation (i.e. it was respawned after a crash).
+    pub rejoins: u64,
+    /// Checkpoint epoch the final (successful) attempt resumed from, or
+    /// -1 when it started fresh.
+    pub resumed_epoch: i64,
 }
 
 /// Why a job returned.

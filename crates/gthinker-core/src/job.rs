@@ -31,7 +31,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 pub(crate) type Global<A> = <<A as App>::Agg as Aggregator>::Global;
-type Partial<A> = <<A as App>::Agg as Aggregator>::Partial;
+pub(crate) type Partial<A> = <<A as App>::Agg as Aggregator>::Partial;
 
 /// Where a job reads its graph from.
 ///
@@ -149,6 +149,19 @@ pub fn resume_job<A: App>(
     config: &JobConfig,
     checkpoint: &std::path::Path,
 ) -> io::Result<JobResult<Global<A>>> {
+    resume_job_on(app, GraphSource::InMemory(graph), config, checkpoint)
+}
+
+/// [`resume_job`] over an explicit [`GraphSource`]: resuming works the
+/// same off a memory-mapped compressed graph, since a checkpoint holds
+/// only tasks, aggregator state and the spawn pointer — never
+/// adjacency.
+pub fn resume_job_on<A: App>(
+    app: Arc<A>,
+    source: GraphSource<'_>,
+    config: &JobConfig,
+    checkpoint: &std::path::Path,
+) -> io::Result<JobResult<Global<A>>> {
     let manifest: Manifest<Global<A>> = checkpoint::read_manifest(checkpoint)?;
     if manifest.num_workers as usize != config.num_workers {
         return Err(io::Error::new(
@@ -165,7 +178,7 @@ pub fn resume_job<A: App>(
     for w in 0..config.num_workers {
         shards.push(checkpoint::read_shard::<A::Context, Partial<A>>(checkpoint, w)?);
     }
-    run_inner(app, GraphSource::InMemory(graph), config, Some((manifest, shards)), None)
+    run_inner(app, source, config, Some((manifest, shards)), None)
 }
 
 type Resume<A> = (Manifest<Global<A>>, Vec<WorkerShard<<A as App>::Context, Partial<A>>>);
@@ -196,6 +209,18 @@ pub fn run_job_with_recovery<A: App>(
     config: &JobConfig,
     max_recoveries: u32,
 ) -> io::Result<(JobResult<Global<A>>, RecoveryReport)> {
+    run_job_with_recovery_on(app, GraphSource::InMemory(graph), config, max_recoveries)
+}
+
+/// [`run_job_with_recovery`] over an explicit [`GraphSource`] — crash
+/// recovery composes with the memory-mapped storage backend exactly as
+/// it does with the in-RAM one.
+pub fn run_job_with_recovery_on<A: App>(
+    app: Arc<A>,
+    source: GraphSource<'_>,
+    config: &JobConfig,
+    max_recoveries: u32,
+) -> io::Result<(JobResult<Global<A>>, RecoveryReport)> {
     let (base, auto_base) = match &config.checkpoint_dir {
         Some(dir) => (dir.clone(), false),
         None => {
@@ -218,9 +243,9 @@ pub fn run_job_with_recovery<A: App>(
         let epoch_dir = base.join(format!("epoch-{epoch}"));
         seg.checkpoint_dir = Some(epoch_dir.clone());
         epoch += 1;
-        let result = match &last_good {
-            Some(cp) => resume_job(Arc::clone(&app), graph, &seg, cp)?,
-            None => run_job(Arc::clone(&app), graph, &seg)?,
+        let mut result = match &last_good {
+            Some(cp) => resume_job_on(Arc::clone(&app), source.clone(), &seg, cp)?,
+            None => run_job_on(Arc::clone(&app), source.clone(), &seg)?,
         };
         match result.outcome {
             JobOutcome::Completed => {
@@ -229,6 +254,11 @@ pub fn run_job_with_recovery<A: App>(
                 }
                 if auto_base {
                     let _ = std::fs::remove_dir_all(&base);
+                }
+                // Parity with the cluster runner, where each process
+                // counts its own recovery rounds in its stats.
+                for w in &mut result.workers {
+                    w.recoveries = report.recoveries as u64;
                 }
                 return Ok((result, report));
             }
@@ -826,6 +856,10 @@ pub(crate) fn worker_main<A: App>(
             .map_or(0, |f| f.duplicated.load(Ordering::Relaxed)),
         net_msgs_delayed: shared.net.fault_stats().map_or(0, |f| f.delayed.load(Ordering::Relaxed)),
         trace_events_dropped: shared.metrics.ring.dropped(),
+        recoveries: shared.recoveries.load(Ordering::Relaxed),
+        peer_down_events: shared.net.stats().peer_downs_total(),
+        rejoins: shared.rejoins.load(Ordering::Relaxed),
+        resumed_epoch: shared.resumed_epoch.load(Ordering::Relaxed),
     };
     (stats, outcome, io_error)
 }

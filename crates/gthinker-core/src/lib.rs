@@ -64,13 +64,15 @@ mod worker;
 pub use agg::{Aggregator, LocalAgg, NoAgg};
 pub use api::{App, ComputeEnv, SpawnEnv};
 pub use cluster::{
-    run_worker_process, run_worker_process_on, run_worker_process_source,
-    run_worker_process_source_observed, run_worker_process_source_on, ClusterRole,
+    run_worker_process, run_worker_process_on, run_worker_process_recovering,
+    run_worker_process_recovering_on, run_worker_process_source,
+    run_worker_process_source_observed, run_worker_process_source_on,
+    run_worker_process_source_recovering_observed, ClusterRole, RecoveryOptions,
 };
 pub use config::{JobConfig, JobOutcome, JobResult, WorkerStats};
 pub use job::{
-    resume_job, run_job, run_job_metrics_observed, run_job_observed, run_job_on,
-    run_job_with_recovery, GraphSource, ProgressSnapshot, RecoveryReport,
+    resume_job, resume_job_on, run_job, run_job_metrics_observed, run_job_observed, run_job_on,
+    run_job_with_recovery, run_job_with_recovery_on, GraphSource, ProgressSnapshot, RecoveryReport,
 };
 pub use metrics::{ClusterTelemetry, MetricsRegistry, MetricsSnapshot, WorkerMetricsSnapshot};
 

@@ -95,7 +95,12 @@ pub(crate) struct MasterState<A: App> {
     heartbeat: Option<Duration>,
     /// Last time each worker was heard from on the control channel.
     last_seen: Vec<Instant>,
-    /// First worker the heartbeat declared dead, if any.
+    /// Per-worker TCP peer-death events ([`Message::PeerDown`] from the
+    /// transport): the socket-level complement to the heartbeat. A
+    /// closed link is evidence *now*; the heartbeat window is only the
+    /// backstop for a peer that hangs without dying.
+    peer_down: Vec<bool>,
+    /// First worker the failure detector declared dead, if any.
     failed: Option<WorkerId>,
 }
 
@@ -122,6 +127,7 @@ impl<A: App> MasterState<A> {
             terminated: false,
             heartbeat,
             last_seen: vec![Instant::now(); n],
+            peer_down: vec![false; n],
             failed: None,
         }
     }
@@ -151,22 +157,41 @@ impl<A: App> MasterState<A> {
         self.check_termination()
     }
 
-    /// Heartbeat failure detection: a worker that has sent nothing for
-    /// longer than the window is declared crashed and the job is torn
-    /// down (the caller turns this into [`crate::JobOutcome::Failed`]).
+    /// The unified failure detector. Two signals fold into one verdict:
+    ///
+    /// * **TCP peer-down events** (socket EOF / reset surfaced by the
+    ///   transport as [`Message::PeerDown`]) — event-driven, checked
+    ///   unconditionally; a closed link *is* a dead peer.
+    /// * **Heartbeat silence** — deadline-driven backstop for a peer
+    ///   that hangs without closing its sockets; only armed when a
+    ///   window is configured.
+    ///
+    /// On a verdict the job is torn down: [`Message::Terminate`] (the
+    /// job fails) or, when the shared `abort_on_failure` flag is set by
+    /// the cluster-recovery runner, [`Message::Abort`] (every survivor
+    /// falls back to the last validated checkpoint and re-rendezvouses).
     /// Worker 0 hosts this master loop, so it is exempt.
     fn detect_failure(&mut self) -> bool {
-        let Some(window) = self.heartbeat else { return false };
         if self.terminated {
             return false;
         }
         let now = Instant::now();
-        let dead = (1..self.shared.config.num_workers)
-            .find(|&w| now.duration_since(self.last_seen[w]) > window);
+        let dead = (1..self.shared.config.num_workers).find(|&w| {
+            self.peer_down[w]
+                || self
+                    .heartbeat
+                    .is_some_and(|window| now.duration_since(self.last_seen[w]) > window)
+        });
         let Some(w) = dead else { return false };
-        self.failed = Some(WorkerId(w as u16));
+        let w = WorkerId(w as u16);
+        self.failed = Some(w);
         self.terminated = true;
-        self.shared.net.broadcast(&Message::Terminate);
+        if self.shared.abort_on_failure.load(std::sync::atomic::Ordering::Relaxed) {
+            self.shared.net.broadcast(&Message::Abort { worker: w });
+            self.shared.aborted.store(true, std::sync::atomic::Ordering::SeqCst);
+        } else {
+            self.shared.net.broadcast(&Message::Terminate);
+        }
         self.shared.done.store(true, std::sync::atomic::Ordering::SeqCst);
         self.shared.wake_all();
         true
@@ -215,6 +240,14 @@ impl<A: App> MasterState<A> {
                 self.suspend_done += 1;
                 self.suspend_seen[worker.index()] = true;
                 self.last_seen[worker.index()] = Instant::now();
+            }
+            Message::PeerDown { worker } => {
+                // Transport-level peer death. Per-link FIFO means every
+                // control message the peer managed to send was absorbed
+                // before this event, so during teardown it is benign
+                // (the `terminated` guard in `detect_failure`) and
+                // during a run it is immediate, sleep-free evidence.
+                self.peer_down[worker.index()] = true;
             }
             Message::MetricsReport { worker, payload, is_final } => {
                 // Telemetry is advisory: a report that fails its frame
@@ -376,6 +409,11 @@ impl<A: App> MasterState<A> {
                 Ok(msg) => {
                     self.absorb(msg);
                     quiet_since = Instant::now();
+                    // Event-driven bail: a final can never arrive from
+                    // a worker whose sockets have closed.
+                    if self.missing_are_down(|s| &s.finals_seen) {
+                        break;
+                    }
                 }
                 Err(_) => {
                     // Keep waiting; receivers forward finals as they
@@ -400,6 +438,9 @@ impl<A: App> MasterState<A> {
                 Ok(msg) => {
                     self.absorb(msg);
                     quiet_since = Instant::now();
+                    if self.missing_are_down(|s| &s.suspend_seen) {
+                        break;
+                    }
                 }
                 Err(_) => {
                     if self.give_up(quiet_since, |s| &s.suspend_seen) {
@@ -422,6 +463,22 @@ impl<A: App> MasterState<A> {
         if self.failed.is_none() {
             let missing = seen(self).iter().position(|s| !s).unwrap_or(0);
             self.failed = Some(WorkerId(missing as u16));
+        }
+        true
+    }
+
+    /// Event-driven counterpart of [`Self::give_up`]: true when at
+    /// least one worker is still missing from `seen` and every missing
+    /// worker's transport link has already closed — nothing more can
+    /// arrive, so waiting out the heartbeat would be pure latency.
+    fn missing_are_down(&mut self, seen: impl Fn(&Self) -> &Vec<bool>) -> bool {
+        let missing: Vec<usize> =
+            seen(self).iter().enumerate().filter_map(|(w, &s)| (!s).then_some(w)).collect();
+        if missing.is_empty() || missing.iter().any(|&w| !self.peer_down[w]) {
+            return false;
+        }
+        if self.failed.is_none() {
+            self.failed = Some(WorkerId(missing[0] as u16));
         }
         true
     }

@@ -117,6 +117,10 @@ pub(crate) fn snapshot_worker<A: App>(
             .count() as u64,
         steal_inflight: w.steal_inflight.load(Ordering::Relaxed),
         trace_events_dropped: w.metrics.ring.dropped(),
+        recoveries: w.recoveries.load(Ordering::Relaxed),
+        peer_down_events: w.net.stats().peer_downs_total(),
+        rejoins: w.rejoins.load(Ordering::Relaxed),
+        resumed_epoch: w.resumed_epoch.load(Ordering::Relaxed),
         clock_offset_nanos: w.clock_offset_nanos(),
         compers: w.compers.iter().map(|c| c.hists.snapshot()).collect(),
         pull_rtt: w.metrics.pull_rtt.snapshot(),
@@ -195,6 +199,18 @@ pub struct WorkerMetricsSnapshot {
     /// Trace events lost to the ring's overwrite-oldest recycling;
     /// nonzero flags a truncated timeline.
     pub trace_events_dropped: u64,
+    /// Crash-recovery rounds this job has been through (cumulative
+    /// across attempts; every worker reports the master's count).
+    pub recoveries: u64,
+    /// TCP peer-death events this worker's transport observed (0 on
+    /// the simulated wire and on a healthy cluster).
+    pub peer_down_events: u64,
+    /// Times this process re-joined a surviving mesh with a bumped
+    /// generation (1 after a respawn, 0 otherwise).
+    pub rejoins: u64,
+    /// Checkpoint epoch the current attempt resumed from, or -1 when
+    /// the attempt started fresh.
+    pub resumed_epoch: i64,
     /// Estimated offset of this worker's metrics clock from the
     /// master's (`master_now ≈ local_now + offset`), from the minimum-
     /// RTT ping/pong sample. 0 on the master and on single-process
@@ -262,11 +278,15 @@ impl WorkerMetricsSnapshot {
             self.cache.gc_passes,
             self.cache.retries,
             self.cache.stale_responses,
+            self.recoveries,
+            self.peer_down_events,
+            self.rejoins,
         ] {
             b.extend_from_slice(&v.to_le_bytes());
         }
         b.push(self.quiescent as u8);
         b.extend_from_slice(&self.clock_offset_nanos.to_le_bytes());
+        b.extend_from_slice(&self.resumed_epoch.to_le_bytes());
         put_hist(&mut b, &self.pull_rtt);
         put_hist(&mut b, &self.responder_drain);
         b.extend_from_slice(&(self.compers.len() as u16).to_le_bytes());
@@ -298,12 +318,13 @@ impl WorkerMetricsSnapshot {
         if c.u8()? != REPORT_VERSION {
             return Err(bad("unknown metrics report version"));
         }
-        let mut counters = [0u64; 34];
+        let mut counters = [0u64; 37];
         for v in counters.iter_mut() {
             *v = c.u64()?;
         }
         let quiescent = c.u8()? != 0;
         let clock_offset_nanos = c.i64()?;
+        let resumed_epoch = c.i64()?;
         let pull_rtt = get_hist(&mut c)?;
         let responder_drain = get_hist(&mut c)?;
         let n_compers = c.u16()? as usize;
@@ -360,8 +381,12 @@ impl WorkerMetricsSnapshot {
                 retries: counters[32],
                 stale_responses: counters[33],
             },
+            recoveries: counters[34],
+            peer_down_events: counters[35],
+            rejoins: counters[36],
             quiescent,
             clock_offset_nanos,
+            resumed_epoch,
             pull_rtt,
             responder_drain,
             compers,
@@ -370,8 +395,10 @@ impl WorkerMetricsSnapshot {
     }
 }
 
-/// Version byte leading every encoded metrics report.
-const REPORT_VERSION: u8 = 1;
+/// Version byte leading every encoded metrics report. Bumped to 2 when
+/// the crash-recovery counters (recoveries / peer-down / rejoins /
+/// resumed-epoch) joined the payload.
+const REPORT_VERSION: u8 = 2;
 
 /// Sparse histogram encoding: nonzero-bucket count, then (index, count)
 /// pairs, then the running sum. Most histograms populate a handful of
@@ -507,6 +534,8 @@ impl MetricsSnapshot {
                  \"net_msgs_dropped\": {},\n      \"net_msgs_duplicated\": {},\n      \
                  \"net_msgs_delayed\": {},\n      \
                  \"trace_events_dropped\": {},\n      \
+                 \"recoveries\": {},\n      \"peer_down_events\": {},\n      \
+                 \"rejoins\": {},\n      \"resumed_epoch\": {},\n      \
                  \"clock_offset_nanos\": {},\n      \
                  \"remaining\": {},\n      \"idle_compers\": {},\n      \
                  \"steal_inflight\": {},\n      \"quiescent\": {},\n      \
@@ -538,6 +567,10 @@ impl MetricsSnapshot {
                 w.net_msgs_duplicated,
                 w.net_msgs_delayed,
                 w.trace_events_dropped,
+                w.recoveries,
+                w.peer_down_events,
+                w.rejoins,
+                w.resumed_epoch,
                 w.clock_offset_nanos,
                 w.remaining,
                 w.idle_compers,
@@ -776,6 +809,34 @@ impl MetricsSnapshot {
             "Trace events lost to ring recycling.",
             &|w| w.trace_events_dropped,
         );
+        family(
+            "gthinker_recoveries_total",
+            "counter",
+            "Crash-recovery rounds this job has been through.",
+            &|w| w.recoveries,
+        );
+        family(
+            "gthinker_peer_down_events_total",
+            "counter",
+            "TCP peer-death events observed by the transport.",
+            &|w| w.peer_down_events,
+        );
+        family(
+            "gthinker_rejoins_total",
+            "counter",
+            "Mesh rejoins by a respawned process (bumped generation).",
+            &|w| w.rejoins,
+        );
+        // resumed_epoch is signed (-1 = started fresh), so it cannot go
+        // through the u64 family helper.
+        let _ = writeln!(
+            s,
+            "# HELP gthinker_resumed_epoch Checkpoint epoch the current attempt resumed from (-1 = fresh)."
+        );
+        let _ = writeln!(s, "# TYPE gthinker_resumed_epoch gauge");
+        for (wi, w) in self.workers.iter().enumerate() {
+            let _ = writeln!(s, "gthinker_resumed_epoch{{worker=\"{wi}\"}} {}", w.resumed_epoch);
+        }
         s
     }
 }
@@ -982,6 +1043,10 @@ mod tests {
             idle_compers: 2,
             steal_inflight: 1,
             trace_events_dropped: 9,
+            recoveries: 2,
+            peer_down_events: 1,
+            rejoins: 1,
+            resumed_epoch: 3,
             clock_offset_nanos: -12_345,
             compers: vec![h.snapshot(), ComperHistSnapshot::default()],
             pull_rtt: {
@@ -1008,6 +1073,10 @@ mod tests {
         assert_eq!(back.quiescent, snap.quiescent);
         assert_eq!(back.clock_offset_nanos, snap.clock_offset_nanos);
         assert_eq!(back.trace_events_dropped, snap.trace_events_dropped);
+        assert_eq!(back.recoveries, snap.recoveries);
+        assert_eq!(back.peer_down_events, snap.peer_down_events);
+        assert_eq!(back.rejoins, snap.rejoins);
+        assert_eq!(back.resumed_epoch, snap.resumed_epoch);
         assert_eq!(back.idle_compers, snap.idle_compers);
         assert_eq!(back.steal_inflight, snap.steal_inflight);
         assert_eq!(back.remaining, snap.remaining);
@@ -1072,6 +1141,9 @@ mod tests {
         s.workers[0].remaining = 12;
         s.workers[0].idle_compers = 2;
         s.workers[1].net_bytes_sent = 900;
+        s.workers[0].recoveries = 1;
+        s.workers[0].resumed_epoch = -1;
+        s.workers[1].resumed_epoch = 2;
         let text = s.prometheus_text();
         for needle in [
             "# TYPE gthinker_remaining gauge",
@@ -1084,6 +1156,12 @@ mod tests {
             "gthinker_tasks_finished_total{worker=\"0\"} 3",
             "gthinker_tasks_finished_total{worker=\"1\"} 7",
             "gthinker_elapsed_seconds 0.005",
+            "# TYPE gthinker_recoveries_total counter",
+            "gthinker_recoveries_total{worker=\"0\"} 1",
+            "gthinker_peer_down_events_total{worker=\"1\"} 0",
+            "gthinker_rejoins_total{worker=\"0\"} 0",
+            "gthinker_resumed_epoch{worker=\"0\"} -1",
+            "gthinker_resumed_epoch{worker=\"1\"} 2",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

@@ -251,6 +251,24 @@ pub(crate) struct WorkerShared<A: App> {
     /// worker stops dead — no final aggregator sync, no checkpoint
     /// shard — modelling a machine that lost power.
     pub crashed: AtomicBool,
+    /// Set when the master broadcast [`Message::Abort`]: a peer process
+    /// died mid-job and every survivor must fall back to the last
+    /// validated checkpoint. Unlike `crashed`, the surviving worker
+    /// shuts down *cleanly* (final syncs still flow) so the recovery
+    /// runner can rendezvous again and resume.
+    pub aborted: AtomicBool,
+    /// Cluster-recovery mode: on peer failure the master broadcasts
+    /// [`Message::Abort`] (fall back to the checkpoint) instead of
+    /// [`Message::Terminate`] (fail the job).
+    pub abort_on_failure: AtomicBool,
+    /// Recovery rounds this process has been through (telemetry).
+    pub recoveries: AtomicU64,
+    /// Times this process re-joined an existing mesh with a bumped
+    /// generation (1 on a respawned worker, 0 otherwise).
+    pub rejoins: AtomicU64,
+    /// Checkpoint epoch the current attempt resumed from, or -1 for a
+    /// fresh start (telemetry).
+    pub resumed_epoch: AtomicI64,
     /// Set by the worker main thread once no further inbound messages
     /// matter; the receiver thread exits on it. Kept separate from
     /// `done`/`suspend` because control traffic (final aggregator
@@ -353,6 +371,11 @@ impl<A: App> WorkerShared<A> {
             done: AtomicBool::new(false),
             suspend: AtomicBool::new(false),
             crashed: AtomicBool::new(false),
+            aborted: AtomicBool::new(false),
+            abort_on_failure: AtomicBool::new(false),
+            recoveries: AtomicU64::new(0),
+            rejoins: AtomicU64::new(0),
+            resumed_epoch: AtomicI64::new(-1),
             receiver_stop: AtomicBool::new(false),
             task_mem: AtomicI64::new(0),
             peak_mem: AtomicU64::new(0),
@@ -727,13 +750,30 @@ fn handle_message<A: App>(
         Message::ClockPong { nonce, nanos } => {
             shared.clock.on_pong(nonce, nanos);
         }
+        Message::Abort { .. } => {
+            // A peer process died and the master ordered a fall-back to
+            // the last validated checkpoint. Stop cleanly (unlike
+            // `Crash`): final control traffic still flows, and the
+            // recovery runner re-rendezvouses afterwards.
+            shared.aborted.store(true, Ordering::SeqCst);
+            shared.done.store(true, Ordering::SeqCst);
+            shared.wake_all();
+        }
+        Message::Resume { .. } => {
+            // Rendezvous-phase message; by the time the receiver thread
+            // runs, the recovery runner has already consumed the one
+            // that mattered. A straggling duplicate is meaningless.
+        }
         m @ (Message::Progress { .. }
         | Message::AggregatorSync { .. }
         | Message::MetricsReport { .. }
         | Message::StealExecuted { .. }
         | Message::StealDone
-        | Message::SuspendDone { .. }) => {
+        | Message::SuspendDone { .. }
+        | Message::PeerDown { .. }) => {
             // Master-only control traffic: hand to the main thread.
+            // (`PeerDown` at a non-master just accumulates unread — the
+            // master decides what a dead peer means for the job.)
             let _ = ctrl.send(m);
         }
     }

@@ -14,9 +14,15 @@
 //! [`TcpEndpoint`](crate::tcp::TcpEndpoint) call
 //! [`FaultRuntime::next_decision`] on every cross-worker data-plane
 //! message, so a chaos scenario replays identically whichever
-//! interconnect carries it. Crash schedules are the one exception: a
-//! simulated crash needs the router's god's-eye view of every inbox,
-//! so the TCP backend rejects them.
+//! interconnect carries it. Crash schedules fire on both backends at
+//! the same logical trigger — the sim router delivers
+//! [`crate::message::Message::Crash`] and goes dark on the victim's
+//! links; the TCP backend, where each worker is a whole OS process,
+//! calls `std::process::abort()` on the victim so the process dies for
+//! real, mid-syscall, exactly as a kill would. The one semantic
+//! difference: `after_messages` counts the router's global message
+//! total on the sim backend but the victim endpoint's own sends and
+//! receives on TCP (no process has a god's-eye count of the cluster).
 //!
 //! Only the data plane is faulted: vertex pulls (recovered by the
 //! R-table deadline retries) and steal batches (recovered by the
@@ -145,8 +151,9 @@ impl FaultConfig {
     }
 }
 
-/// The splitmix64 finalizer: a cheap, well-mixed 64-bit hash.
-fn splitmix64(mut x: u64) -> u64 {
+/// The splitmix64 finalizer: a cheap, well-mixed 64-bit hash. Also
+/// used by the TCP dial loop for deterministic backoff jitter.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

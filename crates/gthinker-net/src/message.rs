@@ -158,6 +158,36 @@ pub enum Message {
         /// The master's metrics-clock reading when it saw the ping.
         nanos: u64,
     },
+    /// The transport observed worker `worker`'s link die (reader EOF or
+    /// error, or a failed write). Injected into the local inbox by the
+    /// TCP backend so the master's failure detector reacts to a dead
+    /// process the moment the OS closes its sockets, instead of waiting
+    /// out a heartbeat window. Local-only, like [`Message::Crash`]: it
+    /// never crosses a socket.
+    PeerDown {
+        /// The peer whose link died.
+        worker: WorkerId,
+    },
+    /// Master broadcast in cluster-recovery mode: worker `worker`
+    /// failed, abandon the current attempt (like [`Message::Terminate`]
+    /// for thread shutdown) and rendezvous again to resume from the
+    /// last validated checkpoint.
+    Abort {
+        /// The worker the master declared failed (for logs/telemetry).
+        worker: WorkerId,
+    },
+    /// Master broadcast at the start of every cluster-recovery attempt,
+    /// synchronizing all processes on the resume point before any
+    /// worker threads start.
+    Resume {
+        /// True when a validated checkpoint epoch exists to restore.
+        resume: bool,
+        /// The epoch number to restore from (0 when `resume` is false).
+        epoch: u64,
+        /// The attempt index; names the epoch directory this attempt's
+        /// periodic checkpoint will be written to.
+        attempt: u64,
+    },
 }
 
 /// Variant tags. One byte on the wire; `Decode` rejects anything else.
@@ -179,6 +209,9 @@ mod tag {
     pub const METRICS_REPORT: u8 = 14;
     pub const CLOCK_PING: u8 = 15;
     pub const CLOCK_PONG: u8 = 16;
+    pub const PEER_DOWN: u8 = 17;
+    pub const ABORT: u8 = 18;
+    pub const RESUME: u8 = 19;
 }
 
 /// Byte-payload fields use the same layout as the codec's `Vec<u8>`
@@ -274,6 +307,20 @@ impl Encode for Message {
                 nonce.encode(buf);
                 nanos.encode(buf);
             }
+            Message::PeerDown { worker } => {
+                buf.push(tag::PEER_DOWN);
+                worker.encode(buf);
+            }
+            Message::Abort { worker } => {
+                buf.push(tag::ABORT);
+                worker.encode(buf);
+            }
+            Message::Resume { resume, epoch, attempt } => {
+                buf.push(tag::RESUME);
+                resume.encode(buf);
+                epoch.encode(buf);
+                attempt.encode(buf);
+            }
         }
     }
 }
@@ -330,6 +377,13 @@ impl Decode for Message {
             tag::CLOCK_PONG => {
                 Message::ClockPong { nonce: u64::decode(buf)?, nanos: u64::decode(buf)? }
             }
+            tag::PEER_DOWN => Message::PeerDown { worker: WorkerId::decode(buf)? },
+            tag::ABORT => Message::Abort { worker: WorkerId::decode(buf)? },
+            tag::RESUME => Message::Resume {
+                resume: bool::decode(buf)?,
+                epoch: u64::decode(buf)?,
+                attempt: u64::decode(buf)?,
+            },
             _ => return Err(CodecError::Invalid("message tag")),
         })
     }
@@ -359,6 +413,8 @@ impl Message {
             Message::ClockPing { .. } => 2 + 8,
             Message::ClockPong { .. } => 8 + 8,
             Message::SuspendDone { .. } => 2,
+            Message::PeerDown { .. } | Message::Abort { .. } => 2,
+            Message::Resume { .. } => 1 + 8 + 8,
             Message::StealDone | Message::Terminate | Message::Suspend | Message::Crash => 0,
         }
     }
@@ -454,6 +510,11 @@ mod tests {
         assert_eq!(Message::ClockPing { worker: WorkerId(1), nonce: 3 }.encoded_len(), 11);
         // tag 1 + nonce 8 + nanos 8 = 17.
         assert_eq!(Message::ClockPong { nonce: 3, nanos: 99 }.encoded_len(), 17);
+        // tag 1 + worker 2 = 3.
+        assert_eq!(Message::PeerDown { worker: WorkerId(1) }.encoded_len(), 3);
+        assert_eq!(Message::Abort { worker: WorkerId(2) }.encoded_len(), 3);
+        // tag 1 + resume 1 + epoch 8 + attempt 8 = 18.
+        assert_eq!(Message::Resume { resume: true, epoch: 4, attempt: 5 }.encoded_len(), 18);
     }
 
     #[test]
@@ -488,6 +549,9 @@ mod tests {
             Message::MetricsReport { worker: WorkerId(1), payload: vec![7; 42], is_final: true },
             Message::ClockPing { worker: WorkerId(2), nonce: 5 },
             Message::ClockPong { nonce: 5, nanos: u64::MAX },
+            Message::PeerDown { worker: WorkerId(3) },
+            Message::Abort { worker: WorkerId(1) },
+            Message::Resume { resume: false, epoch: 0, attempt: u64::MAX },
         ];
         for m in msgs {
             assert_eq!(m.encoded_len(), to_bytes(&m).len(), "{m:?}");

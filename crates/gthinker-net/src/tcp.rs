@@ -6,18 +6,38 @@
 //! listener and builds a full mesh of **unidirectional** links: worker
 //! `a` dials worker `b` and writes on that socket; `b` accepts and
 //! reads. Each accepted link starts with a hello frame naming the
-//! dialing worker and the cluster size, so a peer from a different
-//! build (wire version) or a different manifest fails the rendezvous
-//! with a descriptive error instead of corrupting traffic later.
+//! dialing worker, the cluster size, and the dialer's **generation**
+//! (how many times that worker has been respawned), so a peer from a
+//! different build (wire version) or a different manifest fails the
+//! rendezvous with a descriptive error instead of corrupting traffic
+//! later. Dials retry with exponential backoff + jitter while a peer's
+//! listener is still coming up, bounded by the rendezvous timeout.
+//!
+//! **Peer death is an event, not a hang.** Every reader or writer error
+//! (EOF, ECONNRESET, broken pipe) injects a
+//! [`Message::PeerDown`](crate::message::Message::PeerDown) into the
+//! local inbox and bumps a per-peer [`NetStats`] counter; the master's
+//! failure detector reacts the moment the OS closes a dead process's
+//! sockets. The accepting side of the mesh is a persistent
+//! [`MeshAcceptor`] that outlives any single job attempt: a respawned
+//! worker re-dials the survivors with a bumped generation, the acceptor
+//! swaps in the newest-generation link at the next rendezvous, and
+//! frames from a stale generation's socket are rejected (the connection
+//! is closed before it can deliver anything).
 //!
 //! Fault injection reuses the transport-agnostic
 //! [`FaultRuntime`](crate::fault::FaultRuntime): the same seed produces
 //! the same drop/duplicate/delay decisions as the simulated router.
-//! Crash schedules are rejected — killing a worker for real is what
-//! `kill(1)` is for, and the recovery path is exercised on the sim
-//! backend where the router has the whole-cluster view.
+//! Crash schedules fire for real here: when this process is the
+//! victim, the endpoint calls `std::process::abort()` at the scheduled
+//! mark — same logical trigger as the sim router's
+//! [`Message::Crash`](crate::message::Message::Crash), but the process
+//! actually dies mid-job, which is what the cluster recovery path and
+//! the process-chaos harness exercise. (`after_messages` counts this
+//! endpoint's own sends and receives; no process has the router's
+//! global count.)
 
-use crate::fault::{FaultConfig, FaultRuntime, FaultStats};
+use crate::fault::{splitmix64, FaultConfig, FaultRuntime, FaultStats};
 use crate::frame::{self, FRAME_OVERHEAD};
 use crate::message::Message;
 use crate::transport::{NetEndpoint, NetStats, Transport};
@@ -28,8 +48,8 @@ use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::io::{self, ErrorKind, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -90,16 +110,19 @@ impl ClusterManifest {
     }
 }
 
-/// The hello frame opening every link: `(dialing worker, cluster size)`.
-fn hello_payload(me: usize, n: usize) -> Vec<u8> {
-    let mut p = Vec::with_capacity(4);
+/// The hello frame opening every link:
+/// `(dialing worker, cluster size, dialer generation)`.
+fn hello_payload(me: usize, n: usize, generation: u32) -> Vec<u8> {
+    let mut p = Vec::with_capacity(8);
     (me as u16).encode(&mut p);
     (n as u16).encode(&mut p);
+    generation.encode(&mut p);
     p
 }
 
-/// Reads and validates a peer's hello; returns the peer's worker index.
-fn read_hello(stream: &mut TcpStream, n: usize) -> io::Result<usize> {
+/// Reads and validates a peer's hello; returns the peer's worker index
+/// and its generation.
+fn read_hello(stream: &mut TcpStream, n: usize) -> io::Result<(usize, u32)> {
     let payload = frame::read_frame(stream)?.ok_or_else(|| {
         io::Error::new(ErrorKind::UnexpectedEof, "peer closed the link before its hello")
     })?;
@@ -107,6 +130,7 @@ fn read_hello(stream: &mut TcpStream, n: usize) -> io::Result<usize> {
     let mut buf = payload.as_slice();
     let peer = u16::decode(&mut buf).map_err(|_| bad("malformed hello".into()))? as usize;
     let peer_n = u16::decode(&mut buf).map_err(|_| bad("malformed hello".into()))? as usize;
+    let generation = u32::decode(&mut buf).map_err(|_| bad("malformed hello".into()))?;
     if !buf.is_empty() {
         return Err(bad("malformed hello: trailing bytes".into()));
     }
@@ -119,16 +143,194 @@ fn read_hello(stream: &mut TcpStream, n: usize) -> io::Result<usize> {
     if peer >= n {
         return Err(bad(format!("hello from out-of-range worker {peer}")));
     }
-    Ok(peer)
+    Ok((peer, generation))
+}
+
+/// The persistent accepting half of a worker's mesh presence: one
+/// listener plus one accept thread that outlive any single job attempt,
+/// so a worker can tear its endpoint down after a failed attempt and
+/// rendezvous again ([`TcpTransport::connect_via`]) without losing
+/// links that peers — including a freshly respawned one — dialed in
+/// the meantime.
+///
+/// Generation protocol: every inbound hello carries the dialer's
+/// generation. Per peer, the acceptor keeps the highest generation it
+/// has ever seen; a hello from a **lower** generation is a frame from
+/// a pre-crash incarnation's socket and is rejected — the connection
+/// is closed before any of its traffic can be read. An equal or higher
+/// generation replaces whatever link is pending for that peer (newest
+/// wins), which is what lets a respawned worker's fresh dial supersede
+/// its dead predecessor's.
+pub struct MeshAcceptor {
+    me: usize,
+    n: usize,
+    addr: SocketAddr,
+    inner: Arc<AcceptorInner>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+// std Mutex/Condvar: the vendored parking_lot shim has no Condvar, and
+// this lock is far off any hot path (rendezvous only).
+struct AcceptorInner {
+    stop: AtomicBool,
+    stale_rejections: AtomicU64,
+    state: std::sync::Mutex<AcceptState>,
+    cond: std::sync::Condvar,
+}
+
+struct AcceptState {
+    /// Newest pending inbound link per peer, with its generation.
+    pending: Vec<Option<(u32, TcpStream)>>,
+    /// Highest generation ever seen per peer (the stale gate).
+    last_gen: Vec<u32>,
+    /// Links handed out per peer; a second take is a rejoin.
+    taken: Vec<u64>,
+    /// First fatal hello error (wire-version or manifest mismatch),
+    /// surfaced to the rendezvous in progress.
+    error: Option<String>,
+}
+
+impl MeshAcceptor {
+    /// Starts accepting on `listener` for worker `me` of an `n`-worker
+    /// cluster. The accept thread runs until the acceptor is dropped.
+    pub fn new(listener: TcpListener, me: WorkerId, n: usize) -> io::Result<Arc<MeshAcceptor>> {
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(AcceptorInner {
+            stop: AtomicBool::new(false),
+            stale_rejections: AtomicU64::new(0),
+            state: std::sync::Mutex::new(AcceptState {
+                pending: (0..n).map(|_| None).collect(),
+                last_gen: vec![0; n],
+                taken: vec![0; n],
+                error: None,
+            }),
+            cond: std::sync::Condvar::new(),
+        });
+        let thread = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name(format!("tcp-accept-{}", me.index()))
+                .spawn(move || accept_loop(listener, inner, n))
+                .map_err(|e| io::Error::other(format!("spawn accept: {e}")))?
+        };
+        Ok(Arc::new(MeshAcceptor { me: me.index(), n, addr, inner, thread: Some(thread) }))
+    }
+
+    /// Hellos rejected because their generation was below the highest
+    /// seen for that peer (frames from a pre-crash socket).
+    pub fn stale_rejections(&self) -> u64 {
+        self.inner.stale_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Waits until `peer` has a pending inbound link and takes it.
+    /// Returns `(generation, stream, rejoin)` — `rejoin` is true when
+    /// this is not the first link taken from that peer. Event-driven:
+    /// blocks on a condvar the accept thread notifies, bounded by
+    /// `deadline`.
+    pub fn take_pending(
+        &self,
+        peer: usize,
+        deadline: Instant,
+    ) -> io::Result<(u32, TcpStream, bool)> {
+        let mut st = self.inner.state.lock().expect("acceptor lock");
+        loop {
+            if let Some(err) = st.error.take() {
+                return Err(io::Error::new(ErrorKind::InvalidData, err));
+            }
+            if let Some((generation, stream)) = st.pending[peer].take() {
+                st.taken[peer] += 1;
+                let rejoin = st.taken[peer] > 1;
+                return Ok((generation, stream, rejoin));
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(io::Error::new(
+                    ErrorKind::TimedOut,
+                    format!(
+                        "cluster rendezvous timed out: worker {} never heard from worker {peer}",
+                        self.me
+                    ),
+                ));
+            }
+            st = self.inner.cond.wait_timeout(st, remaining).expect("acceptor lock").0;
+        }
+    }
+
+    /// Stops the accept thread: sets the stop flag, then dials our own
+    /// listener to unblock `accept()`.
+    fn shutdown(&self) {
+        if self.inner.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let mut addr = self.addr;
+        if addr.ip().is_unspecified() {
+            addr.set_ip(IpAddr::V4(Ipv4Addr::LOCALHOST));
+        }
+        let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+    }
+}
+
+impl Drop for MeshAcceptor {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The [`MeshAcceptor`]'s thread: accept, validate the hello, gate on
+/// generation, park the link for the next rendezvous to take.
+fn accept_loop(listener: TcpListener, inner: Arc<AcceptorInner>, n: usize) {
+    loop {
+        let Ok((mut stream, _)) = listener.accept() else {
+            if inner.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // A stalled peer must not hang the hello read forever.
+        stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+        match read_hello(&mut stream, n) {
+            Ok((peer, generation)) => {
+                stream.set_read_timeout(None).ok();
+                let mut st = inner.state.lock().expect("acceptor lock");
+                if generation < st.last_gen[peer] {
+                    // A frame from a pre-crash incarnation's socket:
+                    // close it before it can deliver anything.
+                    inner.stale_rejections.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                st.last_gen[peer] = generation;
+                // Newest wins: a respawned worker's fresh link replaces
+                // whatever its dead predecessor left pending.
+                st.pending[peer] = Some((generation, stream));
+                inner.cond.notify_all();
+            }
+            Err(e) => {
+                let mut st = inner.state.lock().expect("acceptor lock");
+                st.error.get_or_insert(e.to_string());
+                inner.cond.notify_all();
+            }
+        }
+    }
 }
 
 type Writers = Arc<Vec<Mutex<Option<TcpStream>>>>;
 
-/// One worker per OS process, talking real TCP to its peers.
+/// One worker per OS process, talking real TCP to its peers. Holds an
+/// [`Arc`] of its [`MeshAcceptor`] so the accept thread lives at least
+/// as long as the mesh; callers that rendezvous repeatedly
+/// ([`TcpTransport::connect_via`]) keep their own `Arc` across
+/// attempts.
 pub struct TcpTransport {
     n: usize,
     me: WorkerId,
     endpoint: Option<TcpEndpoint>,
+    _acceptor: Arc<MeshAcceptor>,
 }
 
 impl std::fmt::Debug for TcpTransport {
@@ -155,7 +357,8 @@ impl TcpTransport {
     }
 
     /// [`connect`](TcpTransport::connect) with a pre-bound listener
-    /// (see [`ClusterManifest::loopback`]).
+    /// (see [`ClusterManifest::loopback`]). Builds a one-shot
+    /// [`MeshAcceptor`] owned by the transport; generation 0.
     pub fn connect_on(
         manifest: &ClusterManifest,
         me: WorkerId,
@@ -163,83 +366,93 @@ impl TcpTransport {
         timeout: Duration,
         listener: TcpListener,
     ) -> io::Result<TcpTransport> {
+        let acceptor = MeshAcceptor::new(listener, me, manifest.num_workers())?;
+        TcpTransport::connect_via(&acceptor, manifest, me, fault, timeout, 0)
+    }
+
+    /// Joins (or re-joins) the cluster rendezvous through a persistent
+    /// [`MeshAcceptor`]: dial every peer with `generation` in the
+    /// hello, take every peer's newest pending inbound link, all within
+    /// `timeout`. The cluster-recovery loop calls this once per
+    /// attempt, holding the acceptor across attempts so links dialed by
+    /// a respawned peer while this process was tearing down are not
+    /// lost.
+    pub fn connect_via(
+        acceptor: &Arc<MeshAcceptor>,
+        manifest: &ClusterManifest,
+        me: WorkerId,
+        fault: FaultConfig,
+        timeout: Duration,
+        generation: u32,
+    ) -> io::Result<TcpTransport> {
         let n = manifest.num_workers();
         assert!(me.index() < n, "worker {} not in a {n}-worker manifest", me.index());
-        if fault.crash.is_some() {
-            return Err(io::Error::new(
-                ErrorKind::Unsupported,
-                "crash schedules need the simulated router's whole-cluster view; \
-                 run crash-recovery scenarios on the sim backend (or kill the process)",
-            ));
-        }
+        assert_eq!(acceptor.me, me.index(), "acceptor belongs to another worker");
+        assert_eq!(acceptor.n, n, "acceptor sized for a different cluster");
         let fault = FaultRuntime::new(n, fault).map(Arc::new);
-        let stats = Arc::new(NetStats::default());
+        let stats = Arc::new(NetStats::for_cluster(n));
         let (inbox_tx, inbox) = unbounded();
         let deadline = Instant::now() + timeout;
 
-        // Accept first, dial second: every process starts accepting
-        // before any dial can succeed, so the mesh cannot deadlock on
-        // rendezvous order.
-        let expected = n - 1;
-        let (acc_tx, acc_rx) = unbounded::<io::Result<(usize, TcpStream)>>();
-        if expected > 0 {
-            let lst = listener.try_clone()?;
-            std::thread::Builder::new()
-                .name(format!("tcp-accept-{}", me.index()))
-                .spawn(move || {
-                    for _ in 0..expected {
-                        let hello = lst.accept().and_then(|(mut s, _)| {
-                            // A stalled peer must not hang the hello read
-                            // past the rendezvous window.
-                            s.set_read_timeout(Some(Duration::from_secs(30))).ok();
-                            let peer = read_hello(&mut s, n)?;
-                            s.set_read_timeout(None).ok();
-                            Ok((peer, s))
-                        });
-                        let failed = hello.is_err();
-                        if acc_tx.send(hello).is_err() || failed {
-                            return;
-                        }
-                    }
-                })
-                .expect("spawn accept thread");
+        // If this process is a crash schedule's victim on a wall-clock
+        // trigger, arm a timer so the abort fires even while the
+        // endpoint is idle (sends/receives also check the schedule).
+        if let Some(f) = &fault {
+            if let Some(cs) = f.config().crash {
+                if let (true, Some(after)) = (cs.worker == me, cs.after) {
+                    let f = Arc::clone(f);
+                    std::thread::Builder::new()
+                        .name(format!("tcp-crash-timer-{}", me.index()))
+                        .spawn(move || {
+                            std::thread::sleep(after);
+                            if f.crash_due() == Some(me.index()) {
+                                crash_self(me.index());
+                            }
+                        })
+                        .expect("spawn crash timer");
+                }
+            }
         }
 
-        // Dial every peer, retrying while it is still starting up.
+        // The acceptor has been collecting inbound links since it was
+        // created; dial every peer, retrying with backoff while a peer
+        // is still starting (or restarting) up.
         let writers: Writers = Arc::new((0..n).map(|_| Mutex::new(None)).collect::<Vec<_>>());
         for w in 0..n {
             if w == me.index() {
                 continue;
             }
-            let mut stream = dial_with_retry(manifest.addr(WorkerId(w as u16)), deadline)?;
+            let salt = ((me.index() as u64) << 32) | w as u64;
+            let mut stream = dial_with_retry(manifest.addr(WorkerId(w as u16)), deadline, salt)?;
             stream.set_nodelay(true).ok();
-            frame::write_frame(&mut stream, &hello_payload(me.index(), n))?;
+            frame::write_frame(&mut stream, &hello_payload(me.index(), n, generation))?;
             *writers[w].lock() = Some(stream);
         }
 
-        // Collect the n-1 inbound links and start a reader per peer.
-        let mut seen = vec![false; n];
-        for _ in 0..expected {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            let (peer, stream) = match acc_rx.recv_timeout(remaining) {
-                Ok(res) => res?,
-                Err(_) => {
-                    let have = seen.iter().filter(|s| **s).count();
-                    return Err(io::Error::new(
+        // Take the n-1 inbound links and start a reader per peer.
+        let mut have = 0usize;
+        for peer in 0..n {
+            if peer == me.index() {
+                continue;
+            }
+            let (_gen, stream, rejoin) = acceptor.take_pending(peer, deadline).map_err(|e| {
+                if e.kind() == ErrorKind::TimedOut {
+                    io::Error::new(
                         ErrorKind::TimedOut,
                         format!(
-                            "cluster rendezvous timed out: worker {} heard from {have} of \
-                             {expected} peers within {timeout:?}",
-                            me.index()
+                            "cluster rendezvous timed out: worker {} heard from {have} of {} \
+                             peers within {timeout:?} (first missing: worker {peer})",
+                            me.index(),
+                            n - 1
                         ),
-                    ));
+                    )
+                } else {
+                    e
                 }
-            };
-            if std::mem::replace(&mut seen[peer], true) {
-                return Err(io::Error::new(
-                    ErrorKind::InvalidData,
-                    format!("two peers claimed worker id {peer}; check the --me flags"),
-                ));
+            })?;
+            have += 1;
+            if rejoin {
+                stats.peer_reconnect(peer);
             }
             let inbox_tx = inbox_tx.clone();
             let stats = Arc::clone(&stats);
@@ -275,6 +488,7 @@ impl TcpTransport {
                 delay_tx,
                 delay_seq: AtomicU64::new(0),
             }),
+            _acceptor: Arc::clone(acceptor),
         })
     }
 }
@@ -295,7 +509,14 @@ impl Transport for TcpTransport {
     }
 }
 
-fn dial_with_retry(addr: SocketAddr, deadline: Instant) -> io::Result<TcpStream> {
+/// Dials `addr` until it answers or `deadline` passes, sleeping an
+/// exponentially growing, jittered backoff between attempts — a peer's
+/// listener may not be up yet (slow start, or a crashed worker being
+/// respawned), and hammering it in a tight loop from every survivor at
+/// once is how thundering herds are made. `salt` decorrelates the
+/// jitter across dialers deterministically (no RNG dependency).
+fn dial_with_retry(addr: SocketAddr, deadline: Instant, salt: u64) -> io::Result<TcpStream> {
+    let mut attempt: u64 = 0;
     loop {
         let remaining = deadline.saturating_duration_since(Instant::now());
         if remaining.is_zero() {
@@ -306,10 +527,24 @@ fn dial_with_retry(addr: SocketAddr, deadline: Instant) -> io::Result<TcpStream>
         }
         match TcpStream::connect_timeout(&addr, remaining.min(Duration::from_millis(250))) {
             Ok(s) => return Ok(s),
-            // The peer process may simply not have bound yet.
-            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            Err(_) => {
+                // 10ms, 20ms, … capped at 320ms, plus up to 50% jitter;
+                // always bounded by the overall rendezvous deadline.
+                let base = 10u64 << attempt.min(5);
+                let jitter = splitmix64(salt ^ attempt) % (base / 2 + 1);
+                let backoff = Duration::from_millis(base + jitter);
+                std::thread::sleep(backoff.min(remaining));
+                attempt += 1;
+            }
         }
     }
+}
+
+/// This process is a crash schedule's victim and the mark was reached:
+/// die the way a killed worker dies — abnormally, mid-everything.
+fn crash_self(me: usize) -> ! {
+    eprintln!("gthinker-net: worker {me} crash schedule fired; aborting process");
+    std::process::abort();
 }
 
 fn reader_loop(peer: usize, mut stream: TcpStream, inbox: Sender<Message>, stats: Arc<NetStats>) {
@@ -333,7 +568,19 @@ fn reader_loop(peer: usize, mut stream: TcpStream, inbox: Sender<Message>, stats
                     return; // endpoint gone: job teardown
                 }
             }
-            Ok(None) => return, // peer closed its write side cleanly
+            // Every way a link dies — clean EOF (peer closed or its OS
+            // closed its sockets when it died), reset, or a framing
+            // error — is counted and surfaced as a PeerDown event, so a
+            // dead process is something the master *reacts to* rather
+            // than a silently vanished thread. At normal job teardown
+            // the per-link FIFO guarantees the peer's final control
+            // messages were delivered before this fires, and the
+            // master's terminated guard ignores it.
+            Ok(None) => {
+                stats.peer_down(peer);
+                let _ = inbox.send(Message::PeerDown { worker: WorkerId(peer as u16) });
+                return;
+            }
             Err(e) => {
                 // Resets during teardown are the normal end of a job;
                 // anything else (version mismatch, corruption) is worth
@@ -341,6 +588,8 @@ fn reader_loop(peer: usize, mut stream: TcpStream, inbox: Sender<Message>, stats
                 if !matches!(e.kind(), ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted) {
                     eprintln!("gthinker-net: link from worker {peer} failed: {e}");
                 }
+                stats.peer_down(peer);
+                let _ = inbox.send(Message::PeerDown { worker: WorkerId(peer as u16) });
                 return;
             }
         }
@@ -420,13 +669,21 @@ pub struct TcpEndpoint {
 
 impl TcpEndpoint {
     /// Writes one sealed frame to `to`, now or after an injected delay.
-    /// Write errors mean the peer already left (Terminate racing final
-    /// traffic) and are treated as a dropped link, mirroring the sim
-    /// router's sends to a crashed worker.
+    /// A write error means the peer's socket is gone (it died, or left
+    /// at teardown): the writer is dropped so later sends stop
+    /// retrying, the per-peer counter is bumped, and a `PeerDown` is
+    /// injected into the local inbox — the same event a reader failure
+    /// produces, so peer death surfaces whichever side notices first.
     fn dispatch(&self, to: usize, frame: Vec<u8>, extra: Duration) {
         if extra.is_zero() {
-            if let Some(stream) = self.writers[to].lock().as_mut() {
-                let _ = stream.write_all(&frame);
+            let mut guard = self.writers[to].lock();
+            if let Some(stream) = guard.as_mut() {
+                if stream.write_all(&frame).is_err() {
+                    *guard = None;
+                    drop(guard);
+                    self.stats.peer_down(to);
+                    let _ = self.inbox_tx.send(Message::PeerDown { worker: WorkerId(to as u16) });
+                }
             }
         } else if let Some(tx) = &self.delay_tx {
             let _ = tx.send(DelayedFrame {
@@ -435,6 +692,18 @@ impl TcpEndpoint {
                 to,
                 frame,
             });
+        }
+    }
+
+    /// Advances this process's crash schedule by one endpoint message
+    /// (send or successful receive) and aborts the process if this
+    /// worker is the victim and the mark was reached — the TCP
+    /// equivalent of the sim router delivering `Message::Crash`.
+    fn note_traffic(&self) {
+        if let Some(f) = &self.fault {
+            if f.crash_due() == Some(self.me) {
+                crash_self(self.me);
+            }
         }
     }
 }
@@ -449,6 +718,7 @@ impl NetEndpoint for TcpEndpoint {
     }
 
     fn send(&self, to: WorkerId, msg: Message) {
+        self.note_traffic();
         let bytes = (msg.encoded_len() + FRAME_OVERHEAD) as u64;
         self.stats.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
         self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
@@ -476,12 +746,27 @@ impl NetEndpoint for TcpEndpoint {
         self.dispatch(to.index(), frame::seal(&codec::to_bytes(&msg)), extra);
     }
 
+    /// Re-injects an already-received message, bypassing fault
+    /// decisions and traffic accounting (it was both counted and
+    /// fault-rolled on its original trip).
+    fn requeue(&self, msg: Message) {
+        let _ = self.inbox_tx.send(msg);
+    }
+
     fn try_recv(&self) -> Option<Message> {
-        self.inbox.try_recv().ok()
+        let m = self.inbox.try_recv().ok();
+        if m.is_some() {
+            self.note_traffic();
+        }
+        m
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
-        self.inbox.recv_timeout(timeout).ok()
+        let m = self.inbox.recv_timeout(timeout).ok();
+        if m.is_some() {
+            self.note_traffic();
+        }
+        m
     }
 
     fn stats(&self) -> &NetStats {

@@ -30,6 +30,50 @@ pub struct NetStats {
     pub msgs_sent: AtomicU64,
     /// Messages received.
     pub msgs_received: AtomicU64,
+    /// Per-peer dead-link events: the reader hit EOF/error or a write
+    /// failed on that peer's socket. Always empty on the sim router
+    /// (links there cannot die), sized to the cluster on TCP.
+    pub peer_downs: Vec<AtomicU64>,
+    /// Per-peer links accepted *beyond the first* at rendezvous — a
+    /// count of observed rejoins. Empty on the sim router.
+    pub peer_reconnects: Vec<AtomicU64>,
+}
+
+impl NetStats {
+    /// Counters with per-peer down/reconnect slots for an `n`-worker
+    /// cluster (the TCP backend's constructor; `default()` keeps the
+    /// slots empty for backends whose links cannot die).
+    pub fn for_cluster(n: usize) -> NetStats {
+        NetStats {
+            peer_downs: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            peer_reconnects: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            ..NetStats::default()
+        }
+    }
+
+    /// Records a dead link to `peer` (no-op without per-peer slots).
+    pub fn peer_down(&self, peer: usize) {
+        if let Some(c) = self.peer_downs.get(peer) {
+            c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Records a re-accepted link from `peer`.
+    pub fn peer_reconnect(&self, peer: usize) {
+        if let Some(c) = self.peer_reconnects.get(peer) {
+            c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Total dead-link events across all peers.
+    pub fn peer_downs_total(&self) -> u64 {
+        self.peer_downs.iter().map(|c| c.load(std::sync::atomic::Ordering::Relaxed)).sum()
+    }
+
+    /// Total re-accepted links across all peers.
+    pub fn peer_reconnects_total(&self) -> u64 {
+        self.peer_reconnects.iter().map(|c| c.load(std::sync::atomic::Ordering::Relaxed)).sum()
+    }
 }
 
 /// One worker's view of the interconnect: send to any worker, receive
@@ -58,6 +102,15 @@ pub trait NetEndpoint: Send + Sync {
                 self.send(WorkerId(w as u16), msg.clone());
             }
         }
+    }
+
+    /// Puts a message this worker already received back on its own
+    /// inbox, to be consumed again later — the cluster-recovery
+    /// rendezvous uses this to stash peer traffic that raced ahead of
+    /// the master's `Resume`. Backends override it to bypass fault
+    /// injection and traffic accounting; the default re-sends to self.
+    fn requeue(&self, msg: Message) {
+        self.send(self.id(), msg);
     }
 
     /// Non-blocking receive.

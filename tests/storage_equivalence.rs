@@ -8,11 +8,12 @@ use gthinker_apps::{
     KPlexApp, MatchingApp, MaxCliqueApp, MaximalCliqueApp, Pattern, QuasiCliqueApp, TriangleApp,
 };
 use gthinker_core::prelude::*;
-use gthinker_core::{run_worker_process_source_on, ClusterRole};
+use gthinker_core::{run_job_with_recovery_on, run_worker_process_source_on, ClusterRole};
 use gthinker_graph::compressed::{write_compressed, CompressedGraph};
 use gthinker_graph::gen;
 use gthinker_graph::graph::Graph;
 use gthinker_graph::ids::WorkerId;
+use gthinker_net::fault::{CrashSchedule, FaultConfig};
 use gthinker_net::tcp::ClusterManifest;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -119,6 +120,43 @@ fn graph_matching_equal_across_backends() {
     let (ram, mapped) =
         sim_both(|| Arc::new(MatchingApp::new(pattern.clone(), labels.clone())), &g, "gm");
     assert_eq!(ram, mapped);
+}
+
+/// Crash recovery off the mapped backing: a worker is killed mid-job,
+/// the run restarts from the last validated checkpoint, and the final
+/// answer still matches the fault-free in-RAM reference. This is the
+/// contract that lets `.gtc` files back recovering cluster jobs —
+/// restored tasks and re-spawned frontiers both decode lazily from the
+/// same mapping.
+#[test]
+fn recovery_on_mapped_graph_matches_fault_free_ram_run() {
+    let g = gen::barabasi_albert(700, 5, 137);
+    let expected = run_job(Arc::new(TriangleApp), &g, &JobConfig::single_machine(2))
+        .expect("reference")
+        .global;
+
+    let mapped = MappedCopy::of(&g, "recovery");
+    let mut cfg = JobConfig::cluster(WORKERS, COMPERS);
+    cfg.checkpoint_interval = Some(Duration::from_millis(150));
+    // Generous heartbeat window: on a loaded test host a healthy sim
+    // worker can go quiet for over a second, and a false positive here
+    // burns a recovery attempt on nothing.
+    cfg.heartbeat_timeout = Some(Duration::from_secs(5));
+    cfg.fault = FaultConfig {
+        crash: Some(CrashSchedule { worker: WorkerId(1), after_messages: Some(60), after: None }),
+        ..FaultConfig::default()
+    };
+    let (result, report) =
+        run_job_with_recovery_on(Arc::new(TriangleApp), mapped.source(), &cfg, 8)
+            .expect("recovering mapped job");
+    assert_eq!(result.outcome, JobOutcome::Completed);
+    assert_eq!(result.global, expected, "recovered mapped run must match the fault-free count");
+    assert!(report.recoveries >= 1, "the crash must actually fire: {report:?}");
+    assert_eq!(report.failed_workers[0], WorkerId(1));
+    assert!(
+        result.workers.iter().all(|w| w.recoveries == report.recoveries as u64),
+        "worker stats must carry the recovery count"
+    );
 }
 
 /// The TCP scenario: three loopback worker threads, each opening the
