@@ -1,0 +1,270 @@
+//! TCP data-plane throughput — evented vs threaded ablation
+//! (DESIGN.md §16 "Evented data plane").
+//!
+//! Brings up a 3-worker loopback TCP mesh (one thread per worker, each
+//! owning its own `TcpTransport` over real kernel sockets — the wire
+//! path is byte-identical to a 3-process deployment, only the address
+//! space is shared) and blasts the steal-heavy traffic shape that
+//! dominates a skewed mining job: many small framed control messages
+//! per link, plus periodic broadcasts. Every worker sends `per_link`
+//! unicasts to each peer and `bcasts` broadcasts, draining its inbox
+//! as it goes; the clock stops when its own sends are out *and* every
+//! expected inbound message has arrived.
+//!
+//! Two backends, same wire format, same workload:
+//! * `evented` — one poll-loop I/O thread per worker, pooled
+//!   seal-once frames, per-peer outbound rings drained with
+//!   `writev`-coalesced batches;
+//! * `threaded` — the legacy plane: one reader thread per peer and
+//!   synchronous locked writes on the sender's own thread.
+//!
+//! Reports per-backend messages/sec, bytes/sec and the evented plane's
+//! coalescing counters, and emits `BENCH_net.json` with the
+//! evented-vs-threaded throughput ratio.
+//!
+//! `cargo run -p gthinker-bench --release --bin net_throughput
+//! [--scale f] [--smoke]`
+
+use gthinker_graph::ids::{VertexId, WorkerId};
+use gthinker_net::fault::FaultConfig;
+use gthinker_net::message::Message;
+use gthinker_net::tcp::{ClusterManifest, TcpBackend, TcpTransport};
+use gthinker_net::transport::{NetEndpoint, Transport};
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+const WORKERS: usize = 3;
+const RENDEZVOUS: Duration = Duration::from_secs(10);
+const RECV: Duration = Duration::from_millis(1);
+/// Sends between inbox drains; keeps the threaded backend's
+/// synchronous writes from filling kernel socket buffers unread.
+const DRAIN_EVERY: usize = 64;
+
+fn pull(from: u16, v: u32) -> Message {
+    Message::VertexRequest {
+        from: WorkerId(from),
+        vertices: vec![VertexId(v), VertexId(v ^ 1), VertexId(v ^ 2), VertexId(v ^ 3)],
+        sent_nanos: 0,
+    }
+}
+
+/// One worker's result: wall time to send + receive everything, and
+/// its transport counters at teardown.
+struct Lane {
+    wall: Duration,
+    received: usize,
+    bytes_sent: u64,
+    writev_calls: u64,
+    frames_coalesced: u64,
+    backpressure_stalls: u64,
+}
+
+/// Per-backend aggregate over the mesh.
+struct Run {
+    backend: TcpBackend,
+    wall: Duration,
+    msgs: u64,
+    bytes: u64,
+    msgs_per_sec: f64,
+    bytes_per_sec: f64,
+    writev_calls: u64,
+    frames_coalesced: u64,
+    backpressure_stalls: u64,
+}
+
+fn run_backend(backend: TcpBackend, per_link: usize, bcasts: usize) -> Run {
+    let (manifest, listeners) = ClusterManifest::loopback(WORKERS).expect("bind loopback");
+    let expect = (WORKERS - 1) * (per_link + bcasts);
+    let handles: Vec<_> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(w, listener)| {
+            let manifest = manifest.clone();
+            std::thread::spawn(move || {
+                let me = WorkerId(w as u16);
+                let mut t = TcpTransport::connect_on_with(
+                    &manifest,
+                    me,
+                    FaultConfig::default(),
+                    RENDEZVOUS,
+                    listener,
+                    backend,
+                )
+                .expect("rendezvous");
+                let net = t.take_endpoint(me);
+                blast(&*net, w as u16, per_link, bcasts, expect)
+            })
+        })
+        .collect();
+    let lanes: Vec<Lane> = handles.into_iter().map(|h| h.join().expect("worker")).collect();
+    for (w, l) in lanes.iter().enumerate() {
+        assert_eq!(l.received, expect, "worker {w} lost messages under {backend}");
+    }
+    let wall = lanes.iter().map(|l| l.wall).max().unwrap();
+    let msgs = (WORKERS * expect) as u64;
+    let bytes = lanes.iter().map(|l| l.bytes_sent).sum();
+    let secs = wall.as_secs_f64().max(1e-9);
+    Run {
+        backend,
+        wall,
+        msgs,
+        bytes,
+        msgs_per_sec: msgs as f64 / secs,
+        bytes_per_sec: bytes as f64 / secs,
+        writev_calls: lanes.iter().map(|l| l.writev_calls).sum(),
+        frames_coalesced: lanes.iter().map(|l| l.frames_coalesced).sum(),
+        backpressure_stalls: lanes.iter().map(|l| l.backpressure_stalls).sum(),
+    }
+}
+
+/// The per-worker send/receive loop. Interleaves draining with
+/// sending so neither backend can deadlock on full socket buffers.
+fn blast(net: &dyn NetEndpoint, me: u16, per_link: usize, bcasts: usize, expect: usize) -> Lane {
+    let peers: Vec<u16> = (0..WORKERS as u16).filter(|&p| p != me).collect();
+    let mut received = 0usize;
+    let mut batch = Vec::with_capacity(DRAIN_EVERY);
+    let start = Instant::now();
+    let mut since_drain = 0usize;
+    // Only the workload messages count toward `expect`: the inbox also
+    // carries transport events — `PeerDown` is expected once the
+    // fastest lane finishes and drops its endpoint; anything else would
+    // be a wire bug worth seeing.
+    let absorb = |batch: &mut Vec<Message>| {
+        let data = batch.iter().filter(|m| matches!(m, Message::VertexRequest { .. })).count();
+        for m in batch.iter() {
+            if !matches!(m, Message::VertexRequest { .. } | Message::PeerDown { .. }) {
+                eprintln!("worker {me}: stray inbox message: {m:?}");
+            }
+        }
+        batch.clear();
+        data
+    };
+    for i in 0..per_link {
+        for &p in &peers {
+            net.send(WorkerId(p), pull(me, i as u32));
+            since_drain += 1;
+        }
+        if since_drain >= DRAIN_EVERY {
+            since_drain = 0;
+            net.recv_batch(Duration::ZERO, usize::MAX, &mut batch);
+            received += absorb(&mut batch);
+        }
+    }
+    for i in 0..bcasts {
+        net.broadcast(&pull(me, (per_link + i) as u32));
+        since_drain += peers.len();
+        if since_drain >= DRAIN_EVERY {
+            since_drain = 0;
+            net.recv_batch(Duration::ZERO, usize::MAX, &mut batch);
+            received += absorb(&mut batch);
+        }
+    }
+    while received < expect {
+        let n = net.recv_batch(RECV, usize::MAX, &mut batch);
+        received += absorb(&mut batch);
+        if n == 0 && start.elapsed() > Duration::from_secs(60) {
+            break; // let the caller's assert report the loss
+        }
+    }
+    let wall = start.elapsed();
+    let s = net.stats();
+    Lane {
+        wall,
+        received,
+        bytes_sent: s.bytes_sent.load(Ordering::Relaxed),
+        writev_calls: s.writev_calls.load(Ordering::Relaxed),
+        frames_coalesced: s.frames_coalesced.load(Ordering::Relaxed),
+        backpressure_stalls: s.backpressure_stalls.load(Ordering::Relaxed),
+    }
+}
+
+fn json_run(r: &Run) -> String {
+    format!(
+        concat!(
+            "{{\"wall_ns\": {}, \"msgs\": {}, \"bytes\": {}, ",
+            "\"msgs_per_sec\": {:.1}, \"bytes_per_sec\": {:.1}, ",
+            "\"writev_calls\": {}, \"frames_coalesced\": {}, ",
+            "\"backpressure_stalls\": {}}}"
+        ),
+        r.wall.as_nanos(),
+        r.msgs,
+        r.bytes,
+        r.msgs_per_sec,
+        r.bytes_per_sec,
+        r.writev_calls,
+        r.frames_coalesced,
+        r.backpressure_stalls,
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = gthinker_bench::scale_from_args(1.0);
+    let per_link = if smoke { 2_000 } else { (40_000.0 * scale) as usize }.max(100);
+    let bcasts = per_link / 10;
+    let reps = if smoke { 1 } else { 3 };
+
+    println!(
+        "net_throughput: {WORKERS}-worker loopback TCP mesh, {per_link} unicasts per link + \
+         {bcasts} broadcasts per worker, ~76 B frames; best of {reps} rep(s)\n"
+    );
+
+    // Alternate backends rep by rep so neither benefits from a warmer
+    // page cache; keep each backend's best run.
+    let mut best: Vec<Option<Run>> = vec![None, None];
+    for _ in 0..reps {
+        for (slot, backend) in [TcpBackend::Evented, TcpBackend::Threaded].into_iter().enumerate() {
+            let r = run_backend(backend, per_link, bcasts);
+            if best[slot].as_ref().is_none_or(|b| r.msgs_per_sec > b.msgs_per_sec) {
+                best[slot] = Some(r);
+            }
+        }
+    }
+    let evented = best[0].take().unwrap();
+    let threaded = best[1].take().unwrap();
+
+    println!(
+        "{:>9} | {:>9} {:>12} {:>12} | {:>8} {:>10} {:>7}",
+        "backend", "wall ms", "msgs/sec", "bytes/sec", "writev", "coalesced", "stalls"
+    );
+    gthinker_bench::rule(80);
+    for r in [&evented, &threaded] {
+        println!(
+            "{:>9} | {:>9.1} {:>12.0} {:>12.0} | {:>8} {:>10} {:>7}",
+            r.backend.to_string(),
+            r.wall.as_secs_f64() * 1e3,
+            r.msgs_per_sec,
+            r.bytes_per_sec,
+            r.writev_calls,
+            r.frames_coalesced,
+            r.backpressure_stalls,
+        );
+    }
+    let ratio = evented.msgs_per_sec / threaded.msgs_per_sec.max(1e-9);
+    println!("\nmsgs/sec evented/threaded = {ratio:.2}");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"net_throughput\",\n",
+            "  \"workload\": \"{} workers loopback, {} unicasts per link + {} broadcasts per \
+             worker, 4-vertex pull frames\",\n",
+            "  \"smoke\": {},\n",
+            "  \"reps\": {},\n",
+            "  \"evented\": {},\n",
+            "  \"threaded\": {},\n",
+            "  \"msgs_per_sec_ratio_evented_vs_threaded\": {:.3}\n",
+            "}}\n"
+        ),
+        WORKERS,
+        per_link,
+        bcasts,
+        smoke,
+        reps,
+        json_run(&evented),
+        json_run(&threaded),
+        ratio,
+    );
+    std::fs::write("BENCH_net.json", &json).expect("write BENCH_net.json");
+    println!("wrote BENCH_net.json");
+}

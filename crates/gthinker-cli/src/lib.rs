@@ -40,6 +40,7 @@ use gthinker_graph::load;
 use gthinker_graph::order::degeneracy_relabel;
 use gthinker_graph::stats::GraphStats;
 use gthinker_net::fault::CrashSchedule;
+use gthinker_net::tcp::TcpBackend;
 use gthinker_net::ClusterManifest;
 use std::io::Write;
 use std::path::Path;
@@ -398,7 +399,11 @@ a multi-process cluster job runs one OS process per host:port in
 --hosts; every process gets the same graph file and miner options, the
 master is worker 0 and prints the result, each worker prints its own
 byte counters. --connect-timeout SECS (default 30) bounds the
-rendezvous. the master also accepts live-telemetry flags:
+rendezvous. --net-backend {threaded,evented} picks the TCP data plane:
+evented (default) runs one poll-loop I/O thread per process with pooled
+frames and vectored writes; threaded is the legacy
+thread-per-peer-per-direction plane. the master also accepts
+live-telemetry flags:
   --status                  print a cluster progress line to stderr
                             every second (remaining tasks, idle
                             compers, steals in flight, bytes/sec)
@@ -1023,6 +1028,10 @@ fn cmd_cluster(is_master: bool, mut args: Vec<String>) -> Result<String, CliErro
             "master: --die-after-* targets a worker; the master hosts the failure detector",
         );
     }
+    let net_backend = match take_flag(&mut args, "--net-backend")? {
+        Some(s) => s.parse::<TcpBackend>().map_err(CliError)?,
+        None => TcpBackend::default(),
+    };
 
     let mut opts = mine_opts(&mut args)?;
     // The live views need periodic reports; default them on when a view
@@ -1044,6 +1053,7 @@ fn cmd_cluster(is_master: bool, mut args: Vec<String>) -> Result<String, CliErro
             after: die_after_ms.map(Duration::from_millis),
         });
     }
+    cfg.net_backend = net_backend;
     let seat = ClusterSeat {
         manifest,
         me: WorkerId(me as u16),
@@ -1392,6 +1402,30 @@ mod tests {
         assert_eq!(job_config(&o).report_interval, Some(Duration::from_millis(500)));
         // Default: final-only reports.
         assert_eq!(job_config(&MineOpts::default()).report_interval, None);
+    }
+
+    #[test]
+    fn net_backend_flag_validates() {
+        // An unknown backend is rejected at parse time, before any
+        // sockets are dialed.
+        let e = run(args(&[
+            "worker",
+            "--hosts",
+            "127.0.0.1:19031,127.0.0.1:19032",
+            "--me",
+            "1",
+            "--net-backend",
+            "fibers",
+            "tc",
+            "g.el",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("net backend"), "{e}");
+        // Both real backends parse; evented is the default.
+        assert_eq!("threaded".parse::<TcpBackend>(), Ok(TcpBackend::Threaded));
+        assert_eq!("evented".parse::<TcpBackend>(), Ok(TcpBackend::Evented));
+        assert_eq!(TcpBackend::default(), TcpBackend::Evented);
+        assert_eq!(job_config(&MineOpts::default()).net_backend, TcpBackend::Evented);
     }
 
     #[test]

@@ -217,8 +217,14 @@ fn run_cluster_inner<A: App>(
 
     // Rendezvous before building worker state, so a peer that never
     // shows up fails fast instead of after graph setup work.
-    let mut transport =
-        TcpTransport::connect_on(manifest, me, config.fault.clone(), connect_timeout, listener)?;
+    let mut transport = TcpTransport::connect_on_with(
+        manifest,
+        me,
+        config.fault.clone(),
+        connect_timeout,
+        listener,
+        config.net_backend,
+    )?;
     let net = transport.take_endpoint(me);
 
     let job_dir = new_job_dir(config);
@@ -462,13 +468,14 @@ fn run_cluster_recovering<A: App>(
         // this blocks (dials backing off through connection-refused)
         // until the replacement binds and joins — bounded by
         // `connect_timeout`, after which the whole cluster errors out.
-        let mut transport = TcpTransport::connect_via(
+        let mut transport = TcpTransport::connect_via_with(
             &acceptor,
             manifest,
             me,
             cfg.fault.clone(),
             connect_timeout,
             opts.generation,
+            cfg.net_backend,
         )?;
         let net = transport.take_endpoint(me);
 

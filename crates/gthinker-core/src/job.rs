@@ -654,6 +654,7 @@ pub(crate) fn worker_main<A: App>(
     // and `wake_all` (stop/suspend) cuts the wait short so shutdown
     // latency is not bounded by the tick period.
     let mut was_idle = false;
+    let mut abort_broadcast = false;
     loop {
         let key = shared.tick_events.listen();
         if !shared.stopping() {
@@ -683,6 +684,7 @@ pub(crate) fn worker_main<A: App>(
         // other worker to stop, then go through the normal shutdown
         // path (final syncs keep the master's collection loop sound).
         if shared.failure.lock().is_some() {
+            abort_broadcast = true;
             shared.net.broadcast(&Message::Terminate);
             shared.done.store(true, Ordering::SeqCst);
             shared.wake_all();
@@ -703,6 +705,17 @@ pub(crate) fn worker_main<A: App>(
         if shared.stopping() {
             break;
         }
+    }
+    // A panicking comper records the failure and flips `done` itself;
+    // both stores can land between this iteration's failure check and
+    // the stop check above, exiting the loop with the abort broadcast
+    // never sent — stranding every peer (they never quiesce, and the
+    // master waits in `collect_finals` forever). The failure is
+    // recorded strictly before `done`, so a post-loop re-check cannot
+    // miss it.
+    if !abort_broadcast && !shared.crashed.load(Ordering::SeqCst) && shared.failure.lock().is_some()
+    {
+        shared.net.broadcast(&Message::Terminate);
     }
 
     // Compers stop on the flag; wait for them.

@@ -105,6 +105,10 @@ pub(crate) fn snapshot_worker<A: App>(
         cache: w.cache.stats().snapshot(),
         net_bytes_sent: w.net.stats().bytes_sent.load(Ordering::Relaxed),
         net_bytes_received: w.net.stats().bytes_received.load(Ordering::Relaxed),
+        net_writev_calls: w.net.stats().writev_calls.load(Ordering::Relaxed),
+        net_frames_coalesced: w.net.stats().frames_coalesced.load(Ordering::Relaxed),
+        net_backpressure_stalls: w.net.stats().backpressure_stalls.load(Ordering::Relaxed),
+        net_delayed_write_errors: w.net.stats().delayed_write_errors.load(Ordering::Relaxed),
         spill_bytes: w.spill.bytes_spilled(),
         remaining: w.remaining_estimate(),
         quiescent: w.quiescent(),
@@ -186,6 +190,18 @@ pub struct WorkerMetricsSnapshot {
     pub net_bytes_sent: u64,
     /// Bytes received.
     pub net_bytes_received: u64,
+    /// Vectored socket writes issued by the evented TCP data plane's
+    /// I/O loop (0 on the sim router and the threaded backend).
+    pub net_writev_calls: u64,
+    /// Frames that shared a vectored write with at least one other
+    /// frame — the evented plane's write-coalescing win.
+    pub net_frames_coalesced: u64,
+    /// Sends that waited on a full per-peer outbound ring (evented
+    /// backpressure; 0 unless a peer or the wire is slow).
+    pub net_backpressure_stalls: u64,
+    /// Fault-delayed frames whose deferred write failed and was
+    /// dropped (dead peer or closed socket), on either TCP backend.
+    pub net_delayed_write_errors: u64,
     /// Bytes of task batches spilled to disk.
     pub spill_bytes: u64,
     /// Estimated remaining load in tasks.
@@ -281,6 +297,10 @@ impl WorkerMetricsSnapshot {
             self.recoveries,
             self.peer_down_events,
             self.rejoins,
+            self.net_writev_calls,
+            self.net_frames_coalesced,
+            self.net_backpressure_stalls,
+            self.net_delayed_write_errors,
         ] {
             b.extend_from_slice(&v.to_le_bytes());
         }
@@ -318,7 +338,7 @@ impl WorkerMetricsSnapshot {
         if c.u8()? != REPORT_VERSION {
             return Err(bad("unknown metrics report version"));
         }
-        let mut counters = [0u64; 37];
+        let mut counters = [0u64; 41];
         for v in counters.iter_mut() {
             *v = c.u64()?;
         }
@@ -384,6 +404,10 @@ impl WorkerMetricsSnapshot {
             recoveries: counters[34],
             peer_down_events: counters[35],
             rejoins: counters[36],
+            net_writev_calls: counters[37],
+            net_frames_coalesced: counters[38],
+            net_backpressure_stalls: counters[39],
+            net_delayed_write_errors: counters[40],
             quiescent,
             clock_offset_nanos,
             resumed_epoch,
@@ -397,8 +421,10 @@ impl WorkerMetricsSnapshot {
 
 /// Version byte leading every encoded metrics report. Bumped to 2 when
 /// the crash-recovery counters (recoveries / peer-down / rejoins /
-/// resumed-epoch) joined the payload.
-const REPORT_VERSION: u8 = 2;
+/// resumed-epoch) joined the payload; to 3 when the evented data
+/// plane's counters (writev calls / frames coalesced / backpressure
+/// stalls / delayed-write errors) did.
+const REPORT_VERSION: u8 = 3;
 
 /// Sparse histogram encoding: nonzero-bucket count, then (index, count)
 /// pairs, then the running sum. Most histograms populate a handful of
@@ -543,6 +569,9 @@ impl MetricsSnapshot {
                  \"evictions\": {}, \"gc_passes\": {}, \"retries\": {}, \
                  \"stale_responses\": {}}},\n      \
                  \"net_bytes_sent\": {},\n      \"net_bytes_received\": {},\n      \
+                 \"net_writev_calls\": {},\n      \"net_frames_coalesced\": {},\n      \
+                 \"net_backpressure_stalls\": {},\n      \
+                 \"net_delayed_write_errors\": {},\n      \
                  \"spill_bytes\": {},\n      \
                  \"pull_rtt\": {},\n      \"responder_drain\": {},\n      \
                  \"compers\": [",
@@ -585,6 +614,10 @@ impl MetricsSnapshot {
                 w.cache.stale_responses,
                 w.net_bytes_sent,
                 w.net_bytes_received,
+                w.net_writev_calls,
+                w.net_frames_coalesced,
+                w.net_backpressure_stalls,
+                w.net_delayed_write_errors,
                 w.spill_bytes,
                 hist_json(&w.pull_rtt),
                 hist_json(&w.responder_drain),
@@ -783,6 +816,30 @@ impl MetricsSnapshot {
             "counter",
             "Bytes this worker took off the wire.",
             &|w| w.net_bytes_received,
+        );
+        family(
+            "gthinker_net_writev_calls_total",
+            "counter",
+            "Vectored socket writes issued by the evented data plane.",
+            &|w| w.net_writev_calls,
+        );
+        family(
+            "gthinker_net_frames_coalesced_total",
+            "counter",
+            "Frames that shared a vectored write with another frame.",
+            &|w| w.net_frames_coalesced,
+        );
+        family(
+            "gthinker_net_backpressure_stalls_total",
+            "counter",
+            "Sends that waited on a full per-peer outbound ring.",
+            &|w| w.net_backpressure_stalls,
+        );
+        family(
+            "gthinker_net_delayed_write_errors_total",
+            "counter",
+            "Fault-delayed frames dropped because their deferred write failed.",
+            &|w| w.net_delayed_write_errors,
         );
         family(
             "gthinker_remote_stolen_tasks_total",
@@ -1037,6 +1094,10 @@ mod tests {
             },
             net_bytes_sent: 1_000,
             net_bytes_received: 2_000,
+            net_writev_calls: 60,
+            net_frames_coalesced: 25,
+            net_backpressure_stalls: 2,
+            net_delayed_write_errors: 1,
             spill_bytes: 4_096,
             remaining: 17,
             quiescent: true,
@@ -1082,6 +1143,10 @@ mod tests {
         assert_eq!(back.remaining, snap.remaining);
         assert_eq!(back.net_bytes_sent, snap.net_bytes_sent);
         assert_eq!(back.net_bytes_received, snap.net_bytes_received);
+        assert_eq!(back.net_writev_calls, snap.net_writev_calls);
+        assert_eq!(back.net_frames_coalesced, snap.net_frames_coalesced);
+        assert_eq!(back.net_backpressure_stalls, snap.net_backpressure_stalls);
+        assert_eq!(back.net_delayed_write_errors, snap.net_delayed_write_errors);
         assert_eq!(back.compers.len(), snap.compers.len());
         assert_eq!(back.compers[0].compute.count(), snap.compers[0].compute.count());
         assert_eq!(back.compers[0].e2e.sum, snap.compers[0].e2e.sum);

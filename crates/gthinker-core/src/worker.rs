@@ -580,28 +580,61 @@ pub(crate) fn responder_loop<A: App>(
     }
 }
 
+/// Most messages the receiver applies before issuing its accumulated
+/// wakeups. Sized so a burst of small responses amortizes the parks
+/// and wakes without letting one batch starve control traffic.
+const RECV_BATCH: usize = 64;
+
+/// Wakeups accumulated while applying one received batch: every
+/// message is installed first, then each set flag fires **one**
+/// `EventCount` notify — a batch of N vertex responses costs one
+/// scheduler wakeup, not N.
+#[derive(Default)]
+struct WakeSet {
+    sched: bool,
+    gc: bool,
+}
+
+impl WakeSet {
+    fn flush<A: App>(&mut self, shared: &WorkerShared<A>) {
+        if std::mem::take(&mut self.sched) {
+            shared.sched_events.notify_all();
+        }
+        if std::mem::take(&mut self.gc) {
+            shared.gc_events.notify_all();
+        }
+    }
+}
+
 /// The receiver thread: dispatches pull requests to the responder pool,
 /// installs responses into `T_cache`, wakes pending tasks, executes
 /// steal plans, and forwards control-plane messages to the worker main
-/// thread.
+/// thread. Messages are drained in batches ([`NetEndpoint::recv_batch`])
+/// and downstream wakeups flushed once per batch.
 pub(crate) fn receiver_loop<A: App>(
     shared: &Arc<WorkerShared<A>>,
     ctrl: Sender<Message>,
     mut responders: ResponderRing,
 ) {
+    let mut batch = Vec::with_capacity(RECV_BATCH);
+    let mut wakes = WakeSet::default();
     loop {
-        match shared.net.recv_timeout(Duration::from_millis(1)) {
-            Some(msg) => handle_message(shared, &ctrl, &mut responders, msg),
-            None => {
-                if shared.receiver_stop.load(Ordering::SeqCst) {
-                    // Drain whatever is still queued, then exit.
-                    while let Some(msg) = shared.net.try_recv() {
-                        handle_message(shared, &ctrl, &mut responders, msg);
-                    }
-                    return;
+        let n = shared.net.recv_batch(Duration::from_millis(1), RECV_BATCH, &mut batch);
+        if n == 0 {
+            if shared.receiver_stop.load(Ordering::SeqCst) {
+                // Drain whatever is still queued, then exit.
+                while let Some(msg) = shared.net.try_recv() {
+                    handle_message(shared, &ctrl, &mut responders, &mut wakes, msg);
                 }
+                wakes.flush(shared);
+                return;
             }
+            continue;
         }
+        for msg in batch.drain(..) {
+            handle_message(shared, &ctrl, &mut responders, &mut wakes, msg);
+        }
+        wakes.flush(shared);
     }
 }
 
@@ -609,6 +642,7 @@ fn handle_message<A: App>(
     shared: &Arc<WorkerShared<A>>,
     ctrl: &Sender<Message>,
     responders: &mut ResponderRing,
+    wakes: &mut WakeSet,
     msg: Message,
 ) {
     if shared.crashed.load(Ordering::Relaxed) {
@@ -665,18 +699,19 @@ fn handle_message<A: App>(
                 // paid per entry.
                 shared.outstanding_pulls.fetch_sub(1, Ordering::Release);
             }
-            // Edge-triggered wakes, at most one notify per message: a
-            // comper parks only with an empty B_task, so a response
-            // that completes no task carries no edge it could act on —
-            // pull-count decrements alone keep `pending + buffer`
-            // constant. Likewise the GC only has work once the inserts
-            // leave the cache over its limit (eviction of released
-            // entries below the limit is not its job).
+            // Edge-triggered wakes, batched: a comper parks only with
+            // an empty B_task, so a response that completes no task
+            // carries no edge it could act on — pull-count decrements
+            // alone keep `pending + buffer` constant. Likewise the GC
+            // only has work once the inserts leave the cache over its
+            // limit (eviction of released entries below the limit is
+            // not its job). The flags fire one notify per received
+            // batch (`WakeSet::flush`), not one per message.
             if made_ready {
-                shared.sched_events.notify_all();
+                wakes.sched = true;
             }
             if shared.cache.over_limit() {
-                shared.gc_events.notify_all();
+                wakes.gc = true;
             }
         }
         Message::StealRequest { victim, thief, max_tasks } => {
@@ -712,8 +747,8 @@ fn handle_message<A: App>(
                     });
                 }
                 // A new spill file is a refill source every comper
-                // checks.
-                shared.sched_events.notify_all();
+                // checks (wake batched with the rest of this drain).
+                wakes.sched = true;
                 shared.net.send(WorkerId(0), Message::StealDone);
             }
             // (Re-)ack even for duplicates: the earlier ack may have

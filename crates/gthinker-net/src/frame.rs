@@ -105,6 +105,25 @@ pub fn seal(payload: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Seals a frame **in place**: clears `out`, writes the header, lets
+/// `write_payload` append the payload bytes directly (no intermediate
+/// payload allocation), then patches the length and appends the CRC.
+/// This is the zero-copy seal the pooled frame buffers use — a message
+/// encodes straight into the wire buffer it will be written from.
+pub fn seal_with(out: &mut Vec<u8>, write_payload: impl FnOnce(&mut Vec<u8>)) {
+    out.clear();
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // length, patched below
+    write_payload(out);
+    let len = out.len() - HEADER_LEN;
+    assert!(len as u64 <= MAX_PAYLOAD as u64, "payload of {len} bytes exceeds the frame cap");
+    out[8..12].copy_from_slice(&(len as u32).to_le_bytes());
+    let crc = crc32(&out[HEADER_LEN..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
 fn check_header(header: &[u8; HEADER_LEN]) -> Result<usize, FrameError> {
     let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
     if magic != MAGIC {
@@ -175,6 +194,98 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     Ok(Some(rest))
 }
 
+/// Incremental frame decoder for a non-blocking byte stream: feed it
+/// whatever the socket returned — one byte, half a header, three
+/// frames and a tail — and pull complete, CRC-verified payloads out.
+///
+/// The evented data plane reads the socket **directly into** the
+/// decoder's buffer ([`space`](FrameDecoder::space) +
+/// [`commit`](FrameDecoder::commit)), so inbound bytes are copied
+/// exactly once (kernel → buffer) and payloads are borrowed from that
+/// buffer, never re-materialized. Any header or CRC violation is a
+/// hard [`FrameError`]: a framing stream that has lost sync cannot be
+/// resynchronized, so the link must be torn down.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    /// `buf[start..filled]` holds the unconsumed byte stream.
+    buf: Vec<u8>,
+    start: usize,
+    filled: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Bytes buffered but not yet consumed by [`next`](Self::next).
+    /// Zero exactly when the stream sits at a frame boundary — a clean
+    /// EOF here is a graceful close, anywhere else a truncation.
+    pub fn pending(&self) -> usize {
+        self.filled - self.start
+    }
+
+    /// Exposes at least `min` bytes of writable tail space for a
+    /// direct `read()`; follow with [`commit`](Self::commit) for the
+    /// bytes actually read. Compacts consumed bytes to the front first,
+    /// so the buffer stays bounded by the largest in-flight frame plus
+    /// one read chunk.
+    pub fn space(&mut self, min: usize) -> &mut [u8] {
+        if self.start > 0 {
+            self.buf.copy_within(self.start..self.filled, 0);
+            self.filled -= self.start;
+            self.start = 0;
+        }
+        if self.buf.len() < self.filled + min {
+            self.buf.resize(self.filled + min, 0);
+        }
+        &mut self.buf[self.filled..]
+    }
+
+    /// Marks `n` bytes of [`space`](Self::space) as filled by a read.
+    pub fn commit(&mut self, n: usize) {
+        assert!(self.filled + n <= self.buf.len(), "commit past the space handed out");
+        self.filled += n;
+    }
+
+    /// Appends bytes that arrived in a caller-owned buffer (tests and
+    /// non-socket feeds; the socket path uses `space`/`commit`).
+    pub fn extend(&mut self, bytes: &[u8]) {
+        let space = self.space(bytes.len());
+        space[..bytes.len()].copy_from_slice(bytes);
+        self.filled += bytes.len();
+    }
+
+    /// The next complete frame's payload, `Ok(None)` when more bytes
+    /// are needed, or the [`FrameError`] that makes this stream
+    /// unrecoverable. The returned slice borrows the internal buffer
+    /// and is valid until the next `space`/`extend` call.
+    // Not `Iterator`: the item borrows `self` (a lending iterator) and
+    // decode errors must surface, neither of which `Iterator` can say.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<&[u8]>, FrameError> {
+        let avail = &self.buf[self.start..self.filled];
+        if avail.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let header: &[u8; HEADER_LEN] = avail[..HEADER_LEN].try_into().expect("checked");
+        let len = check_header(header)?;
+        let total = HEADER_LEN + len + 4;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = &avail[HEADER_LEN..HEADER_LEN + len];
+        let crc = u32::from_le_bytes(avail[total - 4..total].try_into().expect("4 bytes"));
+        if crc32(payload) != crc {
+            return Err(FrameError::CrcMismatch);
+        }
+        let payload_start = self.start + HEADER_LEN;
+        self.start += total;
+        Ok(Some(&self.buf[payload_start..payload_start + len]))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +354,60 @@ mod tests {
         assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some(&b"first"[..]));
         assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some(&b""[..]));
         assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn seal_with_matches_seal() {
+        for payload in [&b""[..], b"x", &[7u8; 1000]] {
+            let mut buf = vec![0xAA; 3]; // stale content must be cleared
+            seal_with(&mut buf, |b| b.extend_from_slice(payload));
+            assert_eq!(buf, seal(payload));
+        }
+    }
+
+    #[test]
+    fn decoder_reassembles_byte_at_a_time() {
+        let mut stream = Vec::new();
+        let payloads: [&[u8]; 3] = [b"first", b"", &[9u8; 300]];
+        for p in payloads {
+            stream.extend_from_slice(&seal(p));
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        for b in stream {
+            dec.extend(&[b]);
+            while let Some(p) = dec.next().expect("clean stream") {
+                got.push(p.to_vec());
+            }
+        }
+        assert_eq!(got, payloads.map(<[u8]>::to_vec));
+        assert_eq!(dec.pending(), 0, "clean frame boundary");
+    }
+
+    #[test]
+    fn decoder_space_commit_path_matches_extend() {
+        let frame = seal(b"space/commit payload");
+        let mut dec = FrameDecoder::new();
+        for chunk in frame.chunks(7) {
+            let space = dec.space(chunk.len());
+            space[..chunk.len()].copy_from_slice(chunk);
+            dec.commit(chunk.len());
+        }
+        assert_eq!(dec.next().unwrap(), Some(&b"space/commit payload"[..]));
+        assert_eq!(dec.next().unwrap(), None);
+    }
+
+    #[test]
+    fn decoder_rejects_corruption() {
+        let mut bad = seal(b"payload");
+        let n = bad.len();
+        bad[n - 2] ^= 0x40; // flip a CRC byte
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bad);
+        assert_eq!(dec.next().unwrap_err(), FrameError::CrcMismatch);
+        let mut dec = FrameDecoder::new();
+        dec.extend(b"XXXXXXXXXXXXXXXX");
+        assert!(matches!(dec.next().unwrap_err(), FrameError::BadMagic(_)));
     }
 
     #[test]

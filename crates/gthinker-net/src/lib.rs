@@ -8,10 +8,16 @@
 //!   one process, with an optional latency + bandwidth model
 //!   ([`LinkConfig`]) under which messages on a directed link serialize
 //!   and arrive late, reproducing the communication costs of Table IV.
-//! * [`TcpTransport`] / [`TcpEndpoint`] — the **tcp** backend: one
-//!   worker per OS process, messages carried as versioned, CRC-trailed
-//!   [`frame`]s over a full mesh of sockets built from a
-//!   [`ClusterManifest`].
+//! * [`TcpTransport`] — the **tcp** backend: one worker per OS
+//!   process, messages carried as versioned, CRC-trailed [`frame`]s
+//!   over a full mesh of sockets built from a [`ClusterManifest`].
+//!   Two data planes share the rendezvous and wire format
+//!   ([`TcpBackend`]): the default **evented** plane
+//!   ([`EventedEndpoint`]) drives every socket from a single
+//!   `poll(2)` I/O thread with pooled zero-copy frame buffers
+//!   ([`pool`]) and vectored, coalesced writes; the legacy
+//!   **threaded** plane ([`TcpEndpoint`]) keeps a reader thread per
+//!   peer and writes synchronously from the sending thread.
 //!
 //! Shared across both: [`Message`] (batched vertex pulls, work-stealing
 //! transfers, progress and aggregator traffic) with an exact binary
@@ -25,16 +31,20 @@
 //! which the benches report alongside wall-clock time.
 
 pub mod batch;
+pub mod evented;
 pub mod fault;
 pub mod frame;
 pub mod message;
+pub mod pool;
 pub mod router;
 pub mod tcp;
 pub mod transport;
 
 pub use batch::{RequestBatcher, DEFAULT_REQUEST_BATCH};
+pub use evented::EventedEndpoint;
 pub use fault::{CrashSchedule, FaultConfig, FaultStats};
 pub use message::Message;
+pub use pool::{FramePool, SealedFrame};
 pub use router::{LinkConfig, NetHandle, Router};
-pub use tcp::{ClusterManifest, TcpEndpoint, TcpTransport};
+pub use tcp::{ClusterManifest, TcpBackend, TcpEndpoint, TcpTransport};
 pub use transport::{NetEndpoint, NetStats, Transport};

@@ -1,0 +1,154 @@
+//! Pooled, shareable frame buffers for the evented TCP data plane.
+//!
+//! Every outbound message is sealed **once** into a buffer drawn from
+//! a [`FramePool`]: the message encodes straight into the wire buffer
+//! ([`frame::seal_with`](crate::frame::seal_with)), the buffer becomes
+//! an immutable [`SealedFrame`], and that one allocation is what every
+//! destination's outbound ring references — a broadcast to `n` peers
+//! clones an `Arc`, never the bytes. When the last reference drops
+//! (the I/O loop finished writing it everywhere), the buffer returns
+//! to the pool for the next seal, so a steady-state sender allocates
+//! nothing per message.
+
+use parking_lot::Mutex;
+use std::sync::{Arc, Weak};
+
+/// Buffers retained per pool; beyond this, freed buffers are simply
+/// dropped. Sized for a deep outbound ring without hoarding memory.
+const MAX_POOLED: usize = 256;
+
+/// Buffers larger than this (a jumbo steal batch or metrics report)
+/// are not worth retaining: the common traffic is small control and
+/// pull frames, and one giant buffer would pin its capacity forever.
+const MAX_POOLED_CAPACITY: usize = 256 * 1024;
+
+/// A recycling arena of frame buffers. Cheap to clone handles out of
+/// ([`SealedFrame`]), safe to drop in any order — buffers outliving
+/// the pool are freed normally.
+pub struct FramePool {
+    free: Mutex<Vec<Vec<u8>>>,
+}
+
+impl FramePool {
+    /// An empty pool; buffers are created on demand and recycled on
+    /// drop.
+    pub fn new() -> Arc<FramePool> {
+        Arc::new(FramePool { free: Mutex::new(Vec::new()) })
+    }
+
+    fn take(&self) -> Vec<u8> {
+        self.free.lock().pop().unwrap_or_default()
+    }
+
+    fn put(&self, mut buf: Vec<u8>) {
+        if buf.capacity() > MAX_POOLED_CAPACITY {
+            return;
+        }
+        buf.clear();
+        let mut free = self.free.lock();
+        if free.len() < MAX_POOLED {
+            free.push(buf);
+        }
+    }
+
+    /// Seals one frame into a pooled buffer: `write_payload` appends
+    /// the payload bytes directly (see
+    /// [`frame::seal_with`](crate::frame::seal_with)), so the bytes are
+    /// laid out exactly once, wire-ready.
+    pub fn seal(self: &Arc<Self>, write_payload: impl FnOnce(&mut Vec<u8>)) -> SealedFrame {
+        let mut buf = self.take();
+        crate::frame::seal_with(&mut buf, write_payload);
+        SealedFrame(Arc::new(PooledBuf { bytes: Some(buf), pool: Arc::downgrade(self) }))
+    }
+
+    /// Buffers currently resting in the pool (tests).
+    pub fn idle(&self) -> usize {
+        self.free.lock().len()
+    }
+}
+
+struct PooledBuf {
+    bytes: Option<Vec<u8>>,
+    pool: Weak<FramePool>,
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        if let (Some(buf), Some(pool)) = (self.bytes.take(), self.pool.upgrade()) {
+            pool.put(buf);
+        }
+    }
+}
+
+/// One immutable, complete wire frame. Clones share the same buffer
+/// (`Arc`), which is what makes broadcast zero-copy: every peer's
+/// outbound ring holds a handle to the same bytes.
+#[derive(Clone)]
+pub struct SealedFrame(Arc<PooledBuf>);
+
+impl SealedFrame {
+    /// The complete frame: header, payload, CRC trailer.
+    pub fn bytes(&self) -> &[u8] {
+        self.0.bytes.as_deref().expect("buffer present until drop")
+    }
+
+    /// Total wire length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// Frames are never empty (the header alone is 12 bytes).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl std::fmt::Debug for SealedFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SealedFrame({} bytes)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame;
+
+    #[test]
+    fn sealed_frame_opens_to_its_payload() {
+        let pool = FramePool::new();
+        let f = pool.seal(|b| b.extend_from_slice(b"payload"));
+        assert_eq!(frame::open(f.bytes()).unwrap(), b"payload");
+        assert_eq!(f.len(), frame::FRAME_OVERHEAD + 7);
+    }
+
+    #[test]
+    fn buffers_recycle_through_the_pool() {
+        let pool = FramePool::new();
+        let f = pool.seal(|b| b.extend_from_slice(&[3u8; 100]));
+        let clone = f.clone();
+        drop(f);
+        assert_eq!(pool.idle(), 0, "a live clone pins the buffer");
+        drop(clone);
+        assert_eq!(pool.idle(), 1, "last drop returns the buffer");
+        // The next seal reuses it rather than allocating.
+        let _f2 = pool.seal(|b| b.extend_from_slice(b"x"));
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn broadcast_clones_share_bytes() {
+        let pool = FramePool::new();
+        let f = pool.seal(|b| b.extend_from_slice(b"shared"));
+        let g = f.clone();
+        assert_eq!(f.bytes().as_ptr(), g.bytes().as_ptr(), "no re-copy on clone");
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_retained() {
+        let pool = FramePool::new();
+        let f = pool.seal(|b| b.extend_from_slice(&vec![0u8; MAX_POOLED_CAPACITY + 1]));
+        drop(f);
+        assert_eq!(pool.idle(), 0, "jumbo buffer freed, not pooled");
+    }
+}

@@ -321,6 +321,46 @@ fn accept_loop(listener: TcpListener, inner: Arc<AcceptorInner>, n: usize) {
 
 type Writers = Arc<Vec<Mutex<Option<TcpStream>>>>;
 
+/// Which data plane carries frames once the mesh rendezvous is done.
+/// Both speak the identical wire format and fault model, so a cluster
+/// can mix them; the choice is per-process.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TcpBackend {
+    /// One reader thread per peer; sends write synchronously from the
+    /// sending thread under a per-peer lock; injected delays and
+    /// wall-clock crash schedules each get a dedicated thread. The
+    /// original data plane, kept as the ablation baseline.
+    Threaded,
+    /// A single `poll(2)` I/O thread owns every socket: pooled
+    /// zero-copy frame buffers, per-peer bounded outbound rings with
+    /// backpressure, vectored/coalesced writes, and the delay heap and
+    /// crash deadline folded into the loop
+    /// ([`EventedEndpoint`](crate::evented::EventedEndpoint)).
+    #[default]
+    Evented,
+}
+
+impl std::str::FromStr for TcpBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<TcpBackend, String> {
+        match s {
+            "threaded" => Ok(TcpBackend::Threaded),
+            "evented" => Ok(TcpBackend::Evented),
+            other => Err(format!("unknown net backend `{other}` (expected threaded|evented)")),
+        }
+    }
+}
+
+impl std::fmt::Display for TcpBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TcpBackend::Threaded => "threaded",
+            TcpBackend::Evented => "evented",
+        })
+    }
+}
+
 /// One worker per OS process, talking real TCP to its peers. Holds an
 /// [`Arc`] of its [`MeshAcceptor`] so the accept thread lives at least
 /// as long as the mesh; callers that rendezvous repeatedly
@@ -329,7 +369,7 @@ type Writers = Arc<Vec<Mutex<Option<TcpStream>>>>;
 pub struct TcpTransport {
     n: usize,
     me: WorkerId,
-    endpoint: Option<TcpEndpoint>,
+    endpoint: Option<Box<dyn NetEndpoint>>,
     _acceptor: Arc<MeshAcceptor>,
 }
 
@@ -356,6 +396,19 @@ impl TcpTransport {
         TcpTransport::connect_on(manifest, me, fault, timeout, listener)
     }
 
+    /// [`connect`](TcpTransport::connect) with an explicit data-plane
+    /// choice.
+    pub fn connect_with(
+        manifest: &ClusterManifest,
+        me: WorkerId,
+        fault: FaultConfig,
+        timeout: Duration,
+        backend: TcpBackend,
+    ) -> io::Result<TcpTransport> {
+        let listener = TcpListener::bind(manifest.addr(me))?;
+        TcpTransport::connect_on_with(manifest, me, fault, timeout, listener, backend)
+    }
+
     /// [`connect`](TcpTransport::connect) with a pre-bound listener
     /// (see [`ClusterManifest::loopback`]). Builds a one-shot
     /// [`MeshAcceptor`] owned by the transport; generation 0.
@@ -366,8 +419,21 @@ impl TcpTransport {
         timeout: Duration,
         listener: TcpListener,
     ) -> io::Result<TcpTransport> {
+        TcpTransport::connect_on_with(manifest, me, fault, timeout, listener, TcpBackend::default())
+    }
+
+    /// [`connect_on`](TcpTransport::connect_on) with an explicit
+    /// data-plane choice.
+    pub fn connect_on_with(
+        manifest: &ClusterManifest,
+        me: WorkerId,
+        fault: FaultConfig,
+        timeout: Duration,
+        listener: TcpListener,
+        backend: TcpBackend,
+    ) -> io::Result<TcpTransport> {
         let acceptor = MeshAcceptor::new(listener, me, manifest.num_workers())?;
-        TcpTransport::connect_via(&acceptor, manifest, me, fault, timeout, 0)
+        TcpTransport::connect_via_with(&acceptor, manifest, me, fault, timeout, 0, backend)
     }
 
     /// Joins (or re-joins) the cluster rendezvous through a persistent
@@ -385,6 +451,30 @@ impl TcpTransport {
         timeout: Duration,
         generation: u32,
     ) -> io::Result<TcpTransport> {
+        TcpTransport::connect_via_with(
+            acceptor,
+            manifest,
+            me,
+            fault,
+            timeout,
+            generation,
+            TcpBackend::default(),
+        )
+    }
+
+    /// [`connect_via`](TcpTransport::connect_via) with an explicit
+    /// data-plane choice. The rendezvous (dial + hello + accept) is
+    /// identical for both backends; they differ only in who owns the
+    /// established sockets afterwards.
+    pub fn connect_via_with(
+        acceptor: &Arc<MeshAcceptor>,
+        manifest: &ClusterManifest,
+        me: WorkerId,
+        fault: FaultConfig,
+        timeout: Duration,
+        generation: u32,
+        backend: TcpBackend,
+    ) -> io::Result<TcpTransport> {
         let n = manifest.num_workers();
         assert!(me.index() < n, "worker {} not in a {n}-worker manifest", me.index());
         assert_eq!(acceptor.me, me.index(), "acceptor belongs to another worker");
@@ -397,19 +487,23 @@ impl TcpTransport {
         // If this process is a crash schedule's victim on a wall-clock
         // trigger, arm a timer so the abort fires even while the
         // endpoint is idle (sends/receives also check the schedule).
-        if let Some(f) = &fault {
-            if let Some(cs) = f.config().crash {
-                if let (true, Some(after)) = (cs.worker == me, cs.after) {
-                    let f = Arc::clone(f);
-                    std::thread::Builder::new()
-                        .name(format!("tcp-crash-timer-{}", me.index()))
-                        .spawn(move || {
-                            std::thread::sleep(after);
-                            if f.crash_due() == Some(me.index()) {
-                                crash_self(me.index());
-                            }
-                        })
-                        .expect("spawn crash timer");
+        // The evented backend folds this deadline into its I/O loop's
+        // poll timeout instead — no extra thread.
+        if backend == TcpBackend::Threaded {
+            if let Some(f) = &fault {
+                if let Some(cs) = f.config().crash {
+                    if let (true, Some(after)) = (cs.worker == me, cs.after) {
+                        let f = Arc::clone(f);
+                        std::thread::Builder::new()
+                            .name(format!("tcp-crash-timer-{}", me.index()))
+                            .spawn(move || {
+                                std::thread::sleep(after);
+                                if f.crash_due() == Some(me.index()) {
+                                    crash_self(me.index());
+                                }
+                            })
+                            .map_err(|e| io::Error::other(format!("spawn crash timer: {e}")))?;
+                    }
                 }
             }
         }
@@ -417,8 +511,8 @@ impl TcpTransport {
         // The acceptor has been collecting inbound links since it was
         // created; dial every peer, retrying with backoff while a peer
         // is still starting (or restarting) up.
-        let writers: Writers = Arc::new((0..n).map(|_| Mutex::new(None)).collect::<Vec<_>>());
-        for w in 0..n {
+        let mut write_streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+        for (w, slot) in write_streams.iter_mut().enumerate() {
             if w == me.index() {
                 continue;
             }
@@ -426,12 +520,13 @@ impl TcpTransport {
             let mut stream = dial_with_retry(manifest.addr(WorkerId(w as u16)), deadline, salt)?;
             stream.set_nodelay(true).ok();
             frame::write_frame(&mut stream, &hello_payload(me.index(), n, generation))?;
-            *writers[w].lock() = Some(stream);
+            *slot = Some(stream);
         }
 
-        // Take the n-1 inbound links and start a reader per peer.
+        // Take the n-1 inbound links.
+        let mut read_streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
         let mut have = 0usize;
-        for peer in 0..n {
+        for (peer, slot) in read_streams.iter_mut().enumerate() {
             if peer == me.index() {
                 continue;
             }
@@ -454,42 +549,66 @@ impl TcpTransport {
             if rejoin {
                 stats.peer_reconnect(peer);
             }
-            let inbox_tx = inbox_tx.clone();
-            let stats = Arc::clone(&stats);
-            std::thread::Builder::new()
-                .name(format!("tcp-read-{}-from-{peer}", me.index()))
-                .spawn(move || reader_loop(peer, stream, inbox_tx, stats))
-                .expect("spawn reader thread");
+            *slot = Some(stream);
         }
 
-        // Injected delays re-transmit from a heap thread; created only
-        // when faults are on, so the clean path has no extra thread.
-        let delay_tx = fault.is_some().then(|| {
-            let (tx, rx) = unbounded::<DelayedFrame>();
-            let writers = Arc::clone(&writers);
-            std::thread::Builder::new()
-                .name(format!("tcp-delay-{}", me.index()))
-                .spawn(move || delay_loop(rx, writers))
-                .expect("spawn delay thread");
-            tx
-        });
-
-        Ok(TcpTransport {
-            n,
-            me,
-            endpoint: Some(TcpEndpoint {
-                me: me.index(),
+        let endpoint: Box<dyn NetEndpoint> = match backend {
+            TcpBackend::Evented => Box::new(crate::evented::launch(
+                me,
                 n,
-                writers,
-                inbox,
-                inbox_tx,
+                write_streams,
+                read_streams,
                 stats,
                 fault,
-                delay_tx,
-                delay_seq: AtomicU64::new(0),
-            }),
-            _acceptor: Arc::clone(acceptor),
-        })
+                inbox_tx,
+                inbox,
+            )?),
+            TcpBackend::Threaded => {
+                // One reader thread per inbound link.
+                for (peer, stream) in read_streams.into_iter().enumerate() {
+                    let Some(stream) = stream else { continue };
+                    let inbox_tx = inbox_tx.clone();
+                    let stats = Arc::clone(&stats);
+                    std::thread::Builder::new()
+                        .name(format!("tcp-read-{}-from-{peer}", me.index()))
+                        .spawn(move || reader_loop(peer, stream, inbox_tx, stats))
+                        .map_err(|e| io::Error::other(format!("spawn reader thread: {e}")))?;
+                }
+                let writers: Writers =
+                    Arc::new(write_streams.into_iter().map(Mutex::new).collect::<Vec<_>>());
+
+                // Injected delays re-transmit from a heap thread;
+                // created only when faults are on, so the clean path
+                // has no extra thread.
+                let delay_tx = match &fault {
+                    Some(_) => {
+                        let (tx, rx) = unbounded::<DelayedFrame>();
+                        let writers = Arc::clone(&writers);
+                        let stats = Arc::clone(&stats);
+                        std::thread::Builder::new()
+                            .name(format!("tcp-delay-{}", me.index()))
+                            .spawn(move || delay_loop(rx, writers, stats))
+                            .map_err(|e| io::Error::other(format!("spawn delay thread: {e}")))?;
+                        Some(tx)
+                    }
+                    None => None,
+                };
+
+                Box::new(TcpEndpoint {
+                    me: me.index(),
+                    n,
+                    writers,
+                    inbox,
+                    inbox_tx,
+                    stats,
+                    fault,
+                    delay_tx,
+                    delay_seq: AtomicU64::new(0),
+                })
+            }
+        };
+
+        Ok(TcpTransport { n, me, endpoint: Some(endpoint), _acceptor: Arc::clone(acceptor) })
     }
 }
 
@@ -505,7 +624,7 @@ impl Transport for TcpTransport {
 
     fn take_endpoint(&mut self, w: WorkerId) -> Box<dyn NetEndpoint> {
         assert_eq!(w, self.me, "worker {} is not hosted by this process", w.index());
-        Box::new(self.endpoint.take().expect("endpoint already taken"))
+        self.endpoint.take().expect("endpoint already taken")
     }
 }
 
@@ -542,7 +661,7 @@ fn dial_with_retry(addr: SocketAddr, deadline: Instant, salt: u64) -> io::Result
 
 /// This process is a crash schedule's victim and the mark was reached:
 /// die the way a killed worker dies — abnormally, mid-everything.
-fn crash_self(me: usize) -> ! {
+pub(crate) fn crash_self(me: usize) -> ! {
     eprintln!("gthinker-net: worker {me} crash schedule fired; aborting process");
     std::process::abort();
 }
@@ -621,12 +740,20 @@ impl Ord for DelayedFrame {
 }
 
 /// Writes fault-delayed frames once their delivery time arrives; later
-/// traffic on the link overtakes them, which is the reorder.
-fn delay_loop(rx: Receiver<DelayedFrame>, writers: Writers) {
+/// traffic on the link overtakes them, which is the reorder. A
+/// deferred write that cannot happen — the peer's writer is already
+/// gone, or the write itself fails — is dropped, but **counted**
+/// ([`NetStats::delayed_write_errors`]) so a chaos run can tell
+/// injected loss from delay-path loss.
+fn delay_loop(rx: Receiver<DelayedFrame>, writers: Writers, stats: Arc<NetStats>) {
     let mut heap: BinaryHeap<Reverse<DelayedFrame>> = BinaryHeap::new();
     let write = |d: DelayedFrame| {
-        if let Some(stream) = writers[d.to].lock().as_mut() {
-            let _ = stream.write_all(&d.frame);
+        let delivered = match writers[d.to].lock().as_mut() {
+            Some(stream) => stream.write_all(&d.frame).is_ok(),
+            None => false,
+        };
+        if !delivered {
+            stats.delayed_write_errors.fetch_add(1, Ordering::Relaxed);
         }
     };
     loop {

@@ -30,6 +30,21 @@ pub struct NetStats {
     pub msgs_sent: AtomicU64,
     /// Messages received.
     pub msgs_received: AtomicU64,
+    /// Vectored (`writev`-style) socket writes issued by the evented
+    /// data plane's I/O loop. 0 on the sim router and the threaded TCP
+    /// backend (which write one frame per syscall).
+    pub writev_calls: AtomicU64,
+    /// Frames that shared a vectored write with at least one other
+    /// frame — the write-coalescing win. For each vectored write of
+    /// `k > 1` frames this counts `k - 1`.
+    pub frames_coalesced: AtomicU64,
+    /// Sends that had to wait because the destination peer's bounded
+    /// outbound ring was full (backpressure from a slow wire or peer).
+    pub backpressure_stalls: AtomicU64,
+    /// Fault-delayed frames whose deferred write failed (dead peer or
+    /// closed socket) and were silently dropped. Surfaced so a chaos
+    /// run can tell injected loss from delay-path loss.
+    pub delayed_write_errors: AtomicU64,
     /// Per-peer dead-link events: the reader hit EOF/error or a write
     /// failed on that peer's socket. Always empty on the sim router
     /// (links there cannot die), sized to the cluster on TCP.
@@ -118,6 +133,25 @@ pub trait NetEndpoint: Send + Sync {
 
     /// Receive with a timeout; `None` on timeout or disconnect.
     fn recv_timeout(&self, timeout: Duration) -> Option<Message>;
+
+    /// Drains up to `max` queued messages into `out`, waiting at most
+    /// `timeout` for the first; returns how many arrived. One call per
+    /// receiver wake lets the worker batch its downstream work (install
+    /// every response, then issue **one** scheduler wakeup) instead of
+    /// paying a wakeup per message.
+    fn recv_batch(&self, timeout: Duration, max: usize, out: &mut Vec<Message>) -> usize {
+        let Some(first) = self.recv_timeout(timeout) else {
+            return 0;
+        };
+        out.push(first);
+        let mut n = 1;
+        while n < max {
+            let Some(m) = self.try_recv() else { break };
+            out.push(m);
+            n += 1;
+        }
+        n
+    }
 
     /// This worker's traffic counters.
     fn stats(&self) -> &NetStats;

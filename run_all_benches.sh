@@ -11,7 +11,7 @@ for b in table1_features table2_datasets table3_systems table_single_machine \
          table4a_horizontal table4b_vertical table4c_single table5a_cache \
          table5b_alpha fig2_crossover kernel_crossover ordering_effect \
          bundling_effect nscale_phases ablations sched_tail sched_cluster \
-         metrics_overhead graph_storage; do
+         metrics_overhead graph_storage net_throughput; do
   if [ ! -x "$BIN/$b" ]; then
     echo "error: $BIN/$b not found or not executable — run: cargo build --release --workspace" >&2
     exit 1
@@ -56,6 +56,8 @@ banner "Cluster-wide stealing — straggler splitting ablations"
 "$BIN/sched_cluster" --scale 1
 banner "Observability — metrics & tracing overhead"
 "$BIN/metrics_overhead" --scale 1
+banner "TCP data plane — evented vs threaded throughput"
+"$BIN/net_throughput" --scale 1
 banner "Compressed storage — ratio, decode cost, peak RSS"
 # /usr/bin/time -v reports the harness's own peak RSS next to the
 # per-phase VmHWM figures the binary writes into BENCH_storage.json.

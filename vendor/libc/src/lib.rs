@@ -2,14 +2,16 @@
 //!
 //! The build environment has no crates.io access, so the workspace
 //! vendors exactly the symbol surface it needs: `clock_gettime` with
-//! the per-thread and per-process CPU clocks (metrics layer), and the
+//! the per-thread and per-process CPU clocks (metrics layer), the
 //! `mmap`/`munmap`/`madvise` trio the compressed graph storage uses to
-//! map read-only graph files. Constants match `<time.h>` /
-//! `<sys/mman.h>` on Linux.
+//! map read-only graph files, and `poll(2)` for the evented TCP data
+//! plane's single I/O loop. Constants match `<time.h>` /
+//! `<sys/mman.h>` / `<poll.h>` on Linux.
 
 #![allow(non_camel_case_types)]
 
 pub type c_int = i32;
+pub type c_short = i16;
 pub type c_long = i64;
 pub type c_void = std::ffi::c_void;
 pub type time_t = i64;
@@ -41,8 +43,32 @@ pub const MADV_SEQUENTIAL: c_int = 2;
 /// Expect random access (disable readahead).
 pub const MADV_RANDOM: c_int = 1;
 
+/// Number of `pollfd` entries, `unsigned long` on Linux.
+pub type nfds_t = u64;
+
+/// One descriptor's interest set for `poll(2)` (`struct pollfd`).
+#[repr(C)]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct pollfd {
+    pub fd: c_int,
+    pub events: c_short,
+    pub revents: c_short,
+}
+
+/// Data may be read without blocking.
+pub const POLLIN: c_short = 0x001;
+/// Writing is possible without blocking.
+pub const POLLOUT: c_short = 0x004;
+/// Error condition (revents only).
+pub const POLLERR: c_short = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: c_short = 0x010;
+/// Invalid descriptor (revents only).
+pub const POLLNVAL: c_short = 0x020;
+
 extern "C" {
     pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
+    pub fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: c_int) -> c_int;
     pub fn mmap(
         addr: *mut c_void,
         len: size_t,
@@ -92,5 +118,20 @@ mod tests {
         assert_eq!(bytes, b"hello mmap");
         assert_eq!(unsafe { munmap(ptr, 10) }, 0);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn poll_reports_readable_after_write() {
+        use std::io::Write;
+        use std::os::unix::io::AsRawFd;
+        use std::os::unix::net::UnixStream;
+        let (mut a, b) = UnixStream::pair().unwrap();
+        let mut fds = [pollfd { fd: b.as_raw_fd(), events: POLLIN, revents: 0 }];
+        // Nothing written yet: a zero-timeout poll must report nothing.
+        assert_eq!(unsafe { poll(fds.as_mut_ptr(), 1, 0) }, 0);
+        a.write_all(&[1]).unwrap();
+        let n = unsafe { poll(fds.as_mut_ptr(), 1, 1000) };
+        assert_eq!(n, 1);
+        assert_ne!(fds[0].revents & POLLIN, 0);
     }
 }
